@@ -1,0 +1,65 @@
+// Extension beyond the paper: multi-bit fault models. Section 6 flags the
+// single-bit-flip assumption as a threat to validity; this bench measures
+// how masking degrades under spatially correlated (adjacent) and
+// independent multi-bit upsets on a three-benchmark subset.
+#include <cstdio>
+
+#include "bench/common.h"
+
+using namespace tfsim;
+
+namespace {
+
+CampaignResult SubSuite(int flips, bool adjacent, int trials) {
+  static const char* kBenchmarks[] = {"gzip", "gcc", "mcf"};
+  CampaignSpec spec = bench::BaseSpec(true, ProtectionConfig::None());
+  spec.trials = trials;
+  spec.flips = flips;
+  spec.adjacent = adjacent;
+  std::vector<CampaignResult> parts;
+  for (const char* b : kBenchmarks) {
+    spec.workload = b;
+    parts.push_back(RunCampaign(spec));
+  }
+  return MergeResults(parts);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Extension — multi-bit fault models",
+                     "Outcome mix on {gzip, gcc, mcf} as the upset grows "
+                     "beyond the paper's single-bit model");
+  const int trials = static_cast<int>(EnvInt("TFI_TRIALS", 500));
+
+  struct Model {
+    const char* name;
+    int flips;
+    bool adjacent;
+  };
+  const Model kModels[] = {
+      {"single bit (paper)", 1, false},
+      {"2 adjacent bits", 2, true},
+      {"2 independent bits", 2, false},
+      {"4-bit adjacent burst", 4, true},
+      {"4 independent bits", 4, false},
+  };
+
+  TextTable t({"fault model", "uArch match%", "Term%", "SDC%", "Gray%",
+               "M=match T=term S=SDC .=gray", "fail rate"});
+  for (const Model& m : kModels) {
+    const CampaignResult r = SubSuite(m.flips, m.adjacent, trials);
+    auto cells = bench::OutcomeCells(r.ByOutcome());
+    cells.insert(cells.begin(), m.name);
+    const Proportion f = r.FailureRate();
+    cells.push_back(FmtPct(f.value, f.ci95));
+    t.AddRow(cells);
+  }
+  std::fputs(t.Render().c_str(), stdout);
+  std::printf(
+      "\n[expectation: masking declines roughly linearly in the number of "
+      "independent flips\n(each flip is an independent chance to land in "
+      "live state); adjacent bursts within one\nfield degrade less than "
+      "independent flips spread across structures]\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 11: architectural-level fault injection on the functional
+// simulator under the six Section 5 fault models, averaged across the
+// benchmark suite. Paper: roughly half of all trials reach complete
+// architectural state convergence (State OK); 10-20% of State OK trials in
+// the first five models had transiently divergent control flow.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "soft/soft_inject.h"
+#include "workloads/workloads.h"
+
+using namespace tfsim;
+
+int main() {
+  bench::PrintHeader("Figure 11 — software-level fault models",
+                     "Architectural fault injection on the functional "
+                     "simulator, averaged over the 10-benchmark suite");
+  const int trials =
+      static_cast<int>(EnvInt("TFI_SOFT_TRIALS", 100));
+
+  TextTable t({"fault model", "Exception%", "State OK%", "Output OK%",
+               "Output Bad%", "StateOK w/ ctrl-flow div%"});
+  for (int m = 0; m < kNumSoftFaultModels; ++m) {
+    SoftCampaignResult total;
+    for (const auto& w : AllWorkloads()) {
+      SoftCampaignSpec spec;
+      spec.workload = w.name;
+      spec.model = static_cast<SoftFaultModel>(m);
+      spec.trials = trials;
+      spec.iters = 8;
+      const SoftCampaignResult r = RunSoftCampaign(spec);
+      for (int o = 0; o < kNumSoftOutcomes; ++o)
+        total.by_outcome[o] += r.by_outcome[o];
+      total.state_ok_with_divergence += r.state_ok_with_divergence;
+      total.trials += r.trials;
+    }
+    const auto n = static_cast<double>(total.trials);
+    const auto pct = [&](SoftOutcome o) {
+      return Fmt(100.0 * total.by_outcome[static_cast<int>(o)] / n, 1);
+    };
+    const std::uint64_t sok =
+        total.by_outcome[static_cast<int>(SoftOutcome::kStateOk)];
+    t.AddRow({SoftFaultModelName(static_cast<SoftFaultModel>(m)),
+              pct(SoftOutcome::kException), pct(SoftOutcome::kStateOk),
+              pct(SoftOutcome::kOutputOk), pct(SoftOutcome::kOutputBad),
+              Fmt(sok ? 100.0 * total.state_ok_with_divergence / sok : 0.0,
+                  1)});
+  }
+  std::fputs(t.Render().c_str(), stdout);
+  std::printf(
+      "\n[paper: ~50%% State OK across models — about half the errors that "
+      "escape the hardware are masked by software; 10-20%% of State OK "
+      "trials under models 1-5 saw transient control-flow divergence]\n");
+  return 0;
+}

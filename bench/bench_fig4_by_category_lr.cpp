@@ -1,0 +1,33 @@
+// Figure 4: outcome mix per state category for injections into
+// latches+RAMs. Paper observations: archrat, regfile, specrat and
+// specfreelist are especially vulnerable (architectural state!); qctrl and
+// valid have high fail rates but few bits; data fails least.
+#include <cstdio>
+
+#include "bench/common.h"
+
+using namespace tfsim;
+
+int main() {
+  bench::PrintHeader("Figure 4 — outcomes by state category (latches+RAMs)",
+                     "Aggregate over the 10-benchmark suite");
+  const auto suite =
+      bench::Suite(bench::BaseSpec(true, ProtectionConfig::None()));
+  const CampaignResult agg = MergeResults(suite);
+
+  TextTable t({"category", "trials", "uArch match%", "Term%", "SDC%", "Gray%",
+               "M=match T=term S=SDC .=gray"});
+  for (StateCat cat : bench::Table1Cats()) {
+    const auto n = agg.TrialsForCat(cat);
+    if (n == 0) continue;
+    auto cells = bench::OutcomeCells(agg.ByOutcomeForCat(cat));
+    cells.insert(cells.begin(), std::to_string(n));
+    cells.insert(cells.begin(), StateCatName(cat));
+    t.AddRow(cells);
+  }
+  std::fputs(t.Render().c_str(), stdout);
+  std::printf(
+      "\n[paper: archrat/regfile/specrat/specfreelist most vulnerable; "
+      "data least; qctrl/valid fail often but are few bits]\n");
+  return 0;
+}

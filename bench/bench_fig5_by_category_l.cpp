@@ -1,0 +1,29 @@
+// Figure 5: outcome mix per state category for injections into latches
+// only. Latch-only masking is higher than latch+RAM masking overall
+// (latches are less utilized than RAM payload bits).
+#include <cstdio>
+
+#include "bench/common.h"
+
+using namespace tfsim;
+
+int main() {
+  bench::PrintHeader("Figure 5 — outcomes by state category (latches only)",
+                     "Aggregate over the 10-benchmark suite");
+  const auto suite =
+      bench::Suite(bench::BaseSpec(false, ProtectionConfig::None()));
+  const CampaignResult agg = MergeResults(suite);
+
+  TextTable t({"category", "trials", "uArch match%", "Term%", "SDC%", "Gray%",
+               "M=match T=term S=SDC .=gray"});
+  for (StateCat cat : bench::Table1Cats()) {
+    const auto n = agg.TrialsForCat(cat);
+    if (n == 0) continue;
+    auto cells = bench::OutcomeCells(agg.ByOutcomeForCat(cat));
+    cells.insert(cells.begin(), std::to_string(n));
+    cells.insert(cells.begin(), StateCatName(cat));
+    t.AddRow(cells);
+  }
+  std::fputs(t.Render().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Figure 6: correlation between pipeline utilization and masking — benign
+// rate (uArch Match + Gray Area) vs number of valid (will-commit)
+// instructions in flight at injection time, with a least-squares trendline.
+// Paper: a clear negative trend, yet ~70% of faults remain benign even with
+// the pipeline nearly full.
+#include <cstdio>
+
+#include <fstream>
+
+#include "bench/common.h"
+#include "inject/cache.h"
+#include "inject/report.h"
+
+using namespace tfsim;
+
+int main() {
+  bench::PrintHeader("Figure 6 — benign fault rate vs valid instructions",
+                     "Latches+RAMs campaign; each bucket is an average over "
+                     "trials with that many valid in-flight instructions");
+  const auto suite =
+      bench::Suite(bench::BaseSpec(true, ProtectionConfig::None()));
+  const CampaignResult agg = MergeResults(suite);
+
+  // Bucket by valid-instruction count (8-wide bins over 0..131).
+  constexpr int kBin = 8;
+  constexpr int kMaxInFlight = 132;
+  std::array<std::uint64_t, kMaxInFlight / kBin + 1> benign{}, total{};
+  std::vector<double> xs, ys;
+  for (const auto& t : agg.trials) {
+    const int bin = static_cast<int>(t.valid_instrs) / kBin;
+    if (bin >= static_cast<int>(total.size())) continue;
+    ++total[bin];
+    const bool is_benign = t.outcome == Outcome::kMicroArchMatch ||
+                           t.outcome == Outcome::kGrayArea;
+    if (is_benign) ++benign[bin];
+    xs.push_back(static_cast<double>(t.valid_instrs));
+    ys.push_back(is_benign ? 1.0 : 0.0);
+  }
+
+  TextTable t({"valid insns", "trials", "benign%", "bar"});
+  for (std::size_t b = 0; b < total.size(); ++b) {
+    if (total[b] == 0) continue;
+    const double rate =
+        static_cast<double>(benign[b]) / static_cast<double>(total[b]);
+    t.AddRow({std::to_string(b * kBin) + "-" + std::to_string(b * kBin + kBin - 1),
+              std::to_string(total[b]), Fmt(100.0 * rate, 1),
+              Bar(rate, 40, '#')});
+  }
+  std::fputs(t.Render().c_str(), stdout);
+
+  // Machine-readable scatter for external plotting.
+  const std::string csv_path = CacheDir() + "/fig6_scatter.csv";
+  if (std::ofstream csv(csv_path); csv) {
+    WriteUtilizationCsv(agg, csv);
+    std::printf("\n(scatter data written to %s)\n", csv_path.c_str());
+  }
+
+  const LinearFit fit = FitLeastSquares(xs, ys);
+  std::printf(
+      "\nleast-squares trendline: benign%% = %.3f %+.4f * valid_insns "
+      "(r^2=%.3f over %zu trials)\n",
+      100.0 * fit.intercept, 100.0 * fit.slope, fit.r2, xs.size());
+  std::printf(
+      "[paper: negative slope; ~70%% of faults still benign with the "
+      "pipeline nearly full (132 in flight)]\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Throughput of the substrate itself (google-benchmark): detailed-core
+// cycles/s, functional-simulator instructions/s, checkpoint save/restore,
+// and whole fault-injection trials/s.
+#include <benchmark/benchmark.h>
+
+#include "arch/functional_sim.h"
+#include "inject/golden.h"
+#include "inject/trial.h"
+#include "uarch/core.h"
+#include "util/rng.h"
+#include "workloads/workloads.h"
+
+using namespace tfsim;
+
+namespace {
+
+const Program& GzipProgram() {
+  static const Program p =
+      BuildWorkload(WorkloadByName("gzip"), kCampaignIters);
+  return p;
+}
+
+void BM_CoreCycle(benchmark::State& state) {
+  Core core(CoreConfig{}, GzipProgram());
+  for (auto _ : state) core.Cycle();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CoreCycle);
+
+void BM_FunctionalStep(benchmark::State& state) {
+  FunctionalSim sim(GzipProgram());
+  for (auto _ : state) {
+    if (!sim.Running()) state.SkipWithError("program exited");
+    sim.Step();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FunctionalStep);
+
+void BM_SnapshotRestore(benchmark::State& state) {
+  Core core(CoreConfig{}, GzipProgram());
+  for (int i = 0; i < 2000; ++i) core.Cycle();
+  const Core::Snapshot snap = core.Save();
+  for (auto _ : state) {
+    core.Load(snap);
+    benchmark::DoNotOptimize(core.StateHash());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SnapshotRestore);
+
+void BM_InjectionTrial(benchmark::State& state) {
+  GoldenSpec gs;
+  gs.warmup = 20000;
+  gs.points = 2;
+  const auto golden = RecordGolden(CoreConfig{}, GzipProgram(), gs);
+  Core core(CoreConfig{}, GzipProgram());
+  Rng rng(7);
+  const std::uint64_t bits = core.registry().InjectableBits(true);
+  for (auto _ : state) {
+    TrialSpec ts;
+    ts.checkpoint = static_cast<int>(rng.NextBelow(2));
+    ts.offset = rng.NextBelow(gs.offset_max);
+    ts.bit_index = rng.NextBelow(bits);
+    benchmark::DoNotOptimize(RunTrial(core, *golden, ts));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_InjectionTrial);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+#include "bench/common.h"
+
+#include <cstdio>
+
+namespace tfsim::bench {
+
+CampaignSpec BaseSpec(bool include_ram, const ProtectionConfig& protect) {
+  CampaignSpec spec;
+  spec.include_ram = include_ram;
+  spec.core.protect = protect;
+  spec.trials = static_cast<int>(EnvInt("TFI_TRIALS", 500));
+  spec.golden.points = static_cast<int>(EnvInt("TFI_POINTS", 12));
+  return spec;
+}
+
+std::vector<CampaignResult> Suite(const CampaignSpec& spec) {
+  CampaignSpec s = spec;
+  return RunSuite(s);
+}
+
+std::vector<std::string> OutcomeCells(
+    const std::array<std::uint64_t, kNumOutcomes>& counts) {
+  std::uint64_t total = 0;
+  for (auto c : counts) total += c;
+  std::vector<std::string> cells;
+  std::vector<double> fractions;
+  // Paper bar order: uArch Match, Terminated, SDC, Gray Area.
+  for (int i = 0; i < kNumOutcomes; ++i) {
+    const double f =
+        total ? static_cast<double>(counts[i]) / static_cast<double>(total)
+              : 0.0;
+    fractions.push_back(f);
+    cells.push_back(Fmt(100.0 * f, 1));
+  }
+  cells.push_back(StackedBar(fractions, "MTS.", 40));
+  return cells;
+}
+
+void PrintHeader(const std::string& figure, const std::string& description) {
+  std::printf("=============================================================\n");
+  std::printf("%s\n%s\n", figure.c_str(), description.c_str());
+  std::printf("=============================================================\n");
+}
+
+const std::vector<StateCat>& Table1Cats() {
+  static const std::vector<StateCat> kCats = {
+      StateCat::kAddr,        StateCat::kArchFreelist, StateCat::kArchRat,
+      StateCat::kCtrl,        StateCat::kData,         StateCat::kInsn,
+      StateCat::kPc,          StateCat::kQctrl,        StateCat::kRegfile,
+      StateCat::kRegptr,      StateCat::kRobptr,       StateCat::kSpecFreelist,
+      StateCat::kSpecRat,     StateCat::kValid,
+  };
+  return kCats;
+}
+
+}  // namespace tfsim::bench

@@ -1,0 +1,42 @@
+// Shared infrastructure for the per-figure bench binaries: canonical
+// campaign specs (so different figures derived from the same campaign share
+// the on-disk cache), TFI_* environment scaling, and table/bar rendering of
+// outcome mixes.
+//
+// Environment knobs:
+//   TFI_TRIALS     trials per benchmark per campaign     (default 500)
+//   TFI_SOFT_TRIALS trials per benchmark per fault model (default 100)
+//   TFI_POINTS     checkpoints (start points) per golden  (default 12)
+//   TFI_CACHE_DIR  results cache directory (default ./.tfi_cache)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "inject/campaign.h"
+#include "soft/soft_inject.h"
+#include "util/env.h"
+#include "util/table.h"
+
+namespace tfsim::bench {
+
+// Canonical campaign spec shared by every figure bench. `protect` toggles
+// the Section 4 mechanisms; include_ram selects latches+RAMs vs latches.
+CampaignSpec BaseSpec(bool include_ram, const ProtectionConfig& protect);
+
+// Runs (or loads) the whole 10-benchmark suite for a spec.
+std::vector<CampaignResult> Suite(const CampaignSpec& spec);
+
+// Renders one outcome mix as "match term sdc gray" percentage cells plus a
+// stacked bar (M=match, T=terminated, S=SDC, .=gray area).
+std::vector<std::string> OutcomeCells(
+    const std::array<std::uint64_t, kNumOutcomes>& counts);
+
+// Prints the standard experiment header.
+void PrintHeader(const std::string& figure, const std::string& description);
+
+// Categories in the paper's Table 1 order (the 14 baseline categories), and
+// the two protection-state categories.
+const std::vector<StateCat>& Table1Cats();
+
+}  // namespace tfsim::bench

@@ -1,0 +1,28 @@
+; hello.s — a freestanding miniAlpha program for the tfi CLI:
+;   ./build/examples/tfi exec examples/hello.s
+;   ./build/examples/tfi run  examples/hello.s --cycles 2000
+        .text
+_start:
+        la      a0, msg           ; write(msg, len)
+        li      a1, 14
+        li      v0, 2
+        syscall
+        li      r1, 10            ; sum 1..10 into r2
+        li      r2, 0
+loop:
+        addq    r2, r1, r2
+        subqi   r1, 1, r1
+        bgt     r1, loop
+        la      a0, out           ; write the 8-byte sum
+        stq     r2, 0(a0)
+        li      a1, 8
+        li      v0, 2
+        syscall
+        li      a0, 0             ; exit(0)
+        li      v0, 1
+        syscall
+
+        .data
+msg:    .asciiz "hello, tfsim\n"
+        .align  8
+out:    .space  8

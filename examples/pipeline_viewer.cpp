@@ -1,0 +1,41 @@
+// Watch the out-of-order machine work: runs a short dependency-heavy
+// program and dumps the full pipeline state for a window of cycles.
+#include <iostream>
+
+#include "isa/assemble.h"
+#include "uarch/core.h"
+
+int main(int argc, char** argv) {
+  using namespace tfsim;
+  const int from = argc > 1 ? std::atoi(argv[1]) : 20;
+  const int cycles = argc > 2 ? std::atoi(argv[2]) : 6;
+
+  const Program program = Assemble(R"(
+      _start:
+      li      r1, 50
+      la      r2, tab
+      li      r3, 0
+      loop:
+      ldq     r4, 0(r2)         ; load
+      mulq    r4, r1, r5        ; complex op dependent on the load
+      addq    r3, r5, r3
+      stq     r3, 8(r2)         ; store
+      addqi   r2, 16, r2
+      subqi   r1, 1, r1
+      bgt     r1, loop
+      li      v0, 1
+      li      a0, 0
+      syscall
+      .data
+      tab: .space 1024
+  )");
+
+  Core core(CoreConfig{}, program);
+  for (int c = 0; c < from; ++c) core.Cycle();
+  for (int c = 0; c < cycles; ++c) {
+    core.DumpPipeline(std::cout);
+    std::cout << "\n";
+    core.Cycle();
+  }
+  return 0;
+}

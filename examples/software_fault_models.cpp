@@ -1,0 +1,34 @@
+// Section 5 in miniature: inject architectural-level faults into one
+// workload under all six fault models and watch the software mask them.
+#include <cstdio>
+
+#include "soft/soft_inject.h"
+
+int main() {
+  using namespace tfsim;
+
+  SoftCampaignSpec spec;
+  spec.workload = "parser";
+  spec.iters = 6;
+  spec.trials = 120;
+
+  std::printf("software-level fault injection on '%s' (%d trials/model)\n\n",
+              spec.workload.c_str(), spec.trials);
+  std::printf("%-14s %10s %10s %10s %11s\n", "model", "Exception",
+              "State OK", "Output OK", "Output Bad");
+  for (int m = 0; m < kNumSoftFaultModels; ++m) {
+    spec.model = static_cast<SoftFaultModel>(m);
+    const SoftCampaignResult r = RunSoftCampaign(spec, false);
+    std::printf("%-14s %9.1f%% %9.1f%% %9.1f%% %10.1f%%\n",
+                SoftFaultModelName(spec.model),
+                100.0 * r.Rate(SoftOutcome::kException).value,
+                100.0 * r.Rate(SoftOutcome::kStateOk).value,
+                100.0 * r.Rate(SoftOutcome::kOutputOk).value,
+                100.0 * r.Rate(SoftOutcome::kOutputBad).value);
+  }
+  std::printf(
+      "\nState OK = the faulty run's architectural state re-converged with "
+      "the\nfault-free reference before a system call (the paper finds ~half "
+      "of all\nerrors that escape the hardware are masked here).\n");
+  return 0;
+}

@@ -1,0 +1,31 @@
+#include "arch/arch_state.h"
+
+#include <cstdio>
+
+#include "util/rng.h"
+
+namespace tfsim {
+
+std::uint64_t ArchState::Hash() const {
+  std::uint64_t h = mem.ContentHash();
+  for (int r = 0; r < kNumArchRegs; ++r)
+    h ^= Mix64((static_cast<std::uint64_t>(r) << 56) ^ Mix64(regs[static_cast<std::size_t>(r)] + 1));
+  h ^= Mix64(pc ^ 0x5043ULL);
+  std::uint64_t oh = 0xdeadbeef;
+  for (std::uint8_t b : output) oh = Mix64(oh ^ b);
+  return h ^ oh;
+}
+
+std::string ToString(const RetireEvent& e) {
+  char buf[160];
+  std::snprintf(
+      buf, sizeof buf,
+      "pc=0x%llx insn=0x%08x %s dst=%d val=0x%llx%s%s exc=%s",
+      static_cast<unsigned long long>(e.pc), e.insn,
+      Disassemble(e.insn, e.pc).c_str(), e.dst == kNoReg ? -1 : e.dst,
+      static_cast<unsigned long long>(e.value), e.is_store ? " store" : "",
+      e.is_syscall ? " syscall" : "", ExceptionName(e.exc));
+  return buf;
+}
+
+}  // namespace tfsim

@@ -1,0 +1,56 @@
+// Architectural (program-visible) state and the retire-event record used to
+// compare the detailed pipeline against the functional reference.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/memory.h"
+#include "isa/isa.h"
+
+namespace tfsim {
+
+// Program-visible machine state: 32 integer registers (r31 reads zero),
+// program counter, memory image, and the I/O side effects of syscalls.
+struct ArchState {
+  std::array<std::uint64_t, kNumArchRegs> regs{};
+  std::uint64_t pc = 0;
+  Memory mem;
+  std::vector<std::uint8_t> output;  // bytes emitted via the write syscall
+  bool exited = false;
+  std::uint64_t exit_code = 0;
+
+  std::uint64_t Reg(int r) const {
+    return r == kZeroReg ? 0 : regs[static_cast<std::size_t>(r & 31)];
+  }
+  void SetReg(int r, std::uint64_t v) {
+    if (r != kZeroReg) regs[static_cast<std::size_t>(r & 31)] = v;
+  }
+
+  // Hash of registers + pc + memory + output; equality of the hash is the
+  // architectural-state-convergence test of the Section 5 experiments.
+  std::uint64_t Hash() const;
+};
+
+// One architecturally retired instruction. The pipeline's retire stream is
+// compared event-by-event against the functional simulator's stream; any
+// divergence is an architectural failure classified per the paper's Table 2.
+struct RetireEvent {
+  std::uint64_t pc = 0;
+  std::uint32_t insn = 0;
+  std::uint8_t dst = kNoReg;     // architectural register written (or none)
+  std::uint64_t value = 0;       // value written to dst
+  bool is_store = false;
+  std::uint64_t store_addr = 0;
+  std::uint64_t store_value = 0;
+  std::uint8_t store_size = 0;
+  bool is_syscall = false;
+  Exception exc = Exception::kNone;
+
+  bool operator==(const RetireEvent&) const = default;
+};
+
+std::string ToString(const RetireEvent& e);
+
+}  // namespace tfsim

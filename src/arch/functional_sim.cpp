@@ -1,0 +1,152 @@
+#include "arch/functional_sim.h"
+
+#include "arch/syscall.h"
+
+namespace tfsim {
+
+void LoadProgram(const Program& program, ArchState& state) {
+  for (const auto& chunk : program.chunks)
+    state.mem.WriteBytes(chunk.addr, chunk.bytes);
+  state.pc = program.entry;
+}
+
+FunctionalSim::FunctionalSim(const Program& program) {
+  LoadProgram(program, state_);
+}
+
+RetireEvent FunctionalSim::Step() {
+  RetireEvent e;
+  e.pc = state_.pc;
+  if (!Running()) return e;
+
+  if (!tlb_.LookupInsn(state_.pc)) {
+    e.exc = pending_exc_ = Exception::kITlbMiss;
+    return e;
+  }
+  const std::uint32_t word =
+      static_cast<std::uint32_t>(state_.mem.Read(state_.pc, 4));
+  e.insn = word;
+  const DecodedInst d = Decode(word);
+  ++insn_count_;
+
+  auto src = [&](std::uint8_t r) { return state_.Reg(r); };
+
+  switch (d.cls) {
+    case InsnClass::kIllegal:
+      e.exc = pending_exc_ = Exception::kIllegalOpcode;
+      return e;
+
+    case InsnClass::kAlu:
+    case InsnClass::kAluComplex: {
+      const std::uint64_t a = src(d.src1);
+      const std::uint64_t b = d.src2 != kNoReg
+                                  ? src(d.src2)
+                                  : static_cast<std::uint64_t>(d.imm);
+      const AluResult r = ExecuteAlu(d, a, b);
+      if (r.exc != Exception::kNone) {
+        e.exc = pending_exc_ = r.exc;
+        return e;
+      }
+      state_.SetReg(d.dst == kNoReg ? kZeroReg : d.dst, r.value);
+      e.dst = d.dst;
+      e.value = d.dst != kNoReg ? r.value : 0;
+      state_.pc += 4;
+      return e;
+    }
+
+    case InsnClass::kLoad: {
+      const std::uint64_t addr =
+          src(d.src1) + static_cast<std::uint64_t>(d.imm);
+      if (addr % d.mem_size != 0) {
+        e.exc = pending_exc_ = Exception::kUnaligned;
+        return e;
+      }
+      if (!tlb_.LookupData(addr)) {
+        e.exc = pending_exc_ = Exception::kDTlbMiss;
+        return e;
+      }
+      std::uint64_t v = state_.mem.Read(addr, d.mem_size);
+      if (d.op == Op::kLdl)
+        v = static_cast<std::uint64_t>(
+            static_cast<std::int32_t>(static_cast<std::uint32_t>(v)));
+      state_.SetReg(d.dst == kNoReg ? kZeroReg : d.dst, v);
+      e.dst = d.dst;
+      e.value = d.dst != kNoReg ? v : 0;
+      state_.pc += 4;
+      return e;
+    }
+
+    case InsnClass::kStore: {
+      const std::uint64_t addr =
+          src(d.src1) + static_cast<std::uint64_t>(d.imm);
+      if (addr % d.mem_size != 0) {
+        e.exc = pending_exc_ = Exception::kUnaligned;
+        return e;
+      }
+      if (!tlb_.LookupData(addr)) {
+        e.exc = pending_exc_ = Exception::kDTlbMiss;
+        return e;
+      }
+      const std::uint64_t v = src(d.src2);
+      state_.mem.Write(addr, v, d.mem_size);
+      e.is_store = true;
+      e.store_addr = addr;
+      e.store_value = v;
+      e.store_size = d.mem_size;
+      state_.pc += 4;
+      return e;
+    }
+
+    case InsnClass::kCondBranch: {
+      const bool taken = BranchTaken(d.op, src(d.src1));
+      state_.pc =
+          taken ? state_.pc + 4 + static_cast<std::uint64_t>(d.imm) * 4
+                : state_.pc + 4;
+      return e;
+    }
+
+    case InsnClass::kBr:
+    case InsnClass::kBsr: {
+      const std::uint64_t link = state_.pc + 4;
+      state_.SetReg(d.dst == kNoReg ? kZeroReg : d.dst, link);
+      e.dst = d.dst;
+      e.value = d.dst != kNoReg ? link : 0;
+      state_.pc += 4 + static_cast<std::uint64_t>(d.imm) * 4;
+      return e;
+    }
+
+    case InsnClass::kJmp:
+    case InsnClass::kJsr:
+    case InsnClass::kRet: {
+      const std::uint64_t target = src(d.src1) & ~3ULL;
+      const std::uint64_t link = state_.pc + 4;
+      state_.SetReg(d.dst == kNoReg ? kZeroReg : d.dst, link);
+      e.dst = d.dst;
+      e.value = d.dst != kNoReg ? link : 0;
+      state_.pc = target;
+      return e;
+    }
+
+    case InsnClass::kSyscall: {
+      DoSyscall(state_);
+      e.is_syscall = true;
+      e.dst = 0;
+      e.value = state_.Reg(0);
+      state_.pc += 4;
+      return e;
+    }
+  }
+  e.exc = pending_exc_ = Exception::kIllegalOpcode;
+  return e;
+}
+
+std::uint64_t FunctionalSim::Run(std::uint64_t max_insns) {
+  std::uint64_t n = 0;
+  while (n < max_insns && Running()) {
+    Step();
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace tfsim

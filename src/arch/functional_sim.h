@@ -1,0 +1,56 @@
+// Functional (architectural) simulator.
+//
+// Plays three roles in the reproduction:
+//   1. Golden architectural reference for the pipeline model: during golden
+//      recording, the pipeline's retire stream is asserted identical to this
+//      simulator's execution.
+//   2. The substrate for the Section 5 experiments (SimpleScalar stand-in),
+//      via the per-instruction fault hooks in soft/soft_inject.
+//   3. A fast executor for workload development and tests.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "arch/arch_state.h"
+#include "arch/tlb.h"
+#include "isa/assemble.h"
+#include "isa/isa.h"
+
+namespace tfsim {
+
+// Loads a program image into state memory and sets pc to the entry point.
+void LoadProgram(const Program& program, ArchState& state);
+
+class FunctionalSim {
+ public:
+  explicit FunctionalSim(const Program& program);
+
+  // Executes exactly one instruction. Returns the retire event (which records
+  // any synchronous exception). After an exception or exit the simulator
+  // refuses further steps (Running() is false).
+  RetireEvent Step();
+
+  // Runs until exit/exception or the instruction limit. Returns the number
+  // of instructions executed.
+  std::uint64_t Run(std::uint64_t max_insns);
+
+  bool Running() const {
+    return !state_.exited && pending_exc_ == Exception::kNone;
+  }
+  Exception pending_exception() const { return pending_exc_; }
+
+  ArchState& state() { return state_; }
+  const ArchState& state() const { return state_; }
+  Tlb& tlb() { return tlb_; }
+  std::uint64_t InsnCount() const { return insn_count_; }
+
+ private:
+  ArchState state_;
+  Tlb tlb_;
+  Exception pending_exc_ = Exception::kNone;
+  std::uint64_t insn_count_ = 0;
+};
+
+}  // namespace tfsim

@@ -1,0 +1,75 @@
+// Sparse paged memory image with an incremental content hash.
+//
+// The fault-injection methodology requires deciding, every cycle, whether the
+// ENTIRE machine state of a faulty run equals the golden run's. Large
+// background arrays (this memory image, cache arrays, predictor tables) make
+// per-cycle re-hashing prohibitive, so Memory maintains an order-independent
+// content hash incrementally: each aligned 8-byte word at address A with
+// non-zero value V contributes Mix64(A ^ Mix64(V)) XORed into the hash, and
+// every write updates the hash in O(1). Two Memory images are equal iff their
+// hashes are equal (up to negligible collision probability), regardless of
+// the order in which they were written.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace tfsim {
+
+inline constexpr std::uint64_t kPageBytes = 8192;
+
+class Memory {
+ public:
+  Memory() = default;
+
+  // Byte-granularity accessors. Reads of unmapped addresses return zero;
+  // writes allocate pages on demand.
+  std::uint8_t ReadByte(std::uint64_t addr) const;
+  void WriteByte(std::uint64_t addr, std::uint8_t value);
+
+  // Little-endian multi-byte accessors; size in {1,2,4,8}. Addresses may be
+  // unaligned (callers enforce architectural alignment rules themselves).
+  std::uint64_t Read(std::uint64_t addr, int size) const;
+  void Write(std::uint64_t addr, std::uint64_t value, int size);
+
+  void WriteBytes(std::uint64_t addr, std::span<const std::uint8_t> bytes);
+  std::vector<std::uint8_t> ReadBytes(std::uint64_t addr,
+                                      std::size_t n) const;
+
+  // Order-independent content hash over all bytes (zero bytes contribute
+  // nothing, so untouched/zero pages are free).
+  std::uint64_t ContentHash() const { return hash_; }
+
+  // Deep copy for checkpointing.
+  Memory Clone() const;
+
+  // Number of mapped pages (diagnostics).
+  std::size_t MappedPages() const { return pages_.size(); }
+
+  // Pages that currently exist, as page indices (addr / kPageBytes).
+  std::vector<std::uint64_t> MappedPageIndices() const;
+
+  bool operator==(const Memory& other) const;
+
+ private:
+  using Page = std::array<std::uint8_t, kPageBytes>;
+
+  const Page* FindPage(std::uint64_t page_index) const;
+  Page& EnsurePage(std::uint64_t page_index);
+
+  // Reads the aligned 8-byte word containing addr.
+  std::uint64_t AlignedWord(std::uint64_t aligned_addr) const;
+
+  std::map<std::uint64_t, std::unique_ptr<Page>> pages_;
+  std::uint64_t hash_ = 0;
+  // One-entry lookup cache (instruction fetch and data accesses are highly
+  // page-local); page storage is stable once allocated.
+  mutable std::uint64_t cached_index_ = ~0ULL;
+  mutable Page* cached_page_ = nullptr;
+};
+
+}  // namespace tfsim

@@ -1,0 +1,32 @@
+#include "arch/syscall.h"
+
+namespace tfsim {
+
+std::uint64_t DoSyscallRaw(std::uint64_t number, std::uint64_t a0,
+                           std::uint64_t a1, Memory& mem,
+                           std::vector<std::uint8_t>& output, bool& exited,
+                           std::uint64_t& exit_code) {
+  switch (number) {
+    case kSysExit:
+      exited = true;
+      exit_code = a0;
+      return 0;
+    case kSysWrite: {
+      const std::uint64_t n = a1 < kMaxWriteBytes ? a1 : kMaxWriteBytes;
+      for (std::uint64_t i = 0; i < n; ++i)
+        output.push_back(mem.ReadByte(a0 + i));
+      return n;
+    }
+    default:
+      return static_cast<std::uint64_t>(-1);
+  }
+}
+
+void DoSyscall(ArchState& state) {
+  const std::uint64_t r0 =
+      DoSyscallRaw(state.Reg(0), state.Reg(16), state.Reg(17), state.mem,
+                   state.output, state.exited, state.exit_code);
+  state.SetReg(0, r0);
+}
+
+}  // namespace tfsim

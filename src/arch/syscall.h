@@ -1,0 +1,34 @@
+// System-call layer shared by the functional simulator and the pipeline's
+// retirement stage (syscalls are serializing and execute atomically at
+// retirement in both models, so their semantics must be identical).
+//
+// Calling convention: syscall number in r0, arguments in a0/a1 (r16/r17).
+//   1 = exit(code)            — stops the program
+//   2 = write(addr, len)      — appends len bytes at addr to the output
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/arch_state.h"
+
+namespace tfsim {
+
+inline constexpr std::uint64_t kSysExit = 1;
+inline constexpr std::uint64_t kSysWrite = 2;
+
+// Maximum bytes a single write syscall transfers; defends against corrupted
+// length registers requesting gigabytes.
+inline constexpr std::uint64_t kMaxWriteBytes = 1 << 20;
+
+// Core syscall semantics against explicit state pieces. Returns the r0
+// result. Never throws; unknown numbers return (uint64_t)-1 (ENOSYS-style).
+std::uint64_t DoSyscallRaw(std::uint64_t number, std::uint64_t a0,
+                           std::uint64_t a1, Memory& mem,
+                           std::vector<std::uint8_t>& output, bool& exited,
+                           std::uint64_t& exit_code);
+
+// Convenience wrapper over a full ArchState (functional simulator path).
+void DoSyscall(ArchState& state);
+
+}  // namespace tfsim

@@ -1,0 +1,20 @@
+#include "arch/tlb.h"
+
+#include "arch/memory.h"
+
+namespace tfsim {
+
+bool Tlb::Lookup(std::unordered_set<std::uint64_t>& pages,
+                 std::uint64_t addr) {
+  const std::uint64_t page = addr / kPageBytes;
+  if (learning_) {
+    pages.insert(page);
+    return true;
+  }
+  return pages.count(page) != 0;
+}
+
+bool Tlb::LookupInsn(std::uint64_t addr) { return Lookup(ipages_, addr); }
+bool Tlb::LookupData(std::uint64_t addr) { return Lookup(dpages_, addr); }
+
+}  // namespace tfsim

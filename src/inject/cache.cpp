@@ -1,0 +1,70 @@
+#include "inject/cache.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "util/env.h"
+
+namespace tfsim {
+namespace {
+
+constexpr const char* kMagic = "tfi-cache v1";
+
+}  // namespace
+
+std::string CacheDir() {
+  return EnvStr("TFI_CACHE_DIR", ".tfi_cache");
+}
+
+std::optional<CampaignResult> LoadCachedCampaign(const CampaignSpec& spec) {
+  const std::filesystem::path path =
+      std::filesystem::path(CacheDir()) / (spec.CacheKey() + ".txt");
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+
+  std::string magic;
+  std::getline(in, magic);
+  if (magic != kMagic) return std::nullopt;
+
+  CampaignResult r;
+  r.spec = spec;
+  std::size_t n = 0;
+  in >> n;
+  for (int c = 0; c < kNumStateCats; ++c)
+    in >> r.inventory[c].latch_bits >> r.inventory[c].ram_bits;
+  in >> r.golden_ipc >> r.golden_bp_accuracy >> r.golden_dcache_misses;
+  r.trials.resize(n);
+  for (auto& t : r.trials) {
+    int outcome, mode, cat, storage;
+    in >> outcome >> mode >> cat >> storage >> t.cycles >> t.valid_instrs >>
+        t.inflight;
+    t.outcome = static_cast<Outcome>(outcome);
+    t.mode = static_cast<FailureMode>(mode);
+    t.cat = static_cast<StateCat>(cat);
+    t.storage = static_cast<Storage>(storage);
+  }
+  if (!in) return std::nullopt;  // truncated/corrupt file
+  return r;
+}
+
+void StoreCachedCampaign(const CampaignResult& result) {
+  std::error_code ec;
+  std::filesystem::create_directories(CacheDir(), ec);
+  const std::filesystem::path path =
+      std::filesystem::path(CacheDir()) / (result.spec.CacheKey() + ".txt");
+  std::ofstream out(path);
+  if (!out) return;  // caching is best-effort
+  out << kMagic << '\n' << result.trials.size() << '\n';
+  for (int c = 0; c < kNumStateCats; ++c)
+    out << result.inventory[c].latch_bits << ' '
+        << result.inventory[c].ram_bits << '\n';
+  out << result.golden_ipc << ' ' << result.golden_bp_accuracy << ' '
+      << result.golden_dcache_misses << '\n';
+  for (const auto& t : result.trials)
+    out << static_cast<int>(t.outcome) << ' ' << static_cast<int>(t.mode)
+        << ' ' << static_cast<int>(t.cat) << ' '
+        << static_cast<int>(t.storage) << ' ' << t.cycles << ' '
+        << t.valid_instrs << ' ' << t.inflight << '\n';
+}
+
+}  // namespace tfsim

@@ -1,0 +1,22 @@
+// On-disk campaign results cache.
+//
+// Several paper figures derive from the same campaign (Figures 3/4/7/8 share
+// the latches+RAMs baseline campaign), and each bench binary regenerates one
+// figure, so results are cached under TFI_CACHE_DIR (default
+// <cwd>/.tfi_cache) keyed by a versioned content hash of the campaign spec.
+// Delete the directory (or change TFI_TRIALS) to force recomputation.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "inject/campaign.h"
+
+namespace tfsim {
+
+std::string CacheDir();
+
+std::optional<CampaignResult> LoadCachedCampaign(const CampaignSpec& spec);
+void StoreCachedCampaign(const CampaignResult& result);
+
+}  // namespace tfsim

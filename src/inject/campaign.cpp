@@ -1,0 +1,161 @@
+#include "inject/campaign.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "inject/cache.h"
+#include "inject/trial.h"
+#include "util/rng.h"
+#include "workloads/workloads.h"
+
+namespace tfsim {
+
+std::string CampaignSpec::CacheKey() const {
+  // Versioned content hash over everything that affects results. Bump the
+  // salt when the model or classifier changes behaviour.
+  constexpr std::uint64_t kVersionSalt = 8;
+  std::uint64_t h = Mix64(kVersionSalt);
+  for (char c : workload) h = Mix64(h ^ static_cast<std::uint64_t>(c));
+  const auto& p = core.protect;
+  h = Mix64(h ^ (static_cast<std::uint64_t>(p.timeout_counter) |
+                 static_cast<std::uint64_t>(p.regfile_ecc) << 1 |
+                 static_cast<std::uint64_t>(p.regptr_ecc) << 2 |
+                 static_cast<std::uint64_t>(p.insn_parity) << 3));
+  h = Mix64(h ^ static_cast<std::uint64_t>(include_ram));
+  h = Mix64(h ^ static_cast<std::uint64_t>(trials));
+  h = Mix64(h ^ golden.warmup);
+  h = Mix64(h ^ static_cast<std::uint64_t>(golden.points));
+  h = Mix64(h ^ golden.spacing);
+  h = Mix64(h ^ golden.window);
+  h = Mix64(h ^ seed);
+  h = Mix64(h ^ (static_cast<std::uint64_t>(flips) << 8));
+  h = Mix64(h ^ static_cast<std::uint64_t>(adjacent));
+  std::ostringstream os;
+  os << workload << (include_ram ? "_lr" : "_l")
+     << (p.timeout_counter || p.regfile_ecc || p.regptr_ecc || p.insn_parity
+             ? "_prot"
+             : "_base")
+     << "_" << std::hex << h;
+  return os.str();
+}
+
+std::array<std::uint64_t, kNumOutcomes> CampaignResult::ByOutcome() const {
+  std::array<std::uint64_t, kNumOutcomes> out{};
+  for (const auto& t : trials) out[static_cast<int>(t.outcome)]++;
+  return out;
+}
+
+std::array<std::uint64_t, kNumOutcomes> CampaignResult::ByOutcomeForCat(
+    StateCat cat) const {
+  std::array<std::uint64_t, kNumOutcomes> out{};
+  for (const auto& t : trials)
+    if (t.cat == cat) out[static_cast<int>(t.outcome)]++;
+  return out;
+}
+
+std::array<std::uint64_t, kNumFailureModes> CampaignResult::ByFailureMode()
+    const {
+  std::array<std::uint64_t, kNumFailureModes> out{};
+  for (const auto& t : trials) out[static_cast<int>(t.mode)]++;
+  return out;
+}
+
+std::array<std::uint64_t, kNumFailureModes>
+CampaignResult::ByFailureModeForCat(StateCat cat) const {
+  std::array<std::uint64_t, kNumFailureModes> out{};
+  for (const auto& t : trials)
+    if (t.cat == cat) out[static_cast<int>(t.mode)]++;
+  return out;
+}
+
+std::uint64_t CampaignResult::TrialsForCat(StateCat cat) const {
+  std::uint64_t n = 0;
+  for (const auto& t : trials)
+    if (t.cat == cat) ++n;
+  return n;
+}
+
+Proportion CampaignResult::FailureRate() const {
+  const auto o = ByOutcome();
+  const std::uint64_t failed = o[static_cast<int>(Outcome::kSdc)] +
+                               o[static_cast<int>(Outcome::kTerminated)];
+  return MakeProportion(failed, trials.size());
+}
+
+CampaignResult RunCampaign(const CampaignSpec& spec, bool verbose) {
+  if (auto cached = LoadCachedCampaign(spec)) {
+    if (verbose)
+      std::fprintf(stderr, "[campaign %s] loaded %zu trials from cache\n",
+                   spec.CacheKey().c_str(), cached->trials.size());
+    return *cached;
+  }
+
+  const WorkloadInfo& info = WorkloadByName(spec.workload);
+  const Program program = BuildWorkload(info, kCampaignIters);
+  if (verbose)
+    std::fprintf(stderr, "[campaign %s] recording golden run...\n",
+                 spec.CacheKey().c_str());
+  const auto golden = RecordGolden(spec.core, program, spec.golden);
+
+  CampaignResult result;
+  result.spec = spec;
+  result.golden_ipc = golden->stats.Ipc();
+  result.golden_bp_accuracy =
+      golden->stats.branches
+          ? 1.0 - static_cast<double>(golden->stats.mispredicts) /
+                      static_cast<double>(golden->stats.branches)
+          : 0.0;
+  result.golden_dcache_misses = golden->stats.dcache_misses;
+
+  Core core(spec.core, program);
+  for (int c = 0; c < kNumStateCats; ++c)
+    result.inventory[c] = core.registry().Inventory(static_cast<StateCat>(c));
+
+  Rng rng(spec.seed);
+  const std::uint64_t bits = core.registry().InjectableBits(spec.include_ram);
+  result.trials.reserve(static_cast<std::size_t>(spec.trials));
+  for (int t = 0; t < spec.trials; ++t) {
+    TrialSpec ts;
+    ts.checkpoint = static_cast<int>(
+        rng.NextBelow(static_cast<std::uint64_t>(spec.golden.points)));
+    ts.offset = rng.NextBelow(spec.golden.offset_max);
+    ts.bit_index = rng.NextBelow(bits);
+    ts.include_ram = spec.include_ram;
+    ts.flips = spec.flips;
+    ts.adjacent = spec.adjacent;
+    result.trials.push_back(RunTrial(core, *golden, ts));
+    if (verbose && (t + 1) % 200 == 0)
+      std::fprintf(stderr, "[campaign %s] %d/%d trials\n",
+                   spec.CacheKey().c_str(), t + 1, spec.trials);
+  }
+
+  StoreCachedCampaign(result);
+  return result;
+}
+
+CampaignResult MergeResults(const std::vector<CampaignResult>& parts) {
+  CampaignResult merged;
+  if (parts.empty()) return merged;
+  merged.spec = parts.front().spec;
+  merged.spec.workload = "aggregate";
+  merged.inventory = parts.front().inventory;
+  double ipc = 0;
+  for (const auto& p : parts) {
+    merged.trials.insert(merged.trials.end(), p.trials.begin(),
+                         p.trials.end());
+    ipc += p.golden_ipc;
+  }
+  merged.golden_ipc = ipc / static_cast<double>(parts.size());
+  return merged;
+}
+
+std::vector<CampaignResult> RunSuite(CampaignSpec spec, bool verbose) {
+  std::vector<CampaignResult> out;
+  for (const auto& w : AllWorkloads()) {
+    spec.workload = w.name;
+    out.push_back(RunCampaign(spec, verbose));
+  }
+  return out;
+}
+
+}  // namespace tfsim

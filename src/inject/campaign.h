@@ -1,0 +1,64 @@
+// Fault-injection campaigns: many trials over a workload, with aggregation
+// helpers that reproduce the paper's figures (outcome mixes per benchmark,
+// per state category, failure-mode breakdowns, utilization correlation).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "inject/golden.h"
+#include "inject/outcome.h"
+#include "uarch/config.h"
+#include "util/stats.h"
+
+namespace tfsim {
+
+struct CampaignSpec {
+  std::string workload;        // name from the workload suite
+  CoreConfig core;             // microarchitecture + protection mechanisms
+  bool include_ram = true;     // latches+RAMs (l+r) vs latches only (l)
+  int trials = 500;
+  int flips = 1;               // bits flipped per trial (extension models)
+  bool adjacent = false;       // spatially correlated extra flips
+  GoldenSpec golden;
+  std::uint64_t seed = 20040628;  // DSN 2004 :-)
+
+  // Stable key for the on-disk results cache.
+  std::string CacheKey() const;
+};
+
+struct CampaignResult {
+  CampaignSpec spec;
+  std::vector<TrialRecord> trials;
+  // Inventory of the injected machine (for Table 1 and rate normalization).
+  std::array<StateRegistry::CategoryBits, kNumStateCats> inventory{};
+  double golden_ipc = 0.0;
+  double golden_bp_accuracy = 0.0;
+  std::uint64_t golden_dcache_misses = 0;
+
+  // --- aggregation -----------------------------------------------------------
+  std::array<std::uint64_t, kNumOutcomes> ByOutcome() const;
+  std::array<std::uint64_t, kNumOutcomes> ByOutcomeForCat(StateCat cat) const;
+  std::array<std::uint64_t, kNumFailureModes> ByFailureMode() const;
+  std::array<std::uint64_t, kNumFailureModes> ByFailureModeForCat(
+      StateCat cat) const;
+  std::uint64_t TrialsForCat(StateCat cat) const;
+  // Fraction of failed trials (SDC + Terminated).
+  Proportion FailureRate() const;
+};
+
+// Runs (or loads from the cache) a campaign. Progress notes go to stderr
+// when `verbose`.
+CampaignResult RunCampaign(const CampaignSpec& spec, bool verbose = true);
+
+// Merges multiple per-benchmark results into one aggregate (the paper's
+// rightmost "aggregate" bars).
+CampaignResult MergeResults(const std::vector<CampaignResult>& parts);
+
+// Convenience: runs the same campaign spec across all ten workloads.
+std::vector<CampaignResult> RunSuite(CampaignSpec spec, bool verbose = true);
+
+}  // namespace tfsim

@@ -1,0 +1,42 @@
+#include "inject/outcome.h"
+
+namespace tfsim {
+
+const char* OutcomeName(Outcome o) {
+  switch (o) {
+    case Outcome::kMicroArchMatch: return "uArch Match";
+    case Outcome::kTerminated: return "Terminated";
+    case Outcome::kSdc: return "SDC";
+    case Outcome::kGrayArea: return "Gray Area";
+  }
+  return "?";
+}
+
+const char* FailureModeName(FailureMode m) {
+  switch (m) {
+    case FailureMode::kNoFailure: return "none";
+    case FailureMode::kCtrl: return "ctrl";
+    case FailureMode::kDtlb: return "dtlb";
+    case FailureMode::kExcept: return "except";
+    case FailureMode::kItlb: return "itlb";
+    case FailureMode::kLocked: return "locked";
+    case FailureMode::kMem: return "mem";
+    case FailureMode::kRegfile: return "regfile";
+  }
+  return "?";
+}
+
+bool IsSdcMode(FailureMode m) {
+  switch (m) {
+    case FailureMode::kCtrl:
+    case FailureMode::kDtlb:
+    case FailureMode::kItlb:
+    case FailureMode::kMem:
+    case FailureMode::kRegfile:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace tfsim

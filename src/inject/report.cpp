@@ -1,0 +1,42 @@
+#include "inject/report.h"
+
+namespace tfsim {
+
+void WriteTrialsCsv(const CampaignResult& result, std::ostream& os) {
+  os << "workload,outcome,failure_mode,category,storage,cycles,valid_instrs,"
+        "inflight\n";
+  for (const TrialRecord& t : result.trials) {
+    os << result.spec.workload << ',' << OutcomeName(t.outcome) << ','
+       << FailureModeName(t.mode) << ',' << StateCatName(t.cat) << ','
+       << (t.storage == Storage::kLatch ? "latch" : "ram") << ',' << t.cycles
+       << ',' << t.valid_instrs << ',' << t.inflight << '\n';
+  }
+}
+
+void WriteCategoryCsv(const CampaignResult& result, std::ostream& os) {
+  os << "category,trials,match,terminated,sdc,gray,latch_bits,ram_bits\n";
+  for (int c = 0; c < kNumStateCats; ++c) {
+    const auto cat = static_cast<StateCat>(c);
+    const auto n = result.TrialsForCat(cat);
+    if (n == 0) continue;
+    const auto o = result.ByOutcomeForCat(cat);
+    os << StateCatName(cat) << ',' << n << ','
+       << o[static_cast<int>(Outcome::kMicroArchMatch)] << ','
+       << o[static_cast<int>(Outcome::kTerminated)] << ','
+       << o[static_cast<int>(Outcome::kSdc)] << ','
+       << o[static_cast<int>(Outcome::kGrayArea)] << ','
+       << result.inventory[c].latch_bits << ','
+       << result.inventory[c].ram_bits << '\n';
+  }
+}
+
+void WriteUtilizationCsv(const CampaignResult& result, std::ostream& os) {
+  os << "valid_instrs,benign\n";
+  for (const TrialRecord& t : result.trials) {
+    const bool benign = t.outcome == Outcome::kMicroArchMatch ||
+                        t.outcome == Outcome::kGrayArea;
+    os << t.valid_instrs << ',' << (benign ? 1 : 0) << '\n';
+  }
+}
+
+}  // namespace tfsim

@@ -1,0 +1,21 @@
+// Machine-readable exports of campaign results (CSV), for plotting the
+// paper's figures with external tools.
+#pragma once
+
+#include <ostream>
+
+#include "inject/campaign.h"
+
+namespace tfsim {
+
+// One row per trial: outcome, failure mode, category, storage class,
+// cycles-to-classification, valid in-flight instructions at injection.
+void WriteTrialsCsv(const CampaignResult& result, std::ostream& os);
+
+// One row per state category: trials and outcome counts (Figures 4/5/9).
+void WriteCategoryCsv(const CampaignResult& result, std::ostream& os);
+
+// Figure 6 scatter: one row per trial with (valid_instrs, benign 0/1).
+void WriteUtilizationCsv(const CampaignResult& result, std::ostream& os);
+
+}  // namespace tfsim

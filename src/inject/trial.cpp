@@ -1,0 +1,169 @@
+#include "inject/trial.h"
+
+#include "util/rng.h"
+
+namespace tfsim {
+namespace {
+
+// Architectural equivalence of two retire events. The recorded PC field is
+// deliberately NOT compared: a flipped PC *bookkeeping* bit (e.g. in a ROB
+// entry) is architecturally silent until the machine actually uses it — for
+// branch execution, exception reporting, or a recovery refetch — at which
+// point the divergence shows up in the instruction stream or data values.
+// This matches the paper's ctrl failure definition ("the processor fetches,
+// executes, and commits an incorrect (but valid) instruction").
+bool ArchEquivalent(const RetireEvent& got, const RetireEvent& want) {
+  return got.exc == Exception::kNone && got.insn == want.insn &&
+         got.dst == want.dst && got.value == want.value &&
+         got.is_store == want.is_store &&
+         got.store_addr == want.store_addr &&
+         got.store_value == want.store_value &&
+         got.store_size == want.store_size &&
+         got.is_syscall == want.is_syscall;
+}
+
+// Classifies a retire-event divergence into a Table 2 failure mode.
+FailureMode ClassifyEventMismatch(const RetireEvent& got,
+                                  const RetireEvent& want) {
+  if (got.exc != Exception::kNone) {
+    switch (got.exc) {
+      case Exception::kITlbMiss: return FailureMode::kItlb;
+      case Exception::kDTlbMiss: return FailureMode::kDtlb;
+      default: return FailureMode::kExcept;
+    }
+  }
+  if (got.insn != want.insn)
+    return FailureMode::kCtrl;  // wrong (but valid) instruction committed
+  if (got.is_store != want.is_store || got.store_addr != want.store_addr ||
+      got.store_value != want.store_value ||
+      got.store_size != want.store_size)
+    return FailureMode::kMem;
+  return FailureMode::kRegfile;  // wrong destination register or value
+}
+
+Outcome OutcomeOf(FailureMode m) {
+  switch (m) {
+    case FailureMode::kExcept:
+    case FailureMode::kLocked:
+      return Outcome::kTerminated;
+    default:
+      return Outcome::kSdc;
+  }
+}
+
+}  // namespace
+
+TrialRecord RunTrial(Core& core, const GoldenRun& golden,
+                     const TrialSpec& spec) {
+  const GoldenTimeline& tl = golden.timeline;
+  TrialRecord rec;
+
+  core.Load(golden.checkpoints.at(static_cast<std::size_t>(spec.checkpoint)));
+  core.tlb() = golden.tlb;  // preloaded with every fault-free page
+
+  // Advance deterministically to the injection cycle (identical to golden).
+  const std::uint64_t base =
+      static_cast<std::uint64_t>(spec.checkpoint) * golden.spec.spacing;
+  for (std::uint64_t c = 0; c < spec.offset; ++c) core.Cycle();
+
+  // Checkpoints are saved before their cycle executes, so after `offset`
+  // cycles the machine state equals timeline[base + offset - 1].
+  const std::uint64_t inj_index =
+      base + (spec.offset > 0 ? spec.offset - 1 : 0);
+  rec.valid_instrs = tl.ValidInstrsAt(inj_index);
+  rec.inflight = static_cast<std::uint32_t>(core.InFlight());
+
+  // Flip one uniformly chosen bit of eligible state (plus optional extra
+  // flips for the multi-bit extension models).
+  const std::uint64_t total = core.registry().InjectableBits(spec.include_ram);
+  const BitLocation loc =
+      core.registry().LocateBit(spec.bit_index % total, spec.include_ram);
+  core.registry().FlipBit(loc);
+  rec.cat = loc.cat;
+  rec.storage = loc.storage;
+  for (int k = 1; k < spec.flips; ++k) {
+    BitLocation extra;
+    if (spec.adjacent) {
+      extra = loc;
+      extra.bit = static_cast<std::uint8_t>((loc.bit + k) % loc.width);
+      if (extra.bit == loc.bit) break;  // element narrower than the burst
+    } else {
+      extra = core.registry().LocateBit(
+          Mix64(spec.bit_index + static_cast<std::uint64_t>(k) * 0x9E3779B9) %
+              total,
+          spec.include_ram);
+    }
+    core.registry().FlipBit(extra);
+  }
+
+  auto finish = [&](Outcome o, FailureMode m, std::uint64_t cycles) {
+    rec.outcome = o;
+    rec.mode = m;
+    rec.cycles = static_cast<std::uint32_t>(cycles);
+    return rec;
+  };
+
+  std::uint64_t no_retire_cycles = 0;
+  // Absolute retirement index for event comparison. Tracked locally because
+  // exception events appear in RetiredThisCycle() without incrementing the
+  // core's retired_total.
+  std::uint64_t abs_index = core.RetiredTotal();
+  for (std::uint64_t c = 1; c <= golden.spec.window; ++c) {
+    core.Cycle();
+    const std::uint64_t gidx = base + spec.offset + c - 1;
+    if (gidx >= tl.state_hash.size())
+      return finish(Outcome::kGrayArea, FailureMode::kNoFailure, c);
+
+    // Architectural retire-event comparison (paper: architectural state is
+    // verified continuously; any inconsistency is an SDC or Terminated).
+    for (const RetireEvent& ev : core.RetiredThisCycle()) {
+      const RetireEvent* want = tl.EventAt(abs_index++);
+      if (!want)
+        return finish(Outcome::kGrayArea, FailureMode::kNoFailure, c);
+      if (!ArchEquivalent(ev, *want)) {
+        const FailureMode m = ClassifyEventMismatch(ev, *want);
+        return finish(OutcomeOf(m), m, c);
+      }
+    }
+
+    // Fetch-side TLB miss (conservatively SDC, like the paper).
+    if (core.itlb_miss())
+      return finish(Outcome::kSdc, FailureMode::kItlb, c);
+    // An exception surfaced without retiring events (defensive).
+    if (core.halted_exception() != Exception::kNone) {
+      const Exception e = core.halted_exception();
+      const FailureMode m = e == Exception::kITlbMiss  ? FailureMode::kItlb
+                            : e == Exception::kDTlbMiss ? FailureMode::kDtlb
+                                                        : FailureMode::kExcept;
+      return finish(OutcomeOf(m), m, c);
+    }
+
+    // Deadlock/livelock detection.
+    no_retire_cycles =
+        core.RetiredThisCycle().empty() ? no_retire_cycles + 1 : 0;
+    if (no_retire_cycles >= static_cast<std::uint64_t>(kLockedThresholdCycles))
+      return finish(Outcome::kTerminated, FailureMode::kLocked, c);
+
+    // Retirement-count-aligned architectural view comparison: catches silent
+    // corruption of the architectural register file / RAT immediately, even
+    // before a dependent use retires.
+    const std::uint64_t k = core.RetiredTotal();
+    if (const auto it = tl.count_to_cycle.find(k);
+        it != tl.count_to_cycle.end()) {
+      const std::size_t g = it->second;
+      if (core.ArchViewHash() != tl.arch_hash[g])
+        return finish(Outcome::kSdc, FailureMode::kRegfile, c);
+      if (tl.sb_empty[g] && core.StoreBufferEmpty() &&
+          (core.memory().ContentHash() ^ core.OutputHash()) != tl.mem_hash[g])
+        return finish(Outcome::kSdc, FailureMode::kMem, c);
+    }
+
+    // Complete microarchitectural state match (every bit of the machine).
+    if (core.StateHash() == tl.state_hash[gidx])
+      return finish(Outcome::kMicroArchMatch, FailureMode::kNoFailure, c);
+  }
+  return finish(Outcome::kGrayArea, FailureMode::kNoFailure,
+                golden.spec.window);
+}
+
+}  // namespace tfsim

@@ -1,0 +1,34 @@
+// Single fault-injection trial: restore a checkpoint, advance to the
+// injection cycle, flip one bit, then co-compare against the golden timeline
+// for up to the observation window, classifying the paper's four outcomes
+// and seven failure modes.
+#pragma once
+
+#include <cstdint>
+
+#include "inject/golden.h"
+#include "inject/outcome.h"
+#include "uarch/core.h"
+
+namespace tfsim {
+
+struct TrialSpec {
+  int checkpoint = 0;            // start point
+  std::uint64_t offset = 0;      // cycles from the checkpoint to injection
+  std::uint64_t bit_index = 0;   // uniform index into the eligible bit space
+  bool include_ram = true;       // latches+RAMs (true) or latches only
+  // Extension beyond the paper (whose Section 6 flags the single-bit model
+  // as a threat to validity): flip `flips` bits per trial. When `adjacent`,
+  // the extra flips hit neighbouring bits of the same element (a spatially
+  // correlated strike); otherwise they land uniformly at random.
+  int flips = 1;
+  bool adjacent = false;
+};
+
+// Runs one trial on `core`, which must have been constructed with the same
+// CoreConfig and Program as the golden run (it is fully overwritten by the
+// checkpoint restore, so one core can be reused across trials).
+TrialRecord RunTrial(Core& core, const GoldenRun& golden,
+                     const TrialSpec& spec);
+
+}  // namespace tfsim

@@ -1,0 +1,498 @@
+#include "isa/assemble.h"
+
+#include <cctype>
+#include <cstring>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+
+#include "isa/isa.h"
+
+namespace tfsim {
+namespace {
+
+constexpr std::uint64_t kTextBase = 0x1000;
+constexpr std::uint64_t kDataBase = 0x40000;
+
+struct AsmError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+[[noreturn]] void Fail(int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "asm error at line " << line << ": " << msg;
+  throw AsmError(os.str());
+}
+
+// Splits a statement into mnemonic + comma-separated operand strings.
+struct Stmt {
+  std::string label;
+  std::string mnemonic;
+  std::vector<std::string> operands;
+  int line = 0;
+};
+
+std::string Trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+// Parses a register name (rN or ABI alias). Returns -1 if not a register.
+int ParseReg(const std::string& tok) {
+  static const std::pair<const char*, int> kAliases[] = {
+      {"v0", 0},  {"t0", 1},  {"t1", 2},  {"t2", 3},  {"t3", 4},  {"t4", 5},
+      {"t5", 6},  {"t6", 7},  {"t7", 8},  {"s0", 9},  {"s1", 10}, {"s2", 11},
+      {"s3", 12}, {"s4", 13}, {"s5", 14}, {"fp", 15}, {"a0", 16}, {"a1", 17},
+      {"a2", 18}, {"a3", 19}, {"a4", 20}, {"a5", 21}, {"t8", 22}, {"t9", 23},
+      {"t10", 24}, {"t11", 25}, {"ra", 26}, {"pv", 27}, {"at", 28},
+      {"gp", 29}, {"sp", 30}, {"zero", 31}};
+  if (tok.size() >= 2 && (tok[0] == 'r' || tok[0] == 'R') &&
+      std::isdigit(static_cast<unsigned char>(tok[1]))) {
+    int n = 0;
+    for (std::size_t i = 1; i < tok.size(); ++i) {
+      if (!std::isdigit(static_cast<unsigned char>(tok[i]))) return -1;
+      n = n * 10 + (tok[i] - '0');
+    }
+    return n < kNumArchRegs ? n : -1;
+  }
+  for (const auto& [name, num] : kAliases)
+    if (tok == name) return num;
+  return -1;
+}
+
+class Assembler {
+ public:
+  Program Run(const std::string& source) {
+    Parse(source);
+    // Pass 1: lay out addresses.
+    emitting_ = false;
+    Layout();
+    // Pass 2: emit with all symbols known.
+    emitting_ = true;
+    Layout();
+    Program p;
+    p.symbols = symbols_;
+    Program::Chunk text{kTextBase, std::move(text_)};
+    Program::Chunk data{kDataBase, std::move(data_)};
+    if (!text.bytes.empty()) p.chunks.push_back(std::move(text));
+    if (!data.bytes.empty()) p.chunks.push_back(std::move(data));
+    const auto it = symbols_.find("_start");
+    p.entry = it != symbols_.end() ? it->second : kTextBase;
+    return p;
+  }
+
+ private:
+  void Parse(const std::string& source) {
+    std::istringstream in(source);
+    std::string raw;
+    int line = 0;
+    while (std::getline(in, raw)) {
+      ++line;
+      // Strip comments, but not inside string literals.
+      std::string s;
+      bool in_str = false;
+      for (char c : raw) {
+        if (c == '"') in_str = !in_str;
+        if (!in_str && (c == ';' || c == '#')) break;
+        s += c;
+      }
+      s = Trim(s);
+      while (!s.empty()) {
+        Stmt st;
+        st.line = line;
+        // Leading label(s).
+        const std::size_t colon = s.find(':');
+        const std::size_t space = s.find_first_of(" \t\"");
+        if (colon != std::string::npos &&
+            (space == std::string::npos || colon < space)) {
+          st.label = Trim(s.substr(0, colon));
+          stmts_.push_back(st);
+          s = Trim(s.substr(colon + 1));
+          continue;
+        }
+        // Mnemonic and operands.
+        const std::size_t sp = s.find_first_of(" \t");
+        st.mnemonic = sp == std::string::npos ? s : s.substr(0, sp);
+        std::string rest = sp == std::string::npos ? "" : Trim(s.substr(sp));
+        // Split operands on commas outside quotes.
+        std::string cur;
+        bool q = false;
+        for (char c : rest) {
+          if (c == '"') q = !q;
+          if (c == ',' && !q) {
+            st.operands.push_back(Trim(cur));
+            cur.clear();
+          } else {
+            cur += c;
+          }
+        }
+        if (!Trim(cur).empty()) st.operands.push_back(Trim(cur));
+        stmts_.push_back(st);
+        break;
+      }
+    }
+  }
+
+  std::uint64_t& Lc() { return in_text_ ? text_lc_ : data_lc_; }
+  std::uint64_t LcValue() const { return in_text_ ? text_lc_ : data_lc_; }
+  std::vector<std::uint8_t>& Buf() { return in_text_ ? text_ : data_; }
+  std::uint64_t Base() const { return in_text_ ? kTextBase : kDataBase; }
+
+  void Layout() {
+    in_text_ = true;
+    text_lc_ = kTextBase;
+    data_lc_ = kDataBase;
+    if (emitting_) {
+      text_.clear();
+      data_.clear();
+    }
+    for (const Stmt& st : stmts_) {
+      if (!st.label.empty()) {
+        if (!emitting_) {
+          if (symbols_.count(st.label))
+            Fail(st.line, "duplicate label '" + st.label + "'");
+          symbols_[st.label] = Lc();
+        }
+        continue;
+      }
+      if (st.mnemonic.empty()) continue;
+      if (st.mnemonic[0] == '.') {
+        Directive(st);
+      } else {
+        Instruction(st);
+      }
+    }
+  }
+
+  // --- value parsing -----------------------------------------------------
+
+  std::optional<std::int64_t> ParseNumber(const std::string& tok) const {
+    if (tok.empty()) return std::nullopt;
+    std::size_t i = 0;
+    bool neg = false;
+    if (tok[0] == '-' || tok[0] == '+') {
+      neg = tok[0] == '-';
+      i = 1;
+    }
+    if (i >= tok.size()) return std::nullopt;
+    if (tok.size() >= i + 3 && tok[i] == '\'' && tok[i + 2] == '\'')
+      return neg ? -tok[i + 1] : tok[i + 1];
+    std::uint64_t v = 0;
+    if (tok.size() > i + 2 && tok[i] == '0' &&
+        (tok[i + 1] == 'x' || tok[i + 1] == 'X')) {
+      for (std::size_t j = i + 2; j < tok.size(); ++j) {
+        const char c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(tok[j])));
+        if (c >= '0' && c <= '9') v = v * 16 + static_cast<std::uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f') v = v * 16 + static_cast<std::uint64_t>(c - 'a' + 10);
+        else return std::nullopt;
+      }
+    } else {
+      for (std::size_t j = i; j < tok.size(); ++j) {
+        if (!std::isdigit(static_cast<unsigned char>(tok[j])))
+          return std::nullopt;
+        v = v * 10 + static_cast<std::uint64_t>(tok[j] - '0');
+      }
+    }
+    const std::int64_t sv = static_cast<std::int64_t>(v);
+    return neg ? -sv : sv;
+  }
+
+  // Value: number | label | label+num | label-num. During pass 1 unknown
+  // labels resolve to 0 (sizes never depend on label values).
+  std::int64_t ParseValue(const std::string& tok, int line) const {
+    if (auto n = ParseNumber(tok)) return *n;
+    std::size_t split = std::string::npos;
+    for (std::size_t i = 1; i < tok.size(); ++i)
+      if (tok[i] == '+' || tok[i] == '-') split = i;
+    std::string base = tok, offs;
+    if (split != std::string::npos) {
+      base = tok.substr(0, split);
+      offs = tok.substr(split);
+    }
+    const auto it = symbols_.find(Trim(base));
+    std::int64_t v = 0;
+    if (it != symbols_.end()) {
+      v = static_cast<std::int64_t>(it->second);
+    } else if (emitting_) {
+      Fail(line, "unknown symbol '" + base + "'");
+    }
+    if (!offs.empty()) {
+      if (auto n = ParseNumber(offs)) v += *n;
+      else Fail(line, "bad offset '" + offs + "'");
+    }
+    return v;
+  }
+
+  // --- emission ----------------------------------------------------------
+
+  void EmitBytes(const void* src, std::size_t n) {
+    if (emitting_) {
+      const std::uint64_t off = Lc() - Base();
+      auto& buf = Buf();
+      if (buf.size() < off + n) buf.resize(off + n, 0);
+      std::memcpy(buf.data() + off, src, n);
+    }
+    Lc() += n;
+  }
+
+  void EmitWord32(std::uint32_t w) { EmitBytes(&w, 4); }
+
+  void Directive(const Stmt& st) {
+    const std::string& m = st.mnemonic;
+    if (m == ".text") { in_text_ = true; return; }
+    if (m == ".data") { in_text_ = false; return; }
+    if (m == ".org") {
+      Require(st, 1);
+      const std::uint64_t addr =
+          static_cast<std::uint64_t>(ParseValue(st.operands[0], st.line));
+      if (addr < Lc()) Fail(st.line, ".org moves backwards");
+      const std::vector<std::uint8_t> pad(addr - Lc(), 0);
+      if (!pad.empty()) EmitBytes(pad.data(), pad.size());
+      return;
+    }
+    if (m == ".align") {
+      Require(st, 1);
+      const std::uint64_t a =
+          static_cast<std::uint64_t>(ParseValue(st.operands[0], st.line));
+      if (a == 0 || (a & (a - 1)) != 0) Fail(st.line, ".align not power of 2");
+      while (Lc() % a != 0) {
+        const std::uint8_t z = 0;
+        EmitBytes(&z, 1);
+      }
+      return;
+    }
+    if (m == ".word" || m == ".quad") {
+      for (const auto& opnd : st.operands) {
+        const std::uint64_t v =
+            static_cast<std::uint64_t>(ParseValue(opnd, st.line));
+        EmitBytes(&v, 8);
+      }
+      return;
+    }
+    if (m == ".long") {
+      for (const auto& opnd : st.operands) {
+        const std::uint32_t v =
+            static_cast<std::uint32_t>(ParseValue(opnd, st.line));
+        EmitBytes(&v, 4);
+      }
+      return;
+    }
+    if (m == ".byte") {
+      for (const auto& opnd : st.operands) {
+        const std::uint8_t v =
+            static_cast<std::uint8_t>(ParseValue(opnd, st.line));
+        EmitBytes(&v, 1);
+      }
+      return;
+    }
+    if (m == ".space") {
+      Require(st, 1);
+      const std::uint64_t n =
+          static_cast<std::uint64_t>(ParseValue(st.operands[0], st.line));
+      const std::vector<std::uint8_t> z(n, 0);
+      if (n) EmitBytes(z.data(), n);
+      return;
+    }
+    if (m == ".asciiz" || m == ".ascii") {
+      Require(st, 1);
+      const std::string& s = st.operands[0];
+      if (s.size() < 2 || s.front() != '"' || s.back() != '"')
+        Fail(st.line, "expected quoted string");
+      std::string out;
+      for (std::size_t i = 1; i + 1 < s.size(); ++i) {
+        char c = s[i];
+        if (c == '\\' && i + 2 < s.size()) {
+          ++i;
+          switch (s[i]) {
+            case 'n': c = '\n'; break;
+            case 't': c = '\t'; break;
+            case '0': c = '\0'; break;
+            case '\\': c = '\\'; break;
+            case '"': c = '"'; break;
+            default: Fail(st.line, "bad escape");
+          }
+        }
+        out += c;
+      }
+      if (m == ".asciiz") out += '\0';
+      EmitBytes(out.data(), out.size());
+      return;
+    }
+    Fail(st.line, "unknown directive '" + m + "'");
+  }
+
+  void Require(const Stmt& st, std::size_t n) const {
+    if (st.operands.size() != n)
+      Fail(st.line, "expected " + std::to_string(n) + " operand(s) for '" +
+                        st.mnemonic + "'");
+  }
+
+  int Reg(const Stmt& st, std::size_t i) const {
+    const int r = ParseReg(st.operands[i]);
+    if (r < 0) Fail(st.line, "bad register '" + st.operands[i] + "'");
+    return r;
+  }
+
+  // Parses "disp(rb)" or "value" (rb = zero). Returns {disp, rb}.
+  std::pair<std::int64_t, int> MemOperand(const Stmt& st,
+                                          std::size_t i) const {
+    const std::string& s = st.operands[i];
+    const std::size_t lp = s.find('(');
+    if (lp == std::string::npos)
+      return {ParseValue(s, st.line), kZeroReg};
+    const std::size_t rp = s.find(')', lp);
+    if (rp == std::string::npos) Fail(st.line, "missing ')'");
+    const std::string dstr = Trim(s.substr(0, lp));
+    const std::int64_t disp = dstr.empty() ? 0 : ParseValue(dstr, st.line);
+    const int rb = ParseReg(Trim(s.substr(lp + 1, rp - lp - 1)));
+    if (rb < 0) Fail(st.line, "bad base register");
+    return {disp, rb};
+  }
+
+  void CheckImm16(const Stmt& st, std::int64_t v) const {
+    if (v < -32768 || v > 32767)
+      Fail(st.line, "immediate " + std::to_string(v) + " out of imm16 range");
+  }
+
+  std::int64_t BranchDisp(const Stmt& st, std::size_t i) const {
+    const std::int64_t target = ParseValue(st.operands[i], st.line);
+    const std::int64_t disp =
+        (target - static_cast<std::int64_t>(LcValue()) - 4) / 4;
+    if (emitting_ && (disp < -(1 << 20) || disp >= (1 << 20)))
+      Fail(st.line, "branch target out of range");
+    if (emitting_ && (target & 3) != 0)
+      Fail(st.line, "branch target not 4-byte aligned");
+    return disp;
+  }
+
+  void Instruction(const Stmt& st) {
+    const std::string& m = st.mnemonic;
+
+    static const std::map<std::string, Op> kAluR = {
+        {"addq", Op::kAddq},   {"subq", Op::kSubq},   {"mulq", Op::kMulq},
+        {"divq", Op::kDivq},   {"andq", Op::kAndq},   {"bisq", Op::kBisq},
+        {"or", Op::kBisq},     {"xorq", Op::kXorq},   {"bicq", Op::kBicq},
+        {"sllq", Op::kSllq},   {"srlq", Op::kSrlq},   {"sraq", Op::kSraq},
+        {"cmpeq", Op::kCmpeq}, {"cmplt", Op::kCmplt}, {"cmple", Op::kCmple},
+        {"cmpult", Op::kCmpult}, {"cmpule", Op::kCmpule},
+        {"addl", Op::kAddl},   {"subl", Op::kSubl},   {"mull", Op::kMull},
+        {"sextb", Op::kSextb}, {"sextl", Op::kSextl}, {"addv", Op::kAddv},
+        {"subv", Op::kSubv},   {"remq", Op::kRemq},   {"umulh", Op::kUmulh}};
+    static const std::map<std::string, Op> kAluI = {
+        {"addqi", Op::kAddqi},   {"subqi", Op::kSubqi},
+        {"mulqi", Op::kMulqi},   {"andqi", Op::kAndqi},
+        {"bisqi", Op::kBisqi},   {"xorqi", Op::kXorqi},
+        {"sllqi", Op::kSllqi},   {"srlqi", Op::kSrlqi},
+        {"sraqi", Op::kSraqi},   {"cmpeqi", Op::kCmpeqi},
+        {"cmplti", Op::kCmplti}, {"cmplei", Op::kCmplei},
+        {"cmpulti", Op::kCmpulti}, {"cmpulei", Op::kCmpulei},
+        {"addli", Op::kAddli}};
+    static const std::map<std::string, Op> kMem = {
+        {"ldq", Op::kLdq}, {"ldl", Op::kLdl}, {"ldbu", Op::kLdbu},
+        {"stq", Op::kStq}, {"stl", Op::kStl}, {"stb", Op::kStb}};
+    static const std::map<std::string, Op> kCond = {
+        {"beq", Op::kBeq}, {"bne", Op::kBne}, {"blt", Op::kBlt},
+        {"ble", Op::kBle}, {"bgt", Op::kBgt}, {"bge", Op::kBge}};
+
+    if (auto it = kAluR.find(m); it != kAluR.end()) {
+      Require(st, 3);
+      EmitWord32(EncodeR(it->second, Reg(st, 0), Reg(st, 1), Reg(st, 2)));
+      return;
+    }
+    if (auto it = kAluI.find(m); it != kAluI.end()) {
+      Require(st, 3);
+      const std::int64_t imm = ParseValue(st.operands[1], st.line);
+      CheckImm16(st, imm);
+      EmitWord32(EncodeI(it->second, Reg(st, 0), Reg(st, 2), imm));
+      return;
+    }
+    if (auto it = kMem.find(m); it != kMem.end()) {
+      Require(st, 2);
+      const auto [disp, rb] = MemOperand(st, 1);
+      CheckImm16(st, disp);
+      EmitWord32(EncodeM(it->second, Reg(st, 0), rb, disp));
+      return;
+    }
+    if (m == "lda" || m == "ldah") {
+      Require(st, 2);
+      const auto [disp, rb] = MemOperand(st, 1);
+      CheckImm16(st, disp);
+      EmitWord32(EncodeM(m == "lda" ? Op::kLda : Op::kLdah, Reg(st, 0), rb,
+                         disp));
+      return;
+    }
+    if (auto it = kCond.find(m); it != kCond.end()) {
+      Require(st, 2);
+      const int ra = Reg(st, 0);
+      EmitWord32(EncodeB(it->second, ra, BranchDisp(st, 1)));
+      return;
+    }
+    if (m == "br" || m == "bsr") {
+      const Op op = m == "br" ? Op::kBr : Op::kBsr;
+      if (st.operands.size() == 1) {
+        EmitWord32(EncodeB(op, m == "bsr" ? 26 : kZeroReg, BranchDisp(st, 0)));
+      } else {
+        Require(st, 2);
+        EmitWord32(EncodeB(op, Reg(st, 0), BranchDisp(st, 1)));
+      }
+      return;
+    }
+    if (m == "jmp" || m == "jsr" || m == "ret") {
+      const Op op = m == "jmp" ? Op::kJmp : m == "jsr" ? Op::kJsr : Op::kRet;
+      if (st.operands.empty() && m == "ret") {
+        EmitWord32(EncodeJ(op, kZeroReg, 26));
+      } else {
+        Require(st, 2);
+        EmitWord32(EncodeJ(op, Reg(st, 0), Reg(st, 1)));
+      }
+      return;
+    }
+    if (m == "syscall") {
+      EmitWord32(EncodeJ(Op::kSyscall, 0, 0));
+      return;
+    }
+    // Pseudo-instructions.
+    if (m == "nop") {
+      EmitWord32(EncodeR(Op::kBisq, kZeroReg, kZeroReg, kZeroReg));
+      return;
+    }
+    if (m == "mov") {
+      Require(st, 2);
+      EmitWord32(EncodeR(Op::kBisq, Reg(st, 0), kZeroReg, Reg(st, 1)));
+      return;
+    }
+    if (m == "li" || m == "la") {
+      // Always two instructions (ldah+lda) so pass-1 sizing is label-free.
+      Require(st, 2);
+      const int rc = Reg(st, 0);
+      const std::int64_t v = ParseValue(st.operands[1], st.line);
+      const std::int64_t lo = static_cast<std::int16_t>(v & 0xFFFF);
+      const std::int64_t hi = (v - lo) >> 16;
+      if (emitting_ && (hi < -32768 || hi > 32767))
+        Fail(st.line, "li/la value outside the ldah+lda range "
+                      "[-0x80008000, 0x7FFF7FFF]");
+      EmitWord32(EncodeM(Op::kLdah, rc, kZeroReg, hi & 0xFFFF));
+      EmitWord32(EncodeM(Op::kLda, rc, rc, lo));
+      return;
+    }
+    Fail(st.line, "unknown mnemonic '" + m + "'");
+  }
+
+  std::vector<Stmt> stmts_;
+  std::map<std::string, std::uint64_t> symbols_;
+  std::vector<std::uint8_t> text_, data_;
+  std::uint64_t text_lc_ = kTextBase, data_lc_ = kDataBase;
+  bool in_text_ = true;
+  bool emitting_ = false;
+};
+
+}  // namespace
+
+Program Assemble(const std::string& source) {
+  return Assembler().Run(source);
+}
+
+}  // namespace tfsim

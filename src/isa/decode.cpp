@@ -1,0 +1,115 @@
+#include "isa/isa.h"
+
+namespace tfsim {
+namespace {
+
+bool IsAluR(std::uint8_t op) { return op >= 0x04 && op <= 0x1C; }
+bool IsAluI(std::uint8_t op) { return op >= 0x20 && op <= 0x2E; }
+bool IsComplex(Op op) {
+  switch (op) {
+    case Op::kMulq:
+    case Op::kMulqi:
+    case Op::kMull:
+    case Op::kDivq:
+    case Op::kRemq:
+    case Op::kUmulh:
+      return true;
+    default:
+      return false;
+  }
+}
+
+DecodedInst DecodeRaw(std::uint32_t word) {
+  DecodedInst d;
+  const std::uint8_t opf = OpField(word);
+  const std::uint8_t ra = RaField(word);
+  const std::uint8_t rb = RbField(word);
+  const std::uint8_t rc = RcField(word);
+  d.op = static_cast<Op>(opf);
+
+  if (IsAluR(opf)) {
+    d.cls = IsComplex(d.op) ? InsnClass::kAluComplex : InsnClass::kAlu;
+    d.src1 = ra;
+    d.src2 = rb;
+    d.dst = rc;
+    return d;
+  }
+  if (IsAluI(opf)) {
+    d.cls = IsComplex(d.op) ? InsnClass::kAluComplex : InsnClass::kAlu;
+    d.src1 = ra;
+    d.dst = rb;  // I-format: op | ra | rc | imm16, rc lives in the rb slot
+    d.imm = Imm16Field(word);
+    return d;
+  }
+
+  switch (d.op) {
+    case Op::kLda:
+    case Op::kLdah:
+      d.cls = InsnClass::kAlu;
+      d.src1 = rb;
+      d.dst = ra;
+      d.imm = Imm16Field(word);
+      return d;
+    case Op::kSyscall:
+      d.cls = InsnClass::kSyscall;
+      return d;
+    case Op::kJmp:
+    case Op::kJsr:
+    case Op::kRet:
+      d.cls = d.op == Op::kJmp   ? InsnClass::kJmp
+              : d.op == Op::kJsr ? InsnClass::kJsr
+                                 : InsnClass::kRet;
+      d.src1 = rb;
+      d.dst = ra;
+      return d;
+    case Op::kBr:
+    case Op::kBsr:
+      d.cls = d.op == Op::kBr ? InsnClass::kBr : InsnClass::kBsr;
+      d.dst = ra;
+      d.imm = Disp21Field(word);
+      return d;
+    case Op::kBeq:
+    case Op::kBne:
+    case Op::kBlt:
+    case Op::kBle:
+    case Op::kBgt:
+    case Op::kBge:
+      d.cls = InsnClass::kCondBranch;
+      d.src1 = ra;
+      d.imm = Disp21Field(word);
+      return d;
+    case Op::kLdq:
+    case Op::kLdl:
+    case Op::kLdbu:
+      d.cls = InsnClass::kLoad;
+      d.src1 = rb;
+      d.dst = ra;
+      d.imm = Imm16Field(word);
+      d.mem_size = d.op == Op::kLdq ? 8 : d.op == Op::kLdl ? 4 : 1;
+      return d;
+    case Op::kStq:
+    case Op::kStl:
+    case Op::kStb:
+      d.cls = InsnClass::kStore;
+      d.src1 = rb;   // base address
+      d.src2 = ra;   // store data
+      d.imm = Imm16Field(word);
+      d.mem_size = d.op == Op::kStq ? 8 : d.op == Op::kStl ? 4 : 1;
+      return d;
+    default:
+      d.cls = InsnClass::kIllegal;
+      return d;
+  }
+}
+
+}  // namespace
+
+DecodedInst Decode(std::uint32_t word) {
+  DecodedInst d = DecodeRaw(word);
+  // Writes to r31 are architectural no-ops; dropping the destination here
+  // means the pipeline never allocates a physical register for them.
+  if (d.dst == kZeroReg) d.dst = kNoReg;
+  return d;
+}
+
+}  // namespace tfsim

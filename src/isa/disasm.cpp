@@ -1,0 +1,57 @@
+#include <cstdio>
+
+#include "isa/isa.h"
+
+namespace tfsim {
+
+std::string Disassemble(std::uint32_t word, std::uint64_t pc) {
+  const DecodedInst d = Decode(word);
+  char buf[96];
+  const char* name = OpName(d.op);
+  switch (d.cls) {
+    case InsnClass::kIllegal:
+      std::snprintf(buf, sizeof buf, ".word 0x%08x", word);
+      break;
+    case InsnClass::kAlu:
+    case InsnClass::kAluComplex:
+      if (d.op == Op::kLda || d.op == Op::kLdah) {
+        std::snprintf(buf, sizeof buf, "%s r%u, %lld(r%u)", name, RaField(word),
+                      static_cast<long long>(d.imm), RbField(word));
+      } else if (d.src2 == kNoReg) {
+        std::snprintf(buf, sizeof buf, "%s r%u, %lld, r%u", name, d.src1,
+                      static_cast<long long>(d.imm), RbField(word));
+      } else {
+        std::snprintf(buf, sizeof buf, "%s r%u, r%u, r%u", name, d.src1,
+                      d.src2, RcField(word));
+      }
+      break;
+    case InsnClass::kLoad:
+    case InsnClass::kStore:
+      std::snprintf(buf, sizeof buf, "%s r%u, %lld(r%u)", name, RaField(word),
+                    static_cast<long long>(d.imm), RbField(word));
+      break;
+    case InsnClass::kCondBranch:
+      std::snprintf(buf, sizeof buf, "%s r%u, 0x%llx", name, d.src1,
+                    static_cast<unsigned long long>(
+                        pc + 4 + static_cast<std::uint64_t>(d.imm * 4)));
+      break;
+    case InsnClass::kBr:
+    case InsnClass::kBsr:
+      std::snprintf(buf, sizeof buf, "%s r%u, 0x%llx", name, RaField(word),
+                    static_cast<unsigned long long>(
+                        pc + 4 + static_cast<std::uint64_t>(d.imm * 4)));
+      break;
+    case InsnClass::kJmp:
+    case InsnClass::kJsr:
+    case InsnClass::kRet:
+      std::snprintf(buf, sizeof buf, "%s r%u, r%u", name, RaField(word),
+                    d.src1);
+      break;
+    case InsnClass::kSyscall:
+      std::snprintf(buf, sizeof buf, "syscall");
+      break;
+  }
+  return buf;
+}
+
+}  // namespace tfsim

@@ -1,0 +1,216 @@
+// miniAlpha: the 64-bit Alpha-like RISC subset executed by both the
+// functional simulator and the detailed pipeline model.
+//
+// The paper's processor executes an Alpha subset (no floating point, no
+// synchronizing memory operations). miniAlpha mirrors the structural
+// properties that matter for fault propagation: fixed 32-bit encodings,
+// 32 integer registers with r31 hardwired to zero, register+displacement
+// memory addressing, compare-against-zero conditional branches, and a
+// small set of trapping instructions (divide-by-zero, overflow variants,
+// unaligned access) so that corrupted instruction words can raise the same
+// exception classes the paper observes.
+//
+// Encoding formats (op = bits [31:26]):
+//   R  : op | ra[25:21] | rb[20:16] | rc[15:11] | zero[10:0]
+//   I  : op | ra[25:21] | rc[20:16] | imm16[15:0]        (ALU immediate)
+//   M  : op | ra[25:21] | rb[20:16] | disp16[15:0]       (memory, LDA/LDAH)
+//   B  : op | ra[25:21] | disp21[20:0]                   (branches)
+//   J  : op | ra[25:21] | rb[20:16] | zero[15:0]         (JMP/JSR/RET)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tfsim {
+
+inline constexpr int kNumArchRegs = 32;
+inline constexpr int kZeroReg = 31;  // r31 reads as zero, writes discarded
+
+// Primary opcodes (6 bits). Every 6-bit value decodes to *something*:
+// unassigned values decode to kIllegal, which raises an illegal-opcode
+// exception if it reaches execution — a requirement for fault injection,
+// where any bit pattern must have defined behaviour.
+enum class Op : std::uint8_t {
+  kIllegal = 0x00,
+  kLda = 0x01,
+  kLdah = 0x02,
+  kSyscall = 0x03,
+  // ALU register format, 0x04..0x1C.
+  kAddq = 0x04,
+  kSubq = 0x05,
+  kMulq = 0x06,
+  kDivq = 0x07,
+  kAndq = 0x08,
+  kBisq = 0x09,
+  kXorq = 0x0A,
+  kBicq = 0x0B,
+  kSllq = 0x0C,
+  kSrlq = 0x0D,
+  kSraq = 0x0E,
+  kCmpeq = 0x0F,
+  kCmplt = 0x10,
+  kCmple = 0x11,
+  kCmpult = 0x12,
+  kCmpule = 0x13,
+  kAddl = 0x14,
+  kSubl = 0x15,
+  kMull = 0x16,
+  kSextb = 0x17,
+  kSextl = 0x18,
+  kAddv = 0x19,
+  kSubv = 0x1A,
+  kRemq = 0x1B,
+  kUmulh = 0x1C,
+  kJmp = 0x1D,
+  kJsr = 0x1E,
+  kRet = 0x1F,
+  // ALU immediate format, 0x20..0x2E (mirrors the common R-format ops).
+  kAddqi = 0x20,
+  kSubqi = 0x21,
+  kMulqi = 0x22,
+  kAndqi = 0x23,
+  kBisqi = 0x24,
+  kXorqi = 0x25,
+  kSllqi = 0x26,
+  kSrlqi = 0x27,
+  kSraqi = 0x28,
+  kCmpeqi = 0x29,
+  kCmplti = 0x2A,
+  kCmplei = 0x2B,
+  kCmpulti = 0x2C,
+  kCmpulei = 0x2D,
+  kAddli = 0x2E,
+  // Branch format, 0x30..0x37.
+  kBr = 0x30,
+  kBsr = 0x31,
+  kBeq = 0x32,
+  kBne = 0x33,
+  kBlt = 0x34,
+  kBle = 0x35,
+  kBgt = 0x36,
+  kBge = 0x37,
+  // Memory format, 0x38..0x3D.
+  kLdq = 0x38,
+  kLdl = 0x39,
+  kLdbu = 0x3A,
+  kStq = 0x3B,
+  kStl = 0x3C,
+  kStb = 0x3D,
+};
+
+// Broad instruction classes driving pipeline routing.
+enum class InsnClass : std::uint8_t {
+  kIllegal,     // raises kIllegalOpcode when executed
+  kAlu,         // single-cycle integer op (simple ALU)
+  kAluComplex,  // multi-cycle integer op: mul/div/rem/umulh (complex ALU)
+  kLoad,
+  kStore,
+  kCondBranch,
+  kBr,      // unconditional PC-relative, writes return address
+  kBsr,     // call: kBr + pushes return-address stack
+  kJmp,     // indirect jump
+  kJsr,     // indirect call: pushes RAS
+  kRet,     // indirect return: pops RAS
+  kSyscall, // serializing, executed at retirement
+};
+
+// Synchronous exception codes. These map onto the paper's Terminated/SDC
+// failure modes: kIllegalOpcode/kUnaligned/kDivZero/kOverflow -> `except`,
+// TLB misses -> `itlb`/`dtlb`.
+enum class Exception : std::uint8_t {
+  kNone = 0,
+  kIllegalOpcode,
+  kUnaligned,
+  kDivZero,
+  kOverflow,
+  kITlbMiss,
+  kDTlbMiss,
+};
+
+const char* ExceptionName(Exception e);
+
+// Fully decoded instruction. Register fields are architectural indices;
+// kNoReg marks absent operands. `imm` is already sign-extended.
+inline constexpr std::uint8_t kNoReg = 0xFF;
+
+struct DecodedInst {
+  Op op = Op::kIllegal;
+  InsnClass cls = InsnClass::kIllegal;
+  std::uint8_t src1 = kNoReg;  // first register source
+  std::uint8_t src2 = kNoReg;  // second register source
+  std::uint8_t dst = kNoReg;   // register destination
+  std::int64_t imm = 0;        // sign-extended immediate / displacement
+  std::uint8_t mem_size = 0;   // 1/4/8 for memory ops, else 0
+
+  bool IsBranchLike() const {
+    return cls == InsnClass::kCondBranch || cls == InsnClass::kBr ||
+           cls == InsnClass::kBsr || cls == InsnClass::kJmp ||
+           cls == InsnClass::kJsr || cls == InsnClass::kRet;
+  }
+  bool IsMem() const {
+    return cls == InsnClass::kLoad || cls == InsnClass::kStore;
+  }
+  // True when the branch target is a direct PC-relative displacement
+  // (known at fetch/decode); indirect jumps resolve in the branch ALU.
+  bool IsDirectBranch() const {
+    return cls == InsnClass::kCondBranch || cls == InsnClass::kBr ||
+           cls == InsnClass::kBsr;
+  }
+};
+
+// Decodes any 32-bit word; never fails (unassigned opcodes -> kIllegal).
+DecodedInst Decode(std::uint32_t word);
+
+// Field extraction helpers (also used by the encoder tests).
+inline std::uint8_t OpField(std::uint32_t w) {
+  return static_cast<std::uint8_t>(w >> 26);
+}
+inline std::uint8_t RaField(std::uint32_t w) {
+  return static_cast<std::uint8_t>((w >> 21) & 31);
+}
+inline std::uint8_t RbField(std::uint32_t w) {
+  return static_cast<std::uint8_t>((w >> 16) & 31);
+}
+inline std::uint8_t RcField(std::uint32_t w) {
+  return static_cast<std::uint8_t>((w >> 11) & 31);
+}
+inline std::int64_t Imm16Field(std::uint32_t w) {
+  return static_cast<std::int16_t>(w & 0xFFFF);
+}
+inline std::int64_t Disp21Field(std::uint32_t w) {
+  return (static_cast<std::int64_t>(w & 0x1FFFFF) << 43) >> 43;  // sext21
+}
+
+// Encoders (used by the assembler and tests).
+std::uint32_t EncodeR(Op op, int ra, int rb, int rc);
+std::uint32_t EncodeI(Op op, int ra, int rc, std::int64_t imm16);
+std::uint32_t EncodeM(Op op, int ra, int rb, std::int64_t disp16);
+std::uint32_t EncodeB(Op op, int ra, std::int64_t disp21);
+std::uint32_t EncodeJ(Op op, int ra, int rb);
+
+// Result of executing a (possibly trapping) ALU operation.
+struct AluResult {
+  std::uint64_t value = 0;
+  Exception exc = Exception::kNone;
+};
+
+// Executes the integer semantics of a decoded ALU instruction given its two
+// source values (src2 value is the immediate for I-format). Total: any
+// DecodedInst yields a defined result (non-ALU classes return kIllegalOpcode,
+// so corrupted scheduler payloads routed to an ALU behave deterministically).
+AluResult ExecuteAlu(const DecodedInst& d, std::uint64_t a, std::uint64_t b);
+
+// Branch direction for conditional branches given the ra source value.
+bool BranchTaken(Op op, std::uint64_t ra_value);
+
+// Execution latency in cycles on the complex ALU (2..5); simple ALU ops are 1.
+int ComplexLatency(Op op);
+
+// Human-readable mnemonic for an opcode ("addq", "ldq", ...).
+const char* OpName(Op op);
+
+// Disassembles one instruction word at `pc` (pc is used to render branch
+// targets as absolute addresses).
+std::string Disassemble(std::uint32_t word, std::uint64_t pc);
+
+}  // namespace tfsim

@@ -1,0 +1,119 @@
+#include "protect/ecc.h"
+
+namespace tfsim {
+namespace {
+
+bool DataBit(const Word65& d, int i) {
+  return i < 64 ? ((d.lo >> i) & 1) != 0 : d.hi;
+}
+
+void SetDataBit(Word65& d, int i, bool v) {
+  if (i < 64) {
+    d.lo = (d.lo & ~(1ULL << i)) | (static_cast<std::uint64_t>(v) << i);
+  } else {
+    d.hi = v;
+  }
+}
+
+bool IsPow2(int x) { return x > 0 && (x & (x - 1)) == 0; }
+
+// Number of Hamming check bits required for k data bits.
+int HammingBits(int k) {
+  int r = 0;
+  while ((1 << r) < k + r + 1) ++r;
+  return r;
+}
+
+}  // namespace
+
+std::uint64_t EccEncode(Word65 data, int k, int r) {
+  const int rh = HammingBits(k);
+  const bool dedp = r > rh;  // extra overall-parity bit
+  const int n = k + rh;      // codeword length (1-indexed positions)
+
+  // Lay data bits into non-power-of-two positions.
+  std::uint64_t check = 0;
+  int di = 0;
+  bool overall = false;
+  for (int pos = 1; pos <= n; ++pos) {
+    if (IsPow2(pos)) continue;
+    const bool bit = DataBit(data, di++);
+    overall ^= bit;
+    if (!bit) continue;
+    // This data bit feeds every check bit whose index divides its position.
+    for (int c = 0; c < rh; ++c)
+      if (pos & (1 << c)) check ^= 1ULL << c;
+  }
+  if (dedp) {
+    // Overall parity covers data + hamming check bits.
+    bool p = overall;
+    for (int c = 0; c < rh; ++c) p ^= ((check >> c) & 1) != 0;
+    check |= static_cast<std::uint64_t>(p) << rh;
+  }
+  return check;
+}
+
+EccDecodeResult EccDecode(Word65 data, std::uint64_t check, int k, int r) {
+  EccDecodeResult out;
+  out.data = data;
+  out.check = check;
+
+  const int rh = HammingBits(k);
+  const bool dedp = r > rh;
+  const std::uint64_t expected = EccEncode(data, k, rh);  // hamming part only
+  const std::uint64_t stored_h = check & ((1ULL << rh) - 1);
+  const std::uint64_t syndrome = expected ^ stored_h;
+
+  bool overall_mismatch = false;
+  if (dedp) {
+    bool p = false;
+    int di = 0;
+    const int n = k + rh;
+    for (int pos = 1; pos <= n; ++pos) {
+      if (IsPow2(pos)) continue;
+      p ^= DataBit(data, di++);
+    }
+    for (int c = 0; c < rh; ++c) p ^= ((stored_h >> c) & 1) != 0;
+    overall_mismatch = p != (((check >> rh) & 1) != 0);
+  }
+
+  if (syndrome == 0) {
+    if (dedp && overall_mismatch) {
+      // Error in the overall parity bit itself: repair it.
+      out.check = expected | (static_cast<std::uint64_t>(
+                                  !((check >> rh) & 1))
+                              << rh);
+      out.corrected = true;
+    }
+    return out;
+  }
+
+  if (dedp && !overall_mismatch) {
+    // Non-zero syndrome with even overall parity: double error.
+    out.uncorrectable = true;
+    return out;
+  }
+
+  const int pos = static_cast<int>(syndrome);
+  if (IsPow2(pos)) {
+    // A check bit flipped; the data is fine. Repair the check bits.
+    int c = 0;
+    while ((1 << c) != pos) ++c;
+    out.check = check ^ (1ULL << c);
+    out.corrected = true;
+    return out;
+  }
+  if (pos > k + rh) {
+    out.uncorrectable = true;  // syndrome names a non-existent position
+    return out;
+  }
+  // Map position back to the data bit index it holds.
+  int di = 0;
+  for (int p = 1; p < pos; ++p)
+    if (!IsPow2(p)) ++di;
+  SetDataBit(out.data, di, !DataBit(out.data, di));
+  out.corrected = true;
+  return out;
+}
+
+}  // namespace tfsim

@@ -1,0 +1,79 @@
+// Section 5: architectural-level fault injection on the functional
+// simulator (the paper's modified SimpleScalar). A randomly selected dynamic
+// instruction is forced to execute incorrectly under one of six fault
+// models; the run is then monitored for one of four outcomes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/assemble.h"
+#include "util/stats.h"
+
+namespace tfsim {
+
+// The paper's six architectural fault models (Section 5).
+enum class SoftFaultModel : std::uint8_t {
+  kRegBit32,     // (1) single bit flip in the low 32 bits of a reg write
+  kRegBit64,     // (2) single bit flip across all 64 bits of a reg write
+  kRegRandom,    // (3) replace a reg-write result with 64 random bits
+  kInsnBit,      // (4) single bit flip in an instruction word
+  kNop,          // (5) convert an instruction to a no-op
+  kBranchFlip,   // (6) force a conditional branch the wrong way
+};
+inline constexpr int kNumSoftFaultModels = 6;
+const char* SoftFaultModelName(SoftFaultModel m);
+
+// The paper's four outcomes (Section 5).
+enum class SoftOutcome : std::uint8_t {
+  kException,  // a "noisy" failure (includes runaway executions, see DESIGN)
+  kStateOk,    // architectural state fully converged before a syscall
+  kOutputOk,   // state diverged but program output was identical
+  kOutputBad,  // user-visible output corrupted
+};
+inline constexpr int kNumSoftOutcomes = 4;
+const char* SoftOutcomeName(SoftOutcome o);
+
+struct SoftTrialResult {
+  SoftOutcome outcome = SoftOutcome::kOutputBad;
+  // The fault transiently changed control flow before being masked (the
+  // paper reports 10-20% of State OK trials had divergent control flow).
+  bool control_flow_diverged = false;
+  std::uint64_t insns_executed = 0;
+};
+
+struct SoftCampaignSpec {
+  std::string workload;
+  std::uint64_t iters = 40;        // workload size (must run to completion)
+  SoftFaultModel model = SoftFaultModel::kRegBit64;
+  int trials = 300;
+  std::uint64_t seed = 5;
+  std::uint64_t max_insn_factor = 4;  // runaway bound vs reference length
+};
+
+struct SoftCampaignResult {
+  SoftCampaignSpec spec;
+  std::array<std::uint64_t, kNumSoftOutcomes> by_outcome{};
+  std::uint64_t state_ok_with_divergence = 0;
+  std::uint64_t trials = 0;
+
+  Proportion Rate(SoftOutcome o) const {
+    return MakeProportion(by_outcome[static_cast<int>(o)], trials);
+  }
+};
+
+// Runs one architectural-level injection trial: executes the program with a
+// fault applied to the `target`-th dynamic instruction and classifies the
+// outcome against a fault-free reference execution.
+SoftTrialResult RunSoftTrial(const Program& program, SoftFaultModel model,
+                             std::uint64_t target_insn, std::uint64_t rng_seed,
+                             std::uint64_t max_insns);
+
+// Runs a campaign (targets drawn uniformly over the dynamic instruction
+// stream). Uses the on-disk cache via the same TFI_CACHE_DIR mechanism.
+SoftCampaignResult RunSoftCampaign(const SoftCampaignSpec& spec,
+                                   bool verbose = true);
+
+}  // namespace tfsim

@@ -1,0 +1,179 @@
+#include "state/state_registry.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace tfsim {
+namespace {
+
+std::uint64_t Contribution(std::size_t word_index, std::uint64_t value) {
+  return value == 0
+             ? 0
+             : Mix64((static_cast<std::uint64_t>(word_index) + 1) *
+                         0x9e3779b97f4a7c15ULL ^
+                     Mix64(value));
+}
+
+}  // namespace
+
+const char* StateCatName(StateCat cat) {
+  switch (cat) {
+    case StateCat::kAddr: return "addr";
+    case StateCat::kArchFreelist: return "archfreelist";
+    case StateCat::kArchRat: return "archrat";
+    case StateCat::kCtrl: return "ctrl";
+    case StateCat::kData: return "data";
+    case StateCat::kInsn: return "insn";
+    case StateCat::kPc: return "pc";
+    case StateCat::kQctrl: return "qctrl";
+    case StateCat::kRegfile: return "regfile";
+    case StateCat::kRegptr: return "regptr";
+    case StateCat::kRobptr: return "robptr";
+    case StateCat::kSpecFreelist: return "specfreelist";
+    case StateCat::kSpecRat: return "specrat";
+    case StateCat::kValid: return "valid";
+    case StateCat::kEcc: return "ecc";
+    case StateCat::kParity: return "parity";
+    case StateCat::kNumCats: break;
+  }
+  return "?";
+}
+
+std::uint64_t StateField::Get(std::size_t i) const {
+  assert(reg_ && i < count_);
+  return reg_->words_[offset_ + i];
+}
+
+void StateField::Set(std::size_t i, std::uint64_t value) {
+  assert(reg_ && i < count_);
+  const std::size_t w = offset_ + i;
+  const std::uint64_t before = reg_->words_[w];
+  const std::uint64_t after = value & mask_;
+  if (before == after) return;
+  reg_->words_[w] = after;
+  reg_->UpdateHash(w, before, after);
+}
+
+StateField StateRegistry::Allocate(std::string name, StateCat cat,
+                                   Storage storage, std::size_t count,
+                                   std::uint8_t width) {
+  if (width == 0 || width > 64)
+    throw std::invalid_argument("field width must be 1..64");
+  Field f;
+  f.name = std::move(name);
+  f.cat = cat;
+  f.storage = storage;
+  f.offset = words_.size();
+  f.count = count;
+  f.width = width;
+  f.mask = width == 64 ? ~0ULL : ((1ULL << width) - 1);
+  words_.resize(words_.size() + count, 0);
+  fields_.push_back(f);
+
+  StateField h;
+  h.reg_ = this;
+  h.offset_ = f.offset;
+  h.count_ = count;
+  h.width_ = width;
+  h.mask_ = f.mask;
+  return h;
+}
+
+void StateRegistry::UpdateHash(std::size_t word_index, std::uint64_t before,
+                               std::uint64_t after) {
+  hash_ ^= Contribution(word_index, before) ^ Contribution(word_index, after);
+}
+
+std::uint64_t StateRegistry::RecomputeHash() const {
+  std::uint64_t h = 0;
+  for (std::size_t w = 0; w < words_.size(); ++w)
+    h ^= Contribution(w, words_[w]);
+  return h;
+}
+
+std::uint64_t StateRegistry::InjectableBits(bool include_ram) const {
+  std::uint64_t total = 0;
+  for (const Field& f : fields_) {
+    if (f.storage == Storage::kLatch ||
+        (include_ram && f.storage == Storage::kRam))
+      total += f.bits();
+  }
+  return total;
+}
+
+BitLocation StateRegistry::LocateBit(std::uint64_t index,
+                                     bool include_ram) const {
+  for (std::size_t fi = 0; fi < fields_.size(); ++fi) {
+    const Field& f = fields_[fi];
+    const bool eligible = f.storage == Storage::kLatch ||
+                          (include_ram && f.storage == Storage::kRam);
+    if (!eligible) continue;
+    if (index < f.bits()) {
+      BitLocation loc;
+      loc.field_index = fi;
+      loc.element = index / f.width;
+      loc.bit = static_cast<std::uint8_t>(index % f.width);
+      loc.width = f.width;
+      loc.cat = f.cat;
+      loc.storage = f.storage;
+      loc.name = f.name;
+      return loc;
+    }
+    index -= f.bits();
+  }
+  throw std::out_of_range("bit index beyond injectable state");
+}
+
+void StateRegistry::FlipBit(const BitLocation& loc) {
+  const Field& f = fields_.at(loc.field_index);
+  const std::size_t w = f.offset + loc.element;
+  const std::uint64_t before = words_[w];
+  const std::uint64_t after = before ^ (1ULL << loc.bit);
+  words_[w] = after;
+  UpdateHash(w, before, after);
+}
+
+bool StateRegistry::ReadBit(const BitLocation& loc) const {
+  const Field& f = fields_.at(loc.field_index);
+  return (words_[f.offset + loc.element] >> loc.bit) & 1;
+}
+
+void StateRegistry::Restore(const std::vector<std::uint64_t>& snapshot) {
+  if (snapshot.size() != words_.size())
+    throw std::invalid_argument("snapshot size mismatch");
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    if (words_[w] != snapshot[w]) UpdateHash(w, words_[w], snapshot[w]);
+  }
+  words_ = snapshot;
+}
+
+StateRegistry::CategoryBits StateRegistry::Inventory(StateCat cat) const {
+  CategoryBits b;
+  for (const Field& f : fields_) {
+    if (f.cat != cat) continue;
+    if (f.storage == Storage::kLatch) b.latch_bits += f.bits();
+    if (f.storage == Storage::kRam) b.ram_bits += f.bits();
+  }
+  return b;
+}
+
+StateRegistry::CategoryBits StateRegistry::TotalInjectable() const {
+  CategoryBits b;
+  for (const Field& f : fields_) {
+    if (f.storage == Storage::kLatch) b.latch_bits += f.bits();
+    if (f.storage == Storage::kRam) b.ram_bits += f.bits();
+  }
+  return b;
+}
+
+std::vector<StateRegistry::FieldInfo> StateRegistry::Fields() const {
+  std::vector<FieldInfo> out;
+  out.reserve(fields_.size());
+  for (const Field& f : fields_)
+    out.push_back({f.name, f.cat, f.storage, f.count, f.width});
+  return out;
+}
+
+}  // namespace tfsim

@@ -1,0 +1,182 @@
+// StateRegistry: the explicit, enumerable microarchitectural state of the
+// pipeline model — the fault-injection surface.
+//
+// The paper's model is "latch-accurate": every state element of a real
+// implementation exists in the model and vice versa, which is what makes a
+// single-bit-flip fault model meaningful. This registry reproduces that
+// property at the cycle level:
+//
+//   * Every pipeline structure allocates its storage here as a *field*:
+//     `count` elements of `width` bits, tagged with the paper's Table 1
+//     category (addr, archrat, ctrl, data, insn, pc, qctrl, regfile, regptr,
+//     robptr, specfreelist, specrat, valid, + ecc/parity for Section 4) and
+//     a storage class (latch vs RAM array vs non-injectable background).
+//   * Pipeline logic reads values back from these fields each cycle — there
+//     is no hidden shadow copy — so a flipped bit genuinely alters behaviour.
+//   * A fault injection picks a bit uniformly over the eligible fields
+//     (latches only, or latches+RAMs, per experiment) and flips it.
+//   * The registry maintains an order-independent incremental content hash,
+//     updated O(1) per write. Combined with Memory::ContentHash() this gives
+//     the per-cycle whole-machine state-equality test behind the paper's
+//     "μArch Match" outcome at negligible cost.
+//   * Snapshot/Restore copies the whole word store, the basis of the
+//     checkpoint-per-start-point methodology.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tfsim {
+
+// State categories, exactly the paper's Table 1 plus the two categories the
+// Section 4 protection mechanisms introduce (Figure 9).
+enum class StateCat : std::uint8_t {
+  kAddr,
+  kArchFreelist,
+  kArchRat,
+  kCtrl,
+  kData,
+  kInsn,
+  kPc,
+  kQctrl,
+  kRegfile,
+  kRegptr,
+  kRobptr,
+  kSpecFreelist,
+  kSpecRat,
+  kValid,
+  kEcc,
+  kParity,
+  kNumCats,
+};
+inline constexpr int kNumStateCats = static_cast<int>(StateCat::kNumCats);
+
+const char* StateCatName(StateCat cat);
+
+// Storage implementation class. Latches and RAM arrays are the two
+// injectable kinds the paper distinguishes (different fault rates, different
+// protection options); background marks model state excluded from injection
+// (cache arrays, predictor tables) but still part of machine state equality.
+enum class Storage : std::uint8_t { kLatch, kRam, kBackground };
+
+class StateRegistry;
+
+// Lightweight handle to an allocated field. Reads are direct; writes go
+// through Set() so the registry's incremental hash stays consistent.
+class StateField {
+ public:
+  StateField() = default;
+
+  std::uint64_t Get(std::size_t i) const;
+  void Set(std::size_t i, std::uint64_t value);
+
+  // Convenience for 1-bit fields.
+  bool GetBit(std::size_t i) const { return Get(i) != 0; }
+
+  std::size_t count() const { return count_; }
+  std::uint8_t width() const { return width_; }
+  std::uint64_t mask() const { return mask_; }
+
+ private:
+  friend class StateRegistry;
+  StateRegistry* reg_ = nullptr;
+  std::size_t offset_ = 0;  // first word index in the registry store
+  std::size_t count_ = 0;
+  std::uint8_t width_ = 0;
+  std::uint64_t mask_ = 0;
+};
+
+// Identifies one bit of registered state (result of a uniform draw over the
+// eligible bit space).
+struct BitLocation {
+  std::size_t field_index = 0;
+  std::size_t element = 0;
+  std::uint8_t bit = 0;
+  std::uint8_t width = 0;  // element width (for adjacent multi-bit models)
+  StateCat cat = StateCat::kCtrl;
+  Storage storage = Storage::kLatch;
+  std::string name;  // field name, for reporting
+};
+
+class StateRegistry {
+ public:
+  StateRegistry() = default;
+  StateRegistry(const StateRegistry&) = delete;
+  StateRegistry& operator=(const StateRegistry&) = delete;
+
+  // Allocates `count` elements of `width` bits. Fields allocated in the same
+  // order across two registry instances occupy identical word offsets — the
+  // property that makes golden/faulty hash comparison meaningful.
+  StateField Allocate(std::string name, StateCat cat, Storage storage,
+                      std::size_t count, std::uint8_t width);
+
+  // Incremental content hash over every registered word (background
+  // included). O(1) to read.
+  std::uint64_t Hash() const { return hash_; }
+
+  // Full recomputation; used by tests to validate the incremental hash.
+  std::uint64_t RecomputeHash() const;
+
+  // --- fault injection ----------------------------------------------------
+
+  // Total injectable bits. include_ram=false restricts to latches, matching
+  // the paper's latch-only campaigns.
+  std::uint64_t InjectableBits(bool include_ram) const;
+
+  // Maps a uniform index in [0, InjectableBits(include_ram)) to a bit.
+  BitLocation LocateBit(std::uint64_t index, bool include_ram) const;
+
+  // Flips the bit (hash kept consistent).
+  void FlipBit(const BitLocation& loc);
+  // Reads the bit's current value (diagnostics/tests).
+  bool ReadBit(const BitLocation& loc) const;
+
+  // --- snapshotting ---------------------------------------------------------
+
+  std::vector<std::uint64_t> Snapshot() const { return words_; }
+  void Restore(const std::vector<std::uint64_t>& snapshot);
+
+  // --- inventory (Table 1) --------------------------------------------------
+
+  struct CategoryBits {
+    std::uint64_t latch_bits = 0;
+    std::uint64_t ram_bits = 0;
+  };
+  CategoryBits Inventory(StateCat cat) const;
+  CategoryBits TotalInjectable() const;
+
+  struct FieldInfo {
+    std::string name;
+    StateCat cat = StateCat::kCtrl;
+    Storage storage = Storage::kLatch;
+    std::size_t count = 0;
+    std::uint8_t width = 0;
+  };
+  std::vector<FieldInfo> Fields() const;
+
+  std::size_t WordCount() const { return words_.size(); }
+
+ private:
+  friend class StateField;
+
+  struct Field {
+    std::string name;
+    StateCat cat;
+    Storage storage;
+    std::size_t offset;
+    std::size_t count;
+    std::uint8_t width;
+    std::uint64_t mask;
+    std::uint64_t bits() const { return count * width; }
+  };
+
+  void UpdateHash(std::size_t word_index, std::uint64_t before,
+                  std::uint64_t after);
+
+  std::vector<std::uint64_t> words_;
+  std::vector<Field> fields_;
+  std::uint64_t hash_ = 0;
+};
+
+}  // namespace tfsim

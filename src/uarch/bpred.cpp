@@ -1,0 +1,189 @@
+#include "uarch/bpred.h"
+
+#include "uarch/uop.h"
+
+namespace tfsim {
+namespace {
+
+constexpr int kBimodalEntries = 1024;
+constexpr int kLocalEntries = 1024;
+constexpr int kLocalHistBits = 10;
+constexpr int kGlobalEntries = 4096;
+constexpr int kGhistBits = 12;
+
+}  // namespace
+
+Bpred::Bpred(StateRegistry& reg, const CoreConfig& cfg)
+    : btb_sets_(cfg.btb_sets), btb_ways_(cfg.btb_ways),
+      ras_entries_(cfg.ras_entries) {
+  const auto bg = Storage::kBackground;
+  bimodal_ = reg.Allocate("bpred.bimodal", StateCat::kCtrl, bg,
+                          kBimodalEntries, 2);
+  local_hist_ = reg.Allocate("bpred.local_hist", StateCat::kCtrl, bg,
+                             kLocalEntries, kLocalHistBits);
+  local_pred_ = reg.Allocate("bpred.local_pred", StateCat::kCtrl, bg,
+                             1 << kLocalHistBits, 3);
+  global_ = reg.Allocate("bpred.global", StateCat::kCtrl, bg, kGlobalEntries,
+                         2);
+  choice_g_ = reg.Allocate("bpred.choice_g", StateCat::kCtrl, bg,
+                           kGlobalEntries, 2);
+  choice_l_ = reg.Allocate("bpred.choice_l", StateCat::kCtrl, bg,
+                           kLocalEntries, 2);
+  ghist_ = reg.Allocate("bpred.ghist", StateCat::kCtrl, bg, 1, kGhistBits);
+
+  const std::size_t btb_entries =
+      static_cast<std::size_t>(btb_sets_ * btb_ways_);
+  btb_valid_ = reg.Allocate("btb.valid", StateCat::kValid, bg, btb_entries, 1);
+  btb_tag_ = reg.Allocate("btb.tag", StateCat::kPc, bg, btb_entries, 20);
+  btb_target_ =
+      reg.Allocate("btb.target", StateCat::kPc, bg, btb_entries, kPcBits);
+  btb_lru_ = reg.Allocate("btb.lru", StateCat::kCtrl, bg, btb_entries, 2);
+
+  // The RAS only influences prediction (a bad pop causes a recoverable
+  // mispredict), so it is background like the other predictor structures.
+  ras_ = reg.Allocate("ras.stack", StateCat::kPc, bg,
+                      static_cast<std::size_t>(ras_entries_), kPcBits);
+  ras_ptr_ = reg.Allocate("ras.ptr", StateCat::kQctrl, bg, 1, 3);
+}
+
+std::uint64_t Bpred::BimodalIndex(std::uint64_t pc) const {
+  return (pc >> 2) & (kBimodalEntries - 1);
+}
+
+std::uint64_t Bpred::GlobalIndex(std::uint64_t pc) const {
+  return (ghist_.Get(0) ^ (pc >> 2)) & (kGlobalEntries - 1);
+}
+
+void Bpred::Bump(StateField& f, std::uint64_t i, bool up, int max) {
+  const std::int64_t v = static_cast<std::int64_t>(f.Get(i));
+  if (up && v < max) f.Set(i, static_cast<std::uint64_t>(v + 1));
+  if (!up && v > 0) f.Set(i, static_cast<std::uint64_t>(v - 1));
+}
+
+BranchPrediction Bpred::Predict(std::uint64_t pc, const DecodedInst& d) {
+  BranchPrediction p;
+  const std::uint64_t fall = pc + 4;
+  switch (d.cls) {
+    case InsnClass::kBr:
+      p.taken = true;
+      p.target = fall + static_cast<std::uint64_t>(d.imm) * 4;
+      return p;
+    case InsnClass::kBsr: {
+      p.taken = true;
+      p.target = fall + static_cast<std::uint64_t>(d.imm) * 4;
+      const std::uint64_t top = ras_ptr_.Get(0);
+      ras_.Set(top % static_cast<std::uint64_t>(ras_entries_), PcStore(fall));
+      ras_ptr_.Set(0, top + 1);
+      return p;
+    }
+    case InsnClass::kRet: {
+      p.taken = true;
+      const std::uint64_t top = ras_ptr_.Get(0);
+      const std::uint64_t prev = (top + 7) % 8;  // 3-bit wraparound pop
+      p.target = PcLoad(ras_.Get(prev % static_cast<std::uint64_t>(ras_entries_)));
+      ras_ptr_.Set(0, prev);
+      return p;
+    }
+    case InsnClass::kJmp:
+    case InsnClass::kJsr: {
+      p.taken = true;
+      // BTB lookup; a miss predicts fall-through (resolved at execute).
+      const std::uint64_t set = (pc >> 2) % static_cast<std::uint64_t>(btb_sets_);
+      const std::uint64_t tag = (pc >> 2) / static_cast<std::uint64_t>(btb_sets_) & 0xFFFFF;
+      p.target = fall;
+      for (int w = 0; w < btb_ways_; ++w) {
+        const std::size_t e = set * static_cast<std::size_t>(btb_ways_) + static_cast<std::size_t>(w);
+        if (btb_valid_.GetBit(e) && btb_tag_.Get(e) == tag) {
+          p.target = PcLoad(btb_target_.Get(e));
+          btb_lru_.Set(e, 3);
+          break;
+        }
+      }
+      if (d.cls == InsnClass::kJsr) {
+        const std::uint64_t top = ras_ptr_.Get(0);
+        ras_.Set(top % static_cast<std::uint64_t>(ras_entries_), PcStore(fall));
+        ras_ptr_.Set(0, top + 1);
+      }
+      return p;
+    }
+    case InsnClass::kCondBranch: {
+      // Hybrid selection: choice_g picks global vs the local side; the local
+      // side's choice_l picks local vs bimodal (McFarling-style combining).
+      const std::uint64_t bi = BimodalIndex(pc);
+      const bool bimodal_taken = bimodal_.Get(bi) >= 2;
+      const std::uint64_t lh = local_hist_.Get(bi);
+      const bool local_taken = local_pred_.Get(lh) >= 4;
+      const std::uint64_t gi = GlobalIndex(pc);
+      const bool global_taken = global_.Get(gi) >= 2;
+      const bool use_global = choice_g_.Get(gi) >= 2;
+      const bool use_local = choice_l_.Get(bi) >= 2;
+      p.taken = use_global ? global_taken
+                           : (use_local ? local_taken : bimodal_taken);
+      p.target = p.taken ? fall + static_cast<std::uint64_t>(d.imm) * 4 : fall;
+      return p;
+    }
+    default:
+      p.taken = false;
+      p.target = fall;
+      return p;
+  }
+}
+
+void Bpred::Train(std::uint64_t pc, const DecodedInst& d, bool taken,
+                  std::uint64_t target) {
+  if (d.cls == InsnClass::kCondBranch) {
+    const std::uint64_t bi = BimodalIndex(pc);
+    const std::uint64_t lh = local_hist_.Get(bi);
+    const std::uint64_t gi = GlobalIndex(pc);
+    const bool bimodal_correct = (bimodal_.Get(bi) >= 2) == taken;
+    const bool local_correct = (local_pred_.Get(lh) >= 4) == taken;
+    const bool global_correct = (global_.Get(gi) >= 2) == taken;
+
+    Bump(bimodal_, bi, taken, 3);
+    Bump(local_pred_, lh, taken, 7);
+    Bump(global_, gi, taken, 3);
+    const bool local_side_correct =
+        choice_l_.Get(bi) >= 2 ? local_correct : bimodal_correct;
+    if (global_correct != local_side_correct)
+      Bump(choice_g_, gi, global_correct, 3);
+    if (local_correct != bimodal_correct)
+      Bump(choice_l_, bi, local_correct, 3);
+
+    local_hist_.Set(bi, (lh << 1) | (taken ? 1 : 0));
+    ghist_.Set(0, (ghist_.Get(0) << 1) | (taken ? 1 : 0));
+    return;
+  }
+  if ((d.cls == InsnClass::kJmp || d.cls == InsnClass::kJsr ||
+       d.cls == InsnClass::kRet) && taken) {
+    // Install/refresh the indirect target (RET normally comes from the RAS,
+    // but a BTB entry helps when the RAS has been clobbered).
+    const std::uint64_t set = (pc >> 2) % static_cast<std::uint64_t>(btb_sets_);
+    const std::uint64_t tag = (pc >> 2) / static_cast<std::uint64_t>(btb_sets_) & 0xFFFFF;
+    std::size_t victim = set * static_cast<std::size_t>(btb_ways_);
+    std::uint64_t best = 4;
+    for (int w = 0; w < btb_ways_; ++w) {
+      const std::size_t e = set * static_cast<std::size_t>(btb_ways_) + static_cast<std::size_t>(w);
+      if (btb_valid_.GetBit(e) && btb_tag_.Get(e) == tag) {
+        victim = e;
+        break;
+      }
+      const std::uint64_t lru = btb_valid_.GetBit(e) ? btb_lru_.Get(e) : 0;
+      if (lru < best) {
+        best = lru;
+        victim = e;
+      }
+    }
+    btb_valid_.Set(victim, 1);
+    btb_tag_.Set(victim, tag);
+    btb_target_.Set(victim, PcStore(target));
+    btb_lru_.Set(victim, 3);
+    // Age the set.
+    for (int w = 0; w < btb_ways_; ++w) {
+      const std::size_t e = set * static_cast<std::size_t>(btb_ways_) + static_cast<std::size_t>(w);
+      if (e != victim && btb_lru_.Get(e) > 0)
+        btb_lru_.Set(e, btb_lru_.Get(e) - 1);
+    }
+  }
+}
+
+}  // namespace tfsim

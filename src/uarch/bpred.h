@@ -1,0 +1,72 @@
+// Branch prediction: hybrid (bimodal + local + global with choice
+// predictors), a 1024-entry 4-way BTB for indirect targets, and an 8-entry
+// return address stack with pointer recovery (Figure 2).
+//
+// Predictor arrays are registered as Storage::kBackground: the paper
+// excludes prediction structures from fault injection ("determined to have
+// no effect on correctness" — they only affect timing), but they remain part
+// of whole-machine state equality, which is why they live in the registry at
+// all (a faulty run that trains its predictors differently can never reach a
+// complete microarchitectural state match — one source of Gray Area).
+#pragma once
+
+#include <cstdint>
+
+#include "isa/isa.h"
+#include "state/state_registry.h"
+#include "uarch/config.h"
+
+namespace tfsim {
+
+struct BranchPrediction {
+  bool taken = false;
+  std::uint64_t target = 0;
+};
+
+class Bpred {
+ public:
+  Bpred(StateRegistry& reg, const CoreConfig& cfg);
+
+  // Predicts the outcome of decoded branch `d` at `pc` and speculatively
+  // updates the RAS (push for calls, pop for returns).
+  BranchPrediction Predict(std::uint64_t pc, const DecodedInst& d);
+
+  // Trains direction tables and BTB with the resolved outcome.
+  void Train(std::uint64_t pc, const DecodedInst& d, bool taken,
+             std::uint64_t target);
+
+  // RAS pointer checkpoint/restore (pointer recovery on mispredicts).
+  std::uint64_t RasPtr() const { return ras_ptr_.Get(0); }
+  void SetRasPtr(std::uint64_t p) { ras_ptr_.Set(0, p); }
+
+ private:
+  std::uint64_t BimodalIndex(std::uint64_t pc) const;
+  std::uint64_t GlobalIndex(std::uint64_t pc) const;
+
+  static void Bump(StateField& f, std::uint64_t i, bool up, int max);
+
+  int btb_sets_;
+  int btb_ways_;
+  int ras_entries_;
+
+  // Direction predictors.
+  StateField bimodal_;    // 1024 x 2-bit counters, pc-indexed
+  StateField local_hist_; // 1024 x 10-bit histories, pc-indexed
+  StateField local_pred_; // 1024 x 3-bit counters, history-indexed
+  StateField global_;     // 4096 x 2-bit counters, ghist^pc-indexed
+  StateField choice_g_;   // 4096 x 2-bit: choose global vs local-side
+  StateField choice_l_;   // 1024 x 2-bit: choose local vs bimodal
+  StateField ghist_;      // 12-bit global history register
+
+  // BTB (indirect targets): valid/tag/target/lru per way.
+  StateField btb_valid_;
+  StateField btb_tag_;
+  StateField btb_target_;  // stored as pc>>2
+  StateField btb_lru_;
+
+  // Return address stack.
+  StateField ras_;      // 8 x 62-bit
+  StateField ras_ptr_;  // 3-bit top-of-stack pointer
+};
+
+}  // namespace tfsim

@@ -1,0 +1,69 @@
+// Configuration of the pipeline model (Figure 2 of the paper) and of the
+// Section 4 lightweight protection mechanisms.
+#pragma once
+
+#include <cstdint>
+
+namespace tfsim {
+
+// Protection mechanisms (Section 4.2). Each independently toggleable so the
+// ablation bench can attribute coverage to individual mechanisms.
+struct ProtectionConfig {
+  bool timeout_counter = false;   // flush after retire-less cycles
+  bool regfile_ecc = false;       // SEC ECC on the 65-bit physical registers
+  bool regptr_ecc = false;        // SEC ECC accompanying every 7-bit reg ptr
+  bool insn_parity = false;       // parity bit carried with instruction words
+
+  static ProtectionConfig None() { return {}; }
+  static ProtectionConfig All() { return {true, true, true, true}; }
+  bool Any() const {
+    return timeout_counter || regfile_ecc || regptr_ecc || insn_parity;
+  }
+};
+
+// Microarchitecture parameters. Defaults follow the paper's Figure 2
+// (Alpha 21264 / Athlon class). Sizes marked pow2 must stay powers of two.
+struct CoreConfig {
+  // Front end.
+  int fetch_width = 8;        // split-line fetch of up to 8 insns/cycle
+  int fetch_queue = 32;       // fetch queue entries
+  int ras_entries = 8;        // return address stack (with pointer recovery)
+  int btb_sets = 256;         // 1024 entries, 4-way
+  int btb_ways = 4;
+  int icache_bytes = 8 * 1024;   // 2-way L1 I
+  int icache_ways = 2;
+  int line_bytes = 32;
+  // Decode / rename.
+  int decode_width = 4;
+  int rename_width = 4;
+  int phys_regs = 80;
+  // Issue.
+  int sched_entries = 32;
+  // Memory.
+  int lq_entries = 16;
+  int sq_entries = 16;
+  int store_buffer = 8;       // post-retirement store buffer (survives flushes)
+  int dcache_bytes = 32 * 1024;  // 2-way, 8-bank L1 D
+  int dcache_ways = 2;
+  int dcache_banks = 8;
+  int mshrs = 16;             // non-coalescing miss handling registers
+  int miss_cycles = 8;        // constant L1 miss service (paper Section 2.1)
+  int dcache_latency = 2;     // load-to-use through the D-cache
+  // Retire.
+  int rob_entries = 64;
+  int retire_width = 8;
+  // Protection.
+  ProtectionConfig protect;
+  int timeout_cycles = 100;   // protection timeout-counter threshold
+
+  // Derived.
+  int MaxInFlight() const { return fetch_queue + rob_entries + 8 * 4; }
+};
+
+// Trial-level deadlock detection threshold (Section 4.1: the paper flags
+// `locked` after 100 retire-less cycles; we use a slightly larger window so
+// that a successful timeout-counter flush at 100 cycles has time to resume
+// retirement before the trial-level detector fires — see EXPERIMENTS.md).
+inline constexpr int kLockedThresholdCycles = 150;
+
+}  // namespace tfsim

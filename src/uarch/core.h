@@ -1,0 +1,216 @@
+// The detailed pipeline model (Figure 1): a superscalar, dynamically
+// scheduled, 12-stage, up-to-132-in-flight core executing miniAlpha —
+// fetch (I$/bpred/RAS/FQ) -> 2-stage decode -> 4-wide rename -> 32-entry
+// scheduler with speculative wakeup/replay -> register read -> 6 execution
+// ports -> memory (LQ/SQ/store sets/banked D$/MSHRs) -> 64-entry ROB with
+// 8-wide retirement and a post-retirement store buffer.
+//
+// Every microarchitectural bit lives in the StateRegistry, giving the fault
+// injector a uniform bit space and giving trials an O(1) whole-machine
+// state-equality test (StateHash). Stage evaluation runs in reverse pipeline
+// order each cycle so writes become visible one cycle later, mimicking
+// edge-triggered latching.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <vector>
+
+#include "arch/arch_state.h"
+#include "arch/memory.h"
+#include "arch/tlb.h"
+#include "isa/assemble.h"
+#include "state/state_registry.h"
+#include "uarch/bpred.h"
+#include "uarch/config.h"
+#include "uarch/dcache.h"
+#include "uarch/decode_stage.h"
+#include "uarch/execute.h"
+#include "uarch/fetch.h"
+#include "uarch/icache.h"
+#include "uarch/lsq.h"
+#include "uarch/regfile.h"
+#include "uarch/rename.h"
+#include "uarch/rob.h"
+#include "uarch/scheduler.h"
+#include "uarch/store_sets.h"
+
+namespace tfsim {
+
+// Counters exposed for experiments and realism checks (plain instrumentation,
+// not machine state).
+struct CoreStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t retired = 0;
+  std::uint64_t branches = 0;
+  std::uint64_t mispredicts = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t dcache_misses = 0;
+  std::uint64_t replays = 0;
+  std::uint64_t order_violations = 0;
+  std::uint64_t full_flushes = 0;
+  std::uint64_t timeout_flushes = 0;
+  std::uint64_t parity_flushes = 0;
+  double Ipc() const {
+    return cycles ? static_cast<double>(retired) / static_cast<double>(cycles)
+                  : 0.0;
+  }
+};
+
+class Core {
+ public:
+  Core(const CoreConfig& cfg, const Program& program);
+
+  // Advances one clock. Retire events produced this cycle are available via
+  // RetiredThisCycle() until the next call.
+  void Cycle();
+
+  const std::vector<RetireEvent>& RetiredThisCycle() const {
+    return retired_this_cycle_;
+  }
+
+  // Whole-machine content hash: pipeline + caches + predictors + memory +
+  // program output. Equality with the golden run's hash at the same cycle is
+  // the paper's "ENTIRE microarchitectural state" match.
+  std::uint64_t StateHash() const;
+
+  // Architectural-view hash: the 32 architectural registers as seen through
+  // the architectural RAT, plus the next-retirement PC. Compared against the
+  // golden run at equal retirement counts (paper: architectural state is
+  // verified continuously).
+  std::uint64_t ArchViewHash();
+
+  StateRegistry& registry() { return registry_; }
+  const StateRegistry& registry() const { return registry_; }
+  Memory& memory() { return mem_; }
+  Tlb& tlb() { return tlb_; }
+  CoreStats& stats() { return stats_; }
+  const CoreConfig& config() const { return cfg_; }
+
+  bool exited() const { return exited_; }
+  Exception halted_exception() const { return halted_exc_; }
+  // Set when a fetch touched an unmapped instruction page (itlb failure).
+  bool itlb_miss() const { return itlb_miss_; }
+  std::uint64_t itlb_addr() const { return itlb_addr_; }
+
+  std::uint64_t RetiredTotal() const { return retired_total_; }
+  bool StoreBufferEmpty() const { return lsq_.SbEmpty(); }
+
+  // Number of in-flight instructions currently occupying the ROB + frontend
+  // (for the Figure 6 utilization statistic).
+  std::uint64_t InFlight() const;
+
+  // Sequence-number instrumentation for the Figure 6 valid-instruction
+  // statistic (never read by pipeline logic).
+  std::uint64_t OldestInflightSeq() const;
+  std::uint64_t NextFetchSeq() const { return fetch_.seq_counter; }
+  // Sequence number of the most recently retired instruction (valid only
+  // right after a retiring cycle); kNoSeq if none.
+  static constexpr std::uint64_t kNoSeq = ~0ULL;
+  const std::vector<std::uint64_t>& RetiredSeqsThisCycle() const {
+    return retired_seqs_this_cycle_;
+  }
+
+  // --- checkpointing ---------------------------------------------------------
+  struct Snapshot {
+    std::vector<std::uint64_t> words;
+    Memory mem;
+    std::vector<std::uint8_t> output;
+    std::uint64_t out_hash = 0;
+    bool exited = false;
+    std::uint64_t exit_code = 0;
+    Exception halted_exc = Exception::kNone;
+    std::uint64_t retired_total = 0;
+  };
+  Snapshot Save() const;
+  void Load(const Snapshot& s);
+
+  const std::vector<std::uint8_t>& output() const { return output_; }
+  std::uint64_t OutputHash() const { return out_hash_; }
+
+  // Writes a human-readable snapshot of the whole pipeline (front end,
+  // scheduler, execution ports, LSQ, ROB) to `os` — the simulator's
+  // debugging window. Implemented in uarch/trace.cpp.
+  void DumpPipeline(std::ostream& os) const;
+
+ private:
+  // Pipeline stages, called in reverse order from Cycle().
+  void RetireStage();
+  void StoreBufferDrain();
+  void WritebackStage();
+  void MemStage();
+  void ExecuteStage();
+  void RegReadStage();
+  void SelectStage();
+  void DispatchStage();
+  void FrontEnd();
+
+  // Helpers.
+  void FullFlush(std::uint64_t restart_pc);
+  void SquashYoungerThan(std::uint64_t rob_tag, bool inclusive,
+                         std::uint64_t restart_pc, std::uint64_t ras_ckpt);
+  void SquashLatchesWithTag(std::uint64_t tag);
+  void KillLoadDependents(std::uint64_t lq_index);
+  Word65 ReadOperand(std::uint64_t preg);
+  // Places a result in the WB bank; false when writeback bandwidth is
+  // exhausted this cycle (caller retries next cycle).
+  bool ProduceResultInternal(Word65 value, std::uint64_t dstp,
+                             std::uint64_t dst_ecc, bool has_dst,
+                             std::uint64_t robtag, std::uint64_t sched_idx,
+                             bool free_sched);
+  bool WbBankHolds(std::uint64_t preg) const;
+  void ExecuteOnPort(int port);
+  void DoBranch(int port, const DecodedInst& d, Word65 a);
+  void DoAgu(int port, const DecodedInst& d, Word65 a, Word65 b);
+  bool TryLoadAccess(std::uint64_t li);
+  void CheckOrderViolation(std::uint64_t sq_index);
+  void RetireOne(bool& stop);
+
+  CoreConfig cfg_;
+  StateRegistry registry_;
+  Memory mem_;
+  Tlb tlb_;
+
+  // Components (construction order defines the registry layout).
+  Bpred bpred_;
+  ICache icache_;
+  DCache dcache_;
+  StoreSets storesets_;
+  RegFile regfile_;
+  Rename rename_;
+  Rob rob_;
+  Scheduler sched_;
+  Lsq lsq_;
+  Fetch fetch_;
+  DecodePipe decode_;
+  UopLatchBank issue_lat_;  // select -> register read
+  UopLatchBank rr_lat_;     // register read -> execute (with operand values)
+  WbBank wb_;
+  ComplexPipe cpipe_;
+  WakeupQueue wakeups_;
+
+  // Retirement-side registered state.
+  StateField arch_next_pc_;   // 62-bit latch (pc): restart point after flush
+  StateField timeout_count_;  // 7-bit latch (ctrl), when timeout protection on
+  StateField resolved_target_;  // per-ROB-entry branch targets (62, RAM, pc)
+
+  // Program-visible side state (part of Snapshot, not the registry).
+  std::vector<std::uint8_t> output_;
+  std::uint64_t out_hash_ = 0;
+  bool exited_ = false;
+  std::uint64_t exit_code_ = 0;
+  Exception halted_exc_ = Exception::kNone;
+  bool itlb_miss_ = false;
+  std::uint64_t itlb_addr_ = 0;
+  std::uint64_t retired_total_ = 0;
+
+  // Instrumentation (never read by pipeline logic).
+  CoreStats stats_;
+  std::vector<RetireEvent> retired_this_cycle_;
+  std::vector<std::uint64_t> retired_seqs_this_cycle_;
+  std::vector<std::uint64_t> rob_seq_;
+};
+
+}  // namespace tfsim

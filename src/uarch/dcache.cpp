@@ -1,0 +1,188 @@
+#include "uarch/dcache.h"
+
+namespace tfsim {
+
+DCache::DCache(StateRegistry& reg, const CoreConfig& cfg)
+    : sets_(cfg.dcache_bytes / cfg.dcache_ways / cfg.line_bytes),
+      ways_(cfg.dcache_ways), line_bytes_(cfg.line_bytes),
+      banks_(cfg.dcache_banks), mshrs_(cfg.mshrs),
+      miss_cycles_(cfg.miss_cycles) {
+  const auto bg = Storage::kBackground;
+  const std::size_t entries = static_cast<std::size_t>(sets_ * ways_);
+  valid_ = reg.Allocate("dcache.valid", StateCat::kValid, bg, entries, 1);
+  tag_ = reg.Allocate("dcache.tag", StateCat::kAddr, bg, entries, 22);
+  lru_ = reg.Allocate("dcache.lru", StateCat::kCtrl, bg, entries, 1);
+  data_ = reg.Allocate("dcache.data", StateCat::kData, bg,
+                       entries * LineWords(), 64);
+
+  // The paper injects the miss handling registers; as a 16-entry array they
+  // count on the RAM side of the latch/RAM split.
+  const std::size_t m = static_cast<std::size_t>(mshrs_);
+  mshr_valid_ =
+      reg.Allocate("mshr.valid", StateCat::kValid, Storage::kRam, m, 1);
+  mshr_addr_ =
+      reg.Allocate("mshr.addr", StateCat::kAddr, Storage::kRam, m, 58);
+  mshr_timer_ =
+      reg.Allocate("mshr.timer", StateCat::kCtrl, Storage::kRam, m, 4);
+  mshr_lq_ = reg.Allocate("mshr.lq", StateCat::kCtrl, Storage::kRam, m, 4);
+  mshr_done_ =
+      reg.Allocate("mshr.done", StateCat::kCtrl, Storage::kRam, m, 1);
+  mshr_ptr_ =
+      reg.Allocate("mshr.ptr", StateCat::kQctrl, Storage::kLatch, 1, 4);
+}
+
+int DCache::FindWay(std::uint64_t addr) const {
+  const std::uint64_t line = addr / static_cast<std::uint64_t>(line_bytes_);
+  const std::uint64_t set = line % static_cast<std::uint64_t>(sets_);
+  const std::uint64_t tag = (line / static_cast<std::uint64_t>(sets_)) & 0x3FFFFF;
+  for (int w = 0; w < ways_; ++w) {
+    const std::size_t e = Entry(set, w);
+    if (valid_.GetBit(e) && tag_.Get(e) == tag) return w;
+  }
+  return -1;
+}
+
+DCache::LoadResult DCache::AccessLoad(std::uint64_t addr, int size,
+                                      Memory& mem, std::size_t lq_index,
+                                      std::uint64_t& value) {
+  const std::uint32_t bank =
+      static_cast<std::uint32_t>((addr >> 3) % static_cast<std::uint64_t>(banks_));
+  if (banks_used_ & (1u << bank)) return LoadResult::kRetry;
+  banks_used_ |= 1u << bank;
+
+  const int way = FindWay(addr);
+  if (way >= 0) {
+    const std::uint64_t line = addr / static_cast<std::uint64_t>(line_bytes_);
+    const std::uint64_t set = line % static_cast<std::uint64_t>(sets_);
+    const std::size_t e = Entry(set, way);
+    lru_.Set(e, 1);
+    if (ways_ == 2) lru_.Set(Entry(set, 1 - way), 0);
+    // Assemble the value from the line's 64-bit words (accesses are
+    // architecturally aligned, so one word suffices for sizes <= 8).
+    const std::size_t wi =
+        e * LineWords() + (addr % static_cast<std::uint64_t>(line_bytes_)) / 8;
+    const std::uint64_t qword = data_.Get(wi);
+    const std::uint64_t shift = (addr & 7) * 8;
+    const std::uint64_t mask =
+        size >= 8 ? ~0ULL : ((1ULL << (8 * size)) - 1);
+    value = (qword >> shift) & mask;
+    (void)mem;
+    return LoadResult::kHit;
+  }
+
+  // Miss: allocate an MSHR (non-coalescing — one per access), round-robin
+  // so every register is exercised.
+  const std::uint64_t start = mshr_ptr_.Get(0) % static_cast<std::uint64_t>(mshrs_);
+  for (int m = 0; m < mshrs_; ++m) {
+    const std::size_t e =
+        static_cast<std::size_t>((start + static_cast<std::uint64_t>(m)) %
+                                 static_cast<std::uint64_t>(mshrs_));
+    if (!mshr_valid_.GetBit(e)) {
+      mshr_ptr_.Set(0, (e + 1) % static_cast<std::uint64_t>(mshrs_));
+      mshr_valid_.Set(e, 1);
+      mshr_addr_.Set(e, addr / static_cast<std::uint64_t>(line_bytes_));
+      mshr_timer_.Set(e, static_cast<std::uint64_t>(miss_cycles_));
+      mshr_lq_.Set(e, lq_index);
+      mshr_done_.Set(e, 0);
+      return LoadResult::kMiss;
+    }
+  }
+  return LoadResult::kRetry;  // MSHRs full
+}
+
+bool DCache::FillReady(std::size_t lq_index) const {
+  for (int m = 0; m < mshrs_; ++m) {
+    const std::size_t e = static_cast<std::size_t>(m);
+    if (mshr_valid_.GetBit(e) && mshr_done_.GetBit(e) &&
+        mshr_lq_.Get(e) == lq_index)
+      return true;
+  }
+  return false;
+}
+
+void DCache::ReleaseFill(std::size_t lq_index) {
+  for (int m = 0; m < mshrs_; ++m) {
+    const std::size_t e = static_cast<std::size_t>(m);
+    if (mshr_valid_.GetBit(e) && mshr_done_.GetBit(e) &&
+        mshr_lq_.Get(e) == lq_index) {
+      mshr_valid_.Set(e, 0);
+      return;
+    }
+  }
+}
+
+void DCache::AbandonMshr(std::size_t lq_index) {
+  for (int m = 0; m < mshrs_; ++m) {
+    const std::size_t e = static_cast<std::size_t>(m);
+    if (mshr_valid_.GetBit(e) && mshr_lq_.Get(e) == lq_index)
+      mshr_valid_.Set(e, 0);
+  }
+}
+
+void DCache::AbandonAll() {
+  for (int m = 0; m < mshrs_; ++m)
+    mshr_valid_.Set(static_cast<std::size_t>(m), 0);
+}
+
+void DCache::Fill(std::uint64_t line, Memory& mem) {
+  const std::uint64_t set = line % static_cast<std::uint64_t>(sets_);
+  const std::uint64_t tag = (line / static_cast<std::uint64_t>(sets_)) & 0x3FFFFF;
+  // Already present (e.g. two non-coalesced misses to one line)?
+  for (int w = 0; w < ways_; ++w) {
+    const std::size_t e = Entry(set, w);
+    if (valid_.GetBit(e) && tag_.Get(e) == tag) return;
+  }
+  int victim = 0;
+  for (int w = 0; w < ways_; ++w) {
+    const std::size_t e = Entry(set, w);
+    if (!valid_.GetBit(e)) { victim = w; break; }
+    if (!lru_.GetBit(e)) victim = w;
+  }
+  const std::size_t e = Entry(set, victim);
+  valid_.Set(e, 1);
+  tag_.Set(e, tag);
+  lru_.Set(e, 1);
+  const std::uint64_t base = line * static_cast<std::uint64_t>(line_bytes_);
+  for (std::size_t i = 0; i < LineWords(); ++i)
+    data_.Set(e * LineWords() + i, mem.Read(base + i * 8, 8));
+}
+
+void DCache::WriteThrough(std::uint64_t addr, std::uint64_t data, int size,
+                          Memory& mem) {
+  mem.Write(addr, data, size);
+  const int way = FindWay(addr);
+  if (way < 0) return;  // no-allocate on store miss
+  const std::uint64_t line = addr / static_cast<std::uint64_t>(line_bytes_);
+  const std::uint64_t set = line % static_cast<std::uint64_t>(sets_);
+  const std::size_t wi = Entry(set, way) * LineWords() +
+                         (addr % static_cast<std::uint64_t>(line_bytes_)) / 8;
+  std::uint64_t qword = data_.Get(wi);
+  const std::uint64_t shift = (addr & 7) * 8;
+  const std::uint64_t mask = size >= 8 ? ~0ULL : ((1ULL << (8 * size)) - 1);
+  qword = (qword & ~(mask << shift)) | ((data & mask) << shift);
+  data_.Set(wi, qword);
+}
+
+void DCache::Tick(Memory& mem) {
+  banks_used_ = 0;
+  for (int m = 0; m < mshrs_; ++m) {
+    const std::size_t e = static_cast<std::size_t>(m);
+    if (!mshr_valid_.GetBit(e) || mshr_done_.GetBit(e)) continue;
+    const std::uint64_t t = mshr_timer_.Get(e);
+    if (t > 1) {
+      mshr_timer_.Set(e, t - 1);
+    } else {
+      Fill(mshr_addr_.Get(e), mem);
+      mshr_done_.Set(e, 1);
+    }
+  }
+}
+
+int DCache::MshrsInUse() const {
+  int n = 0;
+  for (int m = 0; m < mshrs_; ++m)
+    if (mshr_valid_.GetBit(static_cast<std::size_t>(m))) ++n;
+  return n;
+}
+
+}  // namespace tfsim

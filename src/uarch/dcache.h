@@ -1,0 +1,87 @@
+// L1 data cache: 32 KB, 2-way set-associative, 32-byte lines, dual-ported
+// via eight 8-byte-interleaved banks, write-through/no-allocate, with 16
+// non-coalescing miss handling registers and a constant 8-cycle miss
+// service (Figure 2 / Section 2.1).
+//
+// Tag/data/LRU arrays are background (excluded from injection like all cache
+// RAM); the MSHRs are injectable latch state — the paper explicitly injects
+// "the various structures that support the caches, such as miss handling
+// registers".
+#pragma once
+
+#include <cstdint>
+
+#include "arch/memory.h"
+#include "state/state_registry.h"
+#include "uarch/config.h"
+
+namespace tfsim {
+
+class DCache {
+ public:
+  enum class LoadResult {
+    kHit,       // value available after the cache latency
+    kMiss,      // MSHR allocated; retry after the fill completes
+    kRetry,     // bank conflict or MSHR full; retry next cycle
+  };
+
+  DCache(StateRegistry& reg, const CoreConfig& cfg);
+
+  // Starts a load access of `size` bytes at `addr`. On kHit the raw value is
+  // written to `value`. `lq_index` tags the MSHR on a miss so the LSQ can
+  // observe fill completion. Call at most twice per cycle (two AGU ports);
+  // same-bank accesses conflict.
+  LoadResult AccessLoad(std::uint64_t addr, int size, Memory& mem,
+                        std::size_t lq_index, std::uint64_t& value);
+
+  // True when a fill for the given LQ entry completed (the entry should then
+  // re-issue its access, which will hit).
+  bool FillReady(std::size_t lq_index) const;
+  // Releases the completed MSHR for the given LQ entry.
+  void ReleaseFill(std::size_t lq_index);
+  // Drops any MSHR tagged with this LQ entry (squash cleanup).
+  void AbandonMshr(std::size_t lq_index);
+  // Drops every MSHR (full pipeline flush).
+  void AbandonAll();
+
+  // Write-through from the post-retirement store buffer.
+  void WriteThrough(std::uint64_t addr, std::uint64_t data, int size,
+                    Memory& mem);
+
+  // Per-cycle: advance MSHR timers, complete fills, reset bank arbitration.
+  void Tick(Memory& mem);
+
+  int MshrsInUse() const;
+
+ private:
+  int sets_;
+  int ways_;
+  int line_bytes_;
+  int banks_;
+  int mshrs_;
+  int miss_cycles_;
+  std::uint32_t banks_used_ = 0;  // per-cycle arbitration, reset in Tick
+
+  std::size_t LineWords() const {
+    return static_cast<std::size_t>(line_bytes_) / 8;
+  }
+  std::size_t Entry(std::uint64_t set, int way) const {
+    return set * static_cast<std::size_t>(ways_) + static_cast<std::size_t>(way);
+  }
+  int FindWay(std::uint64_t addr) const;  // -1 on miss
+  void Fill(std::uint64_t line, Memory& mem);
+
+  StateField valid_;
+  StateField tag_;
+  StateField lru_;
+  StateField data_;
+
+  StateField mshr_valid_;  // injectable
+  StateField mshr_addr_;   // line address
+  StateField mshr_timer_;
+  StateField mshr_lq_;
+  StateField mshr_done_;
+  StateField mshr_ptr_;  // round-robin allocation pointer (qctrl latch)
+};
+
+}  // namespace tfsim

@@ -1,0 +1,87 @@
+#include "uarch/decode_stage.h"
+
+#include <string>
+
+#include "isa/isa.h"
+#include "uarch/uop.h"
+
+namespace tfsim {
+
+DecodeLatchBank::DecodeLatchBank(StateRegistry& reg, const CoreConfig& cfg,
+                                 const char* prefix, bool with_ctrl)
+    : has_ctrl(with_ctrl), parity_on(cfg.protect.insn_parity),
+      width(static_cast<std::uint64_t>(cfg.decode_width)) {
+  const auto latch = Storage::kLatch;
+  const std::string p = prefix;
+  valid = reg.Allocate(p + ".valid", StateCat::kValid, latch, width, 1);
+  pc = reg.Allocate(p + ".pc", StateCat::kPc, latch, width, kPcBits);
+  insn = reg.Allocate(p + ".insn", StateCat::kInsn, latch, width, 32);
+  if (parity_on)
+    parity = reg.Allocate(p + ".parity", StateCat::kParity, latch, width, 1);
+  pred_taken =
+      reg.Allocate(p + ".pred_taken", StateCat::kCtrl, latch, width, 1);
+  pred_target =
+      reg.Allocate(p + ".pred_target", StateCat::kPc, latch, width, kPcBits);
+  ras_ckpt = reg.Allocate(p + ".ras_ckpt", StateCat::kCtrl, latch, width, 3);
+  if (with_ctrl)
+    ctrl = reg.Allocate(p + ".ctrl", StateCat::kCtrl, latch, width, kCtrlBits);
+  seq.resize(width, 0);
+}
+
+std::uint64_t DecodeLatchBank::Occupancy() const {
+  std::uint64_t n = 0;
+  for (std::uint64_t i = 0; i < width; ++i)
+    if (valid.GetBit(i)) ++n;
+  return n;
+}
+
+void DecodeLatchBank::Invalidate() {
+  for (std::uint64_t i = 0; i < width; ++i) valid.Set(i, 0);
+}
+
+void DecodeLatchBank::ConsumePrefix(std::uint64_t n) {
+  if (n == 0) return;
+  for (std::uint64_t i = 0; i < width; ++i) {
+    const std::uint64_t from = i + n;
+    const bool v = from < width && valid.GetBit(from);
+    valid.Set(i, v ? 1 : 0);
+    if (!v) continue;
+    pc.Set(i, pc.Get(from));
+    insn.Set(i, insn.Get(from));
+    if (parity_on) parity.Set(i, parity.Get(from));
+    pred_taken.Set(i, pred_taken.Get(from));
+    pred_target.Set(i, pred_target.Get(from));
+    ras_ckpt.Set(i, ras_ckpt.Get(from));
+    if (has_ctrl) ctrl.Set(i, ctrl.Get(from));
+    seq[i] = seq[from];
+  }
+}
+
+DecodePipe::DecodePipe(StateRegistry& reg, const CoreConfig& cfg)
+    : stage1(reg, cfg, "dec1", false), stage2(reg, cfg, "dec2", true) {}
+
+void DecodePipe::Advance() {
+  if (stage2.Occupancy() != 0 || stage1.Occupancy() == 0) return;
+  for (std::uint64_t i = 0; i < stage1.width; ++i) {
+    const bool v = stage1.valid.GetBit(i);
+    stage2.valid.Set(i, v ? 1 : 0);
+    if (!v) continue;
+    const std::uint32_t word = static_cast<std::uint32_t>(stage1.insn.Get(i));
+    stage2.pc.Set(i, stage1.pc.Get(i));
+    stage2.insn.Set(i, word);
+    if (stage1.parity_on) stage2.parity.Set(i, stage1.parity.Get(i));
+    stage2.pred_taken.Set(i, stage1.pred_taken.Get(i));
+    stage2.pred_target.Set(i, stage1.pred_target.Get(i));
+    stage2.ras_ckpt.Set(i, stage1.ras_ckpt.Get(i));
+    stage2.ctrl.Set(i, PackCtrl(Decode(word)));  // the decoder proper
+    stage2.seq[i] = stage1.seq[i];
+    stage1.valid.Set(i, 0);
+  }
+}
+
+void DecodePipe::Flush() {
+  stage1.Invalidate();
+  stage2.Invalidate();
+}
+
+}  // namespace tfsim

@@ -1,0 +1,54 @@
+// Decode pipeline: two 4-wide latch stages between the fetch queue and
+// rename (the "Decode" stages of the 12-stage pipe). Stage 1 holds raw
+// fetched words; stage 2 holds the decoded control bundle alongside the
+// surviving instruction-word bits. All per-slot storage is latch-class
+// injectable state (the paper's pc/insn/ctrl latch populations).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "state/state_registry.h"
+#include "uarch/config.h"
+
+namespace tfsim {
+
+// One 4-wide bank of pipeline latches carrying in-flight instructions.
+struct DecodeLatchBank {
+  DecodeLatchBank(StateRegistry& reg, const CoreConfig& cfg,
+                  const char* prefix, bool with_ctrl);
+
+  std::uint64_t Occupancy() const;
+  void Invalidate();
+  // Removes the first `n` slots, shifting the rest down.
+  void ConsumePrefix(std::uint64_t n);
+
+  StateField valid;        // 1 (valid, latch)
+  StateField pc;           // 62 (pc, latch)
+  StateField insn;         // 32 (insn, latch)
+  StateField parity;       // 1 (parity, latch), when enabled
+  StateField pred_taken;   // 1 (ctrl, latch)
+  StateField pred_target;  // 62 (pc, latch)
+  StateField ras_ckpt;     // 3 (ctrl, latch)
+  StateField ctrl;         // 26 (ctrl, latch) — stage 2 only
+  bool has_ctrl;
+  bool parity_on;
+  std::uint64_t width;
+  // Instrumentation: fetch sequence numbers (never read by pipeline logic).
+  std::vector<std::uint64_t> seq;
+};
+
+class DecodePipe {
+ public:
+  DecodePipe(StateRegistry& reg, const CoreConfig& cfg);
+
+  DecodeLatchBank stage1;  // fetched, not yet decoded
+  DecodeLatchBank stage2;  // decoded, awaiting rename
+
+  // Advances stage1 -> stage2 (running the decoders) when stage2 is empty.
+  void Advance();
+
+  void Flush();
+};
+
+}  // namespace tfsim

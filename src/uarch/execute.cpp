@@ -1,0 +1,140 @@
+#include "uarch/execute.h"
+
+#include <string>
+
+namespace tfsim {
+
+UopLatchBank::UopLatchBank(StateRegistry& reg, const CoreConfig& cfg,
+                           const char* prefix, std::size_t n,
+                           bool values)
+    : slots(n), ecc_on(cfg.protect.regptr_ecc), with_values(values) {
+  const auto latch = Storage::kLatch;
+  const std::string p = prefix;
+  valid = reg.Allocate(p + ".valid", StateCat::kValid, latch, n, 1);
+  ctrl = reg.Allocate(p + ".ctrl", StateCat::kCtrl, latch, n, kCtrlBits);
+  // Only the branch unit consumes the PC and prediction payload, so these
+  // are single side-latches on the branch port rather than per-port copies.
+  pc = reg.Allocate(p + ".pc", StateCat::kPc, latch, 1, kPcBits);
+  pred_taken = reg.Allocate(p + ".pred_taken", StateCat::kCtrl, latch, 1, 1);
+  pred_target =
+      reg.Allocate(p + ".pred_target", StateCat::kPc, latch, 1, kPcBits);
+  ras_ckpt = reg.Allocate(p + ".ras_ckpt", StateCat::kCtrl, latch, 1, 3);
+  src1p = reg.Allocate(p + ".src1p", StateCat::kRegptr, latch, n, 7);
+  src2p = reg.Allocate(p + ".src2p", StateCat::kRegptr, latch, n, 7);
+  dstp = reg.Allocate(p + ".dstp", StateCat::kRegptr, latch, n, 7);
+  if (ecc_on) {
+    src1_ecc = reg.Allocate(p + ".src1_ecc", StateCat::kEcc, latch, n, 4);
+    src2_ecc = reg.Allocate(p + ".src2_ecc", StateCat::kEcc, latch, n, 4);
+    dst_ecc = reg.Allocate(p + ".dst_ecc", StateCat::kEcc, latch, n, 4);
+  }
+  has_dst = reg.Allocate(p + ".has_dst", StateCat::kCtrl, latch, n, 1);
+  robtag = reg.Allocate(p + ".robtag", StateCat::kRobptr, latch, n, 6);
+  lsq_idx = reg.Allocate(p + ".lsq_idx", StateCat::kCtrl, latch, n, 4);
+  sched_idx = reg.Allocate(p + ".sched_idx", StateCat::kCtrl, latch, n, 5);
+  if (with_values) {
+    a_lo = reg.Allocate(p + ".a_lo", StateCat::kData, latch, n, 64);
+    a_hi = reg.Allocate(p + ".a_hi", StateCat::kData, latch, n, 1);
+    b_lo = reg.Allocate(p + ".b_lo", StateCat::kData, latch, n, 64);
+    b_hi = reg.Allocate(p + ".b_hi", StateCat::kData, latch, n, 1);
+  }
+}
+
+void UopLatchBank::Invalidate() {
+  for (std::size_t i = 0; i < slots; ++i) valid.Set(i, 0);
+}
+
+WbBank::WbBank(StateRegistry& reg, const CoreConfig& cfg, std::size_t n)
+    : slots(n), ecc_on(cfg.protect.regptr_ecc) {
+  const auto latch = Storage::kLatch;
+  valid = reg.Allocate("wb.valid", StateCat::kValid, latch, n, 1);
+  value_lo = reg.Allocate("wb.value_lo", StateCat::kData, latch, n, 64);
+  value_hi = reg.Allocate("wb.value_hi", StateCat::kData, latch, n, 1);
+  dstp = reg.Allocate("wb.dstp", StateCat::kRegptr, latch, n, 7);
+  if (ecc_on)
+    dst_ecc = reg.Allocate("wb.dst_ecc", StateCat::kEcc, latch, n, 4);
+  has_dst = reg.Allocate("wb.has_dst", StateCat::kCtrl, latch, n, 1);
+  robtag = reg.Allocate("wb.robtag", StateCat::kRobptr, latch, n, 6);
+  sched_idx = reg.Allocate("wb.sched_idx", StateCat::kCtrl, latch, n, 5);
+  free_sched = reg.Allocate("wb.free_sched", StateCat::kCtrl, latch, n, 1);
+  alloc_ptr = reg.Allocate("wb.alloc_ptr", StateCat::kQctrl, latch, 1, 4);
+}
+
+int WbBank::FreeSlot() const {
+  const std::uint64_t start = alloc_ptr.Get(0) % slots;
+  for (std::size_t k = 0; k < slots; ++k) {
+    const std::size_t i = (start + k) % slots;
+    if (!valid.GetBit(i)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void WbBank::Invalidate() {
+  for (std::size_t i = 0; i < slots; ++i) valid.Set(i, 0);
+}
+
+ComplexPipe::ComplexPipe(StateRegistry& reg, const CoreConfig& cfg)
+    : slots(6), ecc_on(cfg.protect.regptr_ecc) {
+  const auto latch = Storage::kLatch;
+  alloc_ptr = reg.Allocate("cpipe.alloc_ptr", StateCat::kQctrl, latch, 1, 3);
+  valid = reg.Allocate("cpipe.valid", StateCat::kValid, latch, slots, 1);
+  timer = reg.Allocate("cpipe.timer", StateCat::kCtrl, latch, slots, 3);
+  value_lo = reg.Allocate("cpipe.value_lo", StateCat::kData, latch, slots, 64);
+  value_hi = reg.Allocate("cpipe.value_hi", StateCat::kData, latch, slots, 1);
+  exc = reg.Allocate("cpipe.exc", StateCat::kCtrl, latch, slots, 3);
+  dstp = reg.Allocate("cpipe.dstp", StateCat::kRegptr, latch, slots, 7);
+  if (ecc_on)
+    dst_ecc = reg.Allocate("cpipe.dst_ecc", StateCat::kEcc, latch, slots, 4);
+  has_dst = reg.Allocate("cpipe.has_dst", StateCat::kCtrl, latch, slots, 1);
+  robtag = reg.Allocate("cpipe.robtag", StateCat::kRobptr, latch, slots, 6);
+  sched_idx = reg.Allocate("cpipe.sched_idx", StateCat::kCtrl, latch, slots, 5);
+}
+
+int ComplexPipe::FreeSlot() const {
+  const std::uint64_t start = alloc_ptr.Get(0) % slots;
+  for (std::size_t k = 0; k < slots; ++k) {
+    const std::size_t i = (start + k) % slots;
+    if (!valid.GetBit(i)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void ComplexPipe::Invalidate() {
+  for (std::size_t i = 0; i < slots; ++i) valid.Set(i, 0);
+}
+
+WakeupQueue::WakeupQueue(StateRegistry& reg, const CoreConfig& cfg)
+    : slots(16) {
+  (void)cfg;
+  const auto latch = Storage::kLatch;
+  alloc_ptr = reg.Allocate("wake.alloc_ptr", StateCat::kQctrl, latch, 1, 4);
+  valid = reg.Allocate("wake.valid", StateCat::kValid, latch, slots, 1);
+  preg = reg.Allocate("wake.preg", StateCat::kRegptr, latch, slots, 7);
+  delay = reg.Allocate("wake.delay", StateCat::kCtrl, latch, slots, 3);
+}
+
+void WakeupQueue::Schedule(std::uint64_t p, std::uint64_t d) {
+  const std::uint64_t start = alloc_ptr.Get(0) % slots;
+  for (std::size_t k = 0; k < slots; ++k) {
+    const std::size_t i = (start + k) % slots;
+    if (!valid.GetBit(i)) {
+      valid.Set(i, 1);
+      alloc_ptr.Set(0, (i + 1) % slots);
+      preg.Set(i, p);
+      delay.Set(i, d);
+      return;
+    }
+  }
+  // Queue full (only reachable under corruption): drop; the real writeback
+  // broadcast at WB still sets readiness, so progress is preserved.
+}
+
+void WakeupQueue::Kill(std::uint64_t p) {
+  for (std::size_t i = 0; i < slots; ++i)
+    if (valid.GetBit(i) && preg.Get(i) == p) valid.Set(i, 0);
+}
+
+void WakeupQueue::Invalidate() {
+  for (std::size_t i = 0; i < slots; ++i) valid.Set(i, 0);
+}
+
+}  // namespace tfsim

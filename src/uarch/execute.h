@@ -1,0 +1,119 @@
+// Execution-path pipeline latches: issue -> register read -> execute ->
+// writeback, the complex-ALU internal pipeline (2-5 cycle ops), and the
+// pending-wakeup queue that implements speculative wakeup timing.
+//
+// These banks are the paper's latch populations: operand/result values are
+// `data` latches, physical register pointers `regptr` latches, ROB tags
+// `robptr` latches, and the packed control words `ctrl` latches. Six issue
+// ports: 0-1 simple ALU, 2 complex ALU, 3 branch ALU, 4-5 AGU.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "state/state_registry.h"
+#include "uarch/config.h"
+#include "uarch/uop.h"
+
+namespace tfsim {
+
+inline constexpr int kNumPorts = 6;
+inline constexpr int kPortSimple0 = 0;
+inline constexpr int kPortSimple1 = 1;
+inline constexpr int kPortComplex = 2;
+inline constexpr int kPortBranch = 3;
+inline constexpr int kPortAgu0 = 4;
+inline constexpr int kPortAgu1 = 5;
+
+// A bank of uop-carrying latches (one slot per issue port, or N generic
+// slots). `with_values` adds the 65-bit operand value latches (the register
+// read output bank).
+struct UopLatchBank {
+  UopLatchBank(StateRegistry& reg, const CoreConfig& cfg, const char* prefix,
+               std::size_t slots, bool with_values);
+
+  void Invalidate();
+
+  std::size_t slots;
+  bool ecc_on;
+  bool with_values;
+
+  StateField valid;        // 1 (valid)
+  StateField ctrl;         // 26 (ctrl)
+  StateField pc;           // 62 (pc)
+  StateField pred_taken;   // 1 (ctrl)
+  StateField pred_target;  // 62 (pc)
+  StateField ras_ckpt;     // 3 (ctrl)
+  StateField src1p, src2p, dstp;            // 7 (regptr)
+  StateField src1_ecc, src2_ecc, dst_ecc;   // 4 (ecc) when enabled
+  StateField has_dst;      // 1 (ctrl)
+  StateField robtag;       // 6 (robptr)
+  StateField lsq_idx;      // 4 (ctrl)
+  StateField sched_idx;    // 5 (ctrl)
+  StateField a_lo, b_lo;   // 64 (data) — operand values
+  StateField a_hi, b_hi;   // 1 (data)
+};
+
+// Result slots awaiting the writeback stage.
+struct WbBank {
+  WbBank(StateRegistry& reg, const CoreConfig& cfg, std::size_t slots);
+
+  // Returns a free slot index or -1 (writeback bandwidth exhausted).
+  int FreeSlot() const;
+  void Invalidate();
+
+  std::size_t slots;
+  bool ecc_on;
+  StateField valid;
+  StateField value_lo;  // 64 (data)
+  StateField value_hi;  // 1 (data)
+  StateField dstp;      // 7 (regptr)
+  StateField dst_ecc;   // 4 (ecc)
+  StateField has_dst;   // 1 (ctrl)
+  StateField robtag;    // 6 (robptr)
+  StateField sched_idx; // 5 (ctrl)
+  StateField free_sched;  // 1 (ctrl): release the scheduler entry at WB
+  StateField alloc_ptr;   // 4 (qctrl): round-robin slot allocation
+};
+
+// The complex ALU's internal pipeline: multi-cycle integer ops in flight.
+struct ComplexPipe {
+  ComplexPipe(StateRegistry& reg, const CoreConfig& cfg);
+
+  int FreeSlot() const;
+  void Invalidate();
+
+  std::size_t slots;
+  bool ecc_on;
+  StateField alloc_ptr;  // 3 (qctrl): round-robin slot allocation
+  StateField valid;
+  StateField timer;     // 3 (ctrl): cycles until the result is ready
+  StateField value_lo;  // 64 (data)
+  StateField value_hi;  // 1 (data)
+  StateField exc;       // 3 (ctrl)
+  StateField dstp;      // 7 (regptr)
+  StateField dst_ecc;
+  StateField has_dst;
+  StateField robtag;
+  StateField sched_idx;
+};
+
+// Pending wakeup broadcasts: entries fire (set scheduler ready bits) after
+// `delay` cycles, implementing speculative wakeup relative to expected
+// producer latency.
+struct WakeupQueue {
+  WakeupQueue(StateRegistry& reg, const CoreConfig& cfg);
+
+  void Schedule(std::uint64_t preg, std::uint64_t delay);
+  // Removes pending events for this register (load-miss kill).
+  void Kill(std::uint64_t preg);
+  void Invalidate();
+
+  std::size_t slots;
+  StateField alloc_ptr;  // 4 (qctrl): round-robin slot allocation
+  StateField valid;
+  StateField preg;   // 7 (regptr)
+  StateField delay;  // 3 (ctrl)
+};
+
+}  // namespace tfsim

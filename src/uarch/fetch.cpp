@@ -1,0 +1,133 @@
+#include "uarch/fetch.h"
+
+#include "uarch/uop.h"
+
+namespace tfsim {
+
+Fetch::Fetch(StateRegistry& reg, const CoreConfig& cfg)
+    : parity_on(cfg.protect.insn_parity),
+      fq_n_(static_cast<std::uint64_t>(cfg.fetch_queue)),
+      width_(cfg.fetch_width) {
+  const auto ram = Storage::kRam;
+  fq_valid = reg.Allocate("fq.valid", StateCat::kValid, ram, fq_n_, 1);
+  fq_pc = reg.Allocate("fq.pc", StateCat::kPc, ram, fq_n_, kPcBits);
+  fq_insn = reg.Allocate("fq.insn", StateCat::kInsn, ram, fq_n_, 32);
+  if (parity_on)
+    fq_parity = reg.Allocate("fq.parity", StateCat::kParity, ram, fq_n_, 1);
+  fq_pred_taken =
+      reg.Allocate("fq.pred_taken", StateCat::kCtrl, ram, fq_n_, 1);
+  fq_pred_target =
+      reg.Allocate("fq.pred_target", StateCat::kPc, ram, fq_n_, kPcBits);
+  fq_ras_ckpt = reg.Allocate("fq.ras_ckpt", StateCat::kCtrl, ram, fq_n_, 3);
+  fq_head = reg.Allocate("fq.head", StateCat::kQctrl, Storage::kLatch, 1, 5);
+  fq_tail = reg.Allocate("fq.tail", StateCat::kQctrl, Storage::kLatch, 1, 5);
+  fq_count = reg.Allocate("fq.count", StateCat::kQctrl, Storage::kLatch, 1, 6);
+  fetch_pc_ =
+      reg.Allocate("fetch.pc", StateCat::kPc, Storage::kLatch, 1, kPcBits);
+  const auto latch = Storage::kLatch;
+  const std::uint64_t w = static_cast<std::uint64_t>(width_);
+  fb_valid = reg.Allocate("fb.valid", StateCat::kValid, latch, w, 1);
+  fb_pc = reg.Allocate("fb.pc", StateCat::kPc, latch, w, kPcBits);
+  fb_insn = reg.Allocate("fb.insn", StateCat::kInsn, latch, w, 32);
+  if (parity_on)
+    fb_parity = reg.Allocate("fb.parity", StateCat::kParity, latch, w, 1);
+  fb_pred_taken =
+      reg.Allocate("fb.pred_taken", StateCat::kCtrl, latch, w, 1);
+  fb_pred_target =
+      reg.Allocate("fb.pred_target", StateCat::kPc, latch, w, kPcBits);
+  fb_ras_ckpt = reg.Allocate("fb.ras_ckpt", StateCat::kCtrl, latch, w, 3);
+  fb_seq.resize(w, 0);
+  fq_seq.resize(fq_n_, 0);
+}
+
+void Fetch::DrainStaging() {
+  for (std::uint64_t i = 0; i < static_cast<std::uint64_t>(width_); ++i) {
+    if (!fb_valid.GetBit(i)) continue;
+    if (fq_count.Get(0) >= fq_n_) return;  // keep program order: stop
+    const std::uint64_t q = fq_tail.Get(0) % fq_n_;
+    fq_valid.Set(q, 1);
+    fq_pc.Set(q, fb_pc.Get(i));
+    fq_insn.Set(q, fb_insn.Get(i));
+    if (parity_on) fq_parity.Set(q, fb_parity.Get(i));
+    fq_pred_taken.Set(q, fb_pred_taken.Get(i));
+    fq_pred_target.Set(q, fb_pred_target.Get(i));
+    fq_ras_ckpt.Set(q, fb_ras_ckpt.Get(i));
+    fq_seq[q] = fb_seq[i];
+    fq_tail.Set(0, (q + 1) % fq_n_);
+    fq_count.Set(0, fq_count.Get(0) + 1);
+    fb_valid.Set(i, 0);
+  }
+}
+
+std::uint64_t Fetch::FetchPc() const { return PcLoad(fetch_pc_.Get(0)); }
+void Fetch::SetFetchPc(std::uint64_t pc) { fetch_pc_.Set(0, PcStore(pc)); }
+
+std::uint64_t Fetch::FqPopHead() {
+  const std::uint64_t i = fq_head.Get(0) % fq_n_;
+  fq_valid.Set(i, 0);
+  fq_head.Set(0, (i + 1) % fq_n_);
+  const std::uint64_t c = fq_count.Get(0);
+  if (c > 0) fq_count.Set(0, c - 1);
+  return i;
+}
+
+void Fetch::Redirect(std::uint64_t pc) {
+  for (std::uint64_t i = 0; i < fq_n_; ++i) fq_valid.Set(i, 0);
+  for (std::uint64_t i = 0; i < static_cast<std::uint64_t>(width_); ++i)
+    fb_valid.Set(i, 0);
+  fq_head.Set(0, 0);
+  fq_tail.Set(0, 0);
+  fq_count.Set(0, 0);
+  SetFetchPc(pc);
+}
+
+bool Fetch::Run(ICache& icache, Bpred& bpred, Memory& mem, Tlb& tlb,
+                std::uint64_t* itlb_addr) {
+  if (icache.MissPending()) return true;
+  // Stage 1 stalls while the staging bank still holds instructions.
+  for (std::uint64_t i = 0; i < static_cast<std::uint64_t>(width_); ++i)
+    if (fb_valid.GetBit(i)) return true;
+  std::uint64_t pc = FetchPc();
+  int lines_touched = 0;
+  std::uint64_t last_line = ~0ULL;
+  for (int n = 0; n < width_; ++n) {
+    // Split-line fetch: a fetch group may span at most two cache lines.
+    const std::uint64_t line = pc / 32;
+    if (line != last_line) {
+      if (++lines_touched > 2) break;
+      last_line = line;
+    }
+    if (!tlb.LookupInsn(pc)) {
+      if (itlb_addr) *itlb_addr = pc;
+      return false;
+    }
+    std::uint32_t word = 0;
+    if (!icache.Read(pc, mem, word)) break;  // miss: timer started
+
+    const DecodedInst d = Decode(word);
+    const std::uint64_t ras_before = bpred.RasPtr();
+    const BranchPrediction pred =
+        d.IsBranchLike() ? bpred.Predict(pc, d) : BranchPrediction{false, pc + 4};
+
+    const std::uint64_t i = static_cast<std::uint64_t>(n);
+    fb_valid.Set(i, 1);
+    fb_pc.Set(i, PcStore(pc));
+    fb_insn.Set(i, word);
+    if (parity_on) fb_parity.Set(i, InsnParity(word));
+    fb_pred_taken.Set(i, pred.taken ? 1 : 0);
+    fb_pred_target.Set(i, PcStore(pred.target));
+    fb_ras_ckpt.Set(i, ras_before);
+    fb_seq[i] = seq_counter++;
+
+    pc = pred.taken ? pred.target : pc + 4;
+    if (pred.taken) {
+      // Taken control flow ends the fetch group.
+      ++n;
+      break;
+    }
+  }
+  SetFetchPc(pc);
+  return true;
+}
+
+}  // namespace tfsim

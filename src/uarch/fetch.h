@@ -1,0 +1,83 @@
+// Front end: fetch PC, split-line 8-wide fetch through the I-cache with
+// branch prediction, and the 32-entry fetch queue (Figure 2).
+//
+// Each fetched instruction enters the FQ with its PC, raw instruction word
+// (+ parity bit when instruction-word parity protection is on), prediction
+// info, and the RAS-pointer checkpoint used for recovery.
+#pragma once
+
+#include <cstdint>
+
+#include "arch/memory.h"
+#include "arch/tlb.h"
+#include "state/state_registry.h"
+#include "uarch/bpred.h"
+#include "uarch/config.h"
+#include "uarch/icache.h"
+
+namespace tfsim {
+
+class Fetch {
+ public:
+  Fetch(StateRegistry& reg, const CoreConfig& cfg);
+
+  // Fetch stage 1: reads up to fetch_width instructions from the I-cache
+  // into the fetch staging bank (runs only when the bank is empty). Returns
+  // false if an instruction TLB miss occurred (addr reported via
+  // *itlb_addr) — the trial classifier treats that as an itlb failure.
+  bool Run(ICache& icache, Bpred& bpred, Memory& mem, Tlb& tlb,
+           std::uint64_t* itlb_addr);
+
+  // Fetch stage 2: drains the staging bank into the fetch queue as space
+  // allows. Call before Run each cycle.
+  void DrainStaging();
+
+  std::uint64_t FetchPc() const;
+  void SetFetchPc(std::uint64_t pc);
+
+  std::uint64_t FqCount() const { return fq_count.Get(0); }
+  bool FqEmpty() const { return FqCount() == 0; }
+  // Pops the oldest FQ entry; index returned for payload access.
+  std::uint64_t FqPopHead();
+  std::uint64_t FqHeadIndex() const { return fq_head.Get(0) % fq_n_; }
+
+  // Redirect after mispredict/flush: clears the FQ and restarts fetch.
+  void Redirect(std::uint64_t pc);
+
+  // Per-instruction fetch sequence numbers (instrumentation only — never
+  // read by pipeline logic; used by the golden recorder for the Figure 6
+  // valid-instructions-in-flight statistic).
+  std::uint64_t seq_counter = 0;
+  std::vector<std::uint64_t> fq_seq;
+
+  // Fetch staging bank (the second fetch stage of the 12-stage pipe): the
+  // freshly fetched group, latched before fetch-queue insertion. Heavy with
+  // bubbles and wrong-path instructions — low-sensitivity latch state.
+  StateField fb_valid;        // 1 (valid, latch)
+  StateField fb_pc;           // 62 (pc, latch)
+  StateField fb_insn;         // 32 (insn, latch)
+  StateField fb_parity;       // 1 (parity, latch) when enabled
+  StateField fb_pred_taken;   // 1 (ctrl, latch)
+  StateField fb_pred_target;  // 62 (pc, latch)
+  StateField fb_ras_ckpt;     // 3 (ctrl, latch)
+  std::vector<std::uint64_t> fb_seq;  // instrumentation
+
+  // FQ payload.
+  StateField fq_valid;   // 1 (valid, RAM)
+  StateField fq_pc;      // 62 (pc, RAM)
+  StateField fq_insn;    // 32 (insn, RAM)
+  StateField fq_parity;  // 1 (parity, RAM) when enabled
+  StateField fq_pred_taken;   // 1 (ctrl, RAM)
+  StateField fq_pred_target;  // 62 (pc, RAM)
+  StateField fq_ras_ckpt;     // 3 (ctrl, RAM)
+  StateField fq_head, fq_tail, fq_count;  // qctrl latches
+
+  bool parity_on;
+
+ private:
+  std::uint64_t fq_n_;
+  int width_;
+  StateField fetch_pc_;  // 62-bit latch (pc)
+};
+
+}  // namespace tfsim

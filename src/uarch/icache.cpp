@@ -1,0 +1,76 @@
+#include "uarch/icache.h"
+
+namespace tfsim {
+
+ICache::ICache(StateRegistry& reg, const CoreConfig& cfg)
+    : sets_(cfg.icache_bytes / cfg.icache_ways / cfg.line_bytes),
+      ways_(cfg.icache_ways), line_bytes_(cfg.line_bytes) {
+  const auto bg = Storage::kBackground;
+  const std::size_t entries = static_cast<std::size_t>(sets_ * ways_);
+  valid_ = reg.Allocate("icache.valid", StateCat::kValid, bg, entries, 1);
+  tag_ = reg.Allocate("icache.tag", StateCat::kAddr, bg, entries, 24);
+  lru_ = reg.Allocate("icache.lru", StateCat::kCtrl, bg, entries, 1);
+  data_ = reg.Allocate("icache.data", StateCat::kInsn, bg,
+                       entries * LineWords(), 64);
+  miss_valid_ = reg.Allocate("icache.miss_valid", StateCat::kValid,
+                             Storage::kLatch, 1, 1);
+  miss_addr_ = reg.Allocate("icache.miss_addr", StateCat::kAddr,
+                            Storage::kLatch, 1, 58);
+  miss_timer_ = reg.Allocate("icache.miss_timer", StateCat::kCtrl,
+                             Storage::kLatch, 1, 4);
+}
+
+bool ICache::Read(std::uint64_t addr, Memory& mem, std::uint32_t& word) {
+  const std::uint64_t line = addr / static_cast<std::uint64_t>(line_bytes_);
+  const std::uint64_t set = line % static_cast<std::uint64_t>(sets_);
+  const std::uint64_t tag = (line / static_cast<std::uint64_t>(sets_)) & 0xFFFFFF;
+  for (int w = 0; w < ways_; ++w) {
+    const std::size_t e = Entry(set, w);
+    if (valid_.GetBit(e) && tag_.Get(e) == tag) {
+      const std::size_t word_index =
+          e * LineWords() + (addr % static_cast<std::uint64_t>(line_bytes_)) / 8;
+      const std::uint64_t qword = data_.Get(word_index);
+      word = static_cast<std::uint32_t>((addr & 4) ? qword >> 32 : qword);
+      lru_.Set(e, 1);
+      lru_.Set(Entry(set, 1 - w), 0);
+      return true;
+    }
+  }
+  if (!miss_valid_.GetBit(0)) {
+    miss_valid_.Set(0, 1);
+    miss_addr_.Set(0, line);
+    miss_timer_.Set(0, 8);
+  }
+  (void)mem;
+  return false;
+}
+
+void ICache::Tick(Memory& mem) {
+  if (!miss_valid_.GetBit(0)) return;
+  const std::uint64_t t = miss_timer_.Get(0);
+  if (t > 1) {
+    miss_timer_.Set(0, t - 1);
+    return;
+  }
+  // Fill: choose the non-MRU way as victim.
+  const std::uint64_t line = miss_addr_.Get(0);
+  const std::uint64_t set = line % static_cast<std::uint64_t>(sets_);
+  const std::uint64_t tag = (line / static_cast<std::uint64_t>(sets_)) & 0xFFFFFF;
+  int victim = 0;
+  for (int w = 0; w < ways_; ++w) {
+    const std::size_t e = Entry(set, w);
+    if (!valid_.GetBit(e)) { victim = w; break; }
+    if (!lru_.GetBit(e)) victim = w;
+  }
+  const std::size_t e = Entry(set, victim);
+  valid_.Set(e, 1);
+  tag_.Set(e, tag);
+  lru_.Set(e, 1);
+  const std::uint64_t base = line * static_cast<std::uint64_t>(line_bytes_);
+  for (std::size_t i = 0; i < LineWords(); ++i)
+    data_.Set(e * LineWords() + i, mem.Read(base + i * 8, 8));
+  miss_valid_.Set(0, 0);
+  miss_timer_.Set(0, 0);
+}
+
+}  // namespace tfsim

@@ -1,0 +1,52 @@
+// L1 instruction cache: 8 KB, 2-way set-associative, 32-byte lines, with a
+// constant 8-cycle miss service (the paper services every L1 miss in eight
+// cycles to avoid long idle periods that would inflate masking).
+//
+// Tag/data/LRU arrays are background state (the paper excludes cache RAM
+// arrays from injection — they are trivially protected by ECC in practice —
+// but they still participate in whole-machine state equality).
+#pragma once
+
+#include <cstdint>
+
+#include "arch/memory.h"
+#include "state/state_registry.h"
+#include "uarch/config.h"
+
+namespace tfsim {
+
+class ICache {
+ public:
+  ICache(StateRegistry& reg, const CoreConfig& cfg);
+
+  // Attempts to read the 32-bit word at `addr` this cycle. Returns false on
+  // a miss (and starts the miss timer). `mem` backs fills.
+  bool Read(std::uint64_t addr, Memory& mem, std::uint32_t& word);
+
+  // Advances the miss timer; call once per cycle.
+  void Tick(Memory& mem);
+
+  bool MissPending() const { return miss_valid_.GetBit(0); }
+
+ private:
+  int sets_;
+  int ways_;
+  int line_bytes_;
+
+  std::size_t LineWords() const {
+    return static_cast<std::size_t>(line_bytes_) / 8;
+  }
+  std::size_t Entry(std::uint64_t set, int way) const {
+    return set * static_cast<std::size_t>(ways_) + static_cast<std::size_t>(way);
+  }
+
+  StateField valid_;
+  StateField tag_;
+  StateField lru_;   // 1 bit per entry (2-way: MRU marker)
+  StateField data_;  // line data as 64-bit words
+  StateField miss_valid_;
+  StateField miss_addr_;
+  StateField miss_timer_;
+};
+
+}  // namespace tfsim

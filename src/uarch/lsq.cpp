@@ -1,0 +1,156 @@
+#include "uarch/lsq.h"
+
+namespace tfsim {
+
+Lsq::Lsq(StateRegistry& reg, const CoreConfig& cfg)
+    : ecc_on(cfg.protect.regptr_ecc),
+      lq_n_(static_cast<std::uint64_t>(cfg.lq_entries)),
+      sq_n_(static_cast<std::uint64_t>(cfg.sq_entries)),
+      sb_n_(static_cast<std::uint64_t>(cfg.store_buffer)) {
+  const auto ram = Storage::kRam;
+  const auto latch = Storage::kLatch;
+
+  lq_valid = reg.Allocate("lq.valid", StateCat::kValid, ram, lq_n_, 1);
+  lq_addr = reg.Allocate("lq.addr", StateCat::kAddr, ram, lq_n_, 64);
+  lq_addr_valid =
+      reg.Allocate("lq.addr_valid", StateCat::kCtrl, ram, lq_n_, 1);
+  lq_size = reg.Allocate("lq.size", StateCat::kCtrl, ram, lq_n_, 2);
+  lq_robtag = reg.Allocate("lq.robtag", StateCat::kRobptr, ram, lq_n_, 6);
+  lq_done = reg.Allocate("lq.done", StateCat::kCtrl, ram, lq_n_, 1);
+  lq_fwd_valid =
+      reg.Allocate("lq.fwd_valid", StateCat::kCtrl, ram, lq_n_, 1);
+  lq_fwd_sq = reg.Allocate("lq.fwd_sq", StateCat::kCtrl, ram, lq_n_, 4);
+  lq_state = reg.Allocate("lq.state", StateCat::kCtrl, ram, lq_n_, 3);
+  lq_timer = reg.Allocate("lq.timer", StateCat::kCtrl, ram, lq_n_, 2);
+  lq_value = reg.Allocate("lq.value", StateCat::kData, ram, lq_n_, 64);
+  lq_sext = reg.Allocate("lq.sext", StateCat::kCtrl, ram, lq_n_, 1);
+  lq_dstp = reg.Allocate("lq.dstp", StateCat::kRegptr, ram, lq_n_, 7);
+  if (ecc_on)
+    lq_dst_ecc = reg.Allocate("lq.dst_ecc", StateCat::kEcc, ram, lq_n_, 4);
+  lq_has_dst = reg.Allocate("lq.has_dst", StateCat::kCtrl, ram, lq_n_, 1);
+  lq_sched = reg.Allocate("lq.sched", StateCat::kCtrl, ram, lq_n_, 5);
+  lq_misskill = reg.Allocate("lq.misskill", StateCat::kCtrl, ram, lq_n_, 1);
+  lq_spec = reg.Allocate("lq.spec", StateCat::kCtrl, ram, lq_n_, 1);
+  lq_head = reg.Allocate("lq.head", StateCat::kQctrl, latch, 1, 4);
+  lq_tail = reg.Allocate("lq.tail", StateCat::kQctrl, latch, 1, 4);
+  lq_count = reg.Allocate("lq.count", StateCat::kQctrl, latch, 1, 5);
+
+  sq_valid = reg.Allocate("sq.valid", StateCat::kValid, ram, sq_n_, 1);
+  sq_addr = reg.Allocate("sq.addr", StateCat::kAddr, ram, sq_n_, 64);
+  sq_addr_valid =
+      reg.Allocate("sq.addr_valid", StateCat::kCtrl, ram, sq_n_, 1);
+  sq_data = reg.Allocate("sq.data", StateCat::kData, ram, sq_n_, 64);
+  sq_data_hi = reg.Allocate("sq.data_hi", StateCat::kData, ram, sq_n_, 1);
+  sq_data_valid =
+      reg.Allocate("sq.data_valid", StateCat::kCtrl, ram, sq_n_, 1);
+  sq_size = reg.Allocate("sq.size", StateCat::kCtrl, ram, sq_n_, 2);
+  sq_robtag = reg.Allocate("sq.robtag", StateCat::kRobptr, ram, sq_n_, 6);
+  sq_head = reg.Allocate("sq.head", StateCat::kQctrl, latch, 1, 4);
+  sq_tail = reg.Allocate("sq.tail", StateCat::kQctrl, latch, 1, 4);
+  sq_count = reg.Allocate("sq.count", StateCat::kQctrl, latch, 1, 5);
+
+  sb_valid = reg.Allocate("sb.valid", StateCat::kValid, ram, sb_n_, 1);
+  sb_addr = reg.Allocate("sb.addr", StateCat::kAddr, ram, sb_n_, 64);
+  sb_data = reg.Allocate("sb.data", StateCat::kData, ram, sb_n_, 64);
+  sb_size = reg.Allocate("sb.size", StateCat::kCtrl, ram, sb_n_, 2);
+  sb_head = reg.Allocate("sb.head", StateCat::kQctrl, latch, 1, 3);
+  sb_tail = reg.Allocate("sb.tail", StateCat::kQctrl, latch, 1, 3);
+  sb_count = reg.Allocate("sb.count", StateCat::kQctrl, latch, 1, 4);
+}
+
+std::uint64_t Lsq::AllocLq() {
+  const std::uint64_t i = lq_tail.Get(0) % lq_n_;
+  lq_tail.Set(0, (i + 1) % lq_n_);
+  const std::uint64_t c = lq_count.Get(0);
+  if (c < lq_n_) lq_count.Set(0, c + 1);
+  lq_valid.Set(i, 1);
+  lq_addr_valid.Set(i, 0);
+  lq_done.Set(i, 0);
+  lq_fwd_valid.Set(i, 0);
+  lq_state.Set(i, kLqNoAddr);
+  lq_misskill.Set(i, 0);
+  lq_spec.Set(i, 0);
+  return i;
+}
+
+std::uint64_t Lsq::AllocSq() {
+  const std::uint64_t i = sq_tail.Get(0) % sq_n_;
+  sq_tail.Set(0, (i + 1) % sq_n_);
+  const std::uint64_t c = sq_count.Get(0);
+  if (c < sq_n_) sq_count.Set(0, c + 1);
+  sq_valid.Set(i, 1);
+  sq_addr_valid.Set(i, 0);
+  sq_data_valid.Set(i, 0);
+  return i;
+}
+
+void Lsq::PopLqHead() {
+  const std::uint64_t i = lq_head.Get(0) % lq_n_;
+  lq_valid.Set(i, 0);
+  lq_head.Set(0, (i + 1) % lq_n_);
+  const std::uint64_t c = lq_count.Get(0);
+  if (c > 0) lq_count.Set(0, c - 1);
+}
+
+void Lsq::PopSqHead() {
+  const std::uint64_t i = sq_head.Get(0) % sq_n_;
+  sq_valid.Set(i, 0);
+  sq_head.Set(0, (i + 1) % sq_n_);
+  const std::uint64_t c = sq_count.Get(0);
+  if (c > 0) sq_count.Set(0, c - 1);
+}
+
+std::uint64_t Lsq::PopLqTail() {
+  const std::uint64_t i = (lq_tail.Get(0) + lq_n_ - 1) % lq_n_;
+  lq_tail.Set(0, i);
+  lq_valid.Set(i, 0);
+  const std::uint64_t c = lq_count.Get(0);
+  if (c > 0) lq_count.Set(0, c - 1);
+  return i;
+}
+
+std::uint64_t Lsq::PopSqTail() {
+  const std::uint64_t i = (sq_tail.Get(0) + sq_n_ - 1) % sq_n_;
+  sq_tail.Set(0, i);
+  sq_valid.Set(i, 0);
+  const std::uint64_t c = sq_count.Get(0);
+  if (c > 0) sq_count.Set(0, c - 1);
+  return i;
+}
+
+void Lsq::ClearQueues() {
+  for (std::uint64_t i = 0; i < lq_n_; ++i) lq_valid.Set(i, 0);
+  for (std::uint64_t i = 0; i < sq_n_; ++i) sq_valid.Set(i, 0);
+  lq_head.Set(0, 0);
+  lq_tail.Set(0, 0);
+  lq_count.Set(0, 0);
+  sq_head.Set(0, 0);
+  sq_tail.Set(0, 0);
+  sq_count.Set(0, 0);
+}
+
+void Lsq::SbPush(std::uint64_t addr, std::uint64_t data,
+                 std::uint64_t size_code) {
+  if (SbFull()) return;  // callers gate on SbFull; defined under corruption
+  const std::uint64_t i = sb_tail.Get(0) % sb_n_;
+  sb_valid.Set(i, 1);
+  sb_addr.Set(i, addr);
+  sb_data.Set(i, data);
+  sb_size.Set(i, size_code);
+  sb_tail.Set(0, (i + 1) % sb_n_);
+  sb_count.Set(0, sb_count.Get(0) + 1);
+}
+
+bool Lsq::SbPop(std::uint64_t& addr, std::uint64_t& data, int& size) {
+  if (SbEmpty()) return false;
+  const std::uint64_t i = sb_head.Get(0) % sb_n_;
+  addr = sb_addr.Get(i);
+  data = sb_data.Get(i);
+  size = DecodeSizeCode(sb_size.Get(i));
+  sb_valid.Set(i, 0);
+  sb_head.Set(0, (i + 1) % sb_n_);
+  sb_count.Set(0, sb_count.Get(0) - 1);
+  return true;
+}
+
+}  // namespace tfsim

@@ -1,0 +1,122 @@
+// Load/store queues (16 entries each), plus the 8-entry post-retirement
+// store buffer. The store buffer intentionally SURVIVES pipeline flushes —
+// its stores are already architecturally committed — which is exactly why
+// the paper notes that a corrupted store-buffer control field can deadlock
+// the machine in a way a pipeline flush cannot repair (Section 4.1).
+//
+// LQ entries record the store-to-load forwarding source when it occurs —
+// state the paper cites as often dead ("state in the memory unit that
+// records store to load forwarding, which does not always occur").
+#pragma once
+
+#include <cstdint>
+
+#include "state/state_registry.h"
+#include "uarch/config.h"
+
+namespace tfsim {
+
+// Size codes stored in 2-bit fields; any corrupted value decodes to a
+// defined size.
+inline int DecodeSizeCode(std::uint64_t code) {
+  switch (code & 3) {
+    case 0: return 1;
+    case 1: return 4;
+    default: return 8;
+  }
+}
+inline std::uint64_t EncodeSizeCode(int size) {
+  return size == 1 ? 0 : size == 4 ? 1 : 2;
+}
+
+// Load-entry state machine values (3-bit lq_state field; corrupted values
+// beyond kLqDone behave as kLqNoAddr, i.e. the entry waits forever unless
+// re-driven — a realistic deadlock source).
+inline constexpr std::uint64_t kLqNoAddr = 0;
+inline constexpr std::uint64_t kLqReady = 1;      // address known, may access
+inline constexpr std::uint64_t kLqAccessing = 2;  // cache access in progress
+inline constexpr std::uint64_t kLqWaitFill = 3;   // MSHR fill outstanding
+inline constexpr std::uint64_t kLqDone = 4;
+
+class Lsq {
+ public:
+  Lsq(StateRegistry& reg, const CoreConfig& cfg);
+
+  bool ecc_on;
+
+  std::uint64_t lq_entries() const { return lq_n_; }
+  std::uint64_t sq_entries() const { return sq_n_; }
+
+  // --- circular allocation (program order) ----------------------------------
+  bool LqFull() const { return lq_count.Get(0) >= lq_n_; }
+  bool SqFull() const { return sq_count.Get(0) >= sq_n_; }
+  std::uint64_t AllocLq();
+  std::uint64_t AllocSq();
+  void PopLqHead();  // retirement
+  void PopSqHead();
+  std::uint64_t PopLqTail();  // walk-back squash
+  std::uint64_t PopSqTail();
+  // Age helpers (0 = oldest in queue).
+  std::uint64_t LqAge(std::uint64_t i) const {
+    return (i + lq_n_ - lq_head.Get(0) % lq_n_) % lq_n_;
+  }
+  std::uint64_t SqAge(std::uint64_t i) const {
+    return (i + sq_n_ - sq_head.Get(0) % sq_n_) % sq_n_;
+  }
+  bool LqContains(std::uint64_t i) const { return LqAge(i) < lq_count.Get(0); }
+  bool SqContains(std::uint64_t i) const { return SqAge(i) < sq_count.Get(0); }
+
+  void ClearQueues();  // pipeline flush (store buffer NOT touched)
+
+  // --- store buffer -----------------------------------------------------------
+  bool SbFull() const { return sb_count.Get(0) >= sb_n_; }
+  bool SbEmpty() const { return sb_count.Get(0) == 0; }
+  void SbPush(std::uint64_t addr, std::uint64_t data, std::uint64_t size_code);
+  // Pops the oldest store into the out parameters; returns false when empty.
+  bool SbPop(std::uint64_t& addr, std::uint64_t& data, int& size);
+
+  // Load queue payload.
+  StateField lq_valid;       // 1 (valid)
+  StateField lq_addr;        // 64 (addr)
+  StateField lq_addr_valid;  // 1 (ctrl)
+  StateField lq_size;        // 2 (ctrl)
+  StateField lq_robtag;      // 6 (robptr)
+  StateField lq_done;        // 1 (ctrl): load value produced
+  StateField lq_fwd_valid;   // 1 (ctrl): forwarded from a store
+  StateField lq_fwd_sq;      // 4 (qctrl-ish ctrl): forwarding SQ slot
+  // Load execution state machine (see Core::MemStage).
+  StateField lq_state;       // 3 (ctrl): kLqNoAddr..kLqDone
+  StateField lq_timer;       // 2 (ctrl): cache-latency countdown
+  StateField lq_value;       // 64 (data): latched load data
+  StateField lq_sext;        // 1 (ctrl): sign-extend 32-bit loads
+  StateField lq_dstp, lq_dst_ecc;  // 7 (regptr) / 4 (ecc)
+  StateField lq_has_dst;     // 1 (ctrl)
+  StateField lq_sched;       // 5 (ctrl): scheduler entry backpointer
+  StateField lq_misskill;    // 1 (ctrl): miss kill pending next cycle
+  StateField lq_spec;        // 1 (ctrl): speculative wakeup outstanding
+  StateField lq_head, lq_tail, lq_count;  // qctrl latches
+
+  // Store queue payload.
+  StateField sq_valid;
+  StateField sq_addr;        // 64 (addr)
+  StateField sq_addr_valid;  // 1 (ctrl)
+  StateField sq_data;        // 64 (data)
+  StateField sq_data_hi;     // 1 (data) — 65th bit
+  StateField sq_data_valid;  // 1 (ctrl)
+  StateField sq_size;        // 2 (ctrl)
+  StateField sq_robtag;      // 6 (robptr)
+  StateField sq_head, sq_tail, sq_count;
+
+  // Post-retirement store buffer (survives flushes).
+  StateField sb_valid;
+  StateField sb_addr;  // 64 (addr)
+  StateField sb_data;  // 64 (data)
+  StateField sb_size;  // 2 (ctrl)
+  StateField sb_head, sb_tail, sb_count;  // qctrl — the paper's example of
+                                          // unflushable deadlock state
+
+ private:
+  std::uint64_t lq_n_, sq_n_, sb_n_;
+};
+
+}  // namespace tfsim

@@ -1,0 +1,105 @@
+#include "uarch/regfile.h"
+
+namespace tfsim {
+namespace {
+
+constexpr std::size_t kEccPorts = 8;
+
+Word65 Unpack65(std::uint64_t raw_lo, bool hi) { return {raw_lo, hi}; }
+
+}  // namespace
+
+RegFile::RegFile(StateRegistry& reg, const CoreConfig& cfg)
+    : count_(static_cast<std::uint64_t>(cfg.phys_regs)),
+      ecc_enabled_(cfg.protect.regfile_ecc) {
+  value_ = reg.Allocate("regfile.value", StateCat::kRegfile, Storage::kRam,
+                        count_, 64);
+  // The 65th bit of each entry lives in its own field (the registry packs at
+  // most 64 bits per element); together they form the paper's 65-bit entry.
+  hi_ = reg.Allocate("regfile.value_hi", StateCat::kRegfile, Storage::kRam,
+                     count_, 1);
+  ready_ = reg.Allocate("regfile.ready", StateCat::kRegfile, Storage::kLatch,
+                        count_, 1);
+  if (ecc_enabled_) {
+    ecc_ = reg.Allocate("regfile.ecc", StateCat::kEcc, Storage::kRam, count_,
+                        kRegfileEccBits);
+    ecc_pend_valid_ = reg.Allocate("regfile.ecc_pend_valid", StateCat::kEcc,
+                                   Storage::kLatch, kEccPorts, 1);
+    ecc_pend_preg_ = reg.Allocate("regfile.ecc_pend_preg", StateCat::kEcc,
+                                  Storage::kLatch, kEccPorts, 7);
+  }
+}
+
+bool RegFile::EccPendingFor(std::uint64_t preg) const {
+  for (std::size_t p = 0; p < kEccPorts; ++p)
+    if (ecc_pend_valid_.GetBit(p) && ecc_pend_preg_.Get(p) == preg)
+      return true;
+  return false;
+}
+
+Word65 RegFile::Read(std::uint64_t preg) {
+  preg %= count_;
+  Word65 v = Unpack65(value_.Get(preg), hi_.GetBit(preg));
+  if (!ecc_enabled_ || EccPendingFor(preg)) return v;
+  const EccDecodeResult r = DecodeRegfileEcc(v, ecc_.Get(preg));
+  if (r.corrected) {
+    // Scrub: write the repaired data/check back to the array.
+    value_.Set(preg, r.data.lo);
+    hi_.Set(preg, r.data.hi ? 1 : 0);
+    ecc_.Set(preg, r.check);
+    return r.data;
+  }
+  return v;  // clean, or uncorrectable (raw data used as-is)
+}
+
+Word65 RegFile::ReadRaw(std::uint64_t preg) const {
+  preg %= count_;
+  return Unpack65(value_.Get(preg), hi_.GetBit(preg));
+}
+
+Word65 RegFile::ReadCorrectedView(std::uint64_t preg) const {
+  preg %= count_;
+  const Word65 v = Unpack65(value_.Get(preg), hi_.GetBit(preg));
+  if (!ecc_enabled_ || EccPendingFor(preg)) return v;
+  return DecodeRegfileEcc(v, ecc_.Get(preg)).data;
+}
+
+void RegFile::Write(std::uint64_t preg, Word65 v) {
+  preg %= count_;
+  value_.Set(preg, v.lo);
+  hi_.Set(preg, v.hi ? 1 : 0);
+  ready_.Set(preg, 1);
+  if (!ecc_enabled_) return;
+  for (std::size_t p = 0; p < kEccPorts; ++p) {
+    if (!ecc_pend_valid_.GetBit(p)) {
+      ecc_pend_valid_.Set(p, 1);
+      ecc_pend_preg_.Set(p, preg);
+      return;
+    }
+  }
+  // More writes in one cycle than ports: generate immediately (models a
+  // bypassed encoder; keeps behaviour total).
+  ecc_.Set(preg, EncodeRegfileEcc(v));
+}
+
+void RegFile::TickEcc() {
+  if (!ecc_enabled_) return;
+  for (std::size_t p = 0; p < kEccPorts; ++p) {
+    if (!ecc_pend_valid_.GetBit(p)) continue;
+    const std::uint64_t preg = ecc_pend_preg_.Get(p) % count_;
+    const Word65 v = Unpack65(value_.Get(preg), hi_.GetBit(preg));
+    ecc_.Set(preg, EncodeRegfileEcc(v));
+    ecc_pend_valid_.Set(p, 0);
+  }
+}
+
+void RegFile::Reset() {
+  for (std::uint64_t r = 0; r < count_; ++r) {
+    value_.Set(r, 0);
+    hi_.Set(r, 0);
+    ready_.Set(r, 1);
+    if (ecc_enabled_) ecc_.Set(r, EncodeRegfileEcc({0, false}));
+  }
+}
+
+}  // namespace tfsim

@@ -1,0 +1,68 @@
+// Physical register file: 80 entries x 65 bits plus per-register scoreboard
+// (ready) bits — the paper's `regfile` category (5200 RAM bits + 80 latch
+// bits). With ProtectionConfig::regfile_ecc, each entry carries 8 ECC check
+// bits generated one cycle after the data is written (the paper's
+// deliberately cheap implementation, leaving a one-cycle vulnerability
+// window) and checked/scrubbed on every read.
+#pragma once
+
+#include <cstdint>
+
+#include "protect/ecc.h"
+#include "state/state_registry.h"
+#include "uarch/config.h"
+
+namespace tfsim {
+
+class RegFile {
+ public:
+  RegFile(StateRegistry& reg, const CoreConfig& cfg);
+
+  // Reads a register. With ECC enabled this checks the code, repairs and
+  // scrubs single-bit errors (unless generation for this entry is still
+  // pending from last cycle's write).
+  Word65 Read(std::uint64_t preg);
+
+  // Raw (no ECC check/scrub) read.
+  Word65 ReadRaw(std::uint64_t preg) const;
+
+  // The value as software would observe it: ECC-corrected when the
+  // mechanism is enabled, but without mutating the array (used by the
+  // architectural-view hash — a correctable flip is not a visible error).
+  Word65 ReadCorrectedView(std::uint64_t preg) const;
+
+  // Writes a register and marks it ready. ECC generation is deferred one
+  // cycle (see TickEcc).
+  void Write(std::uint64_t preg, Word65 value);
+
+  bool Ready(std::uint64_t preg) const {
+    return ready_.GetBit(preg % count_);
+  }
+  void SetReady(std::uint64_t preg, bool r) {
+    ready_.Set(preg % count_, r ? 1 : 0);
+  }
+
+  // Generates ECC for registers written last cycle. Call once per cycle.
+  void TickEcc();
+
+  // Initializes register 0..31 contents/ECC and marks everything ready
+  // (pipeline reset state).
+  void Reset();
+
+  std::uint64_t count() const { return count_; }
+
+ private:
+  bool EccPendingFor(std::uint64_t preg) const;
+
+  std::uint64_t count_;
+  bool ecc_enabled_;
+  StateField value_;   // 80 x 64 (RAM, regfile)
+  StateField hi_;      // 80 x 1  (RAM, regfile) — the 65th bit of each entry
+  StateField ready_;   // 80 x 1  (latch, regfile) — the scoreboard
+  StateField ecc_;     // 80 x 8  (RAM, ecc), when enabled
+  // Write ports: up to 8 registers await ECC generation next cycle.
+  StateField ecc_pend_valid_;  // 8 x 1 (latch, ecc)
+  StateField ecc_pend_preg_;   // 8 x 7 (latch, ecc)
+};
+
+}  // namespace tfsim

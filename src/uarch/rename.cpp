@@ -1,0 +1,180 @@
+#include "uarch/rename.h"
+
+namespace tfsim {
+
+RPtr CheckPtr(RPtr p, bool ecc_on) {
+  if (!ecc_on) return p;
+  const EccDecodeResult r = DecodeRegptrEcc(p.val, p.ecc);
+  return {r.data.lo, r.check};
+}
+
+RPtr ReadPtrField(StateField& val, StateField& ecc, std::size_t i,
+                  bool ecc_on) {
+  RPtr p{val.Get(i), ecc_on ? ecc.Get(i) : 0};
+  if (!ecc_on) return p;
+  const RPtr fixed = CheckPtr(p, true);
+  if (fixed.val != p.val || fixed.ecc != p.ecc) {
+    val.Set(i, fixed.val);
+    ecc.Set(i, fixed.ecc);
+  }
+  return fixed;
+}
+
+void WritePtrField(StateField& val, StateField& ecc, std::size_t i, RPtr p,
+                   bool ecc_on) {
+  val.Set(i, p.val);
+  if (ecc_on) ecc.Set(i, p.ecc);
+}
+
+Rename::Rename(StateRegistry& reg, const CoreConfig& cfg)
+    : free_size_(static_cast<std::uint64_t>(cfg.phys_regs - kNumArchRegs)),
+      ecc_on_(cfg.protect.regptr_ecc) {
+  specrat_ = reg.Allocate("rename.specrat", StateCat::kSpecRat, Storage::kRam,
+                          kNumArchRegs, 7);
+  archrat_ = reg.Allocate("rename.archrat", StateCat::kArchRat, Storage::kRam,
+                          kNumArchRegs, 7);
+  sfl_ = reg.Allocate("rename.specfreelist", StateCat::kSpecFreelist,
+                      Storage::kRam, free_size_, 7);
+  afl_ = reg.Allocate("rename.archfreelist", StateCat::kArchFreelist,
+                      Storage::kRam, free_size_, 7);
+  if (ecc_on_) {
+    specrat_ecc_ = reg.Allocate("rename.specrat_ecc", StateCat::kEcc,
+                                Storage::kRam, kNumArchRegs, kRegptrEccBits);
+    archrat_ecc_ = reg.Allocate("rename.archrat_ecc", StateCat::kEcc,
+                                Storage::kRam, kNumArchRegs, kRegptrEccBits);
+    sfl_ecc_ = reg.Allocate("rename.specfreelist_ecc", StateCat::kEcc,
+                            Storage::kRam, free_size_, kRegptrEccBits);
+    afl_ecc_ = reg.Allocate("rename.archfreelist_ecc", StateCat::kEcc,
+                            Storage::kRam, free_size_, kRegptrEccBits);
+  }
+  sfl_head_ = reg.Allocate("rename.sfl_head", StateCat::kQctrl,
+                           Storage::kLatch, 1, 6);
+  sfl_tail_ = reg.Allocate("rename.sfl_tail", StateCat::kQctrl,
+                           Storage::kLatch, 1, 6);
+  sfl_count_ = reg.Allocate("rename.sfl_count", StateCat::kQctrl,
+                            Storage::kLatch, 1, 6);
+  afl_head_ = reg.Allocate("rename.afl_head", StateCat::kQctrl,
+                           Storage::kLatch, 1, 6);
+  afl_tail_ = reg.Allocate("rename.afl_tail", StateCat::kQctrl,
+                           Storage::kLatch, 1, 6);
+  afl_count_ = reg.Allocate("rename.afl_count", StateCat::kQctrl,
+                            Storage::kLatch, 1, 6);
+}
+
+void Rename::Reset() {
+  for (std::uint64_t a = 0; a < kNumArchRegs; ++a) {
+    const RPtr p{a, ecc_on_ ? EncodeRegptrEcc(a) : 0};
+    WritePtrField(specrat_, specrat_ecc_, a, p, ecc_on_);
+    WritePtrField(archrat_, archrat_ecc_, a, p, ecc_on_);
+  }
+  for (std::uint64_t i = 0; i < free_size_; ++i) {
+    const std::uint64_t preg = kNumArchRegs + i;
+    const RPtr p{preg, ecc_on_ ? EncodeRegptrEcc(preg) : 0};
+    WritePtrField(sfl_, sfl_ecc_, i, p, ecc_on_);
+    WritePtrField(afl_, afl_ecc_, i, p, ecc_on_);
+  }
+  sfl_head_.Set(0, 0);
+  sfl_tail_.Set(0, 0);
+  sfl_count_.Set(0, free_size_);
+  afl_head_.Set(0, 0);
+  afl_tail_.Set(0, 0);
+  afl_count_.Set(0, free_size_);
+}
+
+RPtr Rename::LookupSpec(std::uint64_t areg) {
+  return ReadPtrField(specrat_, specrat_ecc_, areg % kNumArchRegs, ecc_on_);
+}
+
+RPtr Rename::RenameDst(std::uint64_t areg, RPtr newp) {
+  const std::size_t i = areg % kNumArchRegs;
+  const RPtr old = ReadPtrField(specrat_, specrat_ecc_, i, ecc_on_);
+  WritePtrField(specrat_, specrat_ecc_, i, newp, ecc_on_);
+  return old;
+}
+
+void Rename::UndoRename(std::uint64_t areg, RPtr oldp) {
+  WritePtrField(specrat_, specrat_ecc_, areg % kNumArchRegs, oldp, ecc_on_);
+}
+
+RPtr Rename::PopFree() {
+  const std::uint64_t count = sfl_count_.Get(0);
+  if (count == 0) return {0, ecc_on_ ? EncodeRegptrEcc(0) : 0};
+  const std::uint64_t head = sfl_head_.Get(0) % free_size_;
+  const RPtr p = ReadPtrField(sfl_, sfl_ecc_, head, ecc_on_);
+  sfl_head_.Set(0, (head + 1) % free_size_);
+  sfl_count_.Set(0, count - 1);
+  return p;
+}
+
+void Rename::UnpopFree(RPtr p) {
+  const std::uint64_t count = sfl_count_.Get(0);
+  if (count >= free_size_) return;  // defined under corruption
+  const std::uint64_t head =
+      (sfl_head_.Get(0) + free_size_ - 1) % free_size_;
+  WritePtrField(sfl_, sfl_ecc_, head, p, ecc_on_);
+  sfl_head_.Set(0, head);
+  sfl_count_.Set(0, count + 1);
+}
+
+void Rename::PushFree(RPtr p) {
+  const std::uint64_t count = sfl_count_.Get(0);
+  if (count >= free_size_) return;
+  const std::uint64_t tail = sfl_tail_.Get(0) % free_size_;
+  WritePtrField(sfl_, sfl_ecc_, tail, p, ecc_on_);
+  sfl_tail_.Set(0, (tail + 1) % free_size_);
+  sfl_count_.Set(0, count + 1);
+}
+
+RPtr Rename::ReadArch(std::uint64_t areg) {
+  return ReadPtrField(archrat_, archrat_ecc_, areg % kNumArchRegs, ecc_on_);
+}
+
+std::uint64_t Rename::ReadArchRaw(std::uint64_t areg) const {
+  return archrat_.Get(areg % kNumArchRegs);
+}
+
+std::uint64_t Rename::ReadArchCorrectedView(std::uint64_t areg) const {
+  const std::size_t i = areg % kNumArchRegs;
+  const std::uint64_t p = archrat_.Get(i);
+  if (!ecc_on_) return p;
+  return DecodeRegptrEcc(p, archrat_ecc_.Get(i)).data.lo;
+}
+
+void Rename::SetArch(std::uint64_t areg, RPtr p) {
+  WritePtrField(archrat_, archrat_ecc_, areg % kNumArchRegs, p, ecc_on_);
+}
+
+RPtr Rename::PopArchFree() {
+  const std::uint64_t count = afl_count_.Get(0);
+  if (count == 0) return {0, ecc_on_ ? EncodeRegptrEcc(0) : 0};
+  const std::uint64_t head = afl_head_.Get(0) % free_size_;
+  const RPtr p = ReadPtrField(afl_, afl_ecc_, head, ecc_on_);
+  afl_head_.Set(0, (head + 1) % free_size_);
+  afl_count_.Set(0, count - 1);
+  return p;
+}
+
+void Rename::PushArchFree(RPtr p) {
+  const std::uint64_t count = afl_count_.Get(0);
+  if (count >= free_size_) return;
+  const std::uint64_t tail = afl_tail_.Get(0) % free_size_;
+  WritePtrField(afl_, afl_ecc_, tail, p, ecc_on_);
+  afl_tail_.Set(0, (tail + 1) % free_size_);
+  afl_count_.Set(0, count + 1);
+}
+
+void Rename::CopyArchToSpec() {
+  for (std::uint64_t a = 0; a < kNumArchRegs; ++a) {
+    const RPtr p = ReadPtrField(archrat_, archrat_ecc_, a, ecc_on_);
+    WritePtrField(specrat_, specrat_ecc_, a, p, ecc_on_);
+  }
+  for (std::uint64_t i = 0; i < free_size_; ++i) {
+    const RPtr p = ReadPtrField(afl_, afl_ecc_, i, ecc_on_);
+    WritePtrField(sfl_, sfl_ecc_, i, p, ecc_on_);
+  }
+  sfl_head_.Set(0, afl_head_.Get(0));
+  sfl_tail_.Set(0, afl_tail_.Get(0));
+  sfl_count_.Set(0, afl_count_.Get(0));
+}
+
+}  // namespace tfsim

@@ -1,0 +1,92 @@
+// Register renaming state: speculative and architectural register alias
+// tables plus speculative and architectural free lists (Figure 2: 4-wide
+// rename from 80 physical registers, speculative and architectural maps).
+//
+// Categories map 1:1 onto the paper's Table 1: specrat/archrat (32 x 7-bit
+// RAM each), specfreelist/archfreelist (48 x 7-bit RAM rings), with the ring
+// pointers in qctrl latches.
+//
+// Misprediction recovery is by ROB walk-back (UndoRename / UnpopFree); full
+// flushes copy the architectural map/free-list over the speculative ones.
+//
+// With ProtectionConfig::regptr_ecc every stored pointer is accompanied by
+// 4 SEC check bits that travel with it from structure to structure
+// (generated once at reset, as in the paper); reads through the *Checked
+// helpers repair single-bit errors in place.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/isa.h"
+#include "protect/ecc.h"
+#include "state/state_registry.h"
+#include "uarch/config.h"
+
+namespace tfsim {
+
+// A physical register pointer with its (optional) travelling ECC bits.
+struct RPtr {
+  std::uint64_t val = 0;
+  std::uint64_t ecc = 0;
+};
+
+// Repairs a pointer/ECC pair in place when ecc_on; returns the usable value.
+RPtr CheckPtr(RPtr p, bool ecc_on);
+
+// Reads element i of a pointer field (+ parallel ECC field), repairing and
+// scrubbing single-bit errors when ecc_on.
+RPtr ReadPtrField(StateField& val, StateField& ecc, std::size_t i,
+                  bool ecc_on);
+// Writes a pointer (+ECC when enabled) into element i.
+void WritePtrField(StateField& val, StateField& ecc, std::size_t i, RPtr p,
+                   bool ecc_on);
+
+class Rename {
+ public:
+  Rename(StateRegistry& reg, const CoreConfig& cfg);
+
+  void Reset();
+
+  bool ecc_on() const { return ecc_on_; }
+
+  // --- speculative map ------------------------------------------------------
+  RPtr LookupSpec(std::uint64_t areg);
+  // Maps areg to newp; returns the previous mapping (stored in the ROB for
+  // walk-back and freeing).
+  RPtr RenameDst(std::uint64_t areg, RPtr newp);
+  void UndoRename(std::uint64_t areg, RPtr oldp);
+
+  // --- speculative free list ------------------------------------------------
+  std::uint64_t SpecFreeCount() const { return sfl_count_.Get(0); }
+  RPtr PopFree();          // alloc at rename (empty -> phys 0, defined)
+  void UnpopFree(RPtr p);  // walk-back of an allocation
+  void PushFree(RPtr p);   // freed register at retirement
+
+  // --- architectural map / free list ----------------------------------------
+  RPtr ReadArch(std::uint64_t areg);
+  // Raw (no ECC check/scrub) read.
+  std::uint64_t ReadArchRaw(std::uint64_t areg) const;
+  // ECC-corrected (when enabled), non-mutating pointer view for the
+  // architectural-view hash.
+  std::uint64_t ReadArchCorrectedView(std::uint64_t areg) const;
+  void SetArch(std::uint64_t areg, RPtr p);
+  RPtr PopArchFree();
+  void PushArchFree(RPtr p);
+
+  // Full-flush recovery: speculative map and free list become copies of the
+  // architectural ones.
+  void CopyArchToSpec();
+
+ private:
+  std::uint64_t free_size_;
+  bool ecc_on_;
+
+  StateField specrat_, specrat_ecc_;
+  StateField archrat_, archrat_ecc_;
+  StateField sfl_, sfl_ecc_;
+  StateField sfl_head_, sfl_tail_, sfl_count_;
+  StateField afl_, afl_ecc_;
+  StateField afl_head_, afl_tail_, afl_count_;
+};
+
+}  // namespace tfsim

@@ -1,0 +1,65 @@
+#include "uarch/rob.h"
+
+#include "uarch/uop.h"
+
+namespace tfsim {
+
+Rob::Rob(StateRegistry& reg, const CoreConfig& cfg)
+    : parity_on(cfg.protect.insn_parity), ecc_on(cfg.protect.regptr_ecc),
+      entries_(static_cast<std::uint64_t>(cfg.rob_entries)) {
+  const auto ram = Storage::kRam;
+  pc = reg.Allocate("rob.pc", StateCat::kPc, ram, entries_, kPcBits);
+  insn = reg.Allocate("rob.insn", StateCat::kInsn, ram, entries_, 32);
+  if (parity_on)
+    parity = reg.Allocate("rob.parity", StateCat::kParity, ram, entries_, 1);
+  areg = reg.Allocate("rob.areg", StateCat::kCtrl, ram, entries_, 5);
+  has_dst = reg.Allocate("rob.has_dst", StateCat::kCtrl, ram, entries_, 1);
+  newp = reg.Allocate("rob.newp", StateCat::kRegptr, ram, entries_, 7);
+  oldp = reg.Allocate("rob.oldp", StateCat::kRegptr, ram, entries_, 7);
+  if (ecc_on) {
+    newp_ecc = reg.Allocate("rob.newp_ecc", StateCat::kEcc, ram, entries_, 4);
+    oldp_ecc = reg.Allocate("rob.oldp_ecc", StateCat::kEcc, ram, entries_, 4);
+  }
+  done = reg.Allocate("rob.done", StateCat::kCtrl, ram, entries_, 1);
+  exc = reg.Allocate("rob.exc", StateCat::kCtrl, ram, entries_, 3);
+  is_store = reg.Allocate("rob.is_store", StateCat::kCtrl, ram, entries_, 1);
+  is_load = reg.Allocate("rob.is_load", StateCat::kCtrl, ram, entries_, 1);
+  is_branch = reg.Allocate("rob.is_branch", StateCat::kCtrl, ram, entries_, 1);
+  is_syscall =
+      reg.Allocate("rob.is_syscall", StateCat::kCtrl, ram, entries_, 1);
+  lsq_idx = reg.Allocate("rob.lsq_idx", StateCat::kCtrl, ram, entries_, 4);
+
+  head_ = reg.Allocate("rob.head", StateCat::kQctrl, Storage::kLatch, 1, 6);
+  tail_ = reg.Allocate("rob.tail", StateCat::kQctrl, Storage::kLatch, 1, 6);
+  count_ = reg.Allocate("rob.count", StateCat::kQctrl, Storage::kLatch, 1, 7);
+}
+
+std::uint64_t Rob::Allocate() {
+  const std::uint64_t tag = tail_.Get(0) % entries_;
+  tail_.Set(0, (tag + 1) % entries_);
+  const std::uint64_t c = count_.Get(0);
+  if (c < entries_) count_.Set(0, c + 1);
+  return tag;
+}
+
+void Rob::PopHead() {
+  head_.Set(0, (head_.Get(0) + 1) % entries_);
+  const std::uint64_t c = count_.Get(0);
+  if (c > 0) count_.Set(0, c - 1);
+}
+
+std::uint64_t Rob::PopTail() {
+  const std::uint64_t tag = (tail_.Get(0) + entries_ - 1) % entries_;
+  tail_.Set(0, tag);
+  const std::uint64_t c = count_.Get(0);
+  if (c > 0) count_.Set(0, c - 1);
+  return tag;
+}
+
+void Rob::Clear() {
+  head_.Set(0, 0);
+  tail_.Set(0, 0);
+  count_.Set(0, 0);
+}
+
+}  // namespace tfsim

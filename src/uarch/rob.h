@@ -1,0 +1,72 @@
+// Reorder buffer: 64 entries, 8-wide retirement (Figure 2), implemented as a
+// circular buffer with qctrl head/tail/count latches. Entries carry the
+// renaming triple (areg, new phys, old phys — the walk-back recovery data),
+// the PC, the instruction word (+ optional parity bit), and completion/
+// exception status.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/isa.h"
+#include "state/state_registry.h"
+#include "uarch/config.h"
+#include "uarch/rename.h"
+
+namespace tfsim {
+
+class Rob {
+ public:
+  Rob(StateRegistry& reg, const CoreConfig& cfg);
+
+  std::uint64_t Count() const { return count_.Get(0); }
+  std::uint64_t Head() const { return head_.Get(0) % entries_; }
+  bool Full() const { return Count() >= entries_; }
+  bool Empty() const { return Count() == 0; }
+  std::uint64_t entries() const { return entries_; }
+
+  // Allocates the tail entry; returns its tag. Caller must check !Full().
+  std::uint64_t Allocate();
+  // Removes the head entry (retirement).
+  void PopHead();
+  // Removes the tail entry (walk-back squash). Returns its tag.
+  std::uint64_t PopTail();
+
+  // Relative age of a tag: 0 = head (oldest). Tags not currently in the
+  // window still produce a defined value.
+  std::uint64_t AgeOf(std::uint64_t tag) const {
+    return (tag + entries_ - Head()) % entries_;
+  }
+  // True when tag a is strictly younger (later) than tag b.
+  bool Younger(std::uint64_t a, std::uint64_t b) const {
+    return AgeOf(a) > AgeOf(b);
+  }
+  // True when the tag currently names a live entry.
+  bool Contains(std::uint64_t tag) const { return AgeOf(tag) < Count(); }
+
+  void Clear();
+
+  // --- per-entry payload (tag-indexed, masked to the window size) -----------
+  StateField pc;        // 62-bit (RAM, pc)
+  StateField insn;      // 32-bit (RAM, insn)
+  StateField parity;    // 1-bit (RAM, parity), when insn_parity enabled
+  StateField areg;      // 5-bit architectural destination (RAM, ctrl)
+  StateField has_dst;   // 1-bit (RAM, ctrl)
+  StateField newp, newp_ecc;  // 7-bit (+4 ECC) new physical reg (RAM, regptr)
+  StateField oldp, oldp_ecc;  // previous mapping (RAM, regptr)
+  StateField done;      // 1-bit completion (RAM, ctrl)
+  StateField exc;       // 3-bit exception code (RAM, ctrl)
+  StateField is_store;  // routing flags (RAM, ctrl)
+  StateField is_load;
+  StateField is_branch;
+  StateField is_syscall;
+  StateField lsq_idx;   // 4-bit LQ/SQ slot (RAM, ctrl)
+
+  bool parity_on;
+  bool ecc_on;
+
+ private:
+  std::uint64_t entries_;
+  StateField head_, tail_, count_;  // qctrl latches
+};
+
+}  // namespace tfsim

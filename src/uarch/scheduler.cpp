@@ -1,0 +1,101 @@
+#include "uarch/scheduler.h"
+
+namespace tfsim {
+
+Scheduler::Scheduler(StateRegistry& reg, const CoreConfig& cfg)
+    : parity_on(cfg.protect.insn_parity), ecc_on(cfg.protect.regptr_ecc),
+      entries_(static_cast<std::uint64_t>(cfg.sched_entries)) {
+  const auto ram = Storage::kRam;
+  const std::uint64_t n = entries_;
+  valid = reg.Allocate("sched.valid", StateCat::kValid, ram, n, 1);
+  state = reg.Allocate("sched.state", StateCat::kCtrl, ram, n, 2);
+  ctrl = reg.Allocate("sched.ctrl", StateCat::kCtrl, ram, n, kCtrlBits);
+  insn = reg.Allocate("sched.insn", StateCat::kInsn, ram, n, 32);
+  if (parity_on)
+    parity = reg.Allocate("sched.parity", StateCat::kParity, ram, n, 1);
+  pc = reg.Allocate("sched.pc", StateCat::kPc, ram, n, kPcBits);
+  pred_taken = reg.Allocate("sched.pred_taken", StateCat::kCtrl, ram, n, 1);
+  pred_target =
+      reg.Allocate("sched.pred_target", StateCat::kPc, ram, n, kPcBits);
+  ras_ckpt = reg.Allocate("sched.ras_ckpt", StateCat::kCtrl, ram, n, 3);
+  src1p = reg.Allocate("sched.src1p", StateCat::kRegptr, ram, n, 7);
+  src2p = reg.Allocate("sched.src2p", StateCat::kRegptr, ram, n, 7);
+  dstp = reg.Allocate("sched.dstp", StateCat::kRegptr, ram, n, 7);
+  if (ecc_on) {
+    src1_ecc = reg.Allocate("sched.src1_ecc", StateCat::kEcc, ram, n, 4);
+    src2_ecc = reg.Allocate("sched.src2_ecc", StateCat::kEcc, ram, n, 4);
+    dst_ecc = reg.Allocate("sched.dst_ecc", StateCat::kEcc, ram, n, 4);
+  }
+  src1_rdy = reg.Allocate("sched.src1_rdy", StateCat::kCtrl, ram, n, 1);
+  src2_rdy = reg.Allocate("sched.src2_rdy", StateCat::kCtrl, ram, n, 1);
+  has_dst = reg.Allocate("sched.has_dst", StateCat::kCtrl, ram, n, 1);
+  robtag = reg.Allocate("sched.robtag", StateCat::kRobptr, ram, n, 6);
+  lsq_idx = reg.Allocate("sched.lsq_idx", StateCat::kCtrl, ram, n, 4);
+  wait_store = reg.Allocate("sched.wait_store", StateCat::kCtrl, ram, n, 1);
+  wait_tag = reg.Allocate("sched.wait_tag", StateCat::kRobptr, ram, n, 6);
+  alloc_ptr = reg.Allocate("sched.alloc_ptr", StateCat::kQctrl,
+                           Storage::kLatch, 1, 5);
+}
+
+std::optional<std::size_t> Scheduler::FreeEntry() const {
+  const std::uint64_t start = alloc_ptr.Get(0) % entries_;
+  for (std::size_t k = 0; k < entries_; ++k) {
+    const std::size_t i = (start + k) % entries_;
+    if (!valid.GetBit(i)) return i;
+  }
+  return std::nullopt;
+}
+
+void Scheduler::NoteAllocated(std::size_t i) {
+  alloc_ptr.Set(0, (i + 1) % entries_);
+}
+
+int Scheduler::Occupancy() const {
+  int n = 0;
+  for (std::size_t i = 0; i < entries_; ++i)
+    if (valid.GetBit(i)) ++n;
+  return n;
+}
+
+void Scheduler::Wakeup(std::uint64_t preg) {
+  for (std::size_t i = 0; i < entries_; ++i) {
+    if (!valid.GetBit(i)) continue;
+    if (src1p.Get(i) == preg) src1_rdy.Set(i, 1);
+    if (src2p.Get(i) == preg) src2_rdy.Set(i, 1);
+  }
+}
+
+void Scheduler::KillWakeup(std::uint64_t preg, std::uint64_t loader_entry) {
+  for (std::size_t i = 0; i < entries_; ++i) {
+    if (!valid.GetBit(i) || i == loader_entry) continue;
+    bool hit = false;
+    if (src1p.Get(i) == preg) {
+      src1_rdy.Set(i, 0);
+      hit = true;
+    }
+    if (src2p.Get(i) == preg) {
+      src2_rdy.Set(i, 0);
+      hit = true;
+    }
+    if (hit && state.Get(i) == kIssued) state.Set(i, kWaiting);  // replay
+  }
+}
+
+void Scheduler::StoreExecuted(std::uint64_t rob_tag) {
+  for (std::size_t i = 0; i < entries_; ++i) {
+    if (!valid.GetBit(i)) continue;
+    if (wait_store.GetBit(i) && wait_tag.Get(i) == rob_tag)
+      wait_store.Set(i, 0);
+  }
+}
+
+bool Scheduler::ReadyToIssue(std::size_t i) const {
+  return valid.GetBit(i) && state.Get(i) == kWaiting && src1_rdy.GetBit(i) &&
+         src2_rdy.GetBit(i) && !wait_store.GetBit(i);
+}
+
+void Scheduler::Clear() {
+  for (std::size_t i = 0; i < entries_; ++i) valid.Set(i, 0);
+}
+
+}  // namespace tfsim

@@ -1,0 +1,70 @@
+#include "uarch/store_sets.h"
+
+namespace tfsim {
+namespace {
+
+constexpr std::size_t kSsitEntries = 1024;
+constexpr std::size_t kSets = 64;
+
+}  // namespace
+
+StoreSets::StoreSets(StateRegistry& reg) {
+  const auto bg = Storage::kBackground;
+  ssit_valid_ =
+      reg.Allocate("storesets.ssit_valid", StateCat::kValid, bg, kSsitEntries, 1);
+  ssit_set_ =
+      reg.Allocate("storesets.ssit_set", StateCat::kCtrl, bg, kSsitEntries, 6);
+  lfst_valid_ =
+      reg.Allocate("storesets.lfst_valid", StateCat::kValid, bg, kSets, 1);
+  lfst_tag_ = reg.Allocate("storesets.lfst_tag", StateCat::kRobptr, bg, kSets, 6);
+}
+
+std::uint64_t StoreSets::Index(std::uint64_t pc) const {
+  return (pc >> 2) % kSsitEntries;
+}
+
+std::optional<std::uint64_t> StoreSets::LoadDependence(
+    std::uint64_t pc) const {
+  const std::uint64_t i = Index(pc);
+  if (!ssit_valid_.GetBit(i)) return std::nullopt;
+  const std::uint64_t set = ssit_set_.Get(i);
+  if (!lfst_valid_.GetBit(set)) return std::nullopt;
+  return lfst_tag_.Get(set);
+}
+
+void StoreSets::StoreDispatched(std::uint64_t pc, std::uint64_t rob_tag) {
+  const std::uint64_t i = Index(pc);
+  if (!ssit_valid_.GetBit(i)) return;
+  const std::uint64_t set = ssit_set_.Get(i);
+  lfst_valid_.Set(set, 1);
+  lfst_tag_.Set(set, rob_tag);
+}
+
+void StoreSets::StoreComplete(std::uint64_t pc, std::uint64_t rob_tag) {
+  const std::uint64_t i = Index(pc);
+  if (!ssit_valid_.GetBit(i)) return;
+  const std::uint64_t set = ssit_set_.Get(i);
+  if (lfst_valid_.GetBit(set) && lfst_tag_.Get(set) == rob_tag)
+    lfst_valid_.Set(set, 0);
+}
+
+void StoreSets::TrainViolation(std::uint64_t load_pc, std::uint64_t store_pc) {
+  const std::uint64_t li = Index(load_pc);
+  const std::uint64_t si = Index(store_pc);
+  // Merge policy: reuse an existing set if either side has one, else derive
+  // a set from the store's index.
+  std::uint64_t set;
+  if (ssit_valid_.GetBit(si)) set = ssit_set_.Get(si);
+  else if (ssit_valid_.GetBit(li)) set = ssit_set_.Get(li);
+  else set = si % kSets;
+  ssit_valid_.Set(li, 1);
+  ssit_set_.Set(li, set);
+  ssit_valid_.Set(si, 1);
+  ssit_set_.Set(si, set);
+}
+
+void StoreSets::FlushInflight() {
+  for (std::size_t s = 0; s < kSets; ++s) lfst_valid_.Set(s, 0);
+}
+
+}  // namespace tfsim

@@ -1,0 +1,52 @@
+// Store-set memory dependence predictor (Chrysos & Emer), Figure 2.
+//
+// SSIT: 1024-entry table mapping instruction PCs to store-set IDs.
+// LFST: per-set "last fetched store" tracking the ROB tag of the most recent
+// in-flight store of the set.
+//
+// Like the branch predictors, these tables only influence *when* a load is
+// allowed to issue — a wrong prediction either delays the load (harmless) or
+// triggers a detected memory-order violation and squash — so they are
+// background (non-injected) state.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "state/state_registry.h"
+
+namespace tfsim {
+
+class StoreSets {
+ public:
+  explicit StoreSets(StateRegistry& reg);
+
+  // Called at dispatch of a load: returns the ROB tag of the store this load
+  // should wait for, if its store set has one in flight.
+  std::optional<std::uint64_t> LoadDependence(std::uint64_t pc) const;
+
+  // Called at dispatch of a store: records it as the set's last fetched
+  // store (if the store belongs to a set).
+  void StoreDispatched(std::uint64_t pc, std::uint64_t rob_tag);
+
+  // Called when a store executes, retires, or is squashed: clears the LFST
+  // entry if it still names this store.
+  void StoreComplete(std::uint64_t pc, std::uint64_t rob_tag);
+
+  // Called on a detected memory-order violation: assigns load and store to a
+  // common set so the load waits next time.
+  void TrainViolation(std::uint64_t load_pc, std::uint64_t store_pc);
+
+  // Drops all in-flight tracking (pipeline flush).
+  void FlushInflight();
+
+ private:
+  std::uint64_t Index(std::uint64_t pc) const;
+
+  StateField ssit_valid_;
+  StateField ssit_set_;
+  StateField lfst_valid_;
+  StateField lfst_tag_;
+};
+
+}  // namespace tfsim

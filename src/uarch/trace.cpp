@@ -1,0 +1,104 @@
+// Pipeline introspection: renders the live machine state — every queue,
+// latch bank and window with disassembly — for debugging the model and for
+// teaching what an out-of-order machine is doing cycle by cycle.
+#include <iomanip>
+#include <ostream>
+
+#include "uarch/core.h"
+#include "uarch/uop.h"
+
+namespace tfsim {
+namespace {
+
+void Hex(std::ostream& os, std::uint64_t v) {
+  os << "0x" << std::hex << v << std::dec;
+}
+
+}  // namespace
+
+void Core::DumpPipeline(std::ostream& os) const {
+  os << "===== cycle " << stats_.cycles << " | retired " << retired_total_
+     << " | IPC " << std::fixed << std::setprecision(2) << stats_.Ipc()
+     << " =====\n";
+
+  os << "fetch   pc=";
+  Hex(os, fetch_.FetchPc());
+  os << "  staging=";
+  int staged = 0;
+  for (std::uint64_t i = 0; i < 8; ++i)
+    if (fetch_.fb_valid.GetBit(i)) ++staged;
+  os << staged << "/8  FQ=" << fetch_.FqCount() << "/32"
+     << (icache_.MissPending() ? "  [I$ miss pending]" : "") << "\n";
+
+  auto dump_decode = [&](const char* name, const DecodeLatchBank& bank) {
+    os << name << "  ";
+    for (std::uint64_t i = 0; i < bank.width; ++i) {
+      if (!bank.valid.GetBit(i)) {
+        os << "[--------] ";
+        continue;
+      }
+      const auto word = static_cast<std::uint32_t>(bank.insn.Get(i));
+      os << "[" << Disassemble(word, PcLoad(bank.pc.Get(i))) << "] ";
+    }
+    os << "\n";
+  };
+  dump_decode("decode1", decode_.stage1);
+  dump_decode("decode2", decode_.stage2);
+
+  os << "sched   " << sched_.Occupancy() << "/32 entries:\n";
+  for (std::uint64_t i = 0; i < sched_.entries(); ++i) {
+    if (!sched_.valid.GetBit(i)) continue;
+    const auto word = static_cast<std::uint32_t>(sched_.insn.Get(i));
+    os << "  [" << std::setw(2) << i << "] rob#" << std::setw(2)
+       << sched_.robtag.Get(i) << " "
+       << (sched_.state.Get(i) == Scheduler::kIssued ? "ISSUED " : "WAIT   ")
+       << "s1:p" << std::setw(2) << sched_.src1p.Get(i)
+       << (sched_.src1_rdy.GetBit(i) ? "+" : "-") << " s2:p" << std::setw(2)
+       << sched_.src2p.Get(i) << (sched_.src2_rdy.GetBit(i) ? "+" : "-")
+       << (sched_.wait_store.GetBit(i) ? " (waits store)" : "")
+       << "  " << Disassemble(word, PcLoad(sched_.pc.Get(i))) << "\n";
+  }
+
+  static const char* kPortNames[kNumPorts] = {"alu0", "alu1", "cplx",
+                                              "bran", "agu0", "agu1"};
+  os << "ports   issue:[";
+  for (int p = 0; p < kNumPorts; ++p)
+    os << (issue_lat_.valid.GetBit(static_cast<std::size_t>(p)) ? kPortNames[p]
+                                                                : "----")
+       << (p + 1 < kNumPorts ? " " : "");
+  os << "]  regread:[";
+  for (int p = 0; p < kNumPorts; ++p)
+    os << (rr_lat_.valid.GetBit(static_cast<std::size_t>(p)) ? kPortNames[p]
+                                                             : "----")
+       << (p + 1 < kNumPorts ? " " : "");
+  os << "]\n";
+
+  int cplx = 0, wbn = 0;
+  for (std::size_t i = 0; i < cpipe_.slots; ++i)
+    if (cpipe_.valid.GetBit(i)) ++cplx;
+  for (std::size_t i = 0; i < wb_.slots; ++i)
+    if (wb_.valid.GetBit(i)) ++wbn;
+  os << "exec    complex-pipe " << cplx << "/" << cpipe_.slots
+     << "  wb-bank " << wbn << "/" << wb_.slots << "\n";
+
+  os << "lsq     LQ " << lsq_.lq_count.Get(0) << "/16  SQ "
+     << lsq_.sq_count.Get(0) << "/16  store-buffer " << lsq_.sb_count.Get(0)
+     << "/8  MSHRs " << dcache_.MshrsInUse() << "/16\n";
+
+  os << "rob     " << rob_.Count() << "/64";
+  if (rob_.Count() > 0) {
+    const std::uint64_t head = rob_.Head();
+    const auto word = static_cast<std::uint32_t>(rob_.insn.Get(head));
+    os << "  head rob#" << head << " "
+       << (rob_.done.GetBit(head) ? "DONE " : "BUSY ")
+       << Disassemble(word, PcLoad(rob_.pc.Get(head)));
+  }
+  os << "\n";
+
+  os << "rename  free-regs " << rename_.SpecFreeCount() << "/48  map:";
+  for (std::uint64_t a = 0; a < 8; ++a)
+    os << " r" << a << "->p" << rename_.ReadArchRaw(a);
+  os << " ...\n";
+}
+
+}  // namespace tfsim

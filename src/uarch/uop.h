@@ -1,0 +1,83 @@
+// Packed in-pipeline instruction representations.
+//
+// Pipeline structures store *bits*, not C++ objects: a control word packs the
+// decoded opcode/class/immediate into 26 bits, and program counters are
+// stored as 62-bit fields (byte address >> 2, the two always-zero bits are
+// not stored — same convention the paper counts). Logic unpacks these stored
+// bits every cycle, so a flipped bit genuinely changes what executes, and
+// every unpack is total: any corrupted pattern yields defined behaviour.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/isa.h"
+
+namespace tfsim {
+
+// --- program counter compression (62-bit fields) ---------------------------
+
+inline std::uint64_t PcStore(std::uint64_t pc) { return pc >> 2; }
+inline std::uint64_t PcLoad(std::uint64_t stored) { return stored << 2; }
+inline constexpr std::uint8_t kPcBits = 62;
+
+// --- control word -----------------------------------------------------------
+
+// Layout: [5:0] opcode, [9:6] class, [30:10] imm21 (covers both imm16 ALU/
+// memory immediates and 21-bit branch displacements). 31 bits.
+inline constexpr std::uint8_t kCtrlBits = 31;
+
+inline std::uint64_t PackCtrl(const DecodedInst& d) {
+  return (static_cast<std::uint64_t>(d.op) & 63) |
+         ((static_cast<std::uint64_t>(d.cls) & 15) << 6) |
+         ((static_cast<std::uint64_t>(d.imm) & 0x1FFFFF) << 10);
+}
+
+// Unpacks a (possibly corrupted) control word into a DecodedInst usable by
+// the execution units. Class values beyond the defined range decode to
+// kIllegal; the immediate is sign-extended from its 16 stored bits.
+inline DecodedInst UnpackCtrl(std::uint64_t ctrl) {
+  DecodedInst d;
+  d.op = static_cast<Op>(ctrl & 63);
+  const std::uint64_t cls = (ctrl >> 6) & 15;
+  d.cls = cls <= static_cast<std::uint64_t>(InsnClass::kSyscall)
+              ? static_cast<InsnClass>(cls)
+              : InsnClass::kIllegal;
+  d.imm = (static_cast<std::int64_t>((ctrl >> 10) & 0x1FFFFF) << 43) >> 43;
+  switch (d.op) {
+    case Op::kLdq:
+    case Op::kStq: d.mem_size = 8; break;
+    case Op::kLdl:
+    case Op::kStl: d.mem_size = 4; break;
+    case Op::kLdbu:
+    case Op::kStb: d.mem_size = 1; break;
+    default: d.mem_size = 8; break;  // defined fallback for corrupted routing
+  }
+  return d;
+}
+
+// Execution port classes (Figure 2: 2 simple ALUs, 1 complex ALU,
+// 1 branch ALU, 2 address generation units).
+enum class PortClass : std::uint8_t { kSimple, kComplex, kBranch, kAgu };
+
+inline PortClass PortFor(InsnClass cls) {
+  switch (cls) {
+    case InsnClass::kAluComplex: return PortClass::kComplex;
+    case InsnClass::kCondBranch:
+    case InsnClass::kBr:
+    case InsnClass::kBsr:
+    case InsnClass::kJmp:
+    case InsnClass::kJsr:
+    case InsnClass::kRet: return PortClass::kBranch;
+    case InsnClass::kLoad:
+    case InsnClass::kStore: return PortClass::kAgu;
+    default: return PortClass::kSimple;  // kAlu + corrupted leftovers
+  }
+}
+
+// Even-parity bit over a 32-bit instruction word (Section 4.2, instruction
+// word parity).
+inline std::uint64_t InsnParity(std::uint32_t word) {
+  return static_cast<std::uint64_t>(__builtin_parity(word));
+}
+
+}  // namespace tfsim

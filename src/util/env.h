@@ -1,0 +1,17 @@
+// Environment-variable configuration helpers for the benchmark harness.
+// Campaign sizes default to CI-friendly values and scale up via env vars
+// (TFI_TRIALS, TFI_POINTS, TFI_CACHE_DIR, ...).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tfsim {
+
+// Reads an integer env var; returns fallback when unset or unparsable.
+std::int64_t EnvInt(const char* name, std::int64_t fallback);
+
+// Reads a string env var; returns fallback when unset.
+std::string EnvStr(const char* name, const std::string& fallback);
+
+}  // namespace tfsim

@@ -1,0 +1,60 @@
+#include "util/stats.h"
+
+#include <cmath>
+
+namespace tfsim {
+
+Proportion MakeProportion(std::uint64_t count, std::uint64_t total) {
+  Proportion p;
+  p.count = count;
+  p.total = total;
+  if (total == 0) return p;
+  const double n = static_cast<double>(total);
+  p.value = static_cast<double>(count) / n;
+  // 95% normal approximation, as used in the paper's significance section.
+  p.ci95 = 1.96 * std::sqrt(p.value * (1.0 - p.value) / n);
+  return p;
+}
+
+LinearFit FitLeastSquares(const std::vector<double>& xs,
+                          const std::vector<double>& ys) {
+  LinearFit fit;
+  const std::size_t n = xs.size() < ys.size() ? xs.size() : ys.size();
+  if (n == 0) return fit;
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  const double mx = sx / static_cast<double>(n);
+  const double my = sy / static_cast<double>(n);
+  double sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0) {
+    fit.intercept = my;
+    return fit;
+  }
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r2 = syy > 0.0 ? (sxy * sxy) / (sxx * syy) : 1.0;
+  return fit;
+}
+
+void RunningStat::Add(double x) {
+  if (n_ == 0 || x < min_) min_ = x;
+  if (n_ == 0 || x > max_) max_ = x;
+  sum_ += x;
+  ++n_;
+}
+
+double RunningStat::Mean() const {
+  return n_ ? sum_ / static_cast<double>(n_) : 0.0;
+}
+
+}  // namespace tfsim

@@ -1,0 +1,52 @@
+// Small statistics helpers: proportions with confidence intervals and a
+// least-squares linear fit (used for the Figure 6 utilization trendline).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tfsim {
+
+// A binomial proportion estimate with its normal-approximation 95% CI
+// half-width, matching how the paper reports confidence intervals.
+struct Proportion {
+  double value = 0.0;      // successes / total, in [0,1]
+  double ci95 = 0.0;       // 95% confidence half-width
+  std::uint64_t count = 0;  // successes
+  std::uint64_t total = 0;  // trials
+};
+
+// Computes count/total with a 95% normal-approximation CI. total==0 yields
+// a zero proportion with zero CI.
+Proportion MakeProportion(std::uint64_t count, std::uint64_t total);
+
+// Result of an ordinary least-squares fit y = slope*x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;  // coefficient of determination
+};
+
+// Least-squares fit over paired samples; requires xs.size()==ys.size().
+// Fewer than two points yields a flat fit through the mean.
+LinearFit FitLeastSquares(const std::vector<double>& xs,
+                          const std::vector<double>& ys);
+
+// Running scalar summary (mean/min/max) for cheap instrumentation.
+class RunningStat {
+ public:
+  void Add(double x);
+  double Mean() const;
+  double Min() const { return n_ ? min_ : 0.0; }
+  double Max() const { return n_ ? max_ : 0.0; }
+  std::size_t Count() const { return n_; }
+
+ private:
+  std::size_t n_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace tfsim

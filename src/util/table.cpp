@@ -1,0 +1,106 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace tfsim {
+namespace {
+
+bool LooksNumeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!(std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+          c == '-' || c == '+' || c == '%' || c == ' ' || c == 'e' ||
+          c == static_cast<char>(0xC2) /* UTF-8 lead of ± */ ||
+          c == static_cast<char>(0xB1)))
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  rows_.push_back({std::move(cells), false});
+}
+
+void TextTable::AddSeparator() { rows_.push_back({{}, true}); }
+
+std::string TextTable::Render() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size() && i < widths.size(); ++i)
+      widths[i] = std::max(widths[i], cells[i].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_)
+    if (!r.separator) widen(r.cells);
+
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& cells, bool align_numeric) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string cell = i < cells.size() ? cells[i] : "";
+      const bool right = align_numeric && i > 0 && LooksNumeric(cell);
+      const std::size_t pad = widths[i] >= cell.size() ? widths[i] - cell.size() : 0;
+      if (i) out << "  ";
+      if (right) out << std::string(pad, ' ') << cell;
+      else out << cell << std::string(pad, ' ');
+    }
+    out << '\n';
+  };
+  emit(header_, false);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  out << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& r : rows_) {
+    if (r.separator)
+      out << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+    else
+      emit(r.cells, true);
+  }
+  return out.str();
+}
+
+std::string Fmt(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+std::string FmtPct(double value, double ci95) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%5.1f%% +-%4.1f", value * 100.0,
+                ci95 * 100.0);
+  return buf;
+}
+
+std::string Bar(double fraction, int width, char fill) {
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const int n = static_cast<int>(std::lround(fraction * width));
+  std::string s(static_cast<std::size_t>(n), fill);
+  s += std::string(static_cast<std::size_t>(width - n), '.');
+  return s;
+}
+
+std::string StackedBar(const std::vector<double>& fractions,
+                       const std::string& glyphs, int width) {
+  std::string s;
+  int used = 0;
+  for (std::size_t i = 0; i < fractions.size(); ++i) {
+    const char g = i < glyphs.size() ? glyphs[i] : '?';
+    int n = static_cast<int>(std::lround(std::clamp(fractions[i], 0.0, 1.0) *
+                                         width));
+    n = std::min(n, width - used);
+    s += std::string(static_cast<std::size_t>(n), g);
+    used += n;
+  }
+  s += std::string(static_cast<std::size_t>(width - used), ' ');
+  return s;
+}
+
+}  // namespace tfsim

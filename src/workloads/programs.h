@@ -1,0 +1,17 @@
+// Assembly sources for the workload suite (internal to src/workloads).
+#pragma once
+
+namespace tfsim::programs {
+
+extern const char* kGzip;
+extern const char* kBzip2;
+extern const char* kCrafty;
+extern const char* kGcc;
+extern const char* kMcf;
+extern const char* kParser;
+extern const char* kVortex;
+extern const char* kGap;
+extern const char* kTwolf;
+extern const char* kVpr;
+
+}  // namespace tfsim::programs

@@ -1,0 +1,331 @@
+// gzip- and bzip2-like kernels: compression-style scanning and block
+// sorting. Both are high-IPC workloads with good cache behaviour, matching
+// the paper's observation that gzip/bzip2 show the highest failure rates
+// (more live state in flight).
+#include "workloads/programs.h"
+
+namespace tfsim::programs {
+
+// LZ-style match/emit over a pseudo-random 4 KB buffer.
+const char* kGzip = R"(
+        .text
+_start:
+        li      s0, @ITERS@
+        li      fp, 65536
+        mov     zero, s5
+        ; --- fill buf[0..4095] from an LCG ---
+        la      t4, buf
+        li      t0, 4096
+        li      t1, 987654321
+        li      t2, 1103515245
+        li      t3, 12345
+init:
+        mulq    t1, t2, t1
+        addq    t1, t3, t1
+        srlqi   t1, 16, t5
+        andqi   t5, 255, t5
+        stb     t5, 0(t4)
+        addqi   t4, 1, t4
+        subqi   t0, 1, t0
+        bgt     t0, init
+        li      s3, 0                 ; checksum
+outer:
+        li      s2, 64                ; i
+        la      s4, buf
+scan:
+        addq    s4, s2, t1            ; &buf[i]
+        ldbu    t2, 0(t1)             ; c = buf[i]
+        li      t3, 16                ; window tries
+        mov     t1, t4
+search:
+        subqi   t4, 1, t4
+        ldbu    t5, 0(t4)
+        cmpeq   t5, t2, t6
+        bne     t6, found
+        subqi   t3, 1, t3
+        bgt     t3, search
+        addq    s3, t2, s3            ; literal
+        br      next
+found:
+        subq    t1, t4, t7            ; match distance
+        sllqi   t7, 4, t7
+        addq    s3, t7, s3
+        xorq    s3, t2, s3
+next:
+        ; emit one output byte per token (the compressed stream)
+        la      t8, emitb
+        addq    t8, s2, t8
+        stb     s3, 0(t8)
+        ; bookkeeping check: these values die without reaching program
+        ; output (real programs spend much of their dynamic work here —
+        ; the paper's "dead and transitively dead values")
+        addq    t2, s3, t10
+        xorq    t10, t2, t10
+        srlqi   t10, 7, t11
+        addq    t10, t11, t10
+        cmpule  zero, t10, t11
+        bne     t11, gzadt
+        bisq    t10, t11, t10        ; dead repair path
+gzadt:
+        addqi   s2, 1, s2
+        cmplti  s2, 1088, t0
+        bne     t0, scan
+        ; --- cold-region sweep: far-striding loads, a store and a multiply
+        ; keep the MSHRs, store queue/buffer and complex-ALU pipe in steady
+        ; use, as real SPEC workloads do ---
+        la      t10, cold
+        addq    t10, s5, t10
+        ldq     t11, 0(t10)
+        addq    s3, t11, s3
+        ldq     t11, 8256(t10)
+        xorq    s3, t11, s3
+        mulq    t11, s3, t11
+        stq     t11, 16512(t10)
+        ldq     t11, 24768(t10)
+        addq    s3, t11, s3
+        addqi   s5, 4160, s5
+        cmplt   s5, fp, t11
+        bne     t11, coldnw
+        mov     zero, s5
+coldnw:
+        subqi   s0, 1, s0
+        bgt     s0, outer
+        ; --- emit checksum and exit ---
+        la      a0, out
+        stq     s3, 0(a0)
+        li      a1, 8
+        li      v0, 2
+        syscall
+        li      a0, 0
+        li      v0, 1
+        syscall
+hang:   br      hang
+        .data
+buf:    .space  4200
+emitb:  .space  1100
+        .align  8
+cold:   .space  98304
+out:    .space  8
+)";
+
+// Block "sort": insertion-sorts 32-element segments of a word array, then
+// folds a histogram-style checksum.
+const char* kBzip2 = R"(
+        .text
+_start:
+        li      s0, @ITERS@
+        li      s4, 65536
+        mov     zero, s1
+        ; --- fill a[0..255] (64-bit words) from an LCG ---
+        la      t4, arr
+        li      t0, 256
+        li      t1, 424242
+        li      t2, 1103515245
+        li      t3, 12345
+init:
+        mulq    t1, t2, t1
+        addq    t1, t3, t1
+        srlqi   t1, 8, t5
+        andqi   t5, 4095, t5
+        stq     t5, 0(t4)
+        addqi   t4, 8, t4
+        subqi   t0, 1, t0
+        bgt     t0, init
+        li      s3, 0
+outer:
+        li      s2, 0                 ; segment base index
+seg:
+        ; insertion sort arr[s2 .. s2+31]
+        li      t0, 1                 ; j
+ins_outer:
+        la      t4, arr
+        addq    s2, t0, t1
+        sllqi   t1, 3, t1
+        addq    t4, t1, t1            ; &arr[s2+j]
+        ldq     t2, 0(t1)             ; key
+        mov     t0, t3                ; k = j
+ins_inner:
+        ble     t3, ins_done
+        ldq     t5, -8(t1)
+        cmple   t5, t2, t6
+        bne     t6, ins_done
+        stq     t5, 0(t1)
+        subqi   t1, 8, t1
+        subqi   t3, 1, t3
+        br      ins_inner
+ins_done:
+        stq     t2, 0(t1)
+        ; bookkeeping check: these values die without reaching program
+        ; output (real programs spend much of their dynamic work here —
+        ; the paper's "dead and transitively dead values")
+        addq    t2, s3, t10
+        xorq    t10, t2, t10
+        srlqi   t10, 7, t11
+        addq    t10, t11, t10
+        cmpule  zero, t10, t11
+        bne     t11, bzadt
+        bisq    t10, t11, t10        ; dead repair path
+bzadt:
+        addqi   t0, 1, t0
+        cmplti  t0, 32, t6
+        bne     t6, ins_outer
+        addqi   s2, 32, s2
+        cmplti  s2, 256, t6
+        bne     t6, seg
+        ; fold a few sorted sentinels into the checksum
+        la      t4, arr
+        ldq     t0, 0(t4)
+        ldq     t1, 1016(t4)
+        addq    s3, t0, s3
+        xorq    s3, t1, s3
+        ; re-perturb the array so the next iteration has work to do
+        la      t4, arr
+        li      t0, 256
+        mov     s3, t1
+        la      t2, kmul
+        ldq     t2, 0(t2)
+perturb:
+        mulq    t1, t2, t1
+        addqi   t1, 14423, t1
+        srlqi   t1, 16, t5
+        andqi   t5, 4095, t5
+        stq     t5, 0(t4)
+        addqi   t4, 8, t4
+        subqi   t0, 1, t0
+        bgt     t0, perturb
+        ; --- cold-region sweep: far-striding loads, a store and a multiply
+        ; keep the MSHRs, store queue/buffer and complex-ALU pipe in steady
+        ; use, as real SPEC workloads do ---
+        la      t10, cold
+        addq    t10, s1, t10
+        ldq     t11, 0(t10)
+        addq    s3, t11, s3
+        ldq     t11, 8256(t10)
+        xorq    s3, t11, s3
+        mulq    t11, s3, t11
+        stq     t11, 16512(t10)
+        ldq     t11, 24768(t10)
+        addq    s3, t11, s3
+        addqi   s1, 4160, s1
+        cmplt   s1, s4, t11
+        bne     t11, coldnw
+        mov     zero, s1
+coldnw:
+        subqi   s0, 1, s0
+        bgt     s0, outer
+        la      a0, out
+        stq     s3, 0(a0)
+        li      a1, 8
+        li      v0, 2
+        syscall
+        li      a0, 0
+        li      v0, 1
+        syscall
+hang:   br      hang
+        .data
+        .align  8
+arr:    .space  2048
+kmul:   .word   0x5851F42D4C957F2D
+        .align  8
+cold:   .space  98304
+out:    .space  8
+)";
+
+// Bitboard-style 64-bit logic kernel: rotates, masks, and a shift-add
+// population count. Almost no memory traffic, very high IPC.
+const char* kCrafty = R"(
+        .text
+_start:
+        li      s0, @ITERS@
+        li      fp, 65536
+        mov     zero, s5
+        li      s1, 81985529         ; board state
+        la      t0, kmask
+        ldq     s2, 0(t0)            ; 0x5555... style mask
+        ldq     s4, 8(t0)
+        li      s3, 0                ; checksum
+outer:
+        li      t0, 200              ; inner ops
+bits:
+        ; rotate left 13
+        sllqi   s1, 13, t1
+        srlqi   s1, 51, t2
+        bisq    t1, t2, s1
+        ; mix with masks (xorshift step keeps the walk from collapsing
+        ; into a short cycle)
+        andq    s1, s2, t3
+        xorq    s1, s4, t4
+        addq    t3, t4, s1
+        srlqi   s1, 7, t9
+        xorq    s1, t9, s1
+        addqi   s1, 30211, s1
+        ; popcount of t3 via shift-add loop (8 nibbles)
+        li      t5, 0
+        mov     t3, t6
+        li      t7, 16
+pop:
+        andqi   t6, 15, t8
+        addq    t5, t8, t5
+        srlqi   t6, 4, t6
+        subqi   t7, 1, t7
+        bgt     t7, pop
+        addq    s3, t5, s3
+        ; record the evaluation in a history table (memory traffic)
+        la      t8, hist
+        andqi   t0, 255, t9
+        addq    t8, t9, t9
+        stb     t5, 0(t9)
+        ; bookkeeping check: these values die without reaching program
+        ; output (real programs spend much of their dynamic work here —
+        ; the paper's "dead and transitively dead values")
+        addq    t5, s1, t10
+        xorq    t10, t5, t10
+        srlqi   t10, 7, t11
+        addq    t10, t11, t10
+        cmpule  zero, t10, t11
+        bne     t11, cradt
+        bisq    t10, t11, t10        ; dead repair path
+cradt:
+        subqi   t0, 1, t0
+        bgt     t0, bits
+        xorq    s3, s1, s3
+        ; --- cold-region sweep: far-striding loads, a store and a multiply
+        ; keep the MSHRs, store queue/buffer and complex-ALU pipe in steady
+        ; use, as real SPEC workloads do ---
+        la      t10, cold
+        addq    t10, s5, t10
+        ldq     t11, 0(t10)
+        addq    s3, t11, s3
+        ldq     t11, 8256(t10)
+        xorq    s3, t11, s3
+        mulq    t11, s3, t11
+        stq     t11, 16512(t10)
+        ldq     t11, 24768(t10)
+        addq    s3, t11, s3
+        addqi   s5, 4160, s5
+        cmplt   s5, fp, t11
+        bne     t11, coldnw
+        mov     zero, s5
+coldnw:
+        subqi   s0, 1, s0
+        bgt     s0, outer
+        la      a0, out
+        stq     s3, 0(a0)
+        li      a1, 8
+        li      v0, 2
+        syscall
+        li      a0, 0
+        li      v0, 1
+        syscall
+hang:   br      hang
+        .data
+        .align  8
+kmask:  .word   0x5555555555555555
+        .word   0x3333333333333333
+hist:   .space  256
+        .align  8
+cold:   .space  98304
+out:    .space  8
+)";
+
+}  // namespace tfsim::programs

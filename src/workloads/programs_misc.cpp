@@ -1,0 +1,433 @@
+// vortex-, gap-, twolf- and vpr-like kernels: object-store hashing,
+// complex-ALU arithmetic, RNG-driven swaps, and grid relaxation.
+#include "workloads/programs.h"
+
+namespace tfsim::programs {
+
+// Hash-table object store: interleaved inserts and lookups over 256 buckets
+// of 4 slots each (the vortex profile: mixed ALU/memory, moderate branches).
+const char* kVortex = R"(
+        .text
+_start:
+        li      s0, @ITERS@
+        li      s4, 65536
+        mov     zero, s1
+        li      s3, 0                 ; checksum
+        li      s5, 112233            ; key RNG
+outer:
+        li      s2, 256               ; operations per round
+op:
+        ; next key
+        li      t2, 1103515245
+        mulq    s5, t2, s5
+        addqi   s5, 12345, s5
+        srlqi   s5, 9, t0
+        sllqi   t0, 48, t0
+        srlqi   t0, 48, t0            ; key (16 bits)
+        ; bucket = (key * 40503) >> 8 & 255
+        mulqi   t0, 24247, t1
+        srlqi   t1, 8, t1
+        andqi   t1, 255, t1
+        sllqi   t1, 5, t1             ; 4 slots x 8 bytes
+        la      t3, table
+        addq    t3, t1, t3
+        ; probe 4 slots for key or empty
+        li      t4, 4
+probe:
+        ldq     t5, 0(t3)
+        cmpeq   t5, t0, t6
+        bne     t6, hit
+        cmpeqi  t5, 0, t6
+        bne     t6, empty
+        addqi   t3, 8, t3
+        subqi   t4, 1, t4
+        bgt     t4, probe
+        ; bucket full: evict slot 0 of this bucket
+        subqi   t3, 32, t3
+empty:
+        stq     t0, 0(t3)
+        addq    s3, t0, s3
+        br      next
+hit:
+        xorq    s3, t0, s3
+next:
+        ; bookkeeping check: these values die without reaching program
+        ; output (real programs spend much of their dynamic work here —
+        ; the paper's "dead and transitively dead values")
+        addq    t0, s3, t10
+        xorq    t10, t0, t10
+        srlqi   t10, 7, t11
+        addq    t10, t11, t10
+        cmpule  zero, t10, t11
+        bne     t11, voadt
+        bisq    t10, t11, t10        ; dead repair path
+voadt:
+        subqi   s2, 1, s2
+        bgt     s2, op
+        ; --- cold-region sweep: far-striding loads, a store and a multiply
+        ; keep the MSHRs, store queue/buffer and complex-ALU pipe in steady
+        ; use, as real SPEC workloads do ---
+        la      t10, cold
+        addq    t10, s1, t10
+        ldq     t11, 0(t10)
+        addq    s3, t11, s3
+        ldq     t11, 8256(t10)
+        xorq    s3, t11, s3
+        mulq    t11, s3, t11
+        stq     t11, 16512(t10)
+        ldq     t11, 24768(t10)
+        addq    s3, t11, s3
+        addqi   s1, 4160, s1
+        cmplt   s1, s4, t11
+        bne     t11, coldnw
+        mov     zero, s1
+coldnw:
+        subqi   s0, 1, s0
+        bgt     s0, outer
+        la      a0, out
+        stq     s3, 0(a0)
+        li      a1, 8
+        li      v0, 2
+        syscall
+        li      a0, 0
+        li      v0, 1
+        syscall
+hang:   br      hang
+        .data
+        .align  8
+table:  .space  8192
+        .align  8
+cold:   .space  98304
+out:    .space  8
+)";
+
+// Computer-algebra style arithmetic: modular exponentiation by square and
+// multiply plus a gcd loop — dominated by the complex ALU (mulq/remq).
+const char* kGap = R"(
+        .text
+_start:
+        li      s0, @ITERS@
+        li      s5, 65536
+        mov     zero, s4
+        li      s3, 0
+        li      s1, 1234577           ; modulus (odd)
+        li      s2, 16807             ; base seed
+outer:
+        ; modexp: r = s2^e mod s1, e = 20 bits of s2
+        mov     s2, t0                ; base
+        andqi   s2, 4095, t1
+        bisqi   t1, 1, t1             ; exponent (nonzero)
+        li      t2, 1                 ; result
+modexp:
+        andqi   t1, 1, t3
+        beq     t3, square
+        mulq    t2, t0, t2
+        remq    t2, s1, t2
+square:
+        mulq    t0, t0, t0
+        remq    t0, s1, t0
+        ; spill the running partial (memory traffic)
+        la      t4, mstk
+        andqi   t1, 63, t5
+        sllqi   t5, 3, t5
+        addq    t4, t5, t4
+        stq     t2, 0(t4)
+        ; bookkeeping check: these values die without reaching program
+        ; output (real programs spend much of their dynamic work here —
+        ; the paper's "dead and transitively dead values")
+        addq    t2, t0, t10
+        xorq    t10, t2, t10
+        srlqi   t10, 7, t11
+        addq    t10, t11, t10
+        cmpule  zero, t10, t11
+        bne     t11, gaadt
+        bisq    t10, t11, t10        ; dead repair path
+gaadt:
+        srlqi   t1, 1, t1
+        bgt     t1, modexp
+        addq    s3, t2, s3
+        ; gcd(t2+3, s2+7)
+        addqi   t2, 3, t4
+        addqi   s2, 7, t5
+gcd:
+        beq     t5, gcd_done
+        remq    t4, t5, t6
+        mov     t5, t4
+        mov     t6, t5
+        br      gcd
+gcd_done:
+        xorq    s3, t4, s3
+        ; advance seed
+        mulqi   s2, 16807, s2
+        addqi   s2, 1, s2
+        srlqi   s2, 3, t6
+        addq    s2, t6, s2
+        sllqi   s2, 44, s2
+        srlqi   s2, 44, s2            ; keep the seed bounded (20 bits)
+        bisqi   s2, 2, s2             ; and nonzero
+        ; --- cold-region sweep: far-striding loads, a store and a multiply
+        ; keep the MSHRs, store queue/buffer and complex-ALU pipe in steady
+        ; use, as real SPEC workloads do ---
+        la      t10, cold
+        addq    t10, s4, t10
+        ldq     t11, 0(t10)
+        addq    s3, t11, s3
+        ldq     t11, 8256(t10)
+        xorq    s3, t11, s3
+        mulq    t11, s3, t11
+        stq     t11, 16512(t10)
+        ldq     t11, 24768(t10)
+        addq    s3, t11, s3
+        addqi   s4, 4160, s4
+        cmplt   s4, s5, t11
+        bne     t11, coldnw
+        mov     zero, s4
+coldnw:
+        subqi   s0, 1, s0
+        bgt     s0, outer
+        la      a0, out
+        stq     s3, 0(a0)
+        li      a1, 8
+        li      v0, 2
+        syscall
+        li      a0, 0
+        li      v0, 1
+        syscall
+hang:   br      hang
+        .data
+        .align  8
+mstk:   .space  512
+cold:   .space  98304
+out:    .space  8
+)";
+
+// Placement-swap kernel: an LCG picks two cells; swap if it lowers a local
+// cost (scattered accesses, data-dependent branches — the twolf profile).
+const char* kTwolf = R"(
+        .text
+_start:
+        li      s0, @ITERS@
+        li      s4, 65536
+        mov     zero, s1
+        ; --- fill cells[0..1023] ---
+        la      t4, cells
+        li      t0, 1024
+        li      t1, 55555
+        li      t2, 1103515245
+init:
+        mulq    t1, t2, t1
+        addqi   t1, 12345, t1
+        srlqi   t1, 7, t5
+        andqi   t5, 8191, t5
+        stq     t5, 0(t4)
+        addqi   t4, 8, t4
+        subqi   t0, 1, t0
+        bgt     t0, init
+        li      s3, 0
+        li      s5, 99991             ; RNG
+outer:
+        li      s2, 256               ; swaps per round
+swap:
+        li      t2, 1103515245
+        mulq    s5, t2, s5
+        addqi   s5, 12345, s5
+        srlqi   s5, 8, t0
+        andqi   t0, 1023, t0          ; i
+        srlqi   s5, 20, t1
+        andqi   t1, 1023, t1          ; j
+        la      t3, cells
+        sllqi   t0, 3, t4
+        addq    t3, t4, t4
+        sllqi   t1, 3, t5
+        addq    t3, t5, t5
+        ldq     t6, 0(t4)             ; a
+        ldq     t7, 0(t5)             ; b
+        ; swap if a > b XOR (i < j)  (data dependent)
+        cmplt   t7, t6, t8
+        cmplt   t0, t1, t9
+        xorq    t8, t9, t8
+        beq     t8, noswap
+        stq     t7, 0(t4)
+        stq     t6, 0(t5)
+        addqi   s3, 1, s3
+noswap:
+        addq    s3, t6, s3
+        ; bookkeeping check: these values die without reaching program
+        ; output (real programs spend much of their dynamic work here —
+        ; the paper's "dead and transitively dead values")
+        addq    t6, t7, t10
+        xorq    t10, t6, t10
+        srlqi   t10, 7, t11
+        addq    t10, t11, t10
+        cmpule  zero, t10, t11
+        bne     t11, twadt
+        bisq    t10, t11, t10        ; dead repair path
+twadt:
+        subqi   s2, 1, s2
+        bgt     s2, swap
+        ; --- cold-region sweep: far-striding loads, a store and a multiply
+        ; keep the MSHRs, store queue/buffer and complex-ALU pipe in steady
+        ; use, as real SPEC workloads do ---
+        la      t10, cold
+        addq    t10, s1, t10
+        ldq     t11, 0(t10)
+        addq    s3, t11, s3
+        ldq     t11, 8256(t10)
+        xorq    s3, t11, s3
+        mulq    t11, s3, t11
+        stq     t11, 16512(t10)
+        ldq     t11, 24768(t10)
+        addq    s3, t11, s3
+        addqi   s1, 4160, s1
+        cmplt   s1, s4, t11
+        bne     t11, coldnw
+        mov     zero, s1
+coldnw:
+        subqi   s0, 1, s0
+        bgt     s0, outer
+        la      a0, out
+        stq     s3, 0(a0)
+        li      a1, 8
+        li      v0, 2
+        syscall
+        li      a0, 0
+        li      v0, 1
+        syscall
+hang:   br      hang
+        .data
+        .align  8
+cells:  .space  8192
+        .align  8
+cold:   .space  98304
+out:    .space  8
+)";
+
+// Grid relaxation: repeated min-plus sweeps over a 32x32 array (the vpr
+// routing-cost profile: regular nested loops, predictable branches).
+const char* kVpr = R"(
+        .text
+_start:
+        li      s0, @ITERS@
+        li      s5, 65536
+        mov     zero, s1
+        ; --- init grid[0..1023] ---
+        la      t4, grid
+        li      t0, 1024
+        li      t1, 24680
+        li      t2, 1103515245
+init:
+        mulq    t1, t2, t1
+        addqi   t1, 12345, t1
+        srlqi   t1, 10, t5
+        andqi   t5, 1023, t5
+        addqi   t5, 1, t5
+        stq     t5, 0(t4)
+        addqi   t4, 8, t4
+        subqi   t0, 1, t0
+        bgt     t0, init
+        li      s3, 0
+outer:
+        ; one relaxation sweep over interior cells (row 1..30, col 1..30)
+        li      s2, 1                 ; row
+row:
+        li      s4, 1                 ; col
+col:
+        sllqi   s2, 5, t0
+        addq    t0, s4, t0            ; idx = row*32+col
+        sllqi   t0, 3, t0
+        la      t1, grid
+        addq    t1, t0, t0            ; &grid[idx]
+        ldq     t2, -8(t0)            ; left
+        ldq     t3, 8(t0)             ; right
+        ldq     t4, -256(t0)          ; up
+        ldq     t5, 256(t0)           ; down
+        ; min of neighbours
+        cmplt   t3, t2, t6
+        beq     t6, m1
+        mov     t3, t2
+m1:
+        cmplt   t5, t4, t6
+        beq     t6, m2
+        mov     t5, t4
+m2:
+        cmplt   t4, t2, t6
+        beq     t6, m3
+        mov     t4, t2
+m3:
+        addqi   t2, 1, t2             ; min + unit cost
+        ldq     t7, 0(t0)
+        cmplt   t2, t7, t6
+        beq     t6, keep
+        mov     t7, t2
+keep:
+        stq     t2, 0(t0)
+        addq    s3, t2, s3
+        ; bookkeeping check: these values die without reaching program
+        ; output (real programs spend much of their dynamic work here —
+        ; the paper's "dead and transitively dead values")
+        addq    t2, t7, t10
+        xorq    t10, t2, t10
+        srlqi   t10, 7, t11
+        addq    t10, t11, t10
+        cmpule  zero, t10, t11
+        bne     t11, vpadt
+        bisq    t10, t11, t10        ; dead repair path
+vpadt:
+        addqi   s4, 1, s4
+        cmplti  s4, 31, t6
+        bne     t6, col
+        addqi   s2, 1, s2
+        cmplti  s2, 31, t6
+        bne     t6, row
+        ; re-seed one diagonal so sweeps keep changing
+        la      t1, grid
+        li      t0, 31
+reseed:
+        sllqi   t0, 5, t2
+        addq    t2, t0, t2
+        sllqi   t2, 3, t2
+        addq    t1, t2, t2
+        addq    s3, t0, t3
+        andqi   t3, 1023, t3
+        addqi   t3, 1, t3
+        stq     t3, 0(t2)
+        subqi   t0, 1, t0
+        bgt     t0, reseed
+        ; --- cold-region sweep: far-striding loads, a store and a multiply
+        ; keep the MSHRs, store queue/buffer and complex-ALU pipe in steady
+        ; use, as real SPEC workloads do ---
+        la      t10, cold
+        addq    t10, s1, t10
+        ldq     t11, 0(t10)
+        addq    s3, t11, s3
+        ldq     t11, 8256(t10)
+        xorq    s3, t11, s3
+        mulq    t11, s3, t11
+        stq     t11, 16512(t10)
+        ldq     t11, 24768(t10)
+        addq    s3, t11, s3
+        addqi   s1, 4160, s1
+        cmplt   s1, s5, t11
+        bne     t11, coldnw
+        mov     zero, s1
+coldnw:
+        subqi   s0, 1, s0
+        bgt     s0, outer
+        la      a0, out
+        stq     s3, 0(a0)
+        li      a1, 8
+        li      v0, 2
+        syscall
+        li      a0, 0
+        li      v0, 1
+        syscall
+hang:   br      hang
+        .data
+        .align  8
+grid:   .space  8192
+        .align  8
+cold:   .space  98304
+out:    .space  8
+)";
+
+}  // namespace tfsim::programs

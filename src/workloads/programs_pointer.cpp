@@ -1,0 +1,323 @@
+// gcc-, mcf- and parser-like kernels: branchy dispatch, cache-hostile
+// pointer chasing, and byte-wise tokenizing with dictionary hashing.
+#include "workloads/programs.h"
+
+namespace tfsim::programs {
+
+// Expression-evaluator style dispatch: walks a pseudo-random opcode stream
+// and takes a different action per opcode class. Data-dependent branches
+// defeat the predictors (the paper's low-IPC, mispredict-heavy bucket).
+const char* kGcc = R"(
+        .text
+_start:
+        li      s0, @ITERS@
+        li      fp, 65536
+        mov     zero, s5
+        ; --- fill ops[0..1023] with bytes 0..7 ---
+        la      t4, ops
+        li      t0, 1024
+        li      t1, 777
+        li      t2, 1103515245
+init:
+        mulq    t1, t2, t1
+        addqi   t1, 12345, t1
+        srlqi   t1, 13, t5
+        andqi   t5, 7, t5
+        stb     t5, 0(t4)
+        addqi   t4, 1, t4
+        subqi   t0, 1, t0
+        bgt     t0, init
+        li      s3, 1                 ; accumulator
+outer:
+        la      s4, ops
+        li      s2, 1024
+dispatch:
+        ldbu    t0, 0(s4)
+        addqi   s4, 1, s4
+        cmpeqi  t0, 0, t1
+        bne     t1, case_add
+        cmpeqi  t0, 1, t1
+        bne     t1, case_sub
+        cmpeqi  t0, 2, t1
+        bne     t1, case_xor
+        cmpeqi  t0, 3, t1
+        bne     t1, case_shift
+        cmpeqi  t0, 4, t1
+        bne     t1, case_and
+        cmpeqi  t0, 5, t1
+        bne     t1, case_or
+        cmpeqi  t0, 6, t1
+        bne     t1, case_mul
+        ; case 7: rotate
+        sllqi   s3, 7, t2
+        srlqi   s3, 57, t3
+        bisq    t2, t3, s3
+        br      done
+case_add:
+        addqi   s3, 1021, s3
+        br      done
+case_sub:
+        subqi   s3, 3, s3
+        br      done
+case_xor:
+        xorqi   s3, 21845, s3
+        br      done
+case_shift:
+        sllqi   s3, 1, s3
+        br      done
+case_and:
+        bisqi   s3, 255, s3
+        br      done
+case_or:
+        bisqi   s3, 4097, s3
+        br      done
+case_mul:
+        mulqi   s3, 37, s3
+done:
+        ; spill the accumulator (expression results go to memory)
+        la      t4, wrbuf
+        andqi   s2, 1023, t5
+        addq    t4, t5, t4
+        stb     s3, 0(t4)
+        ; bookkeeping check: these values die without reaching program
+        ; output (real programs spend much of their dynamic work here —
+        ; the paper's "dead and transitively dead values")
+        addq    s3, t0, t10
+        xorq    t10, s3, t10
+        srlqi   t10, 7, t11
+        addq    t10, t11, t10
+        cmpule  zero, t10, t11
+        bne     t11, gcadt
+        bisq    t10, t11, t10        ; dead repair path
+gcadt:
+        subqi   s2, 1, s2
+        bgt     s2, dispatch
+        ; --- cold-region sweep: far-striding loads, a store and a multiply
+        ; keep the MSHRs, store queue/buffer and complex-ALU pipe in steady
+        ; use, as real SPEC workloads do ---
+        la      t10, cold
+        addq    t10, s5, t10
+        ldq     t11, 0(t10)
+        addq    s3, t11, s3
+        ldq     t11, 8256(t10)
+        xorq    s3, t11, s3
+        mulq    t11, s3, t11
+        stq     t11, 16512(t10)
+        ldq     t11, 24768(t10)
+        addq    s3, t11, s3
+        addqi   s5, 4160, s5
+        cmplt   s5, fp, t11
+        bne     t11, coldnw
+        mov     zero, s5
+coldnw:
+        subqi   s0, 1, s0
+        bgt     s0, outer
+        la      a0, out
+        stq     s3, 0(a0)
+        li      a1, 8
+        li      v0, 2
+        syscall
+        li      a0, 0
+        li      v0, 1
+        syscall
+hang:   br      hang
+        .data
+ops:    .space  1032
+wrbuf:  .space  1032
+        .align  8
+cold:   .space  98304
+out:    .space  8
+)";
+
+// Cache-hostile pointer chase over a 128 KB permutation array (the mcf
+// profile: low IPC, dominated by D-cache misses).
+const char* kMcf = R"(
+        .text
+_start:
+        li      s0, @ITERS@
+        li      s4, 65536
+        mov     zero, s1
+        ; --- build a stride permutation: next[i] = (i + 6151) % 16384 ---
+        la      t4, nodes
+        li      t0, 0                 ; i
+        li      t2, 16384
+fill:
+        addqi   t0, 6151, t1
+        cmplt   t1, t2, t3
+        bne     t3, nowrap
+        subq    t1, t2, t1
+nowrap:
+        sllqi   t0, 4, t5             ; 16-byte nodes: {next, flow}
+        addq    t4, t5, t5
+        stq     t1, 0(t5)
+        addqi   t0, 1, t0
+        cmplt   t0, t2, t3
+        bne     t3, fill
+        li      s3, 0
+        li      s2, 1                 ; current node
+outer:
+        li      t0, 2048              ; chase length
+chase:
+        la      t4, nodes
+        sllqi   s2, 4, t5
+        addq    t4, t5, t5
+        ldq     s2, 0(t5)             ; s2 = node->next
+        stq     s3, 8(t5)             ; node->flow update
+        addq    s3, s2, s3
+        ; bookkeeping check: these values die without reaching program
+        ; output (real programs spend much of their dynamic work here —
+        ; the paper's "dead and transitively dead values")
+        addq    s2, s3, t10
+        xorq    t10, s2, t10
+        srlqi   t10, 7, t11
+        addq    t10, t11, t10
+        cmpule  zero, t10, t11
+        bne     t11, mcadt
+        bisq    t10, t11, t10        ; dead repair path
+mcadt:
+        subqi   t0, 1, t0
+        bgt     t0, chase
+        ; --- cold-region sweep: far-striding loads, a store and a multiply
+        ; keep the MSHRs, store queue/buffer and complex-ALU pipe in steady
+        ; use, as real SPEC workloads do ---
+        la      t10, cold
+        addq    t10, s1, t10
+        ldq     t11, 0(t10)
+        addq    s3, t11, s3
+        ldq     t11, 8256(t10)
+        xorq    s3, t11, s3
+        mulq    t11, s3, t11
+        stq     t11, 16512(t10)
+        ldq     t11, 24768(t10)
+        addq    s3, t11, s3
+        addqi   s1, 4160, s1
+        cmplt   s1, s4, t11
+        bne     t11, coldnw
+        mov     zero, s1
+coldnw:
+        subqi   s0, 1, s0
+        bgt     s0, outer
+        la      a0, out
+        stq     s3, 0(a0)
+        li      a1, 8
+        li      v0, 2
+        syscall
+        li      a0, 0
+        li      v0, 1
+        syscall
+hang:   br      hang
+        .data
+        .align  8
+nodes:  .space  262144
+        .align  8
+cold:   .space  98304
+out:    .space  8
+)";
+
+// Tokenizer + dictionary hash: splits a pseudo-random byte stream into
+// "words" and folds each through a 64-bucket hash table.
+const char* kParser = R"(
+        .text
+_start:
+        li      s0, @ITERS@
+        li      fp, 65536
+        mov     zero, s1
+        ; --- synthesize text[0..2047]: letters with ~1/8 separators ---
+        la      t4, text
+        li      t0, 2048
+        li      t1, 31337
+        li      t2, 1103515245
+init:
+        mulq    t1, t2, t1
+        addqi   t1, 12345, t1
+        srlqi   t1, 11, t5
+        andqi   t5, 7, t6
+        bne     t6, letter
+        li      t5, 32                ; separator
+        br      emit
+letter:
+        srlqi   t1, 17, t5
+        andqi   t5, 25, t5
+        addqi   t5, 97, t5            ; 'a'..'z'
+emit:
+        stb     t5, 0(t4)
+        addqi   t4, 1, t4
+        subqi   t0, 1, t0
+        bgt     t0, init
+        li      s3, 0
+outer:
+        la      s4, text
+        li      s2, 2048
+        li      s5, 0                 ; current token hash
+token:
+        ldbu    t0, 0(s4)
+        addqi   s4, 1, s4
+        cmpeqi  t0, 32, t1
+        bne     t1, endword
+        mulqi   s5, 31, s5
+        addq    s5, t0, s5
+        br      cont
+endword:
+        ; bucket = hash & 63; counts[bucket] += hash
+        andqi   s5, 63, t2
+        sllqi   t2, 3, t2
+        la      t3, dict
+        addq    t3, t2, t2
+        ldq     t4, 0(t2)
+        addq    t4, s5, t4
+        stq     t4, 0(t2)
+        xorq    s3, t4, s3
+        li      s5, 0
+cont:
+        ; bookkeeping check: these values die without reaching program
+        ; output (real programs spend much of their dynamic work here —
+        ; the paper's "dead and transitively dead values")
+        addq    s5, t0, t10
+        xorq    t10, s5, t10
+        srlqi   t10, 7, t11
+        addq    t10, t11, t10
+        cmpule  zero, t10, t11
+        bne     t11, paadt
+        bisq    t10, t11, t10        ; dead repair path
+paadt:
+        subqi   s2, 1, s2
+        bgt     s2, token
+        ; --- cold-region sweep: far-striding loads, a store and a multiply
+        ; keep the MSHRs, store queue/buffer and complex-ALU pipe in steady
+        ; use, as real SPEC workloads do ---
+        la      t10, cold
+        addq    t10, s1, t10
+        ldq     t11, 0(t10)
+        addq    s3, t11, s3
+        ldq     t11, 8256(t10)
+        xorq    s3, t11, s3
+        mulq    t11, s3, t11
+        stq     t11, 16512(t10)
+        ldq     t11, 24768(t10)
+        addq    s3, t11, s3
+        addqi   s1, 4160, s1
+        cmplt   s1, fp, t11
+        bne     t11, coldnw
+        mov     zero, s1
+coldnw:
+        subqi   s0, 1, s0
+        bgt     s0, outer
+        la      a0, out
+        stq     s3, 0(a0)
+        li      a1, 8
+        li      v0, 2
+        syscall
+        li      a0, 0
+        li      v0, 1
+        syscall
+hang:   br      hang
+        .data
+text:   .space  2056
+        .align  8
+dict:   .space  512
+        .align  8
+cold:   .space  98304
+out:    .space  8
+)";
+
+}  // namespace tfsim::programs

@@ -1,0 +1,66 @@
+#include "workloads/workloads.h"
+
+#include <stdexcept>
+
+#include "workloads/programs.h"
+
+namespace tfsim {
+namespace {
+
+std::string Subst(const char* source, std::uint64_t iters, bool emit) {
+  std::string s = source;
+  const std::string key = "@ITERS@";
+  const std::size_t pos = s.find(key);
+  if (pos != std::string::npos)
+    s.replace(pos, key.size(), std::to_string(iters));
+  // Optional per-iteration output: inject a write syscall before the outer
+  // loop back-edge (every program ends its outer body with this exact pair).
+  if (emit) {
+    const std::string backedge = "        subqi   s0, 1, s0\n        bgt     s0, outer";
+    const std::string chat =
+        "        la      a0, out\n"
+        "        stq     s3, 0(a0)\n"
+        "        li      a1, 8\n"
+        "        li      v0, 2\n"
+        "        syscall\n";
+    const std::size_t be = s.rfind(backedge);
+    if (be != std::string::npos) s.insert(be, chat);
+  }
+  return s;
+}
+
+}  // namespace
+
+const std::vector<WorkloadInfo>& AllWorkloads() {
+  static const std::vector<WorkloadInfo> kAll = {
+      {"bzip2", "block sort + histogram (high IPC, high D$ hit)",
+       programs::kBzip2},
+      {"crafty", "bitboard logic (ALU dense, very high IPC)",
+       programs::kCrafty},
+      {"gap", "modular arithmetic / gcd (complex-ALU heavy)", programs::kGap},
+      {"gcc", "branchy expression dispatch (mispredict heavy)",
+       programs::kGcc},
+      {"gzip", "LZ match/emit compression (high IPC)", programs::kGzip},
+      {"mcf", "pointer chase over 128 KB (D$ miss heavy)", programs::kMcf},
+      {"parser", "tokenizer + dictionary hashing (byte loads, branchy)",
+       programs::kParser},
+      {"twolf", "RNG-driven placement swaps (scattered memory)",
+       programs::kTwolf},
+      {"vortex", "hash-table object store (mixed)", programs::kVortex},
+      {"vpr", "2D grid relaxation (regular loops)", programs::kVpr},
+  };
+  return kAll;
+}
+
+const WorkloadInfo& WorkloadByName(const std::string& name) {
+  for (const auto& w : AllWorkloads())
+    if (w.name == name) return w;
+  throw std::out_of_range("unknown workload: " + name);
+}
+
+Program BuildWorkload(const WorkloadInfo& info, std::uint64_t iters,
+                      bool emit_each_iteration) {
+  return Assemble(Subst(info.source, iters, emit_each_iteration));
+}
+
+}  // namespace tfsim

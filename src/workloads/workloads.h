@@ -1,0 +1,55 @@
+// Workload suite: ten synthetic miniAlpha assembly kernels standing in for
+// the SPEC2000 integer benchmarks of the paper's evaluation (see DESIGN.md
+// for the substitution rationale). Each kernel mimics its namesake's
+// dominant microarchitectural behaviour:
+//
+//   gzip    — LZ-style match/emit compression loop (high IPC)
+//   bzip2   — block sort + byte counting (high IPC, high D$ hit rate)
+//   gcc     — expression-tree walk with branchy dispatch (mispredict heavy)
+//   mcf     — linked-node relaxation over a large array (D$ miss heavy)
+//   crafty  — 64-bit bitboard manipulation (ALU dense)
+//   parser  — tokenizing + dictionary hashing (byte loads, branchy)
+//   vortex  — hash-table insert/lookup object store (mixed)
+//   gap     — modular arithmetic / gcd kernels (complex-ALU heavy)
+//   twolf   — RNG-driven placement swaps (scattered loads/stores)
+//   vpr     — 2D grid relaxation sweeps (regular loops)
+//
+// Programs are parameterized by an outer iteration count: campaigns use a
+// huge count (the program never terminates inside the observation window,
+// like a SPEC benchmark snapshot); the Section 5 software-level experiments
+// use a small count so programs run to completion and produce output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/assemble.h"
+
+namespace tfsim {
+
+struct WorkloadInfo {
+  std::string name;
+  std::string description;
+  const char* source;  // assembly text with an @ITERS@ placeholder
+};
+
+// All ten workloads, in the order benches report them.
+const std::vector<WorkloadInfo>& AllWorkloads();
+
+// Looks up a workload (throws std::out_of_range on unknown names).
+const WorkloadInfo& WorkloadByName(const std::string& name);
+
+// Assembles a workload with the given outer iteration count. When
+// `emit_each_iteration` is set, the program performs a write syscall at the
+// end of every outer iteration (used by the Section 5 software-level
+// experiments, where progressive output enables early state-convergence
+// detection); pipeline campaigns leave it off, as SPEC-like workloads
+// syscall rarely.
+Program BuildWorkload(const WorkloadInfo& info, std::uint64_t iters,
+                      bool emit_each_iteration = false);
+
+// Iteration count used by pipeline campaigns (effectively non-terminating).
+inline constexpr std::uint64_t kCampaignIters = 1u << 30;
+
+}  // namespace tfsim

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "isa/isa.h"
+
+namespace tfsim {
+namespace {
+
+AluResult Exec(Op op, std::uint64_t a, std::uint64_t b) {
+  DecodedInst d;
+  d.op = op;
+  d.cls = InsnClass::kAlu;
+  return ExecuteAlu(d, a, b);
+}
+
+TEST(Alu, Arithmetic) {
+  EXPECT_EQ(Exec(Op::kAddq, 7, 5).value, 12u);
+  EXPECT_EQ(Exec(Op::kSubq, 7, 5).value, 2u);
+  EXPECT_EQ(Exec(Op::kMulq, 7, 5).value, 35u);
+  EXPECT_EQ(Exec(Op::kAddq, ~0ULL, 1).value, 0u);  // wraps
+}
+
+TEST(Alu, Logic) {
+  EXPECT_EQ(Exec(Op::kAndq, 0b1100, 0b1010).value, 0b1000u);
+  EXPECT_EQ(Exec(Op::kBisq, 0b1100, 0b1010).value, 0b1110u);
+  EXPECT_EQ(Exec(Op::kXorq, 0b1100, 0b1010).value, 0b0110u);
+  EXPECT_EQ(Exec(Op::kBicq, 0b1100, 0b1010).value, 0b0100u);
+}
+
+TEST(Alu, ShiftsMaskTheAmount) {
+  EXPECT_EQ(Exec(Op::kSllq, 1, 4).value, 16u);
+  EXPECT_EQ(Exec(Op::kSllq, 1, 64).value, 1u);   // amount & 63
+  EXPECT_EQ(Exec(Op::kSrlq, 1ULL << 63, 63).value, 1u);
+  EXPECT_EQ(Exec(Op::kSraq, static_cast<std::uint64_t>(-8), 2).value,
+            static_cast<std::uint64_t>(-2));
+}
+
+TEST(Alu, Compares) {
+  EXPECT_EQ(Exec(Op::kCmpeq, 5, 5).value, 1u);
+  EXPECT_EQ(Exec(Op::kCmpeq, 5, 6).value, 0u);
+  EXPECT_EQ(Exec(Op::kCmplt, static_cast<std::uint64_t>(-1), 0).value, 1u);
+  EXPECT_EQ(Exec(Op::kCmpult, static_cast<std::uint64_t>(-1), 0).value, 0u);
+  EXPECT_EQ(Exec(Op::kCmple, 5, 5).value, 1u);
+  EXPECT_EQ(Exec(Op::kCmpule, 6, 5).value, 0u);
+}
+
+TEST(Alu, LongwordOpsSignExtend) {
+  EXPECT_EQ(Exec(Op::kAddl, 0x7FFFFFFF, 1).value, 0xFFFFFFFF80000000ull);
+  EXPECT_EQ(Exec(Op::kSubl, 0, 1).value, ~0ULL);
+  EXPECT_EQ(Exec(Op::kMull, 0x10000, 0x10000).value, 0u);
+}
+
+TEST(Alu, SignExtensionOps) {
+  EXPECT_EQ(Exec(Op::kSextb, 0, 0x80).value, 0xFFFFFFFFFFFFFF80ull);
+  EXPECT_EQ(Exec(Op::kSextb, 0, 0x7F).value, 0x7Full);
+  EXPECT_EQ(Exec(Op::kSextl, 0, 0x80000000ull).value, 0xFFFFFFFF80000000ull);
+}
+
+TEST(Alu, DivideAndRemainder) {
+  EXPECT_EQ(Exec(Op::kDivq, 17, 5).value, 3u);
+  EXPECT_EQ(Exec(Op::kRemq, 17, 5).value, 2u);
+  EXPECT_EQ(Exec(Op::kDivq, static_cast<std::uint64_t>(-17), 5).value,
+            static_cast<std::uint64_t>(-3));
+}
+
+TEST(Alu, DivideByZeroTraps) {
+  EXPECT_EQ(Exec(Op::kDivq, 1, 0).exc, Exception::kDivZero);
+  EXPECT_EQ(Exec(Op::kRemq, 1, 0).exc, Exception::kDivZero);
+}
+
+TEST(Alu, DivideOverflowTraps) {
+  EXPECT_EQ(Exec(Op::kDivq, 1ULL << 63, static_cast<std::uint64_t>(-1)).exc,
+            Exception::kOverflow);
+}
+
+TEST(Alu, TrappingAddSub) {
+  EXPECT_EQ(Exec(Op::kAddv, 1, 2).value, 3u);
+  EXPECT_EQ(Exec(Op::kAddv, (1ULL << 63) - 1, 1).exc, Exception::kOverflow);
+  EXPECT_EQ(Exec(Op::kSubv, 5, 3).value, 2u);
+  EXPECT_EQ(Exec(Op::kSubv, 1ULL << 63, 1).exc, Exception::kOverflow);
+}
+
+TEST(Alu, Umulh) {
+  EXPECT_EQ(Exec(Op::kUmulh, 1ULL << 32, 1ULL << 32).value, 1u);
+  EXPECT_EQ(Exec(Op::kUmulh, 2, 3).value, 0u);
+}
+
+TEST(Alu, LdaComputesAddresses) {
+  EXPECT_EQ(Exec(Op::kLda, 100, 28).value, 128u);
+  EXPECT_EQ(Exec(Op::kLdah, 1, 2).value, 1u + (2ull << 16));
+}
+
+TEST(Alu, NonAluOpcodeIsIllegal) {
+  EXPECT_EQ(Exec(Op::kLdq, 1, 2).exc, Exception::kIllegalOpcode);
+  EXPECT_EQ(Exec(Op::kSyscall, 0, 0).exc, Exception::kIllegalOpcode);
+}
+
+TEST(BranchTaken, AllConditions) {
+  EXPECT_TRUE(BranchTaken(Op::kBr, 0));
+  EXPECT_TRUE(BranchTaken(Op::kBsr, 0));
+  EXPECT_TRUE(BranchTaken(Op::kBeq, 0));
+  EXPECT_FALSE(BranchTaken(Op::kBeq, 1));
+  EXPECT_TRUE(BranchTaken(Op::kBne, 1));
+  EXPECT_TRUE(BranchTaken(Op::kBlt, static_cast<std::uint64_t>(-1)));
+  EXPECT_FALSE(BranchTaken(Op::kBlt, 0));
+  EXPECT_TRUE(BranchTaken(Op::kBle, 0));
+  EXPECT_TRUE(BranchTaken(Op::kBgt, 1));
+  EXPECT_FALSE(BranchTaken(Op::kBgt, 0));
+  EXPECT_TRUE(BranchTaken(Op::kBge, 0));
+  EXPECT_FALSE(BranchTaken(Op::kAddq, 1));  // non-branch: never taken
+}
+
+TEST(ComplexLatency, WithinPaperRange) {
+  // Figure 2: complex ALU takes 2-5 cycles.
+  for (int op = 0; op < 64; ++op) {
+    const int lat = ComplexLatency(static_cast<Op>(op));
+    EXPECT_GE(lat, 2);
+    EXPECT_LE(lat, 5);
+  }
+  EXPECT_EQ(ComplexLatency(Op::kDivq), 5);
+  EXPECT_EQ(ComplexLatency(Op::kMulq), 3);
+}
+
+}  // namespace
+}  // namespace tfsim

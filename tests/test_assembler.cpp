@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+#include <cstring>
+
+#include "arch/functional_sim.h"
+#include "isa/assemble.h"
+#include "isa/isa.h"
+
+namespace tfsim {
+namespace {
+
+std::uint32_t FirstWord(const Program& p) {
+  std::uint32_t w;
+  std::memcpy(&w, p.chunks.at(0).bytes.data(), 4);
+  return w;
+}
+
+TEST(Assembler, BasicInstruction) {
+  const Program p = Assemble("addq r1, r2, r3\n");
+  EXPECT_EQ(FirstWord(p), EncodeR(Op::kAddq, 1, 2, 3));
+}
+
+TEST(Assembler, RegisterAliases) {
+  const Program p = Assemble("addq v0, sp, ra\n");
+  EXPECT_EQ(FirstWord(p), EncodeR(Op::kAddq, 0, 30, 26));
+}
+
+TEST(Assembler, ImmediateForm) {
+  const Program p = Assemble("addqi r1, -5, r2\n");
+  EXPECT_EQ(FirstWord(p), EncodeI(Op::kAddqi, 1, 2, -5));
+}
+
+TEST(Assembler, MemoryOperand) {
+  const Program p = Assemble("ldq r1, 24(r2)\n");
+  EXPECT_EQ(FirstWord(p), EncodeM(Op::kLdq, 1, 2, 24));
+}
+
+TEST(Assembler, MemoryOperandWithoutBase) {
+  const Program p = Assemble("lda r1, 100\n");
+  EXPECT_EQ(FirstWord(p), EncodeM(Op::kLda, 1, kZeroReg, 100));
+}
+
+TEST(Assembler, BranchToLabel) {
+  const Program p = Assemble("top: nop\n beq r1, top\n");
+  std::uint32_t w;
+  std::memcpy(&w, p.chunks.at(0).bytes.data() + 4, 4);
+  EXPECT_EQ(Decode(w).imm, -2);  // disp = (top - (pc+4)) / 4
+}
+
+TEST(Assembler, ForwardReference) {
+  const Program p = Assemble("br done\n nop\n done: nop\n");
+  EXPECT_EQ(Decode(FirstWord(p)).imm, 1);
+}
+
+TEST(Assembler, StartLabelSetsEntry) {
+  const Program p = Assemble("nop\n_start: nop\n");
+  EXPECT_EQ(p.entry, 0x1000u + 4u);
+}
+
+TEST(Assembler, DefaultEntryIsTextBase) {
+  EXPECT_EQ(Assemble("nop\n").entry, 0x1000u);
+}
+
+TEST(Assembler, PseudoNopAndMov) {
+  EXPECT_EQ(FirstWord(Assemble("nop\n")),
+            EncodeR(Op::kBisq, kZeroReg, kZeroReg, kZeroReg));
+  EXPECT_EQ(FirstWord(Assemble("mov r4, r5\n")),
+            EncodeR(Op::kBisq, 4, kZeroReg, 5));
+}
+
+TEST(Assembler, LiExpandsToTwoInstructions) {
+  const Program p = Assemble("li r1, 0x12345678\n");
+  EXPECT_EQ(p.chunks.at(0).bytes.size(), 8u);
+}
+
+TEST(Assembler, LiProducesCorrectValue) {
+  // ldah+lda covers [-0x80008000, 0x7FFF7FFF] (the signed-hi16 limit, as on
+  // the real Alpha).
+  for (std::int64_t v : {0L, 1L, -1L, 42L, 0x12345678L, -70000L, 0x7FFF7FFFL,
+                         -2147483648L}) {
+    const Program p =
+        Assemble("li r1, " + std::to_string(v) + "\nhang: br hang\n");
+    FunctionalSim sim(p);
+    sim.Run(2);
+    EXPECT_EQ(sim.state().Reg(1), static_cast<std::uint64_t>(v)) << v;
+  }
+}
+
+TEST(Assembler, LaResolvesDataLabels) {
+  const Program p = Assemble(R"(
+      la r1, value
+      ldq r2, 0(r1)
+      hang: br hang
+      .data
+      value: .word 777
+  )");
+  FunctionalSim sim(p);
+  sim.Run(3);
+  EXPECT_EQ(sim.state().Reg(2), 777u);
+}
+
+TEST(Assembler, DataDirectives) {
+  const Program p = Assemble(R"(
+      .data
+      a: .word 0x1122334455667788
+      b: .long 0xAABBCCDD
+      c: .byte 1, 2, 3
+      d: .space 5
+      e: .asciiz "hi\n"
+      .align 8
+      f: .word 9
+  )");
+  const auto& data = p.chunks.at(0);
+  EXPECT_EQ(data.addr, 0x40000u);
+  EXPECT_EQ(data.bytes[0], 0x88);  // little endian
+  EXPECT_EQ(data.bytes[7], 0x11);
+  EXPECT_EQ(data.bytes[8], 0xDD);
+  EXPECT_EQ(p.symbols.at("c"), 0x40000u + 12);
+  EXPECT_EQ(data.bytes[12], 1);
+  EXPECT_EQ(data.bytes[20], 'h');
+  EXPECT_EQ(data.bytes[22], '\n');
+  EXPECT_EQ(data.bytes[23], 0);
+  EXPECT_EQ(p.symbols.at("f") % 8, 0u);
+}
+
+TEST(Assembler, LabelArithmetic) {
+  const Program p = Assemble(R"(
+      la r1, tab+16
+      hang: br hang
+      .data
+      tab: .space 32
+  )");
+  FunctionalSim sim(p);
+  sim.Run(2);
+  EXPECT_EQ(sim.state().Reg(1), p.symbols.at("tab") + 16);
+}
+
+TEST(Assembler, CommentsAndBlankLines) {
+  const Program p = Assemble(
+      "; full line comment\n"
+      "# hash comment\n"
+      "\n"
+      "addq r1, r2, r3 ; trailing\n");
+  EXPECT_EQ(p.chunks.at(0).bytes.size(), 4u);
+}
+
+TEST(Assembler, ErrorsAreReportedWithLineNumbers) {
+  EXPECT_THROW(Assemble("bogus r1, r2\n"), std::runtime_error);
+  EXPECT_THROW(Assemble("addq r1, r2\n"), std::runtime_error);       // arity
+  EXPECT_THROW(Assemble("addqi r1, 99999, r2\n"), std::runtime_error);
+  EXPECT_THROW(Assemble("addq r1, r2, r99\n"), std::runtime_error);
+  EXPECT_THROW(Assemble("beq r1, nowhere\n"), std::runtime_error);
+  EXPECT_THROW(Assemble("l: nop\nl: nop\n"), std::runtime_error);  // dup label
+  EXPECT_THROW(Assemble(".align 3\n"), std::runtime_error);
+}
+
+TEST(Assembler, LiRejectsUnencodableValues) {
+  EXPECT_THROW(Assemble("li r1, 2147483647\n"), std::runtime_error);
+  EXPECT_THROW(Assemble("li r1, 0x100000000\n"), std::runtime_error);
+}
+
+TEST(Assembler, RetDefaultsToRaRegister) {
+  EXPECT_EQ(FirstWord(Assemble("ret\n")), EncodeJ(Op::kRet, kZeroReg, 26));
+}
+
+TEST(Assembler, SyscallEncoding) {
+  EXPECT_EQ(Decode(FirstWord(Assemble("syscall\n"))).cls,
+            InsnClass::kSyscall);
+}
+
+}  // namespace
+}  // namespace tfsim

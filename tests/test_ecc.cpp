@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "protect/ecc.h"
+#include "util/rng.h"
+
+namespace tfsim {
+namespace {
+
+TEST(EccRegptr, CleanDecode) {
+  for (std::uint64_t p = 0; p < 128; ++p) {
+    const std::uint64_t check = EncodeRegptrEcc(p);
+    const EccDecodeResult r = DecodeRegptrEcc(p, check);
+    EXPECT_FALSE(r.corrected);
+    EXPECT_FALSE(r.uncorrectable);
+    EXPECT_EQ(r.data.lo, p);
+  }
+}
+
+// Exhaustive sweep: every single-bit error in every (11,7) codeword is
+// corrected — data bits and check bits alike.
+class RegptrBitTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RegptrBitTest, SingleBitErrorCorrected) {
+  const int bit = GetParam();
+  for (std::uint64_t p = 0; p < 128; p += 3) {
+    std::uint64_t data = p;
+    std::uint64_t check = EncodeRegptrEcc(p);
+    if (bit < 7) data ^= 1ULL << bit;
+    else check ^= 1ULL << (bit - 7);
+    const EccDecodeResult r =
+        EccDecode({data, false}, check, kRegptrDataBits, kRegptrEccBits);
+    EXPECT_TRUE(r.corrected) << "p=" << p << " bit=" << bit;
+    EXPECT_EQ(r.data.lo, p) << "p=" << p << " bit=" << bit;
+    EXPECT_EQ(r.check, EncodeRegptrEcc(p));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBits, RegptrBitTest, ::testing::Range(0, 11));
+
+TEST(EccRegfile, CleanDecode) {
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    const Word65 v{rng.Next(), rng.NextBool(0.5)};
+    const EccDecodeResult r = DecodeRegfileEcc(v, EncodeRegfileEcc(v));
+    EXPECT_FALSE(r.corrected);
+    EXPECT_FALSE(r.uncorrectable);
+    EXPECT_EQ(r.data, v);
+  }
+}
+
+// Exhaustive data-bit sweep for the (73,65) SEC-DED register-file code.
+class RegfileBitTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RegfileBitTest, SingleDataBitErrorCorrected) {
+  const int bit = GetParam();
+  Rng rng(static_cast<std::uint64_t>(bit) + 100);
+  for (int i = 0; i < 20; ++i) {
+    const Word65 v{rng.Next(), rng.NextBool(0.5)};
+    const std::uint64_t check = EncodeRegfileEcc(v);
+    Word65 bad = v;
+    if (bit < 64) bad.lo ^= 1ULL << bit;
+    else bad.hi = !bad.hi;
+    const EccDecodeResult r = DecodeRegfileEcc(bad, check);
+    EXPECT_TRUE(r.corrected) << bit;
+    EXPECT_EQ(r.data, v) << bit;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDataBits, RegfileBitTest, ::testing::Range(0, 65));
+
+TEST(EccRegfile, SingleCheckBitErrorCorrected) {
+  const Word65 v{0xDEADBEEFCAFEF00Dull, true};
+  const std::uint64_t check = EncodeRegfileEcc(v);
+  for (int bit = 0; bit < kRegfileEccBits; ++bit) {
+    const EccDecodeResult r = DecodeRegfileEcc(v, check ^ (1ULL << bit));
+    EXPECT_TRUE(r.corrected) << bit;
+    EXPECT_EQ(r.data, v) << bit;
+    EXPECT_EQ(r.check, check) << bit;
+  }
+}
+
+TEST(EccRegfile, DoubleErrorsDetectedNotMiscorrected) {
+  // SEC-DED: two data-bit errors must flag uncorrectable (and never silently
+  // "repair" to wrong data).
+  Rng rng(77);
+  int detected = 0;
+  const int kTrials = 300;
+  for (int i = 0; i < kTrials; ++i) {
+    const Word65 v{rng.Next(), rng.NextBool(0.5)};
+    const std::uint64_t check = EncodeRegfileEcc(v);
+    const int b1 = static_cast<int>(rng.NextBelow(65));
+    int b2 = static_cast<int>(rng.NextBelow(65));
+    while (b2 == b1) b2 = static_cast<int>(rng.NextBelow(65));
+    Word65 bad = v;
+    for (int b : {b1, b2}) {
+      if (b < 64) bad.lo ^= 1ULL << b;
+      else bad.hi = !bad.hi;
+    }
+    const EccDecodeResult r = DecodeRegfileEcc(bad, check);
+    EXPECT_FALSE(r.corrected && r.data == v) << "silent acceptance";
+    if (r.uncorrectable) ++detected;
+    if (r.corrected) {
+      EXPECT_NE(r.data, v);  // (would be a miracle)
+    }
+  }
+  EXPECT_EQ(detected, kTrials);  // all double errors flagged
+}
+
+}  // namespace
+}  // namespace tfsim

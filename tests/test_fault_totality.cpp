@@ -1,0 +1,106 @@
+// Property/fuzz tests: under arbitrary single- and multi-bit corruption the
+// simulator must never crash, hang the host, or leave its incremental hash
+// inconsistent — every behaviour must be defined. This is the foundation the
+// whole methodology rests on.
+#include <gtest/gtest.h>
+
+#include "inject/golden.h"
+#include "inject/trial.h"
+#include "util/rng.h"
+#include "workloads/workloads.h"
+
+namespace tfsim {
+namespace {
+
+class FuzzSeed : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzSeed, MultiBitCorruptionIsAlwaysDefined) {
+  static const char* kTargets[] = {"vortex", "mcf", "gap", "bzip2"};
+  const Program prog = BuildWorkload(
+      WorkloadByName(kTargets[GetParam() % 4]), kCampaignIters);
+  Core core(CoreConfig{}, prog);
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 977 + 13);
+  for (int c = 0; c < 4000; ++c) core.Cycle();
+
+  // Pepper the machine with bursts of random flips while it keeps running.
+  const std::uint64_t bits = core.registry().InjectableBits(true);
+  for (int burst = 0; burst < 20; ++burst) {
+    const int flips = 1 + static_cast<int>(rng.NextBelow(8));
+    for (int f = 0; f < flips; ++f)
+      core.registry().FlipBit(
+          core.registry().LocateBit(rng.NextBelow(bits), true));
+    for (int c = 0; c < 150; ++c) core.Cycle();
+    // Hash stays consistent with a full recompute.
+    ASSERT_EQ(core.registry().Hash(), core.registry().RecomputeHash());
+    if (core.halted_exception() != Exception::kNone || core.itlb_miss())
+      return;  // halting on an exception is a perfectly defined outcome
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bursts, FuzzSeed, ::testing::Range(0, 12));
+
+TEST(FaultTotality, ProtectedMachineSurvivesCorruptionBursts) {
+  CoreConfig cfg;
+  cfg.protect = ProtectionConfig::All();
+  const Program prog = BuildWorkload(WorkloadByName("parser"), kCampaignIters);
+  Core core(cfg, prog);
+  Rng rng(555);
+  for (int c = 0; c < 4000; ++c) core.Cycle();
+  const std::uint64_t bits = core.registry().InjectableBits(true);
+  for (int burst = 0; burst < 30; ++burst) {
+    core.registry().FlipBit(
+        core.registry().LocateBit(rng.NextBelow(bits), true));
+    for (int c = 0; c < 120; ++c) core.Cycle();
+    ASSERT_EQ(core.registry().Hash(), core.registry().RecomputeHash());
+    if (core.halted_exception() != Exception::kNone || core.itlb_miss())
+      return;
+  }
+}
+
+TEST(FaultTotality, DoubleFlipIsAlwaysAPerfectMatch) {
+  // Flipping a bit and flipping it back before any cycle must restore the
+  // exact machine hash — the injection machinery itself is side-effect free.
+  const Program prog = BuildWorkload(WorkloadByName("gcc"), kCampaignIters);
+  Core core(CoreConfig{}, prog);
+  for (int c = 0; c < 3000; ++c) core.Cycle();
+  const std::uint64_t h = core.StateHash();
+  Rng rng(42);
+  const std::uint64_t bits = core.registry().InjectableBits(true);
+  for (int i = 0; i < 500; ++i) {
+    const BitLocation loc =
+        core.registry().LocateBit(rng.NextBelow(bits), true);
+    core.registry().FlipBit(loc);
+    core.registry().FlipBit(loc);
+    ASSERT_EQ(core.StateHash(), h);
+  }
+}
+
+TEST(FaultTotality, EveryTrialTerminatesWithAClassification) {
+  GoldenSpec gs;
+  gs.warmup = 12000;
+  gs.points = 2;
+  gs.spacing = 400;
+  gs.window = 2500;
+  gs.slack = 800;
+  const Program prog = BuildWorkload(WorkloadByName("twolf"), kCampaignIters);
+  const auto golden = RecordGolden(CoreConfig{}, prog, gs);
+  Core core(CoreConfig{}, prog);
+  Rng rng(321);
+  const std::uint64_t bits = core.registry().InjectableBits(true);
+  for (int t = 0; t < 120; ++t) {
+    TrialSpec ts;
+    ts.checkpoint = static_cast<int>(rng.NextBelow(2));
+    ts.offset = rng.NextBelow(gs.offset_max);
+    ts.bit_index = rng.NextBelow(bits);
+    const TrialRecord r = RunTrial(core, *golden, ts);
+    ASSERT_LE(static_cast<int>(r.outcome), 3);
+    ASSERT_LE(r.cycles, gs.window);
+    if (r.outcome == Outcome::kSdc || r.outcome == Outcome::kTerminated)
+      ASSERT_NE(r.mode, FailureMode::kNoFailure);
+    else
+      ASSERT_EQ(r.mode, FailureMode::kNoFailure);
+  }
+}
+
+}  // namespace
+}  // namespace tfsim

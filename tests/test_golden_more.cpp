@@ -1,0 +1,87 @@
+// Additional golden-run and timeline invariants, including protected-config
+// recording and the Figure 6 instrumentation.
+#include <gtest/gtest.h>
+
+#include "inject/golden.h"
+#include "workloads/workloads.h"
+
+namespace tfsim {
+namespace {
+
+GoldenSpec TinySpec() {
+  GoldenSpec gs;
+  gs.warmup = 12000;
+  gs.points = 2;
+  gs.spacing = 300;
+  gs.window = 1500;
+  gs.slack = 500;
+  return gs;
+}
+
+TEST(GoldenMore, ProtectedConfigurationRecordsCleanly) {
+  CoreConfig cfg;
+  cfg.protect = ProtectionConfig::All();
+  const Program prog = BuildWorkload(WorkloadByName("parser"), kCampaignIters);
+  const auto g = RecordGolden(cfg, prog, TinySpec());
+  EXPECT_GT(g->stats.Ipc(), 0.5);
+  EXPECT_EQ(g->checkpoints.size(), 2u);
+}
+
+TEST(GoldenMore, ValidInstrsNeverExceedInflight) {
+  const Program prog = BuildWorkload(WorkloadByName("gcc"), kCampaignIters);
+  const auto g = RecordGolden(CoreConfig{}, prog, TinySpec());
+  const auto& tl = g->timeline;
+  for (std::size_t c = 0; c < tl.inflight.size(); c += 13) {
+    EXPECT_LE(tl.ValidInstrsAt(c), tl.inflight[c]) << c;
+    EXPECT_LE(tl.inflight[c], 132u) << c;
+  }
+}
+
+TEST(GoldenMore, WrongPathInstructionsAreNotValid) {
+  // On a mispredict-heavy workload, a healthy share of in-flight
+  // instructions must be wrong-path (in-flight > valid).
+  const Program prog = BuildWorkload(WorkloadByName("vpr"), kCampaignIters);
+  const auto g = RecordGolden(CoreConfig{}, prog, TinySpec());
+  const auto& tl = g->timeline;
+  std::uint64_t inflight_sum = 0, valid_sum = 0;
+  for (std::size_t c = 0; c < tl.inflight.size(); c += 7) {
+    inflight_sum += tl.inflight[c];
+    valid_sum += tl.ValidInstrsAt(c);
+  }
+  EXPECT_LT(valid_sum, inflight_sum);
+  EXPECT_GT(valid_sum, inflight_sum / 4);
+}
+
+TEST(GoldenMore, EventLookupHonoursBase) {
+  const Program prog = BuildWorkload(WorkloadByName("gzip"), kCampaignIters);
+  const auto g = RecordGolden(CoreConfig{}, prog, TinySpec());
+  const auto& tl = g->timeline;
+  EXPECT_EQ(tl.EventAt(tl.base_retired - 1), nullptr);
+  ASSERT_NE(tl.EventAt(tl.base_retired), nullptr);
+  EXPECT_EQ(tl.EventAt(tl.base_retired), &tl.events[0]);
+  EXPECT_EQ(tl.EventAt(tl.base_retired + tl.events.size()), nullptr);
+}
+
+TEST(GoldenMore, TlbIsFrozenAfterRecording) {
+  const Program prog = BuildWorkload(WorkloadByName("gzip"), kCampaignIters);
+  const auto g = RecordGolden(CoreConfig{}, prog, TinySpec());
+  Tlb tlb = g->tlb;
+  EXPECT_FALSE(tlb.learning());
+  EXPECT_GT(tlb.InsnPages(), 0u);
+  EXPECT_GT(tlb.DataPages(), 0u);
+  EXPECT_FALSE(tlb.LookupData(0x40000000ull));  // wild page not preloaded
+}
+
+TEST(GoldenMore, CountToCycleMapsFirstOccurrence) {
+  const Program prog = BuildWorkload(WorkloadByName("gzip"), kCampaignIters);
+  const auto g = RecordGolden(CoreConfig{}, prog, TinySpec());
+  const auto& tl = g->timeline;
+  for (const auto& [count, cycle] : tl.count_to_cycle) {
+    ASSERT_LT(cycle, tl.retired_total.size());
+    EXPECT_EQ(tl.retired_total[cycle], count);
+    if (cycle > 0) EXPECT_LT(tl.retired_total[cycle - 1], count + 1);
+  }
+}
+
+}  // namespace
+}  // namespace tfsim

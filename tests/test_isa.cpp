@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "isa/isa.h"
+#include "util/rng.h"
+
+namespace tfsim {
+namespace {
+
+// --- encode/decode round trips ----------------------------------------------
+
+struct RCase {
+  Op op;
+  InsnClass cls;
+};
+
+class RFormatTest : public ::testing::TestWithParam<RCase> {};
+
+TEST_P(RFormatTest, RoundTrip) {
+  const auto [op, cls] = GetParam();
+  const std::uint32_t w = EncodeR(op, 3, 17, 29);
+  const DecodedInst d = Decode(w);
+  EXPECT_EQ(d.op, op);
+  EXPECT_EQ(d.cls, cls);
+  EXPECT_EQ(d.src1, 3);
+  EXPECT_EQ(d.src2, 17);
+  EXPECT_EQ(d.dst, 29);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRFormat, RFormatTest,
+    ::testing::Values(
+        RCase{Op::kAddq, InsnClass::kAlu}, RCase{Op::kSubq, InsnClass::kAlu},
+        RCase{Op::kMulq, InsnClass::kAluComplex},
+        RCase{Op::kDivq, InsnClass::kAluComplex},
+        RCase{Op::kRemq, InsnClass::kAluComplex},
+        RCase{Op::kUmulh, InsnClass::kAluComplex},
+        RCase{Op::kAndq, InsnClass::kAlu}, RCase{Op::kBisq, InsnClass::kAlu},
+        RCase{Op::kXorq, InsnClass::kAlu}, RCase{Op::kBicq, InsnClass::kAlu},
+        RCase{Op::kSllq, InsnClass::kAlu}, RCase{Op::kSrlq, InsnClass::kAlu},
+        RCase{Op::kSraq, InsnClass::kAlu}, RCase{Op::kCmpeq, InsnClass::kAlu},
+        RCase{Op::kCmplt, InsnClass::kAlu}, RCase{Op::kCmple, InsnClass::kAlu},
+        RCase{Op::kCmpult, InsnClass::kAlu},
+        RCase{Op::kCmpule, InsnClass::kAlu},
+        RCase{Op::kAddl, InsnClass::kAlu}, RCase{Op::kSubl, InsnClass::kAlu},
+        RCase{Op::kMull, InsnClass::kAluComplex},
+        RCase{Op::kSextb, InsnClass::kAlu}, RCase{Op::kSextl, InsnClass::kAlu},
+        RCase{Op::kAddv, InsnClass::kAlu}, RCase{Op::kSubv, InsnClass::kAlu}));
+
+class IFormatTest : public ::testing::TestWithParam<Op> {};
+
+TEST_P(IFormatTest, RoundTripWithSignedImmediate) {
+  for (std::int64_t imm : {0L, 1L, -1L, 32767L, -32768L, 12345L}) {
+    const std::uint32_t w = EncodeI(GetParam(), 5, 9, imm);
+    const DecodedInst d = Decode(w);
+    EXPECT_EQ(d.op, GetParam());
+    EXPECT_EQ(d.src1, 5);
+    EXPECT_EQ(d.src2, kNoReg);
+    EXPECT_EQ(d.dst, 9);
+    EXPECT_EQ(d.imm, imm);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllIFormat, IFormatTest,
+    ::testing::Values(Op::kAddqi, Op::kSubqi, Op::kMulqi, Op::kAndqi,
+                      Op::kBisqi, Op::kXorqi, Op::kSllqi, Op::kSrlqi,
+                      Op::kSraqi, Op::kCmpeqi, Op::kCmplti, Op::kCmplei,
+                      Op::kCmpulti, Op::kCmpulei, Op::kAddli));
+
+TEST(Decode, MemoryFormats) {
+  for (const auto& [op, size, is_load] :
+       {std::tuple{Op::kLdq, 8, true}, std::tuple{Op::kLdl, 4, true},
+        std::tuple{Op::kLdbu, 1, true}, std::tuple{Op::kStq, 8, false},
+        std::tuple{Op::kStl, 4, false}, std::tuple{Op::kStb, 1, false}}) {
+    const std::uint32_t w = EncodeM(op, 7, 12, -40);
+    const DecodedInst d = Decode(w);
+    EXPECT_EQ(d.op, op);
+    EXPECT_EQ(d.mem_size, size);
+    EXPECT_EQ(d.imm, -40);
+    EXPECT_EQ(d.src1, 12);  // base
+    if (is_load) {
+      EXPECT_EQ(d.cls, InsnClass::kLoad);
+      EXPECT_EQ(d.dst, 7);
+    } else {
+      EXPECT_EQ(d.cls, InsnClass::kStore);
+      EXPECT_EQ(d.src2, 7);  // data
+      EXPECT_EQ(d.dst, kNoReg);
+    }
+  }
+}
+
+TEST(Decode, BranchDisplacements) {
+  for (std::int64_t disp : {0L, 1L, -1L, 1000L, -1000L, (1L << 20) - 1,
+                            -(1L << 20)}) {
+    const DecodedInst d = Decode(EncodeB(Op::kBne, 4, disp));
+    EXPECT_EQ(d.cls, InsnClass::kCondBranch);
+    EXPECT_EQ(d.src1, 4);
+    EXPECT_EQ(d.imm, disp) << "disp=" << disp;
+  }
+}
+
+TEST(Decode, JumpFormats) {
+  const DecodedInst jsr = Decode(EncodeJ(Op::kJsr, 26, 4));
+  EXPECT_EQ(jsr.cls, InsnClass::kJsr);
+  EXPECT_EQ(jsr.dst, 26);
+  EXPECT_EQ(jsr.src1, 4);
+  const DecodedInst ret = Decode(EncodeJ(Op::kRet, 31, 26));
+  EXPECT_EQ(ret.cls, InsnClass::kRet);
+  EXPECT_EQ(ret.dst, kNoReg);  // r31 destination dropped
+}
+
+TEST(Decode, WritesToR31AreDropped) {
+  EXPECT_EQ(Decode(EncodeR(Op::kAddq, 1, 2, 31)).dst, kNoReg);
+  EXPECT_EQ(Decode(EncodeM(Op::kLdq, 31, 2, 0)).dst, kNoReg);
+  EXPECT_EQ(Decode(EncodeB(Op::kBr, 31, 4)).dst, kNoReg);
+}
+
+TEST(Decode, ZeroWordIsIllegal) {
+  EXPECT_EQ(Decode(0).cls, InsnClass::kIllegal);
+}
+
+TEST(Decode, UnassignedOpcodesAreIllegal) {
+  for (std::uint32_t op : {0x2Fu, 0x3Eu, 0x3Fu})
+    EXPECT_EQ(Decode(op << 26).cls, InsnClass::kIllegal) << op;
+}
+
+TEST(Decode, TotalOverRandomWords) {
+  // Decoding must be defined for every 32-bit pattern (fault injection can
+  // produce any of them).
+  Rng rng(99);
+  for (int i = 0; i < 20000; ++i) {
+    const auto w = static_cast<std::uint32_t>(rng.Next());
+    const DecodedInst d = Decode(w);
+    EXPECT_LE(static_cast<int>(d.cls),
+              static_cast<int>(InsnClass::kSyscall));
+    if (d.src1 != kNoReg) {
+      EXPECT_LT(d.src1, kNumArchRegs);
+    }
+    if (d.src2 != kNoReg) {
+      EXPECT_LT(d.src2, kNumArchRegs);
+    }
+    if (d.dst != kNoReg) {
+      EXPECT_LT(d.dst, kNumArchRegs);
+    }
+  }
+}
+
+TEST(Disassemble, CoversEveryOpcodeWithoutCrashing) {
+  for (int op = 0; op < 64; ++op) {
+    const std::uint32_t w = (static_cast<std::uint32_t>(op) << 26) | 0x12345;
+    EXPECT_FALSE(Disassemble(w, 0x1000).empty());
+  }
+}
+
+TEST(Disassemble, KnownForms) {
+  EXPECT_EQ(Disassemble(EncodeR(Op::kAddq, 1, 2, 3), 0), "addq r1, r2, r3");
+  EXPECT_EQ(Disassemble(EncodeM(Op::kLdq, 4, 5, 16), 0), "ldq r4, 16(r5)");
+}
+
+// --- field helpers -----------------------------------------------------------
+
+TEST(Fields, Disp21SignExtension) {
+  EXPECT_EQ(Disp21Field(0x000FFFFF), 0xFFFFF);
+  EXPECT_EQ(Disp21Field(0x001FFFFF), -1);
+  EXPECT_EQ(Disp21Field(0x00100000), -(1 << 20));
+}
+
+TEST(Fields, Imm16SignExtension) {
+  EXPECT_EQ(Imm16Field(0x00007FFF), 32767);
+  EXPECT_EQ(Imm16Field(0x00008000), -32768);
+  EXPECT_EQ(Imm16Field(0x0000FFFF), -1);
+}
+
+}  // namespace
+}  // namespace tfsim

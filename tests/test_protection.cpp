@@ -1,0 +1,171 @@
+// Behavioural tests of the Section 4 protection mechanisms on the live
+// pipeline: each mechanism must actually absorb the fault class it targets.
+#include <gtest/gtest.h>
+
+#include "inject/golden.h"
+#include "inject/trial.h"
+#include "util/rng.h"
+#include "workloads/workloads.h"
+
+namespace tfsim {
+namespace {
+
+GoldenSpec SmallSpec() {
+  GoldenSpec gs;
+  gs.warmup = 12000;
+  gs.points = 2;
+  gs.spacing = 400;
+  gs.window = 5000;
+  gs.slack = 1000;
+  return gs;
+}
+
+struct Rig {
+  Program prog;
+  std::shared_ptr<const GoldenRun> golden;
+  std::unique_ptr<Core> core;
+};
+
+Rig MakeRig(const ProtectionConfig& p, const char* workload = "gzip") {
+  Rig rig;
+  CoreConfig cfg;
+  cfg.protect = p;
+  rig.prog = BuildWorkload(WorkloadByName(workload), kCampaignIters);
+  rig.golden = RecordGolden(cfg, rig.prog, SmallSpec());
+  rig.core = std::make_unique<Core>(cfg, rig.prog);
+  return rig;
+}
+
+// Runs trials targeting one field; returns (failed, total).
+std::pair<int, int> InjectField(Rig& rig, const std::string& field,
+                                int max_trials, std::uint8_t max_bit = 64) {
+  int failed = 0, total = 0;
+  const std::uint64_t bits = rig.core->registry().InjectableBits(true);
+  Rng rng(7);
+  for (std::uint64_t i = 0; i < bits && total < max_trials; ++i) {
+    const BitLocation loc = rig.core->registry().LocateBit(i, true);
+    if (loc.name != field || loc.bit >= max_bit) continue;
+    TrialSpec ts;
+    ts.checkpoint = static_cast<int>(rng.NextBelow(2));
+    ts.offset = rng.NextBelow(150);
+    ts.bit_index = i;
+    const TrialRecord r = RunTrial(*rig.core, *rig.golden, ts);
+    ++total;
+    if (r.outcome == Outcome::kSdc || r.outcome == Outcome::kTerminated)
+      ++failed;
+  }
+  return {failed, total};
+}
+
+TEST(Protection, RegfileEccAbsorbsRegisterFileFlips) {
+  Rig bare = MakeRig(ProtectionConfig::None());
+  Rig ecc = MakeRig({.regfile_ecc = true});
+  const auto [fail_bare, n_bare] = InjectField(bare, "regfile.value", 120);
+  const auto [fail_ecc, n_ecc] = InjectField(ecc, "regfile.value", 120);
+  ASSERT_GT(n_bare, 60);
+  ASSERT_GT(n_ecc, 60);
+  EXPECT_GT(fail_bare, n_bare / 5)
+      << "unprotected register file should be quite vulnerable";
+  // The one-cycle generation window keeps coverage below 100%, but failures
+  // must drop dramatically (paper Figure 9).
+  EXPECT_LT(fail_ecc, fail_bare / 4)
+      << fail_ecc << "/" << n_ecc << " vs " << fail_bare << "/" << n_bare;
+}
+
+TEST(Protection, RegptrEccAbsorbsAliasTableFlips) {
+  Rig bare = MakeRig(ProtectionConfig::None());
+  Rig ecc = MakeRig({.regptr_ecc = true});
+  int fail_bare = 0, n_bare = 0, fail_ecc = 0, n_ecc = 0;
+  for (const char* f : {"rename.specrat", "rename.archrat"}) {
+    auto [fb, nb] = InjectField(bare, f, 60);
+    auto [fe, ne] = InjectField(ecc, f, 60);
+    fail_bare += fb; n_bare += nb;
+    fail_ecc += fe; n_ecc += ne;
+  }
+  ASSERT_GT(n_bare, 40);
+  EXPECT_GT(fail_bare, 5);
+  EXPECT_LT(fail_ecc, std::max(1, fail_bare / 5))
+      << fail_ecc << "/" << n_ecc << " vs " << fail_bare << "/" << n_bare;
+}
+
+TEST(Protection, InsnParityCatchesInstructionWordFlips) {
+  Rig bare = MakeRig(ProtectionConfig::None());
+  Rig par = MakeRig({.insn_parity = true});
+  int fail_bare = 0, n_bare = 0, fail_par = 0, n_par = 0;
+  for (const char* f : {"rob.insn", "sched.insn", "fq.insn"}) {
+    auto [fb, nb] = InjectField(bare, f, 60, 32);
+    auto [fp, np] = InjectField(par, f, 60, 32);
+    fail_bare += fb; n_bare += nb;
+    fail_par += fp; n_par += np;
+  }
+  ASSERT_GT(n_bare, 100);
+  EXPECT_GT(fail_bare, 20) << "instruction words are highly vulnerable";
+  EXPECT_LT(fail_par, fail_bare / 4)
+      << fail_par << "/" << n_par << " vs " << fail_bare << "/" << n_bare;
+}
+
+TEST(Protection, ParityBitItselfIsBenign) {
+  // Section 4.3: the introduced overhead is naturally redundant — a flipped
+  // parity bit forces a spurious flush but never corrupts execution.
+  Rig par = MakeRig({.insn_parity = true});
+  int failed = 0, total = 0;
+  const std::uint64_t bits = par.core->registry().InjectableBits(true);
+  for (std::uint64_t i = 0; i < bits && total < 100; ++i) {
+    const BitLocation loc = par.core->registry().LocateBit(i, true);
+    if (loc.cat != StateCat::kParity) continue;
+    const TrialRecord r = RunTrial(*par.core, *par.golden, {0, 25, i, true});
+    ++total;
+    if (r.outcome == Outcome::kSdc || r.outcome == Outcome::kTerminated)
+      ++failed;
+  }
+  ASSERT_GT(total, 50);
+  EXPECT_EQ(failed, 0);
+}
+
+TEST(Protection, TimeoutCounterClearsSchedulerDeadlocks) {
+  // A flipped wait_store bit with a stale tag parks an instruction forever;
+  // the timeout counter's forced flush must recover it.
+  Rig bare = MakeRig(ProtectionConfig::None(), "gcc");
+  Rig to = MakeRig({.timeout_counter = true}, "gcc");
+  auto count_locked = [](Rig& rig) {
+    int locked = 0, total = 0;
+    const std::uint64_t bits = rig.core->registry().InjectableBits(true);
+    for (std::uint64_t i = 0; i < bits && total < 200; ++i) {
+      const BitLocation loc = rig.core->registry().LocateBit(i, true);
+      if (loc.name != "rob.done" && loc.name != "lq.state" &&
+          loc.name != "sched.wait_store")
+        continue;
+      const TrialRecord r = RunTrial(*rig.core, *rig.golden, {1, 60, i, true});
+      ++total;
+      if (r.mode == FailureMode::kLocked) ++locked;
+    }
+    return std::pair{locked, total};
+  };
+  const auto [locked_bare, n_bare] = count_locked(bare);
+  const auto [locked_to, n_to] = count_locked(to);
+  ASSERT_GT(n_bare, 50);
+  EXPECT_GT(locked_bare, 2) << "these fields should be able to deadlock";
+  EXPECT_LT(locked_to, std::max(1, locked_bare / 2))
+      << locked_to << "/" << n_to << " vs " << locked_bare << "/" << n_bare;
+}
+
+TEST(Protection, EccStateIsMostlySelfRedundant) {
+  // Faults in the ECC check bits themselves should rarely fail: the next
+  // checked read repairs the code (Section 4.3's redundancy argument).
+  Rig ecc = MakeRig(ProtectionConfig::All());
+  int failed = 0, total = 0;
+  const std::uint64_t bits = ecc.core->registry().InjectableBits(true);
+  for (std::uint64_t i = 0; i < bits && total < 150; ++i) {
+    const BitLocation loc = ecc.core->registry().LocateBit(i, true);
+    if (loc.cat != StateCat::kEcc) continue;
+    const TrialRecord r = RunTrial(*ecc.core, *ecc.golden, {0, 40, i, true});
+    ++total;
+    if (r.outcome == Outcome::kSdc || r.outcome == Outcome::kTerminated)
+      ++failed;
+  }
+  ASSERT_GT(total, 100);
+  EXPECT_LT(failed, total / 10);
+}
+
+}  // namespace
+}  // namespace tfsim

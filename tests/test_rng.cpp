@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.h"
+
+namespace tfsim {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.Next() == b.Next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBelowStaysInBounds) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.NextBelow(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowOneAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.NextBelow(1), 0u);
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextBelow(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextRangeInclusive) {
+  Rng rng(5);
+  bool lo = false, hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.NextRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    lo |= v == -3;
+    hi |= v == 3;
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BoolRespectsExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBool(0.0));
+    EXPECT_TRUE(rng.NextBool(1.0));
+  }
+}
+
+TEST(Rng, BoolApproximatesProbability) {
+  Rng rng(17);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += rng.NextBool(0.25);
+  EXPECT_NEAR(heads / 10000.0, 0.25, 0.02);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(21);
+  Rng child = a.Fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.Next() == child.Next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+// Mix64(0) == 0 by construction — the state-hash contribution convention
+// relies on zero values contributing nothing.
+TEST(Mix64, ZeroMapsToZero) { EXPECT_EQ(Mix64(0), 0u); }
+
+TEST(Mix64, Deterministic) {
+  for (std::uint64_t x : {1ULL, 99ULL, ~0ULL}) EXPECT_EQ(Mix64(x), Mix64(x));
+}
+
+TEST(Mix64, AvalancheOnSingleBit) {
+  // Flipping one input bit should flip roughly half the output bits.
+  int total = 0;
+  for (int b = 0; b < 64; ++b)
+    total += __builtin_popcountll(Mix64(12345) ^ Mix64(12345 ^ (1ULL << b)));
+  EXPECT_GT(total / 64, 20);
+  EXPECT_LT(total / 64, 44);
+}
+
+}  // namespace
+}  // namespace tfsim

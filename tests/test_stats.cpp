@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace tfsim {
+namespace {
+
+TEST(Proportion, EmptyTotalIsZero) {
+  const Proportion p = MakeProportion(0, 0);
+  EXPECT_EQ(p.value, 0.0);
+  EXPECT_EQ(p.ci95, 0.0);
+}
+
+TEST(Proportion, HalfHasMaximalCi) {
+  const Proportion half = MakeProportion(50, 100);
+  const Proportion skew = MakeProportion(5, 100);
+  EXPECT_DOUBLE_EQ(half.value, 0.5);
+  EXPECT_GT(half.ci95, skew.ci95);
+}
+
+TEST(Proportion, CiShrinksWithSamples) {
+  EXPECT_GT(MakeProportion(50, 100).ci95, MakeProportion(5000, 10000).ci95);
+}
+
+TEST(Proportion, PaperScaleCi) {
+  // Section 2.3: 25-30k trials yield a CI under 0.7% at 95% confidence.
+  const Proportion p = MakeProportion(25000 / 2, 25000);
+  EXPECT_LT(p.ci95, 0.007);
+}
+
+TEST(LinearFit, RecoversExactLine) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 - 0.25 * i);
+  }
+  const LinearFit f = FitLeastSquares(xs, ys);
+  EXPECT_NEAR(f.slope, -0.25, 1e-12);
+  EXPECT_NEAR(f.intercept, 3.0, 1e-12);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(LinearFit, FlatDataHasZeroSlope) {
+  const LinearFit f = FitLeastSquares({1, 2, 3, 4}, {5, 5, 5, 5});
+  EXPECT_DOUBLE_EQ(f.slope, 0.0);
+  EXPECT_DOUBLE_EQ(f.intercept, 5.0);
+}
+
+TEST(LinearFit, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(FitLeastSquares({}, {}).slope, 0.0);
+  const LinearFit f = FitLeastSquares({2, 2, 2}, {1, 2, 3});
+  EXPECT_DOUBLE_EQ(f.slope, 0.0);  // vertical line: fall back to mean
+  EXPECT_DOUBLE_EQ(f.intercept, 2.0);
+}
+
+TEST(RunningStat, TracksMeanMinMax) {
+  RunningStat s;
+  for (double v : {3.0, 1.0, 2.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.Mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 3.0);
+  EXPECT_EQ(s.Count(), 3u);
+}
+
+TEST(Table, RendersHeaderAndRows) {
+  TextTable t({"a", "bb"});
+  t.AddRow({"x", "1"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("a"), std::string::npos);
+  EXPECT_NE(out.find("x"), std::string::npos);
+  EXPECT_NE(out.find("1"), std::string::npos);
+}
+
+TEST(Table, BarWidthsRespectFraction) {
+  EXPECT_EQ(Bar(0.0, 10), "..........");
+  EXPECT_EQ(Bar(1.0, 10), "##########");
+  EXPECT_EQ(Bar(0.5, 10), "#####.....");
+  EXPECT_EQ(Bar(2.0, 4), "####");  // clamped
+}
+
+TEST(Table, StackedBarUsesGlyphsInOrder) {
+  const std::string bar = StackedBar({0.5, 0.5}, "AB", 10);
+  EXPECT_EQ(bar, "AAAAABBBBB");
+}
+
+TEST(Table, FmtPrecision) {
+  EXPECT_EQ(Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Fmt(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace tfsim

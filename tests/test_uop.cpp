@@ -1,0 +1,84 @@
+// Packed in-pipeline representation tests: control words, PC compression,
+// port routing, parity.
+#include <gtest/gtest.h>
+
+#include "uarch/uop.h"
+#include "util/rng.h"
+
+namespace tfsim {
+namespace {
+
+TEST(Uop, PcCompressionRoundTripsAlignedAddresses) {
+  for (std::uint64_t pc : {0x1000ull, 0x40000ull, 0xFFFFFCull, 0x4ull})
+    EXPECT_EQ(PcLoad(PcStore(pc)), pc);
+}
+
+TEST(Uop, PcStoreDropsTheAlwaysZeroBits) {
+  EXPECT_EQ(PcStore(0x1000), 0x400u);
+  // The two low bits are architecturally zero and not stored (Table 1's
+  // 62-bit PC fields).
+  EXPECT_EQ(PcLoad(PcStore(0x1003)), 0x1000u);
+}
+
+TEST(Uop, CtrlWordRoundTripsEveryDecodedInstruction) {
+  Rng rng(8);
+  for (int i = 0; i < 20000; ++i) {
+    const DecodedInst d = Decode(static_cast<std::uint32_t>(rng.Next()));
+    const DecodedInst u = UnpackCtrl(PackCtrl(d));
+    EXPECT_EQ(u.op, d.op);
+    EXPECT_EQ(u.cls, d.cls);
+    EXPECT_EQ(u.imm, d.imm);
+  }
+}
+
+TEST(Uop, CtrlWordFitsDeclaredWidth) {
+  Rng rng(9);
+  for (int i = 0; i < 5000; ++i) {
+    const DecodedInst d = Decode(static_cast<std::uint32_t>(rng.Next()));
+    EXPECT_EQ(PackCtrl(d) >> kCtrlBits, 0u);
+  }
+}
+
+TEST(Uop, CorruptedCtrlWordsUnpackToDefinedInstructions) {
+  Rng rng(10);
+  for (int i = 0; i < 20000; ++i) {
+    const DecodedInst d = UnpackCtrl(rng.Next() & ((1ULL << kCtrlBits) - 1));
+    EXPECT_LE(static_cast<int>(d.cls), static_cast<int>(InsnClass::kSyscall));
+    EXPECT_TRUE(d.mem_size == 1 || d.mem_size == 4 || d.mem_size == 8);
+  }
+}
+
+TEST(Uop, PortRoutingMatchesFigure2) {
+  EXPECT_EQ(PortFor(InsnClass::kAlu), PortClass::kSimple);
+  EXPECT_EQ(PortFor(InsnClass::kAluComplex), PortClass::kComplex);
+  EXPECT_EQ(PortFor(InsnClass::kCondBranch), PortClass::kBranch);
+  EXPECT_EQ(PortFor(InsnClass::kBr), PortClass::kBranch);
+  EXPECT_EQ(PortFor(InsnClass::kBsr), PortClass::kBranch);
+  EXPECT_EQ(PortFor(InsnClass::kJmp), PortClass::kBranch);
+  EXPECT_EQ(PortFor(InsnClass::kJsr), PortClass::kBranch);
+  EXPECT_EQ(PortFor(InsnClass::kRet), PortClass::kBranch);
+  EXPECT_EQ(PortFor(InsnClass::kLoad), PortClass::kAgu);
+  EXPECT_EQ(PortFor(InsnClass::kStore), PortClass::kAgu);
+  // Corrupted classes route somewhere defined.
+  EXPECT_EQ(PortFor(InsnClass::kIllegal), PortClass::kSimple);
+  EXPECT_EQ(PortFor(InsnClass::kSyscall), PortClass::kSimple);
+}
+
+TEST(Uop, ParityDetectsEverySingleBitFlip) {
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    const auto w = static_cast<std::uint32_t>(rng.Next());
+    const std::uint64_t p = InsnParity(w);
+    for (int b = 0; b < 32; ++b)
+      EXPECT_NE(InsnParity(w ^ (1u << b)), p);
+  }
+}
+
+TEST(Uop, ParityMissesDoubleFlips) {
+  // Single parity is exactly a single-bit detector — documents the coverage
+  // boundary of the Section 4 mechanism.
+  EXPECT_EQ(InsnParity(0x0), InsnParity(0x3));
+}
+
+}  // namespace
+}  // namespace tfsim

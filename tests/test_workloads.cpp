@@ -1,0 +1,85 @@
+// Workload-suite sanity: every program assembles, terminates, produces
+// deterministic non-trivial output, and exercises the microarchitectural
+// structures its SPEC namesake is meant to stress.
+#include <gtest/gtest.h>
+
+#include "arch/functional_sim.h"
+#include "uarch/core.h"
+#include "workloads/workloads.h"
+
+namespace tfsim {
+namespace {
+
+class WorkloadTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(WorkloadTest, AssemblesAndTerminates) {
+  const Program prog = BuildWorkload(WorkloadByName(GetParam()), 3);
+  FunctionalSim sim(prog);
+  sim.Run(20'000'000);
+  ASSERT_TRUE(sim.state().exited) << "did not exit";
+  EXPECT_EQ(sim.pending_exception(), Exception::kNone);
+  EXPECT_EQ(sim.state().output.size(), 8u);  // one checksum qword
+}
+
+TEST_P(WorkloadTest, OutputIsDeterministic) {
+  const Program prog = BuildWorkload(WorkloadByName(GetParam()), 2);
+  FunctionalSim a(prog), b(prog);
+  a.Run(20'000'000);
+  b.Run(20'000'000);
+  EXPECT_EQ(a.state().output, b.state().output);
+}
+
+TEST_P(WorkloadTest, IterationCountChangesOutput) {
+  // The checksum must actually depend on the work performed.
+  const auto& info = WorkloadByName(GetParam());
+  FunctionalSim a(BuildWorkload(info, 2)), b(BuildWorkload(info, 4));
+  a.Run(20'000'000);
+  b.Run(20'000'000);
+  EXPECT_NE(a.state().output, b.state().output);
+}
+
+TEST_P(WorkloadTest, ChattyModeEmitsPerIteration) {
+  const Program prog = BuildWorkload(WorkloadByName(GetParam()), 3, true);
+  FunctionalSim sim(prog);
+  sim.Run(20'000'000);
+  ASSERT_TRUE(sim.state().exited);
+  EXPECT_EQ(sim.state().output.size(), 8u * 4);  // 3 iterations + final
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, WorkloadTest,
+                         ::testing::Values("bzip2", "crafty", "gap", "gcc",
+                                           "gzip", "mcf", "parser", "twolf",
+                                           "vortex", "vpr"),
+                         [](const auto& p) { return std::string(p.param); });
+
+TEST(Workloads, RegistryIsComplete) {
+  EXPECT_EQ(AllWorkloads().size(), 10u);
+  EXPECT_THROW(WorkloadByName("nonesuch"), std::out_of_range);
+}
+
+TEST(Workloads, ProfilesSpanTheIntendedSpace) {
+  // The suite must span high/low IPC, good/poor branch prediction, and
+  // cache-friendly/hostile behaviour, like the paper's SPEC2000int set.
+  double min_ipc = 99, max_ipc = 0;
+  std::uint64_t max_miss = 0;
+  double worst_bp = 1.0;
+  for (const auto& w : AllWorkloads()) {
+    Core core(CoreConfig{}, BuildWorkload(w, kCampaignIters));
+    for (int c = 0; c < 80000; ++c) core.Cycle();
+    const auto& st = core.stats();
+    min_ipc = std::min(min_ipc, st.Ipc());
+    max_ipc = std::max(max_ipc, st.Ipc());
+    max_miss = std::max(max_miss, st.dcache_misses);
+    if (st.branches)
+      worst_bp = std::min(
+          worst_bp, 1.0 - static_cast<double>(st.mispredicts) /
+                              static_cast<double>(st.branches));
+  }
+  EXPECT_LT(min_ipc, 1.4);
+  EXPECT_GT(max_ipc, 2.0);
+  EXPECT_GT(max_miss, 2000u);   // mcf-style miss traffic exists
+  EXPECT_LT(worst_bp, 0.90);    // some workload defeats the predictors
+}
+
+}  // namespace
+}  // namespace tfsim

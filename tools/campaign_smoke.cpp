@@ -1,0 +1,39 @@
+#include <cstdio>
+#include <cstdlib>
+
+#include "inject/campaign.h"
+
+using namespace tfsim;
+
+int main(int argc, char** argv) {
+  CampaignSpec spec;
+  spec.workload = argc > 1 ? argv[1] : "gzip";
+  spec.trials = argc > 2 ? std::atoi(argv[2]) : 100;
+  spec.include_ram = argc > 3 ? std::atoi(argv[3]) != 0 : true;
+  spec.golden.warmup = 20000;
+  spec.golden.points = 4;
+  CampaignResult r = RunCampaign(spec);
+  const auto o = r.ByOutcome();
+  std::printf("workload=%s trials=%zu ipc=%.2f\n", spec.workload.c_str(), r.trials.size(), r.golden_ipc);
+  for (int i = 0; i < kNumOutcomes; ++i)
+    std::printf("  %-12s %llu (%.1f%%)\n", OutcomeName(static_cast<Outcome>(i)),
+                (unsigned long long)o[i], 100.0 * o[i] / r.trials.size());
+  const auto m = r.ByFailureMode();
+  for (int i = 1; i < kNumFailureModes; ++i)
+    if (m[i]) std::printf("    mode %-8s %llu\n", FailureModeName(static_cast<FailureMode>(i)), (unsigned long long)m[i]);
+  // average cycles per trial
+  double sum = 0; for (auto&t : r.trials) sum += t.cycles;
+  std::printf("  avg cycles/trial: %.0f\n", sum / r.trials.size());
+  // per-category breakdown
+  for (int c = 0; c < kNumStateCats; ++c) {
+    const auto cat = static_cast<StateCat>(c);
+    const auto oc = r.ByOutcomeForCat(cat);
+    const auto n = r.TrialsForCat(cat);
+    if (!n) continue;
+    std::printf("  %-13s n=%-4llu match=%llu term=%llu sdc=%llu gray=%llu\n",
+                StateCatName(cat), (unsigned long long)n,
+                (unsigned long long)oc[0], (unsigned long long)oc[1],
+                (unsigned long long)oc[2], (unsigned long long)oc[3]);
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "inject/golden.h"
+#include "inject/trial.h"
+#include "util/rng.h"
+#include "workloads/workloads.h"
+
+using namespace tfsim;
+
+int main(int argc, char** argv) {
+  const char* wl = argc > 1 ? argv[1] : "gzip";
+  const int trials = argc > 2 ? std::atoi(argv[2]) : 600;
+  const bool include_ram = argc > 3 ? std::atoi(argv[3]) != 0 : true;
+  CoreConfig cfg;
+  GoldenSpec gs; gs.warmup = 20000; gs.points = 4;
+  Program prog = BuildWorkload(WorkloadByName(wl), kCampaignIters);
+  auto golden = RecordGolden(cfg, prog, gs);
+  Core core(cfg, prog);
+  Rng rng(1);
+  const std::uint64_t bits = core.registry().InjectableBits(include_ram);
+  std::map<std::string, std::pair<int,int>> byname;  // gray, total
+  std::map<std::string, std::pair<int,int>> fails;
+  for (int t = 0; t < trials; ++t) {
+    TrialSpec ts;
+    ts.checkpoint = (int)rng.NextBelow(gs.points);
+    ts.offset = rng.NextBelow(gs.offset_max);
+    ts.bit_index = rng.NextBelow(bits);
+    ts.include_ram = include_ram;
+    const BitLocation loc = core.registry().LocateBit(ts.bit_index, include_ram);
+    TrialRecord r = RunTrial(core, *golden, ts);
+    auto& e = byname[loc.name];
+    e.second++;
+    if (r.outcome == Outcome::kGrayArea) e.first++;
+    auto& f = fails[loc.name];
+    f.second++;
+    if (r.outcome == Outcome::kSdc || r.outcome == Outcome::kTerminated) f.first++;
+  }
+  std::printf("--- gray by field ---\n");
+  for (auto& [name, e] : byname)
+    if (e.first) std::printf("%-22s gray=%d / %d\n", name.c_str(), e.first, e.second);
+  std::printf("--- failures by field ---\n");
+  for (auto& [name, f] : fails)
+    if (f.first) std::printf("%-22s fail=%d / %d\n", name.c_str(), f.first, f.second);
+  return 0;
+}

@@ -1,0 +1,19 @@
+#include <cstdio>
+#include "soft/soft_inject.h"
+using namespace tfsim;
+int main(int argc, char** argv) {
+  SoftCampaignSpec spec;
+  spec.workload = argc > 1 ? argv[1] : "gzip";
+  spec.trials = argc > 2 ? std::atoi(argv[2]) : 100;
+  spec.iters = 12;
+  for (int m = 0; m < kNumSoftFaultModels; ++m) {
+    spec.model = static_cast<SoftFaultModel>(m);
+    auto r = RunSoftCampaign(spec, false);
+    std::printf("%-14s", SoftFaultModelName(spec.model));
+    for (int o = 0; o < kNumSoftOutcomes; ++o)
+      std::printf("  %s=%4.1f%%", SoftOutcomeName(static_cast<SoftOutcome>(o)),
+                  100.0 * r.Rate(static_cast<SoftOutcome>(o)).value);
+    std::printf("  cfdiv=%llu\n", (unsigned long long)r.state_ok_with_divergence);
+  }
+  return 0;
+}

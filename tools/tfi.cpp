@@ -1,0 +1,220 @@
+// tfi — command-line driver for the transient-fault-injection toolkit.
+//
+//   tfi run <workload|file.s> [--cycles N] [--trace N]   run on the pipeline
+//   tfi exec <workload|file.s> [--iters N]               functional execution
+//   tfi campaign <workload> [--trials N] [--latches-only] [--protect]
+//                 [--flips N] [--adjacent]               one injection campaign
+//   tfi soft <workload> <model> [--trials N]             Section 5 campaign
+//   tfi inventory [--protect]                            Table 1 state listing
+//   tfi workloads                                        list the suite
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "arch/functional_sim.h"
+#include "inject/campaign.h"
+#include "soft/soft_inject.h"
+#include "uarch/core.h"
+#include "workloads/workloads.h"
+
+namespace tfsim {
+namespace {
+
+struct Args {
+  std::vector<std::string> positional;
+  std::int64_t cycles = 200000;
+  std::int64_t trials = 300;
+  std::int64_t iters = 4;
+  std::int64_t trace = 0;
+  std::int64_t flips = 1;
+  bool latches_only = false;
+  bool protect = false;
+  bool adjacent = false;
+};
+
+Args Parse(int argc, char** argv) {
+  Args a;
+  for (int i = 2; i < argc; ++i) {
+    const std::string s = argv[i];
+    auto next = [&]() -> std::int64_t {
+      return ++i < argc ? std::strtoll(argv[i], nullptr, 10) : 0;
+    };
+    if (s == "--cycles") a.cycles = next();
+    else if (s == "--trials") a.trials = next();
+    else if (s == "--iters") a.iters = next();
+    else if (s == "--trace") a.trace = next();
+    else if (s == "--flips") a.flips = next();
+    else if (s == "--latches-only") a.latches_only = true;
+    else if (s == "--protect") a.protect = true;
+    else if (s == "--adjacent") a.adjacent = true;
+    else a.positional.push_back(s);
+  }
+  return a;
+}
+
+// Loads a program: a workload name from the suite, or a .s assembly file.
+Program LoadProgram(const std::string& what, std::uint64_t iters) {
+  if (what.size() > 2 && what.substr(what.size() - 2) == ".s") {
+    std::ifstream in(what);
+    if (!in) throw std::runtime_error("cannot open " + what);
+    std::ostringstream src;
+    src << in.rdbuf();
+    return Assemble(src.str());
+  }
+  return BuildWorkload(WorkloadByName(what), iters);
+}
+
+int CmdWorkloads() {
+  for (const auto& w : AllWorkloads())
+    std::printf("%-8s %s\n", w.name.c_str(), w.description.c_str());
+  return 0;
+}
+
+int CmdInventory(const Args& a) {
+  CoreConfig cfg;
+  if (a.protect) cfg.protect = ProtectionConfig::All();
+  Core core(cfg, BuildWorkload(AllWorkloads()[0], kCampaignIters));
+  std::printf("%-14s %10s %10s\n", "category", "latch bits", "RAM bits");
+  std::uint64_t lt = 0, rt = 0;
+  for (int c = 0; c < kNumStateCats; ++c) {
+    const auto inv = core.registry().Inventory(static_cast<StateCat>(c));
+    if (inv.latch_bits + inv.ram_bits == 0) continue;
+    lt += inv.latch_bits;
+    rt += inv.ram_bits;
+    std::printf("%-14s %10llu %10llu\n",
+                StateCatName(static_cast<StateCat>(c)),
+                (unsigned long long)inv.latch_bits,
+                (unsigned long long)inv.ram_bits);
+  }
+  std::printf("%-14s %10llu %10llu\n", "total", (unsigned long long)lt,
+              (unsigned long long)rt);
+  return 0;
+}
+
+int CmdRun(const Args& a) {
+  const Program prog = LoadProgram(a.positional.at(0), a.iters);
+  Core core(CoreConfig{}, prog);
+  for (std::int64_t c = 0; c < a.cycles && !core.exited(); ++c) {
+    if (a.trace > 0 && c >= a.cycles - a.trace) core.DumpPipeline(std::cout);
+    core.Cycle();
+    if (core.halted_exception() != Exception::kNone) {
+      std::printf("exception: %s\n", ExceptionName(core.halted_exception()));
+      return 1;
+    }
+  }
+  const auto& st = core.stats();
+  std::printf(
+      "cycles=%llu retired=%llu IPC=%.2f bp=%.1f%% d$miss=%llu "
+      "mispredicts=%llu flushes=%llu%s\n",
+      (unsigned long long)st.cycles, (unsigned long long)st.retired, st.Ipc(),
+      st.branches ? 100.0 * (1.0 - (double)st.mispredicts / (double)st.branches) : 0.0,
+      (unsigned long long)st.dcache_misses,
+      (unsigned long long)st.mispredicts,
+      (unsigned long long)st.full_flushes,
+      core.exited() ? " [exited]" : "");
+  if (!core.output().empty()) {
+    std::printf("output (%zu bytes):", core.output().size());
+    for (std::size_t i = 0; i < core.output().size() && i < 32; ++i)
+      std::printf(" %02x", core.output()[i]);
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int CmdExec(const Args& a) {
+  const Program prog = LoadProgram(a.positional.at(0), a.iters);
+  FunctionalSim sim(prog);
+  sim.Run(1ULL << 33);
+  std::printf("instructions=%llu %s exit=%llu output=%zu bytes\n",
+              (unsigned long long)sim.InsnCount(),
+              sim.state().exited ? "[exited]"
+                                 : ExceptionName(sim.pending_exception()),
+              (unsigned long long)sim.state().exit_code,
+              sim.state().output.size());
+  return sim.state().exited ? 0 : 1;
+}
+
+int CmdCampaign(const Args& a) {
+  CampaignSpec spec;
+  spec.workload = a.positional.at(0);
+  spec.trials = static_cast<int>(a.trials);
+  spec.include_ram = !a.latches_only;
+  spec.flips = static_cast<int>(a.flips);
+  spec.adjacent = a.adjacent;
+  if (a.protect) spec.core.protect = ProtectionConfig::All();
+  const CampaignResult r = RunCampaign(spec);
+  const auto o = r.ByOutcome();
+  const double n = static_cast<double>(r.trials.size());
+  std::printf("workload=%s trials=%zu ipc=%.2f\n", spec.workload.c_str(),
+              r.trials.size(), r.golden_ipc);
+  for (int i = 0; i < kNumOutcomes; ++i)
+    std::printf("  %-12s %5.1f%%\n", OutcomeName(static_cast<Outcome>(i)),
+                100.0 * o[i] / n);
+  const auto m = r.ByFailureMode();
+  for (int i = 1; i < kNumFailureModes; ++i)
+    if (m[i])
+      std::printf("    %-8s %llu\n", FailureModeName(static_cast<FailureMode>(i)),
+                  (unsigned long long)m[i]);
+  return 0;
+}
+
+int CmdSoft(const Args& a) {
+  SoftCampaignSpec spec;
+  spec.workload = a.positional.at(0);
+  spec.trials = static_cast<int>(a.trials);
+  spec.iters = static_cast<std::uint64_t>(a.iters > 4 ? a.iters : 8);
+  const std::string model = a.positional.at(1);
+  bool found = false;
+  for (int m = 0; m < kNumSoftFaultModels; ++m) {
+    if (model == SoftFaultModelName(static_cast<SoftFaultModel>(m))) {
+      spec.model = static_cast<SoftFaultModel>(m);
+      found = true;
+    }
+  }
+  if (!found) {
+    std::fprintf(stderr, "unknown model '%s'; options:", model.c_str());
+    for (int m = 0; m < kNumSoftFaultModels; ++m)
+      std::fprintf(stderr, " %s", SoftFaultModelName(static_cast<SoftFaultModel>(m)));
+    std::fprintf(stderr, "\n");
+    return 2;
+  }
+  const SoftCampaignResult r = RunSoftCampaign(spec);
+  for (int o = 0; o < kNumSoftOutcomes; ++o)
+    std::printf("  %-11s %5.1f%%\n", SoftOutcomeName(static_cast<SoftOutcome>(o)),
+                100.0 * r.Rate(static_cast<SoftOutcome>(o)).value);
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: tfi <run|exec|campaign|soft|inventory|workloads> ...\n"
+               "see the header of tools/tfi.cpp for details\n");
+  return 2;
+}
+
+}  // namespace
+}  // namespace tfsim
+
+int main(int argc, char** argv) {
+  using namespace tfsim;
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  const Args args = Parse(argc, argv);
+  try {
+    if (cmd == "workloads") return CmdWorkloads();
+    if (cmd == "inventory") return CmdInventory(args);
+    if (cmd == "run") return CmdRun(args);
+    if (cmd == "exec") return CmdExec(args);
+    if (cmd == "campaign") return CmdCampaign(args);
+    if (cmd == "soft") return CmdSoft(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tfi: %s\n", e.what());
+    return 1;
+  }
+  return Usage();
+}
