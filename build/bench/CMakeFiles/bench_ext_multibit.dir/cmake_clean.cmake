@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_multibit.dir/bench_ext_multibit.cpp.o"
+  "CMakeFiles/bench_ext_multibit.dir/bench_ext_multibit.cpp.o.d"
+  "bench_ext_multibit"
+  "bench_ext_multibit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_multibit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_protected_contrib.dir/bench_fig10_protected_contrib.cpp.o"
+  "CMakeFiles/bench_fig10_protected_contrib.dir/bench_fig10_protected_contrib.cpp.o.d"
+  "bench_fig10_protected_contrib"
+  "bench_fig10_protected_contrib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_protected_contrib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

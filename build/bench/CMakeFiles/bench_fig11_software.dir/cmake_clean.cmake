@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_software.dir/bench_fig11_software.cpp.o"
+  "CMakeFiles/bench_fig11_software.dir/bench_fig11_software.cpp.o.d"
+  "bench_fig11_software"
+  "bench_fig11_software.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_software.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

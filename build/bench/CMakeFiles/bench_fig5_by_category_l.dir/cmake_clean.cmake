@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_by_category_l.dir/bench_fig5_by_category_l.cpp.o"
+  "CMakeFiles/bench_fig5_by_category_l.dir/bench_fig5_by_category_l.cpp.o.d"
+  "bench_fig5_by_category_l"
+  "bench_fig5_by_category_l.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_by_category_l.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_protected.dir/bench_fig9_protected.cpp.o"
+  "CMakeFiles/bench_fig9_protected.dir/bench_fig9_protected.cpp.o.d"
+  "bench_fig9_protected"
+  "bench_fig9_protected.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_protected.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

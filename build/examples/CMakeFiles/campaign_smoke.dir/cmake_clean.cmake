@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campaign_smoke.dir/__/tools/campaign_smoke.cpp.o"
+  "CMakeFiles/campaign_smoke.dir/__/tools/campaign_smoke.cpp.o.d"
+  "campaign_smoke"
+  "campaign_smoke.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campaign_smoke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

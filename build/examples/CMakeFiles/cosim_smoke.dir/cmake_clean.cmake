@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosim_smoke.dir/__/tools/cosim_smoke.cpp.o"
+  "CMakeFiles/cosim_smoke.dir/__/tools/cosim_smoke.cpp.o.d"
+  "cosim_smoke"
+  "cosim_smoke.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosim_smoke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_trial_anatomy.dir/fault_trial_anatomy.cpp.o"
+  "CMakeFiles/fault_trial_anatomy.dir/fault_trial_anatomy.cpp.o.d"
+  "fault_trial_anatomy"
+  "fault_trial_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_trial_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

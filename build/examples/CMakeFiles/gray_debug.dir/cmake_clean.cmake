@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gray_debug.dir/__/tools/gray_debug.cpp.o"
+  "CMakeFiles/gray_debug.dir/__/tools/gray_debug.cpp.o.d"
+  "gray_debug"
+  "gray_debug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gray_debug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

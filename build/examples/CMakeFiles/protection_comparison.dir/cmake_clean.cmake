@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protection_comparison.dir/protection_comparison.cpp.o"
+  "CMakeFiles/protection_comparison.dir/protection_comparison.cpp.o.d"
+  "protection_comparison"
+  "protection_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protection_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soft_smoke.dir/__/tools/soft_smoke.cpp.o"
+  "CMakeFiles/soft_smoke.dir/__/tools/soft_smoke.cpp.o.d"
+  "soft_smoke"
+  "soft_smoke.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soft_smoke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

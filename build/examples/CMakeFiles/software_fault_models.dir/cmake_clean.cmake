@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/software_fault_models.dir/software_fault_models.cpp.o"
+  "CMakeFiles/software_fault_models.dir/software_fault_models.cpp.o.d"
+  "software_fault_models"
+  "software_fault_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/software_fault_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfi.dir/__/tools/tfi.cpp.o"
+  "CMakeFiles/tfi.dir/__/tools/tfi.cpp.o.d"
+  "tfi"
+  "tfi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

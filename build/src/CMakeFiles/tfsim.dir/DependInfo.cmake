@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/arch_state.cpp" "src/CMakeFiles/tfsim.dir/arch/arch_state.cpp.o" "gcc" "src/CMakeFiles/tfsim.dir/arch/arch_state.cpp.o.d"
+  "/root/repo/src/arch/functional_sim.cpp" "src/CMakeFiles/tfsim.dir/arch/functional_sim.cpp.o" "gcc" "src/CMakeFiles/tfsim.dir/arch/functional_sim.cpp.o.d"
+  "/root/repo/src/arch/memory.cpp" "src/CMakeFiles/tfsim.dir/arch/memory.cpp.o" "gcc" "src/CMakeFiles/tfsim.dir/arch/memory.cpp.o.d"
+  "/root/repo/src/arch/syscall.cpp" "src/CMakeFiles/tfsim.dir/arch/syscall.cpp.o" "gcc" "src/CMakeFiles/tfsim.dir/arch/syscall.cpp.o.d"
+  "/root/repo/src/arch/tlb.cpp" "src/CMakeFiles/tfsim.dir/arch/tlb.cpp.o" "gcc" "src/CMakeFiles/tfsim.dir/arch/tlb.cpp.o.d"
+  "/root/repo/src/inject/cache.cpp" "src/CMakeFiles/tfsim.dir/inject/cache.cpp.o" "gcc" "src/CMakeFiles/tfsim.dir/inject/cache.cpp.o.d"
+  "/root/repo/src/inject/campaign.cpp" "src/CMakeFiles/tfsim.dir/inject/campaign.cpp.o" "gcc" "src/CMakeFiles/tfsim.dir/inject/campaign.cpp.o.d"
+  "/root/repo/src/inject/golden.cpp" "src/CMakeFiles/tfsim.dir/inject/golden.cpp.o" "gcc" "src/CMakeFiles/tfsim.dir/inject/golden.cpp.o.d"
+  "/root/repo/src/inject/outcome.cpp" "src/CMakeFiles/tfsim.dir/inject/outcome.cpp.o" "gcc" "src/CMakeFiles/tfsim.dir/inject/outcome.cpp.o.d"
+  "/root/repo/src/inject/report.cpp" "src/CMakeFiles/tfsim.dir/inject/report.cpp.o" "gcc" "src/CMakeFiles/tfsim.dir/inject/report.cpp.o.d"
+  "/root/repo/src/inject/trial.cpp" "src/CMakeFiles/tfsim.dir/inject/trial.cpp.o" "gcc" "src/CMakeFiles/tfsim.dir/inject/trial.cpp.o.d"
+  "/root/repo/src/isa/assemble.cpp" "src/CMakeFiles/tfsim.dir/isa/assemble.cpp.o" "gcc" "src/CMakeFiles/tfsim.dir/isa/assemble.cpp.o.d"
+  "/root/repo/src/isa/decode.cpp" "src/CMakeFiles/tfsim.dir/isa/decode.cpp.o" "gcc" "src/CMakeFiles/tfsim.dir/isa/decode.cpp.o.d"
+  "/root/repo/src/isa/disasm.cpp" "src/CMakeFiles/tfsim.dir/isa/disasm.cpp.o" "gcc" "src/CMakeFiles/tfsim.dir/isa/disasm.cpp.o.d"
+  "/root/repo/src/isa/isa.cpp" "src/CMakeFiles/tfsim.dir/isa/isa.cpp.o" "gcc" "src/CMakeFiles/tfsim.dir/isa/isa.cpp.o.d"
+  "/root/repo/src/protect/ecc.cpp" "src/CMakeFiles/tfsim.dir/protect/ecc.cpp.o" "gcc" "src/CMakeFiles/tfsim.dir/protect/ecc.cpp.o.d"
+  "/root/repo/src/soft/soft_inject.cpp" "src/CMakeFiles/tfsim.dir/soft/soft_inject.cpp.o" "gcc" "src/CMakeFiles/tfsim.dir/soft/soft_inject.cpp.o.d"
+  "/root/repo/src/state/state_registry.cpp" "src/CMakeFiles/tfsim.dir/state/state_registry.cpp.o" "gcc" "src/CMakeFiles/tfsim.dir/state/state_registry.cpp.o.d"
+  "/root/repo/src/uarch/bpred.cpp" "src/CMakeFiles/tfsim.dir/uarch/bpred.cpp.o" "gcc" "src/CMakeFiles/tfsim.dir/uarch/bpred.cpp.o.d"
+  "/root/repo/src/uarch/core.cpp" "src/CMakeFiles/tfsim.dir/uarch/core.cpp.o" "gcc" "src/CMakeFiles/tfsim.dir/uarch/core.cpp.o.d"
+  "/root/repo/src/uarch/dcache.cpp" "src/CMakeFiles/tfsim.dir/uarch/dcache.cpp.o" "gcc" "src/CMakeFiles/tfsim.dir/uarch/dcache.cpp.o.d"
+  "/root/repo/src/uarch/decode_stage.cpp" "src/CMakeFiles/tfsim.dir/uarch/decode_stage.cpp.o" "gcc" "src/CMakeFiles/tfsim.dir/uarch/decode_stage.cpp.o.d"
+  "/root/repo/src/uarch/execute.cpp" "src/CMakeFiles/tfsim.dir/uarch/execute.cpp.o" "gcc" "src/CMakeFiles/tfsim.dir/uarch/execute.cpp.o.d"
+  "/root/repo/src/uarch/fetch.cpp" "src/CMakeFiles/tfsim.dir/uarch/fetch.cpp.o" "gcc" "src/CMakeFiles/tfsim.dir/uarch/fetch.cpp.o.d"
+  "/root/repo/src/uarch/icache.cpp" "src/CMakeFiles/tfsim.dir/uarch/icache.cpp.o" "gcc" "src/CMakeFiles/tfsim.dir/uarch/icache.cpp.o.d"
+  "/root/repo/src/uarch/lsq.cpp" "src/CMakeFiles/tfsim.dir/uarch/lsq.cpp.o" "gcc" "src/CMakeFiles/tfsim.dir/uarch/lsq.cpp.o.d"
+  "/root/repo/src/uarch/regfile.cpp" "src/CMakeFiles/tfsim.dir/uarch/regfile.cpp.o" "gcc" "src/CMakeFiles/tfsim.dir/uarch/regfile.cpp.o.d"
+  "/root/repo/src/uarch/rename.cpp" "src/CMakeFiles/tfsim.dir/uarch/rename.cpp.o" "gcc" "src/CMakeFiles/tfsim.dir/uarch/rename.cpp.o.d"
+  "/root/repo/src/uarch/rob.cpp" "src/CMakeFiles/tfsim.dir/uarch/rob.cpp.o" "gcc" "src/CMakeFiles/tfsim.dir/uarch/rob.cpp.o.d"
+  "/root/repo/src/uarch/scheduler.cpp" "src/CMakeFiles/tfsim.dir/uarch/scheduler.cpp.o" "gcc" "src/CMakeFiles/tfsim.dir/uarch/scheduler.cpp.o.d"
+  "/root/repo/src/uarch/store_sets.cpp" "src/CMakeFiles/tfsim.dir/uarch/store_sets.cpp.o" "gcc" "src/CMakeFiles/tfsim.dir/uarch/store_sets.cpp.o.d"
+  "/root/repo/src/uarch/trace.cpp" "src/CMakeFiles/tfsim.dir/uarch/trace.cpp.o" "gcc" "src/CMakeFiles/tfsim.dir/uarch/trace.cpp.o.d"
+  "/root/repo/src/util/env.cpp" "src/CMakeFiles/tfsim.dir/util/env.cpp.o" "gcc" "src/CMakeFiles/tfsim.dir/util/env.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/tfsim.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/tfsim.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/tfsim.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/tfsim.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/tfsim.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/tfsim.dir/util/table.cpp.o.d"
+  "/root/repo/src/workloads/programs_compress.cpp" "src/CMakeFiles/tfsim.dir/workloads/programs_compress.cpp.o" "gcc" "src/CMakeFiles/tfsim.dir/workloads/programs_compress.cpp.o.d"
+  "/root/repo/src/workloads/programs_misc.cpp" "src/CMakeFiles/tfsim.dir/workloads/programs_misc.cpp.o" "gcc" "src/CMakeFiles/tfsim.dir/workloads/programs_misc.cpp.o.d"
+  "/root/repo/src/workloads/programs_pointer.cpp" "src/CMakeFiles/tfsim.dir/workloads/programs_pointer.cpp.o" "gcc" "src/CMakeFiles/tfsim.dir/workloads/programs_pointer.cpp.o.d"
+  "/root/repo/src/workloads/workloads.cpp" "src/CMakeFiles/tfsim.dir/workloads/workloads.cpp.o" "gcc" "src/CMakeFiles/tfsim.dir/workloads/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+src/CMakeFiles/tfsim.dir/workloads/programs_pointer.cpp.o: \
+ /root/repo/src/workloads/programs_pointer.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/workloads/programs.h

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_alu.cpp" "tests/CMakeFiles/tfsim_tests.dir/test_alu.cpp.o" "gcc" "tests/CMakeFiles/tfsim_tests.dir/test_alu.cpp.o.d"
+  "/root/repo/tests/test_assembler.cpp" "tests/CMakeFiles/tfsim_tests.dir/test_assembler.cpp.o" "gcc" "tests/CMakeFiles/tfsim_tests.dir/test_assembler.cpp.o.d"
+  "/root/repo/tests/test_components.cpp" "tests/CMakeFiles/tfsim_tests.dir/test_components.cpp.o" "gcc" "tests/CMakeFiles/tfsim_tests.dir/test_components.cpp.o.d"
+  "/root/repo/tests/test_core.cpp" "tests/CMakeFiles/tfsim_tests.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/tfsim_tests.dir/test_core.cpp.o.d"
+  "/root/repo/tests/test_core_memory.cpp" "tests/CMakeFiles/tfsim_tests.dir/test_core_memory.cpp.o" "gcc" "tests/CMakeFiles/tfsim_tests.dir/test_core_memory.cpp.o.d"
+  "/root/repo/tests/test_differential.cpp" "tests/CMakeFiles/tfsim_tests.dir/test_differential.cpp.o" "gcc" "tests/CMakeFiles/tfsim_tests.dir/test_differential.cpp.o.d"
+  "/root/repo/tests/test_ecc.cpp" "tests/CMakeFiles/tfsim_tests.dir/test_ecc.cpp.o" "gcc" "tests/CMakeFiles/tfsim_tests.dir/test_ecc.cpp.o.d"
+  "/root/repo/tests/test_fault_totality.cpp" "tests/CMakeFiles/tfsim_tests.dir/test_fault_totality.cpp.o" "gcc" "tests/CMakeFiles/tfsim_tests.dir/test_fault_totality.cpp.o.d"
+  "/root/repo/tests/test_functional.cpp" "tests/CMakeFiles/tfsim_tests.dir/test_functional.cpp.o" "gcc" "tests/CMakeFiles/tfsim_tests.dir/test_functional.cpp.o.d"
+  "/root/repo/tests/test_golden_more.cpp" "tests/CMakeFiles/tfsim_tests.dir/test_golden_more.cpp.o" "gcc" "tests/CMakeFiles/tfsim_tests.dir/test_golden_more.cpp.o.d"
+  "/root/repo/tests/test_inject.cpp" "tests/CMakeFiles/tfsim_tests.dir/test_inject.cpp.o" "gcc" "tests/CMakeFiles/tfsim_tests.dir/test_inject.cpp.o.d"
+  "/root/repo/tests/test_isa.cpp" "tests/CMakeFiles/tfsim_tests.dir/test_isa.cpp.o" "gcc" "tests/CMakeFiles/tfsim_tests.dir/test_isa.cpp.o.d"
+  "/root/repo/tests/test_memory.cpp" "tests/CMakeFiles/tfsim_tests.dir/test_memory.cpp.o" "gcc" "tests/CMakeFiles/tfsim_tests.dir/test_memory.cpp.o.d"
+  "/root/repo/tests/test_protection.cpp" "tests/CMakeFiles/tfsim_tests.dir/test_protection.cpp.o" "gcc" "tests/CMakeFiles/tfsim_tests.dir/test_protection.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/tfsim_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/tfsim_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/tfsim_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/tfsim_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_soft.cpp" "tests/CMakeFiles/tfsim_tests.dir/test_soft.cpp.o" "gcc" "tests/CMakeFiles/tfsim_tests.dir/test_soft.cpp.o.d"
+  "/root/repo/tests/test_state_registry.cpp" "tests/CMakeFiles/tfsim_tests.dir/test_state_registry.cpp.o" "gcc" "tests/CMakeFiles/tfsim_tests.dir/test_state_registry.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/tfsim_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/tfsim_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_trial_classification.cpp" "tests/CMakeFiles/tfsim_tests.dir/test_trial_classification.cpp.o" "gcc" "tests/CMakeFiles/tfsim_tests.dir/test_trial_classification.cpp.o.d"
+  "/root/repo/tests/test_uop.cpp" "tests/CMakeFiles/tfsim_tests.dir/test_uop.cpp.o" "gcc" "tests/CMakeFiles/tfsim_tests.dir/test_uop.cpp.o.d"
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/tfsim_tests.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/tfsim_tests.dir/test_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tfsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
