@@ -1,8 +1,22 @@
 #include "bench/common.h"
 
 #include <cstdio>
+#include <fstream>
+
+#include "obs/metrics.h"
+#include "workloads/workloads.h"
 
 namespace tfsim::bench {
+namespace {
+
+// One registry shared by every suite a bench binary runs, so the exported
+// snapshot accumulates across specs (base + protected, l and l+r...).
+obs::MetricsRegistry& GlobalMetrics() {
+  static obs::MetricsRegistry m;
+  return m;
+}
+
+}  // namespace
 
 CampaignSpec BaseSpec(bool include_ram, const ProtectionConfig& protect) {
   CampaignSpec spec;
@@ -15,7 +29,22 @@ CampaignSpec BaseSpec(bool include_ram, const ProtectionConfig& protect) {
 
 std::vector<CampaignResult> Suite(const CampaignSpec& spec) {
   CampaignSpec s = spec;
-  return RunSuite(s);
+  const std::string metrics_path = EnvStr("TFI_METRICS_JSON", "");
+  CampaignObs cobs;
+  cobs.progress = EnvInt("TFI_PROGRESS", 0) != 0;
+  if (!metrics_path.empty()) cobs.sinks.metrics = &GlobalMetrics();
+  const CampaignObs* use = cobs.sinks.Any() || cobs.progress ? &cobs : nullptr;
+
+  std::vector<CampaignResult> out;
+  for (const auto& w : AllWorkloads()) {
+    s.workload = w.name;
+    out.push_back(RunCampaign(s, true, use));
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream f(metrics_path);
+    if (f) GlobalMetrics().WriteJson(f);
+  }
+  return out;
 }
 
 std::vector<std::string> OutcomeCells(

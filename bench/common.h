@@ -8,6 +8,12 @@
 //   TFI_SOFT_TRIALS trials per benchmark per fault model (default 100)
 //   TFI_POINTS     checkpoints (start points) per golden  (default 12)
 //   TFI_CACHE_DIR  results cache directory (default ./.tfi_cache)
+//   TFI_PROGRESS   =1: per-campaign progress lines (trials/sec, outcome mix)
+//   TFI_METRICS_JSON  write a cumulative metrics-registry JSON snapshot to
+//                     this path after each suite (campaign + pipeline
+//                     occupancy metrics across every benchmark run so far).
+//                     Note: metrics observe live execution, so this bypasses
+//                     the campaign results cache and re-runs each campaign.
 #pragma once
 
 #include <string>

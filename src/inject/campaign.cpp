@@ -1,10 +1,14 @@
 #include "inject/campaign.h"
 
+#include <chrono>
 #include <cstdio>
+#include <optional>
 #include <sstream>
 
 #include "inject/cache.h"
 #include "inject/trial.h"
+#include "obs/chrome_trace.h"
+#include "obs/metrics.h"
 #include "util/rng.h"
 #include "workloads/workloads.h"
 
@@ -82,12 +86,63 @@ Proportion CampaignResult::FailureRate() const {
   return MakeProportion(failed, trials.size());
 }
 
-CampaignResult RunCampaign(const CampaignSpec& spec, bool verbose) {
-  if (auto cached = LoadCachedCampaign(spec)) {
-    if (verbose)
-      std::fprintf(stderr, "[campaign %s] loaded %zu trials from cache\n",
-                   spec.CacheKey().c_str(), cached->trials.size());
-    return *cached;
+namespace {
+
+// Shared progress/telemetry state for one campaign's trial loop.
+struct TrialLoopObs {
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start = Clock::now();
+  Clock::time_point last_progress = start;
+  std::array<std::uint64_t, kNumOutcomes> outcomes{};
+
+  std::uint64_t ElapsedUs(Clock::time_point t) const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(t - start)
+            .count());
+  }
+
+  void PrintProgress(const std::string& key, int done, int total,
+                     bool final_line) {
+    const double secs =
+        static_cast<double>(ElapsedUs(Clock::now())) * 1e-6;
+    std::fprintf(stderr,
+                 "[campaign %s] %d/%d trials  %.1f trials/s  "
+                 "match=%llu term=%llu sdc=%llu gray=%llu%s\n",
+                 key.c_str(), done, total,
+                 secs > 0 ? static_cast<double>(done) / secs : 0.0,
+                 (unsigned long long)outcomes[0], (unsigned long long)outcomes[1],
+                 (unsigned long long)outcomes[2], (unsigned long long)outcomes[3],
+                 final_line ? " [done]" : "");
+  }
+};
+
+}  // namespace
+
+CampaignResult RunCampaign(const CampaignSpec& spec, bool verbose,
+                           const CampaignObs* cobs) {
+  obs::MetricsRegistry* metrics = cobs ? cobs->sinks.metrics : nullptr;
+  obs::ChromeTraceWriter* chrome = cobs ? cobs->sinks.chrome : nullptr;
+  const bool tracing = cobs && cobs->collect_prop_traces;
+
+  // Observed runs bypass the cache load: telemetry (traces, metrics,
+  // chrome events) records live execution and is never cached, so a cache
+  // hit would export hollow files. Results are still stored for untraced
+  // reuse.
+  if (!tracing && !metrics && !chrome) {
+    if (auto cached = LoadCachedCampaign(spec)) {
+      if (metrics) metrics->GetCounter("campaign.cache.hits").Inc();
+      if (verbose)
+        std::fprintf(stderr, "[campaign %s] loaded %zu trials from cache\n",
+                     spec.CacheKey().c_str(), cached->trials.size());
+      return *cached;
+    }
+  }
+  if (metrics) metrics->GetCounter("campaign.cache.misses").Inc();
+  if (chrome) {
+    chrome->SetProcessName(obs::ChromeTraceWriter::kPidPipeline,
+                           "pipeline occupancy (golden run, 1us = 1 cycle)");
+    chrome->SetProcessName(obs::ChromeTraceWriter::kPidCampaign,
+                           "campaign trials (wall clock)");
   }
 
   const WorkloadInfo& info = WorkloadByName(spec.workload);
@@ -95,7 +150,13 @@ CampaignResult RunCampaign(const CampaignSpec& spec, bool verbose) {
   if (verbose)
     std::fprintf(stderr, "[campaign %s] recording golden run...\n",
                  spec.CacheKey().c_str());
-  const auto golden = RecordGolden(spec.core, program, spec.golden);
+  std::shared_ptr<const GoldenRun> golden;
+  {
+    std::optional<obs::ScopedTimer> timed;
+    if (metrics) timed.emplace(metrics->GetTimer("campaign.golden_record"));
+    golden = RecordGolden(spec.core, program, spec.golden,
+                          cobs ? &cobs->sinks : nullptr);
+  }
 
   CampaignResult result;
   result.spec = spec;
@@ -114,6 +175,11 @@ CampaignResult RunCampaign(const CampaignSpec& spec, bool verbose) {
   Rng rng(spec.seed);
   const std::uint64_t bits = core.registry().InjectableBits(spec.include_ram);
   result.trials.reserve(static_cast<std::size_t>(spec.trials));
+  if (tracing) result.prop_traces.reserve(static_cast<std::size_t>(spec.trials));
+
+  TrialLoopObs loop;
+  std::optional<obs::ScopedTimer> loop_timer;
+  if (metrics) loop_timer.emplace(metrics->GetTimer("campaign.trial_loop"));
   for (int t = 0; t < spec.trials; ++t) {
     TrialSpec ts;
     ts.checkpoint = static_cast<int>(
@@ -123,11 +189,49 @@ CampaignResult RunCampaign(const CampaignSpec& spec, bool verbose) {
     ts.include_ram = spec.include_ram;
     ts.flips = spec.flips;
     ts.adjacent = spec.adjacent;
-    result.trials.push_back(RunTrial(core, *golden, ts));
-    if (verbose && (t + 1) % 200 == 0)
+
+    obs::PropagationTrace trace;
+    const auto t0 = TrialLoopObs::Clock::now();
+    const TrialRecord rec =
+        RunTrial(core, *golden, ts, tracing ? &trace : nullptr);
+    const auto t1 = TrialLoopObs::Clock::now();
+    result.trials.push_back(rec);
+    if (tracing) result.prop_traces.push_back(std::move(trace));
+    loop.outcomes[static_cast<int>(rec.outcome)]++;
+
+    if (metrics) {
+      metrics->GetCounter("campaign.trials").Inc();
+      metrics->GetCounter(std::string("campaign.outcome.") +
+                          OutcomeName(rec.outcome))
+          .Inc();
+      metrics->GetHistogram("campaign.trial_cycles", 512, 20).Add(rec.cycles);
+    }
+    if (chrome) {
+      const std::uint64_t ts_us = loop.ElapsedUs(t0);
+      const std::uint64_t dur_us = loop.ElapsedUs(t1) - ts_us;
+      chrome->CompleteEvent(
+          OutcomeName(rec.outcome), obs::ChromeTraceWriter::kPidCampaign,
+          /*tid=*/0, ts_us, dur_us,
+          {{"category", StateCatName(rec.cat)},
+           {"failure_mode", FailureModeName(rec.mode)},
+           {"cycles", std::to_string(rec.cycles)}});
+    }
+
+    const bool progress_due =
+        cobs && cobs->progress &&
+        (TrialLoopObs::Clock::now() - loop.last_progress >=
+         std::chrono::seconds(1));
+    if (progress_due) {
+      loop.last_progress = TrialLoopObs::Clock::now();
+      loop.PrintProgress(spec.CacheKey(), t + 1, spec.trials, false);
+    } else if (verbose && !(cobs && cobs->progress) && (t + 1) % 200 == 0) {
       std::fprintf(stderr, "[campaign %s] %d/%d trials\n",
                    spec.CacheKey().c_str(), t + 1, spec.trials);
+    }
   }
+  loop_timer.reset();
+  if (cobs && cobs->progress)
+    loop.PrintProgress(spec.CacheKey(), spec.trials, spec.trials, true);
 
   StoreCachedCampaign(result);
   return result;
@@ -143,6 +247,8 @@ CampaignResult MergeResults(const std::vector<CampaignResult>& parts) {
   for (const auto& p : parts) {
     merged.trials.insert(merged.trials.end(), p.trials.begin(),
                          p.trials.end());
+    merged.prop_traces.insert(merged.prop_traces.end(), p.prop_traces.begin(),
+                              p.prop_traces.end());
     ipc += p.golden_ipc;
   }
   merged.golden_ipc = ipc / static_cast<double>(parts.size());

@@ -11,6 +11,8 @@
 
 #include "inject/golden.h"
 #include "inject/outcome.h"
+#include "obs/prop_trace.h"
+#include "obs/sinks.h"
 #include "uarch/config.h"
 #include "util/stats.h"
 
@@ -30,9 +32,27 @@ struct CampaignSpec {
   std::string CacheKey() const;
 };
 
+// Optional observability for a campaign run. All members may be left at
+// their defaults; observation never changes trial results (tracing and
+// metrics only read machine state).
+struct CampaignObs {
+  // Metrics/chrome sinks, attached to the golden-run core and the trial
+  // core, and fed campaign-level counters, timers and trial spans.
+  obs::ObsSinks sinks;
+  // Record a PropagationTrace per trial into CampaignResult::prop_traces.
+  // Traced runs bypass the on-disk result cache (traces are not cached) but
+  // still store their results for later untraced runs.
+  bool collect_prop_traces = false;
+  // Periodic stderr progress lines with trials/sec and the outcome mix.
+  bool progress = false;
+};
+
 struct CampaignResult {
   CampaignSpec spec;
   std::vector<TrialRecord> trials;
+  // Per-trial propagation traces, parallel to `trials`. Only populated when
+  // CampaignObs::collect_prop_traces was set (never loaded from the cache).
+  std::vector<obs::PropagationTrace> prop_traces;
   // Inventory of the injected machine (for Table 1 and rate normalization).
   std::array<StateRegistry::CategoryBits, kNumStateCats> inventory{};
   double golden_ipc = 0.0;
@@ -51,8 +71,10 @@ struct CampaignResult {
 };
 
 // Runs (or loads from the cache) a campaign. Progress notes go to stderr
-// when `verbose`.
-CampaignResult RunCampaign(const CampaignSpec& spec, bool verbose = true);
+// when `verbose`. `cobs` (optional) attaches observability sinks and
+// per-trial propagation tracing.
+CampaignResult RunCampaign(const CampaignSpec& spec, bool verbose = true,
+                           const CampaignObs* cobs = nullptr);
 
 // Merges multiple per-benchmark results into one aggregate (the paper's
 // rightmost "aggregate" bars).

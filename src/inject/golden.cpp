@@ -18,7 +18,8 @@ std::uint32_t GoldenTimeline::ValidInstrsAt(std::size_t cycle_index) const {
 
 std::shared_ptr<const GoldenRun> RecordGolden(const CoreConfig& cfg,
                                               const Program& program,
-                                              const GoldenSpec& spec) {
+                                              const GoldenSpec& spec,
+                                              const obs::ObsSinks* obs) {
   auto run = std::make_shared<GoldenRun>();
   run->cfg = cfg;
   run->program = program;
@@ -27,6 +28,7 @@ std::shared_ptr<const GoldenRun> RecordGolden(const CoreConfig& cfg,
   Core core(cfg, program);
   FunctionalSim ref(program);
   core.tlb().SetLearning(true);
+  core.AttachObs(obs);
 
   const std::uint64_t record_cycles =
       static_cast<std::uint64_t>(spec.points - 1) * spec.spacing +
@@ -61,6 +63,7 @@ std::shared_ptr<const GoldenRun> RecordGolden(const CoreConfig& cfg,
 
     if (!recording) return;
     tl.state_hash.push_back(core.StateHash());
+    tl.cat_hash.push_back(core.registry().CatHashes());
     tl.arch_hash.push_back(core.ArchViewHash());
     tl.mem_hash.push_back(core.memory().ContentHash() ^ core.OutputHash());
     tl.sb_empty.push_back(core.StoreBufferEmpty() ? 1 : 0);
@@ -93,6 +96,7 @@ std::shared_ptr<const GoldenRun> RecordGolden(const CoreConfig& cfg,
   run->tlb = core.tlb();
   run->tlb.SetLearning(false);
   run->stats = core.stats();
+  core.FlushObsCounters();
   return run;
 }
 

@@ -13,6 +13,7 @@
 #include "arch/arch_state.h"
 #include "arch/tlb.h"
 #include "isa/assemble.h"
+#include "obs/sinks.h"
 #include "uarch/config.h"
 #include "uarch/core.h"
 
@@ -32,6 +33,10 @@ struct GoldenSpec {
 // all per-cycle vectors are sampled at the END of each cycle.
 struct GoldenTimeline {
   std::vector<std::uint64_t> state_hash;  // whole-machine hash per cycle
+  // Per-category registry hashes per cycle (fault-propagation tracing:
+  // comparing a trial's CatHashes() against this row tells which structures
+  // hold divergent state).
+  std::vector<StateRegistry::CatHashArray> cat_hash;
   std::vector<std::uint64_t> arch_hash;   // ArchViewHash per cycle
   std::vector<std::uint64_t> mem_hash;    // memory+output content hash
   std::vector<std::uint8_t> sb_empty;     // store buffer empty?
@@ -69,9 +74,14 @@ struct GoldenRun {
 
 // Records a golden run. Throws std::runtime_error if the pipeline diverges
 // from the functional simulator, raises an exception, or deadlocks — any of
-// which would indicate a model bug, not a valid golden execution.
+// which would indicate a model bug, not a valid golden execution. When `obs`
+// is non-null its sinks observe the fault-free execution: per-cycle stage
+// occupancies land in the metrics registry and (sampled) in the chrome
+// trace's pipeline lane.
 std::shared_ptr<const GoldenRun> RecordGolden(const CoreConfig& cfg,
                                               const Program& program,
-                                              const GoldenSpec& spec);
+                                              const GoldenSpec& spec,
+                                              const obs::ObsSinks* obs =
+                                                  nullptr);
 
 }  // namespace tfsim

@@ -30,6 +30,13 @@ void WriteCategoryCsv(const CampaignResult& result, std::ostream& os) {
   }
 }
 
+bool WritePropTraceJsonl(const CampaignResult& result, std::ostream& os) {
+  if (result.prop_traces.empty()) return false;
+  for (std::size_t i = 0; i < result.prop_traces.size(); ++i)
+    obs::WritePropTraceRow(result.prop_traces[i], result.spec.workload, i, os);
+  return true;
+}
+
 void WriteUtilizationCsv(const CampaignResult& result, std::ostream& os) {
   os << "valid_instrs,benign\n";
   for (const TrialRecord& t : result.trials) {

@@ -18,4 +18,11 @@ void WriteCategoryCsv(const CampaignResult& result, std::ostream& os);
 // Figure 6 scatter: one row per trial with (valid_instrs, benign 0/1).
 void WriteUtilizationCsv(const CampaignResult& result, std::ostream& os);
 
+// Fault-propagation traces as JSONL: one JSON object per traced trial with
+// the injection site, outcome, cycles-to-first-architectural-divergence,
+// cycles-to-classification and the categories touched. Requires the
+// campaign to have run with CampaignObs::collect_prop_traces; writes
+// nothing (and returns false) when no traces were recorded.
+bool WritePropTraceJsonl(const CampaignResult& result, std::ostream& os);
+
 }  // namespace tfsim

@@ -54,7 +54,7 @@ Outcome OutcomeOf(FailureMode m) {
 }  // namespace
 
 TrialRecord RunTrial(Core& core, const GoldenRun& golden,
-                     const TrialSpec& spec) {
+                     const TrialSpec& spec, obs::PropagationTrace* trace) {
   const GoldenTimeline& tl = golden.timeline;
   TrialRecord rec;
 
@@ -96,10 +96,32 @@ TrialRecord RunTrial(Core& core, const GoldenRun& golden,
     core.registry().FlipBit(extra);
   }
 
+  if (trace) {
+    trace->field = loc.name;
+    trace->cat = loc.cat;
+    trace->storage = loc.storage;
+    trace->bit = loc.bit;
+    trace->flips = spec.flips;
+    trace->valid_instrs = rec.valid_instrs;
+    trace->inflight = rec.inflight;
+  }
+
   auto finish = [&](Outcome o, FailureMode m, std::uint64_t cycles) {
     rec.outcome = o;
     rec.mode = m;
     rec.cycles = static_cast<std::uint32_t>(cycles);
+    if (trace) {
+      trace->outcome = o;
+      trace->mode = m;
+      trace->classified_cycle = rec.cycles;
+      // Every failure mode except deadlock/livelock is detected as an
+      // architectural divergence (wrong event, exception or state mismatch)
+      // in the cycle it is classified; a locked machine never diverged.
+      trace->arch_divergence_cycle =
+          m != FailureMode::kNoFailure && m != FailureMode::kLocked
+              ? static_cast<std::int64_t>(cycles)
+              : -1;
+    }
     return rec;
   };
 
@@ -113,6 +135,24 @@ TrialRecord RunTrial(Core& core, const GoldenRun& golden,
     const std::uint64_t gidx = base + spec.offset + c - 1;
     if (gidx >= tl.state_hash.size())
       return finish(Outcome::kGrayArea, FailureMode::kNoFailure, c);
+
+    // Propagation tracing: which categories hold state divergent from the
+    // golden machine at this cycle, and when the fault first escaped the
+    // injected category. Read-only with respect to the machine.
+    if (trace && gidx < tl.cat_hash.size()) {
+      const StateRegistry::CatHashArray& want_cats = tl.cat_hash[gidx];
+      const StateRegistry::CatHashArray& got_cats =
+          core.registry().CatHashes();
+      for (int cat = 0; cat < kNumStateCats; ++cat) {
+        if (got_cats[cat] == want_cats[cat]) continue;
+        trace->cats_touched_mask |= 1u << cat;
+        if (static_cast<StateCat>(cat) != loc.cat &&
+            trace->first_spread_cycle < 0) {
+          trace->first_spread_cycle = static_cast<std::int64_t>(c);
+          trace->first_spread_cat = static_cast<StateCat>(cat);
+        }
+      }
+    }
 
     // Architectural retire-event comparison (paper: architectural state is
     // verified continuously; any inconsistency is an SDC or Terminated).

@@ -8,6 +8,7 @@
 
 #include "inject/golden.h"
 #include "inject/outcome.h"
+#include "obs/prop_trace.h"
 #include "uarch/core.h"
 
 namespace tfsim {
@@ -28,7 +29,15 @@ struct TrialSpec {
 // Runs one trial on `core`, which must have been constructed with the same
 // CoreConfig and Program as the golden run (it is fully overwritten by the
 // checkpoint restore, so one core can be reused across trials).
+//
+// When `trace` is non-null, the trial additionally records a per-trial
+// fault-propagation trace: the injected bit's site, the first cycle of
+// architectural divergence, the set of state categories that held divergent
+// state before classification, and the classification latency. Tracing only
+// reads machine state, so a traced trial classifies identically to an
+// untraced one.
 TrialRecord RunTrial(Core& core, const GoldenRun& golden,
-                     const TrialSpec& spec);
+                     const TrialSpec& spec,
+                     obs::PropagationTrace* trace = nullptr);
 
 }  // namespace tfsim

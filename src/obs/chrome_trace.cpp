@@ -1,0 +1,90 @@
+#include "obs/chrome_trace.h"
+
+#include "obs/json_writer.h"
+
+namespace tfsim::obs {
+
+void ChromeTraceWriter::SetProcessName(int pid, const std::string& name) {
+  Event e;
+  e.ph = 'M';
+  e.name = "process_name";
+  e.pid = pid;
+  e.string_args.emplace_back("name", name);
+  events_.push_back(std::move(e));
+}
+
+void ChromeTraceWriter::SetThreadName(int pid, int tid,
+                                      const std::string& name) {
+  Event e;
+  e.ph = 'M';
+  e.name = "thread_name";
+  e.pid = pid;
+  e.tid = tid;
+  e.string_args.emplace_back("name", name);
+  events_.push_back(std::move(e));
+}
+
+void ChromeTraceWriter::CounterEvent(
+    const std::string& name, int pid, std::uint64_t ts_us,
+    const std::vector<std::pair<std::string, double>>& series) {
+  Event e;
+  e.ph = 'C';
+  e.name = name;
+  e.pid = pid;
+  e.ts_us = ts_us;
+  e.num_args = series;
+  events_.push_back(std::move(e));
+}
+
+void ChromeTraceWriter::CompleteEvent(const std::string& name, int pid,
+                                      int tid, std::uint64_t ts_us,
+                                      std::uint64_t dur_us, const Args& args) {
+  Event e;
+  e.ph = 'X';
+  e.name = name;
+  e.pid = pid;
+  e.tid = tid;
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  e.string_args = args;
+  events_.push_back(std::move(e));
+}
+
+void ChromeTraceWriter::InstantEvent(const std::string& name, int pid,
+                                     std::uint64_t ts_us) {
+  Event e;
+  e.ph = 'I';
+  e.name = name;
+  e.pid = pid;
+  e.ts_us = ts_us;
+  events_.push_back(std::move(e));
+}
+
+void ChromeTraceWriter::WriteTo(std::ostream& os) const {
+  JsonWriter w(os);
+  w.BeginObject();
+  w.Field("displayTimeUnit", "ms");
+  w.BeginArray("traceEvents");
+  for (const Event& e : events_) {
+    w.BeginObject();
+    w.Field("name", e.name);
+    w.Field("ph", std::string_view(&e.ph, 1));
+    w.Field("pid", e.pid);
+    w.Field("tid", e.tid);
+    if (e.ph != 'M') w.Field("ts", e.ts_us);
+    if (e.ph == 'X') w.Field("dur", e.dur_us);
+    if (e.ph == 'I') w.Field("s", "g");  // global-scope instant
+    if (!e.string_args.empty() || !e.num_args.empty()) {
+      w.BeginObject("args");
+      for (const auto& [k, v] : e.string_args) w.Field(k, v);
+      for (const auto& [k, v] : e.num_args) w.Field(k, v);
+      w.End();
+    }
+    w.End();
+  }
+  w.End();
+  w.End();
+  os << '\n';
+}
+
+}  // namespace tfsim::obs

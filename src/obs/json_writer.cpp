@@ -1,0 +1,322 @@
+#include "obs/json_writer.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+namespace tfsim::obs {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::Separate() {
+  if (!stack_.empty() && has_member_.back()) os_ << ',';
+  if (!stack_.empty()) has_member_.back() = true;
+}
+
+void JsonWriter::Key(std::string_view key) {
+  Separate();
+  os_ << '"' << JsonEscape(key) << "\":";
+}
+
+void JsonWriter::Raw(std::string_view text) { os_ << text; }
+
+JsonWriter& JsonWriter::BeginObject() {
+  Separate();
+  os_ << '{';
+  stack_.push_back(true);
+  has_member_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginObject(std::string_view key) {
+  Key(key);
+  os_ << '{';
+  stack_.push_back(true);
+  has_member_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  Separate();
+  os_ << '[';
+  stack_.push_back(false);
+  has_member_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray(std::string_view key) {
+  Key(key);
+  os_ << '[';
+  stack_.push_back(false);
+  has_member_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::End() {
+  os_ << (stack_.back() ? '}' : ']');
+  stack_.pop_back();
+  has_member_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::Field(std::string_view key, std::string_view value) {
+  Key(key);
+  os_ << '"' << JsonEscape(value) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Field(std::string_view key, const char* value) {
+  return Field(key, std::string_view(value));
+}
+
+JsonWriter& JsonWriter::Field(std::string_view key, std::uint64_t value) {
+  Key(key);
+  os_ << value;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Field(std::string_view key, std::int64_t value) {
+  Key(key);
+  os_ << value;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Field(std::string_view key, int value) {
+  return Field(key, static_cast<std::int64_t>(value));
+}
+
+JsonWriter& JsonWriter::Field(std::string_view key, double value) {
+  Key(key);
+  if (!std::isfinite(value)) {
+    os_ << "null";  // JSON has no Inf/NaN
+    return *this;
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  os_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Field(std::string_view key, bool value) {
+  Key(key);
+  os_ << (value ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::string_view value) {
+  Separate();
+  os_ << '"' << JsonEscape(value) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::uint64_t value) {
+  Separate();
+  os_ << value;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(double value) {
+  Separate();
+  if (!std::isfinite(value)) {
+    os_ << "null";
+    return *this;
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  os_ << buf;
+  return *this;
+}
+
+// ---------------------------------------------------------------------------
+// Validator
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Lint {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string error;
+
+  bool Fail(const std::string& what) {
+    std::ostringstream os;
+    os << what << " at byte " << pos;
+    error = os.str();
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r'))
+      ++pos;
+  }
+
+  bool Literal(std::string_view lit) {
+    if (text.substr(pos, lit.size()) != lit) return Fail("bad literal");
+    pos += lit.size();
+    return true;
+  }
+
+  bool String() {
+    if (text[pos] != '"') return Fail("expected string");
+    ++pos;
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (c == '"') {
+        ++pos;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20)
+        return Fail("unescaped control character");
+      if (c == '\\') {
+        ++pos;
+        if (pos >= text.size()) return Fail("truncated escape");
+        const char e = text[pos];
+        if (e == 'u') {
+          for (int i = 1; i <= 4; ++i) {
+            if (pos + i >= text.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text[pos + i])))
+              return Fail("bad \\u escape");
+          }
+          pos += 4;
+        } else if (!std::strchr("\"\\/bfnrt", e)) {
+          return Fail("bad escape character");
+        }
+      }
+      ++pos;
+    }
+    return Fail("unterminated string");
+  }
+
+  bool Number() {
+    const std::size_t start = pos;
+    if (pos < text.size() && text[pos] == '-') ++pos;
+    while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos])))
+      ++pos;
+    if (pos == start || (text[start] == '-' && pos == start + 1))
+      return Fail("expected number");
+    if (pos < text.size() && text[pos] == '.') {
+      ++pos;
+      if (pos >= text.size() || !std::isdigit(static_cast<unsigned char>(text[pos])))
+        return Fail("bad fraction");
+      while (pos < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[pos])))
+        ++pos;
+    }
+    if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+      ++pos;
+      if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) ++pos;
+      if (pos >= text.size() || !std::isdigit(static_cast<unsigned char>(text[pos])))
+        return Fail("bad exponent");
+      while (pos < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[pos])))
+        ++pos;
+    }
+    return true;
+  }
+
+  bool ValueAt(int depth) {
+    if (depth > 256) return Fail("nesting too deep");
+    SkipWs();
+    if (pos >= text.size()) return Fail("expected value");
+    switch (text[pos]) {
+      case '{': {
+        ++pos;
+        SkipWs();
+        if (pos < text.size() && text[pos] == '}') {
+          ++pos;
+          return true;
+        }
+        while (true) {
+          SkipWs();
+          if (!String()) return false;
+          SkipWs();
+          if (pos >= text.size() || text[pos] != ':')
+            return Fail("expected ':'");
+          ++pos;
+          if (!ValueAt(depth + 1)) return false;
+          SkipWs();
+          if (pos < text.size() && text[pos] == ',') {
+            ++pos;
+            continue;
+          }
+          if (pos < text.size() && text[pos] == '}') {
+            ++pos;
+            return true;
+          }
+          return Fail("expected ',' or '}'");
+        }
+      }
+      case '[': {
+        ++pos;
+        SkipWs();
+        if (pos < text.size() && text[pos] == ']') {
+          ++pos;
+          return true;
+        }
+        while (true) {
+          if (!ValueAt(depth + 1)) return false;
+          SkipWs();
+          if (pos < text.size() && text[pos] == ',') {
+            ++pos;
+            continue;
+          }
+          if (pos < text.size() && text[pos] == ']') {
+            ++pos;
+            return true;
+          }
+          return Fail("expected ',' or ']'");
+        }
+      }
+      case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return Number();
+    }
+  }
+};
+
+}  // namespace
+
+bool JsonLint(std::string_view text, std::string* error) {
+  Lint lint{text, 0, {}};
+  if (!lint.ValueAt(0)) {
+    if (error) *error = lint.error;
+    return false;
+  }
+  lint.SkipWs();
+  if (lint.pos != text.size()) {
+    if (error) *error = "trailing garbage at byte " + std::to_string(lint.pos);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace tfsim::obs

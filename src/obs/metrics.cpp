@@ -1,0 +1,68 @@
+#include "obs/metrics.h"
+
+#include "obs/json_writer.h"
+
+namespace tfsim::obs {
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::uint64_t bucket_width,
+                                         std::size_t buckets) {
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(bucket_width, buckets);
+  return *slot;
+}
+
+Timer& MetricsRegistry::GetTimer(const std::string& name) {
+  auto& slot = timers_[name];
+  if (!slot) slot = std::make_unique<Timer>();
+  return *slot;
+}
+
+void MetricsRegistry::WriteJson(std::ostream& os, bool include_timers) const {
+  JsonWriter w(os);
+  w.BeginObject();
+
+  w.BeginObject("counters");
+  for (const auto& [name, c] : counters_) w.Field(name, c->value());
+  w.End();
+
+  w.BeginObject("histograms");
+  for (const auto& [name, h] : histograms_) {
+    w.BeginObject(name);
+    const RunningStat& s = h->stat();
+    w.Field("count", static_cast<std::uint64_t>(s.Count()));
+    w.Field("mean", s.Mean());
+    w.Field("stddev", s.StdDev());
+    w.Field("min", s.Min());
+    w.Field("max", s.Max());
+    w.Field("bucket_width", h->bucket_width());
+    w.BeginArray("buckets");
+    for (std::uint64_t b : h->counts()) w.Value(b);
+    w.End();
+    w.End();
+  }
+  w.End();
+
+  if (include_timers) {
+    w.BeginObject("timers");
+    for (const auto& [name, t] : timers_) {
+      w.BeginObject(name);
+      w.Field("count", t->count());
+      w.Field("total_ns", t->total_ns());
+      w.Field("seconds", t->Seconds());
+      w.End();
+    }
+    w.End();
+  }
+
+  w.End();
+  os << '\n';
+}
+
+}  // namespace tfsim::obs

@@ -1,0 +1,38 @@
+#include "obs/prop_trace.h"
+
+#include "obs/json_writer.h"
+
+namespace tfsim::obs {
+
+void WritePropTraceRow(const PropagationTrace& t, const std::string& workload,
+                       std::uint64_t trial_index, std::ostream& os) {
+  JsonWriter w(os);
+  w.BeginObject();
+  w.Field("workload", workload);
+  w.Field("trial", trial_index);
+  w.Field("field", t.field);
+  w.Field("category", StateCatName(t.cat));
+  w.Field("storage", t.storage == Storage::kLatch ? "latch" : "ram");
+  w.Field("bit", static_cast<std::uint64_t>(t.bit));
+  w.Field("flips", t.flips);
+  w.Field("outcome", OutcomeName(t.outcome));
+  w.Field("failure_mode", FailureModeName(t.mode));
+  w.Field("classified_cycle", static_cast<std::uint64_t>(t.classified_cycle));
+  w.Field("arch_divergence_cycle",
+          static_cast<std::int64_t>(t.arch_divergence_cycle));
+  w.Field("first_spread_cycle",
+          static_cast<std::int64_t>(t.first_spread_cycle));
+  if (t.first_spread_cycle >= 0)
+    w.Field("first_spread_category", StateCatName(t.first_spread_cat));
+  w.BeginArray("cats_touched");
+  for (int c = 0; c < kNumStateCats; ++c)
+    if (t.Touched(static_cast<StateCat>(c)))
+      w.Value(std::string_view(StateCatName(static_cast<StateCat>(c))));
+  w.End();
+  w.Field("valid_instrs", static_cast<std::uint64_t>(t.valid_instrs));
+  w.Field("inflight", static_cast<std::uint64_t>(t.inflight));
+  w.End();
+  os << '\n';
+}
+
+}  // namespace tfsim::obs

@@ -1,0 +1,27 @@
+// Bundle of optional observability sinks threaded through the core and the
+// injection engine. All pointers may be null; a null sink costs the host one
+// pointer test per cycle. Forward declarations only, so hot headers (core.h,
+// golden.h) don't pull the full obs implementation in.
+#pragma once
+
+#include <cstdint>
+
+namespace tfsim::obs {
+
+class MetricsRegistry;
+class ChromeTraceWriter;
+class Counter;
+class Histogram;
+class Timer;
+
+struct ObsSinks {
+  MetricsRegistry* metrics = nullptr;
+  ChromeTraceWriter* chrome = nullptr;
+  // Emit one chrome counter sample every this many cycles (occupancy tracks
+  // are dense; sampling keeps trace files viewable).
+  std::uint64_t chrome_sample_every = 64;
+
+  bool Any() const { return metrics || chrome; }
+};
+
+}  // namespace tfsim::obs

@@ -70,6 +70,7 @@ StateField StateRegistry::Allocate(std::string name, StateCat cat,
   f.width = width;
   f.mask = width == 64 ? ~0ULL : ((1ULL << width) - 1);
   words_.resize(words_.size() + count, 0);
+  word_cat_.resize(words_.size(), static_cast<std::uint8_t>(cat));
   fields_.push_back(f);
 
   StateField h;
@@ -83,13 +84,23 @@ StateField StateRegistry::Allocate(std::string name, StateCat cat,
 
 void StateRegistry::UpdateHash(std::size_t word_index, std::uint64_t before,
                                std::uint64_t after) {
-  hash_ ^= Contribution(word_index, before) ^ Contribution(word_index, after);
+  const std::uint64_t delta =
+      Contribution(word_index, before) ^ Contribution(word_index, after);
+  hash_ ^= delta;
+  cat_hash_[word_cat_[word_index]] ^= delta;
 }
 
 std::uint64_t StateRegistry::RecomputeHash() const {
   std::uint64_t h = 0;
   for (std::size_t w = 0; w < words_.size(); ++w)
     h ^= Contribution(w, words_[w]);
+  return h;
+}
+
+StateRegistry::CatHashArray StateRegistry::RecomputeCatHashes() const {
+  CatHashArray h{};
+  for (std::size_t w = 0; w < words_.size(); ++w)
+    h[word_cat_[w]] ^= Contribution(w, words_[w]);
   return h;
 }
 

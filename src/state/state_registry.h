@@ -23,6 +23,7 @@
 //     checkpoint-per-start-point methodology.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -115,8 +116,20 @@ class StateRegistry {
   // included). O(1) to read.
   std::uint64_t Hash() const { return hash_; }
 
+  // Per-category incremental content hash (same contribution function as
+  // Hash(), partitioned by the owning field's StateCat). Comparing these
+  // against a golden run's at the same cycle tells WHICH structures hold
+  // divergent state — the basis of fault-propagation tracing. O(1) to read;
+  // maintenance piggybacks on the existing per-write hash update.
+  std::uint64_t CatHash(StateCat cat) const {
+    return cat_hash_[static_cast<std::size_t>(cat)];
+  }
+  using CatHashArray = std::array<std::uint64_t, kNumStateCats>;
+  const CatHashArray& CatHashes() const { return cat_hash_; }
+
   // Full recomputation; used by tests to validate the incremental hash.
   std::uint64_t RecomputeHash() const;
+  CatHashArray RecomputeCatHashes() const;
 
   // --- fault injection ----------------------------------------------------
 
@@ -176,7 +189,10 @@ class StateRegistry {
 
   std::vector<std::uint64_t> words_;
   std::vector<Field> fields_;
+  // Category of each word, parallel to words_ (for the per-category hash).
+  std::vector<std::uint8_t> word_cat_;
   std::uint64_t hash_ = 0;
+  CatHashArray cat_hash_{};
 };
 
 }  // namespace tfsim

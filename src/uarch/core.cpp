@@ -139,9 +139,15 @@ void Core::Load(const Snapshot& s) {
   retired_total_ = s.retired_total;
   itlb_miss_ = false;
   stats_ = CoreStats{};
+  obs_flushed_ = CoreStats{};
 }
 
 void Core::Cycle() {
+  CycleInner();
+  if (obs_) ObsSample();
+}
+
+void Core::CycleInner() {
   retired_this_cycle_.clear();
   retired_seqs_this_cycle_.clear();
   ++stats_.cycles;

@@ -22,6 +22,7 @@
 #include "arch/memory.h"
 #include "arch/tlb.h"
 #include "isa/assemble.h"
+#include "obs/sinks.h"
 #include "state/state_registry.h"
 #include "uarch/bpred.h"
 #include "uarch/config.h"
@@ -135,8 +136,22 @@ class Core {
   // debugging window. Implemented in uarch/trace.cpp.
   void DumpPipeline(std::ostream& os) const;
 
+  // --- observability ---------------------------------------------------------
+  // Attaches (or detaches, with nullptr) observability sinks. While attached,
+  // every cycle samples per-stage occupancies (fetch queue, scheduler, ROB,
+  // LQ/SQ, MSHRs, total in-flight) into metric histograms, and the chrome
+  // trace receives sampled occupancy counter tracks. Costs one branch per
+  // cycle when detached. `obs` must outlive the attachment.
+  void AttachObs(const obs::ObsSinks* obs);
+  // Adds the CoreStats event counters (squashes, replays, cache misses...)
+  // accumulated since the last flush to the attached metrics registry.
+  // Called by hosts before detach/destruction; no-op when unattached.
+  void FlushObsCounters();
+
  private:
-  // Pipeline stages, called in reverse order from Cycle().
+  // One full clock of pipeline evaluation (Cycle() minus observability).
+  void CycleInner();
+  // Pipeline stages, called in reverse order from CycleInner().
   void RetireStage();
   void StoreBufferDrain();
   void WritebackStage();
@@ -211,6 +226,19 @@ class Core {
   std::vector<RetireEvent> retired_this_cycle_;
   std::vector<std::uint64_t> retired_seqs_this_cycle_;
   std::vector<std::uint64_t> rob_seq_;
+
+  // Observability sinks (null when detached) and metric handles resolved at
+  // attach time. Implemented in uarch/core_obs.cpp.
+  void ObsSample();
+  const obs::ObsSinks* obs_ = nullptr;
+  obs::Histogram* h_fq_ = nullptr;
+  obs::Histogram* h_sched_ = nullptr;
+  obs::Histogram* h_rob_ = nullptr;
+  obs::Histogram* h_lq_ = nullptr;
+  obs::Histogram* h_sq_ = nullptr;
+  obs::Histogram* h_mshr_ = nullptr;
+  obs::Histogram* h_inflight_ = nullptr;
+  CoreStats obs_flushed_;  // counter values already pushed to the registry
 };
 
 }  // namespace tfsim

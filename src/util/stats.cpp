@@ -49,12 +49,23 @@ LinearFit FitLeastSquares(const std::vector<double>& xs,
 void RunningStat::Add(double x) {
   if (n_ == 0 || x < min_) min_ = x;
   if (n_ == 0 || x > max_) max_ = x;
-  sum_ += x;
   ++n_;
+  // Welford update: mean and M2 (sum of squared deviations) in one pass.
+  const double d1 = x - mean_;
+  mean_ += d1 / static_cast<double>(n_);
+  m2_ += d1 * (x - mean_);
 }
 
-double RunningStat::Mean() const {
-  return n_ ? sum_ / static_cast<double>(n_) : 0.0;
+double RunningStat::Mean() const { return n_ ? mean_ : 0.0; }
+
+double RunningStat::Variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_) : 0.0;
 }
+
+double RunningStat::SampleVariance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStat::StdDev() const { return std::sqrt(Variance()); }
 
 }  // namespace tfsim

@@ -33,18 +33,28 @@ struct LinearFit {
 LinearFit FitLeastSquares(const std::vector<double>& xs,
                           const std::vector<double>& ys);
 
-// Running scalar summary (mean/min/max) for cheap instrumentation.
+// Running scalar summary (mean/min/max/variance) for cheap instrumentation.
+// Mean and variance use Welford's online algorithm, which is numerically
+// stable for long streams (e.g. per-cycle occupancy over millions of
+// cycles) where a naive sum-of-squares accumulator loses precision.
 class RunningStat {
  public:
   void Add(double x);
   double Mean() const;
+  // Population variance (divides by n). Zero for fewer than two samples.
+  double Variance() const;
+  // Sample variance (divides by n-1). Zero for fewer than two samples.
+  double SampleVariance() const;
+  // sqrt(Variance()): spread of the observed stream itself.
+  double StdDev() const;
   double Min() const { return n_ ? min_ : 0.0; }
   double Max() const { return n_ ? max_ : 0.0; }
   std::size_t Count() const { return n_; }
 
  private:
   std::size_t n_ = 0;
-  double sum_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // sum of squared deviations from the running mean
   double min_ = 0.0;
   double max_ = 0.0;
 };

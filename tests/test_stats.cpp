@@ -63,6 +63,40 @@ TEST(RunningStat, TracksMeanMinMax) {
   EXPECT_EQ(s.Count(), 3u);
 }
 
+TEST(RunningStat, WelfordVarianceMatchesClosedForm) {
+  RunningStat s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  // Textbook example: mean 5, population variance 4, sample variance 32/7.
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.Variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.StdDev(), 2.0);
+  EXPECT_NEAR(s.SampleVariance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(RunningStat, DegenerateVariance) {
+  RunningStat empty;
+  EXPECT_DOUBLE_EQ(empty.Variance(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.StdDev(), 0.0);
+  RunningStat one;
+  one.Add(42.0);
+  EXPECT_DOUBLE_EQ(one.Variance(), 0.0);
+  EXPECT_DOUBLE_EQ(one.SampleVariance(), 0.0);
+  RunningStat constant;
+  for (int i = 0; i < 10; ++i) constant.Add(3.5);
+  EXPECT_DOUBLE_EQ(constant.Variance(), 0.0);
+  EXPECT_DOUBLE_EQ(constant.StdDev(), 0.0);
+}
+
+TEST(RunningStat, WelfordIsStableAgainstLargeOffsets) {
+  // The naive sum-of-squares formula catastrophically cancels when the mean
+  // dwarfs the spread; Welford does not. Same data, huge offset:
+  const double kOffset = 1e9;
+  RunningStat s;
+  for (double v : {4.0, 7.0, 13.0, 16.0}) s.Add(kOffset + v);
+  EXPECT_NEAR(s.Variance(), 22.5, 1e-6);
+  EXPECT_NEAR(s.Mean(), kOffset + 10.0, 1e-3);
+}
+
 TEST(Table, RendersHeaderAndRows) {
   TextTable t({"a", "bb"});
   t.AddRow({"x", "1"});

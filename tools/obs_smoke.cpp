@@ -1,0 +1,121 @@
+// CTest smoke for the observability layer: runs a 20-trial campaign with all
+// three telemetry exports enabled (metrics JSON, propagation-trace JSONL,
+// chrome trace), writes them to a scratch directory, and validates every
+// output with the built-in JSON checker — no python dependency.
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "inject/campaign.h"
+#include "inject/report.h"
+#include "obs/chrome_trace.h"
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+
+using namespace tfsim;
+
+namespace {
+
+int g_failures = 0;
+
+void Check(bool ok, const std::string& what) {
+  std::printf("%-52s %s\n", what.c_str(), ok ? "ok" : "FAIL");
+  if (!ok) ++g_failures;
+}
+
+std::string Slurp(const std::filesystem::path& p) {
+  std::ifstream in(p);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+}  // namespace
+
+int main() {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "tfsim_obs_smoke";
+  std::filesystem::create_directories(dir);
+  // Keep the campaign cache out of the build tree (and out of future runs'
+  // way — traced campaigns bypass cache loads anyway).
+  setenv("TFI_CACHE_DIR", (dir / "cache").c_str(), 1);
+
+  CampaignSpec spec;
+  spec.workload = "gzip";
+  spec.trials = 20;
+  spec.golden.warmup = 12000;
+  spec.golden.points = 3;
+  spec.golden.spacing = 500;
+  spec.golden.window = 4000;
+  spec.golden.slack = 1000;
+
+  obs::MetricsRegistry metrics;
+  obs::ChromeTraceWriter chrome;
+  CampaignObs cobs;
+  cobs.sinks.metrics = &metrics;
+  cobs.sinks.chrome = &chrome;
+  cobs.collect_prop_traces = true;
+
+  const CampaignResult r = RunCampaign(spec, /*verbose=*/false, &cobs);
+  Check(r.trials.size() == 20, "campaign ran 20 trials");
+  Check(r.prop_traces.size() == 20, "one propagation trace per trial");
+
+  // --- metrics JSON --------------------------------------------------------
+  const auto metrics_path = dir / "metrics.json";
+  {
+    std::ofstream out(metrics_path);
+    metrics.WriteJson(out);
+  }
+  const std::string mjson = Slurp(metrics_path);
+  std::string err;
+  Check(obs::JsonLint(mjson, &err), "metrics.json parses (" + err + ")");
+  Check(mjson.find("\"pipe.rob.occupancy\"") != std::string::npos,
+        "metrics include pipeline occupancy histograms");
+  Check(mjson.find("\"campaign.trials\"") != std::string::npos,
+        "metrics include campaign counters");
+
+  // --- propagation-trace JSONL --------------------------------------------
+  const auto jsonl_path = dir / "prop.jsonl";
+  {
+    std::ofstream out(jsonl_path);
+    WritePropTraceJsonl(r, out);
+  }
+  std::ifstream jsonl(jsonl_path);
+  std::string line;
+  int rows = 0;
+  bool rows_parse = true, rows_complete = true;
+  while (std::getline(jsonl, line)) {
+    ++rows;
+    std::string lerr;
+    if (!obs::JsonLint(line, &lerr)) {
+      rows_parse = false;
+      std::fprintf(stderr, "row %d: %s\n", rows, lerr.c_str());
+    }
+    // Every row must carry outcome, injection category, and divergence cycle.
+    for (const char* key : {"\"outcome\"", "\"category\"",
+                            "\"arch_divergence_cycle\"", "\"trial\""})
+      if (line.find(key) == std::string::npos) rows_complete = false;
+  }
+  Check(rows == 20, "prop.jsonl has one row per trial");
+  Check(rows_parse, "every prop.jsonl row parses as JSON");
+  Check(rows_complete, "every row has outcome/category/divergence keys");
+
+  // --- chrome trace --------------------------------------------------------
+  const auto trace_path = dir / "trace.json";
+  {
+    std::ofstream out(trace_path);
+    chrome.WriteTo(out);
+  }
+  const std::string tjson = Slurp(trace_path);
+  Check(obs::JsonLint(tjson, &err), "trace.json parses (" + err + ")");
+  Check(tjson.find("\"traceEvents\"") != std::string::npos &&
+            tjson.find("\"ph\":\"X\"") != std::string::npos &&
+            tjson.find("\"ph\":\"C\"") != std::string::npos,
+        "trace has occupancy counters and trial spans");
+
+  std::printf("obs_smoke: %s\n", g_failures ? "FAILED" : "PASSED");
+  return g_failures ? 1 : 0;
+}

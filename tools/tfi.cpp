@@ -4,9 +4,14 @@
 //   tfi exec <workload|file.s> [--iters N]               functional execution
 //   tfi campaign <workload> [--trials N] [--latches-only] [--protect]
 //                 [--flips N] [--adjacent]               one injection campaign
+//       telemetry: [--metrics-json FILE] [--prop-trace FILE]
+//                  [--chrome-trace FILE] [--progress]
 //   tfi soft <workload> <model> [--trials N]             Section 5 campaign
 //   tfi inventory [--protect]                            Table 1 state listing
 //   tfi workloads                                        list the suite
+//
+// Unknown --flags are rejected with a usage error (they are never silently
+// treated as positional workload names).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -18,6 +23,9 @@
 
 #include "arch/functional_sim.h"
 #include "inject/campaign.h"
+#include "inject/report.h"
+#include "obs/chrome_trace.h"
+#include "obs/metrics.h"
 #include "soft/soft_inject.h"
 #include "uarch/core.h"
 #include "workloads/workloads.h"
@@ -35,26 +43,56 @@ struct Args {
   bool latches_only = false;
   bool protect = false;
   bool adjacent = false;
+  // Telemetry exports (campaign subcommand).
+  std::string metrics_json;
+  std::string prop_trace;
+  std::string chrome_trace;
+  bool progress = false;
+  // Parse error: first unknown --flag, or a flag missing its value.
+  std::string error;
 };
 
 Args Parse(int argc, char** argv) {
   Args a;
-  for (int i = 2; i < argc; ++i) {
+  for (int i = 2; i < argc && a.error.empty(); ++i) {
     const std::string s = argv[i];
-    auto next = [&]() -> std::int64_t {
-      return ++i < argc ? std::strtoll(argv[i], nullptr, 10) : 0;
+    auto next_int = [&]() -> std::int64_t {
+      if (++i >= argc) {
+        a.error = s + " requires a value";
+        return 0;
+      }
+      return std::strtoll(argv[i], nullptr, 10);
     };
-    if (s == "--cycles") a.cycles = next();
-    else if (s == "--trials") a.trials = next();
-    else if (s == "--iters") a.iters = next();
-    else if (s == "--trace") a.trace = next();
-    else if (s == "--flips") a.flips = next();
+    auto next_str = [&]() -> std::string {
+      if (++i >= argc) {
+        a.error = s + " requires a value";
+        return {};
+      }
+      return argv[i];
+    };
+    if (s == "--cycles") a.cycles = next_int();
+    else if (s == "--trials") a.trials = next_int();
+    else if (s == "--iters") a.iters = next_int();
+    else if (s == "--trace") a.trace = next_int();
+    else if (s == "--flips") a.flips = next_int();
     else if (s == "--latches-only") a.latches_only = true;
     else if (s == "--protect") a.protect = true;
     else if (s == "--adjacent") a.adjacent = true;
+    else if (s == "--metrics-json") a.metrics_json = next_str();
+    else if (s == "--prop-trace") a.prop_trace = next_str();
+    else if (s == "--chrome-trace") a.chrome_trace = next_str();
+    else if (s == "--progress") a.progress = true;
+    else if (s.rfind("--", 0) == 0) a.error = "unknown option " + s;
     else a.positional.push_back(s);
   }
   return a;
+}
+
+// Opens `path` for writing, exiting with a diagnostic on failure.
+std::ofstream OpenExport(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  return out;
 }
 
 // Loads a program: a workload name from the suite, or a .s assembly file.
@@ -147,7 +185,40 @@ int CmdCampaign(const Args& a) {
   spec.flips = static_cast<int>(a.flips);
   spec.adjacent = a.adjacent;
   if (a.protect) spec.core.protect = ProtectionConfig::All();
-  const CampaignResult r = RunCampaign(spec);
+
+  // Observability: attach only the sinks whose export files were requested.
+  obs::MetricsRegistry metrics;
+  obs::ChromeTraceWriter chrome;
+  CampaignObs cobs;
+  if (!a.metrics_json.empty()) cobs.sinks.metrics = &metrics;
+  if (!a.chrome_trace.empty()) cobs.sinks.chrome = &chrome;
+  cobs.collect_prop_traces = !a.prop_trace.empty();
+  cobs.progress = a.progress;
+  const bool want_obs = cobs.sinks.Any() || cobs.collect_prop_traces ||
+                        cobs.progress;
+
+  const CampaignResult r = RunCampaign(spec, true, want_obs ? &cobs : nullptr);
+
+  if (!a.metrics_json.empty()) {
+    auto out = OpenExport(a.metrics_json);
+    metrics.WriteJson(out);
+    std::fprintf(stderr, "wrote metrics to %s\n", a.metrics_json.c_str());
+  }
+  if (!a.prop_trace.empty()) {
+    auto out = OpenExport(a.prop_trace);
+    WritePropTraceJsonl(r, out);
+    std::fprintf(stderr, "wrote %zu propagation traces to %s\n",
+                 r.prop_traces.size(), a.prop_trace.c_str());
+  }
+  if (!a.chrome_trace.empty()) {
+    auto out = OpenExport(a.chrome_trace);
+    chrome.WriteTo(out);
+    std::fprintf(stderr,
+                 "wrote chrome trace to %s (open in https://ui.perfetto.dev "
+                 "or chrome://tracing)\n",
+                 a.chrome_trace.c_str());
+  }
+
   const auto o = r.ByOutcome();
   const double n = static_cast<double>(r.trials.size());
   std::printf("workload=%s trials=%zu ipc=%.2f\n", spec.workload.c_str(),
@@ -193,6 +264,8 @@ int CmdSoft(const Args& a) {
 int Usage() {
   std::fprintf(stderr,
                "usage: tfi <run|exec|campaign|soft|inventory|workloads> ...\n"
+               "campaign telemetry: --metrics-json FILE --prop-trace FILE\n"
+               "                    --chrome-trace FILE --progress\n"
                "see the header of tools/tfi.cpp for details\n");
   return 2;
 }
@@ -205,6 +278,10 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string cmd = argv[1];
   const Args args = Parse(argc, argv);
+  if (!args.error.empty()) {
+    std::fprintf(stderr, "tfi: %s\n", args.error.c_str());
+    return Usage();
+  }
   try {
     if (cmd == "workloads") return CmdWorkloads();
     if (cmd == "inventory") return CmdInventory(args);
