@@ -17,19 +17,19 @@ CampaignResult SubSuite(const ProtectionConfig& p, int trials) {
   std::vector<CampaignResult> parts;
   for (const char* b : kBenchmarks) {
     spec.workload = b;
-    parts.push_back(RunCampaign(spec));
+    parts.push_back(RunCampaign(spec, bench::RunOpts()));
   }
   return MergeResults(parts);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   bench::PrintHeader("Ablation — protection mechanisms in isolation",
                      "Failure rate on {gzip, gcc, mcf} with each Section 4 "
                      "mechanism toggled individually");
-  const int trials =
-      static_cast<int>(EnvInt("TFI_TRIALS", 500));
+  const int trials = static_cast<int>(bench::Options().trials);
 
   struct Config {
     const char* name;

@@ -19,18 +19,19 @@ CampaignResult SubSuite(int flips, bool adjacent, int trials) {
   std::vector<CampaignResult> parts;
   for (const char* b : kBenchmarks) {
     spec.workload = b;
-    parts.push_back(RunCampaign(spec));
+    parts.push_back(RunCampaign(spec, bench::RunOpts()));
   }
   return MergeResults(parts);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   bench::PrintHeader("Extension — multi-bit fault models",
                      "Outcome mix on {gzip, gcc, mcf} as the upset grows "
                      "beyond the paper's single-bit model");
-  const int trials = static_cast<int>(EnvInt("TFI_TRIALS", 500));
+  const int trials = static_cast<int>(bench::Options().trials);
 
   struct Model {
     const char* name;

@@ -20,7 +20,8 @@ std::uint64_t TotalBits(const CampaignResult& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   bench::PrintHeader("Figure 10 — failure contributions, protected machine",
                      "Share of SDC+Terminated trials with all protections on");
   const auto base_suite =

@@ -11,7 +11,8 @@
 
 using namespace tfsim;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   bench::PrintHeader("Figure 11 — software-level fault models",
                      "Architectural fault injection on the functional "
                      "simulator, averaged over the 10-benchmark suite");

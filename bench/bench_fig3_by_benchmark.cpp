@@ -46,7 +46,8 @@ void RunOne(bool include_ram) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   bench::PrintHeader("Figure 3 — outcomes by benchmark",
                      "Single-bit transient faults injected uniformly over "
                      "eligible pipeline state, 10k-cycle observation window");

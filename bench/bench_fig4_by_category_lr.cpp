@@ -8,7 +8,8 @@
 
 using namespace tfsim;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   bench::PrintHeader("Figure 4 — outcomes by state category (latches+RAMs)",
                      "Aggregate over the 10-benchmark suite");
   const auto suite =

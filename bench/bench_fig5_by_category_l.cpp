@@ -7,7 +7,8 @@
 
 using namespace tfsim;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   bench::PrintHeader("Figure 5 — outcomes by state category (latches only)",
                      "Aggregate over the 10-benchmark suite");
   const auto suite =

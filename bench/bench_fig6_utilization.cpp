@@ -13,7 +13,8 @@
 
 using namespace tfsim;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   bench::PrintHeader("Figure 6 — benign fault rate vs valid instructions",
                      "Latches+RAMs campaign; each bucket is an average over "
                      "trials with that many valid in-flight instructions");

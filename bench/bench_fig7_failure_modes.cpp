@@ -8,7 +8,8 @@
 
 using namespace tfsim;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   bench::PrintHeader("Table 2 / Figure 7 — failure modes by category",
                      "Failed (SDC or Terminated) trials only; latches+RAMs");
 

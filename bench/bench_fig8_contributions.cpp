@@ -8,7 +8,8 @@
 
 using namespace tfsim;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   bench::PrintHeader("Figure 8 — category contributions to failures",
                      "Share of all SDC+Terminated trials, latches+RAMs, "
                      "unprotected");

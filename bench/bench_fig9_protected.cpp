@@ -11,7 +11,8 @@
 
 using namespace tfsim;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   bench::PrintHeader("Figure 9 — outcomes by category, protected machine",
                      "Timeout counter + regfile ECC + regptr ECC + insn "
                      "parity; protection state is injectable");

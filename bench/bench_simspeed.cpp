@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "arch/functional_sim.h"
+#include "inject/campaign.h"
 #include "inject/golden.h"
 #include "inject/trial.h"
 #include "uarch/core.h"
@@ -67,6 +68,35 @@ void BM_InjectionTrial(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_InjectionTrial);
+
+// Whole-campaign trials/sec at 1 vs N trial-loop workers (the engine behind
+// `tfi campaign --jobs`). Each iteration re-records the golden run, so the
+// items/sec figure understates pure trial throughput equally at every jobs
+// value; the 1-vs-N ratio is the parallel speedup. The results cache is
+// bypassed so the pool actually executes.
+void BM_CampaignTrials(benchmark::State& state) {
+  CampaignSpec spec;
+  spec.workload = "gzip";
+  spec.trials = 64;
+  spec.golden.warmup = 12000;
+  spec.golden.points = 3;
+  spec.golden.spacing = 500;
+  spec.golden.window = 4000;
+  spec.golden.slack = 1000;
+  CampaignOptions opt;
+  opt.jobs = static_cast<int>(state.range(0));
+  opt.verbose = false;
+  opt.use_cache = false;
+  for (auto _ : state) benchmark::DoNotOptimize(RunCampaign(spec, opt));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          spec.trials);
+}
+BENCHMARK(BM_CampaignTrials)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(0)  // 0 = one worker per hardware thread
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -41,7 +41,8 @@ std::string OrDash(long v) { return v < 0 ? "?" : std::to_string(v); }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   bench::PrintHeader("Table 1 — state category inventory",
                      "Bits of latches / RAM arrays per category: this model "
                      "vs the paper's");

@@ -1,9 +1,11 @@
 #include "bench/common.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 
 #include "obs/metrics.h"
+#include "util/argparse.h"
 #include "workloads/workloads.h"
 
 namespace tfsim::bench {
@@ -16,30 +18,65 @@ obs::MetricsRegistry& GlobalMetrics() {
   return m;
 }
 
+BenchOptions& MutableOptions() {
+  static BenchOptions opts = [] {
+    BenchOptions o;
+    o.trials = EnvInt("TFI_TRIALS", 500);
+    o.points = EnvInt("TFI_POINTS", 12);
+    o.jobs = EnvInt("TFI_JOBS", 1);
+    o.progress = EnvInt("TFI_PROGRESS", 0) != 0;
+    o.metrics_json = EnvStr("TFI_METRICS_JSON", "");
+    return o;
+  }();
+  return opts;
+}
+
 }  // namespace
+
+void Init(int argc, char** argv) {
+  BenchOptions& o = MutableOptions();
+  ArgParser p;
+  p.AddInt("trials", &o.trials, "trials per benchmark per campaign");
+  p.AddInt("points", &o.points, "checkpoints (start points) per golden run");
+  p.AddInt("jobs", &o.jobs,
+           "trial-loop worker threads; 0 = all hardware threads");
+  p.AddFlag("progress", &o.progress, "per-campaign progress lines");
+  p.AddStr("metrics-json", &o.metrics_json,
+           "cumulative metrics-registry JSON snapshot path");
+  if (!p.Parse(argc, argv) || !p.positional().empty()) {
+    const std::string err = !p.error().empty()
+                                ? p.error()
+                                : "unexpected argument " + p.positional()[0];
+    std::fprintf(stderr, "%s: %s\noptions:\n%s", argv[0], err.c_str(),
+                 p.Help().c_str());
+    std::exit(2);
+  }
+}
+
+const BenchOptions& Options() { return MutableOptions(); }
+
+CampaignOptions RunOpts() {
+  CampaignOptions opt;
+  opt.jobs = static_cast<int>(Options().jobs);
+  opt.obs.progress = Options().progress;
+  return opt;
+}
 
 CampaignSpec BaseSpec(bool include_ram, const ProtectionConfig& protect) {
   CampaignSpec spec;
   spec.include_ram = include_ram;
   spec.core.protect = protect;
-  spec.trials = static_cast<int>(EnvInt("TFI_TRIALS", 500));
-  spec.golden.points = static_cast<int>(EnvInt("TFI_POINTS", 12));
+  spec.trials = static_cast<int>(Options().trials);
+  spec.golden.points = static_cast<int>(Options().points);
   return spec;
 }
 
 std::vector<CampaignResult> Suite(const CampaignSpec& spec) {
-  CampaignSpec s = spec;
-  const std::string metrics_path = EnvStr("TFI_METRICS_JSON", "");
-  CampaignObs cobs;
-  cobs.progress = EnvInt("TFI_PROGRESS", 0) != 0;
-  if (!metrics_path.empty()) cobs.sinks.metrics = &GlobalMetrics();
-  const CampaignObs* use = cobs.sinks.Any() || cobs.progress ? &cobs : nullptr;
+  CampaignOptions opt = RunOpts();
+  const std::string& metrics_path = Options().metrics_json;
+  if (!metrics_path.empty()) opt.obs.sinks.metrics = &GlobalMetrics();
 
-  std::vector<CampaignResult> out;
-  for (const auto& w : AllWorkloads()) {
-    s.workload = w.name;
-    out.push_back(RunCampaign(s, true, use));
-  }
+  const std::vector<CampaignResult> out = RunSuite(spec, opt);
   if (!metrics_path.empty()) {
     std::ofstream f(metrics_path);
     if (f) GlobalMetrics().WriteJson(f);

@@ -14,15 +14,18 @@ int main() {
   spec.golden.warmup = 30000;
   spec.golden.points = 6;
 
+  CampaignOptions opt;
+  opt.verbose = false;
+
   std::printf("running %d trials on %s, unprotected...\n", spec.trials,
               spec.workload.c_str());
-  const CampaignResult base = RunCampaign(spec, false);
+  const CampaignResult base = RunCampaign(spec, opt);
 
   spec.core.protect = ProtectionConfig::All();
   std::printf("running %d trials, all four mechanisms enabled (timeout "
               "counter, regfile ECC, regptr ECC, insn parity)...\n\n",
               spec.trials);
-  const CampaignResult prot = RunCampaign(spec, false);
+  const CampaignResult prot = RunCampaign(spec, opt);
 
   auto show = [](const char* name, const CampaignResult& r) {
     const auto o = r.ByOutcome();

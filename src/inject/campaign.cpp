@@ -1,9 +1,14 @@
 #include "inject/campaign.h"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <exception>
 #include <optional>
 #include <sstream>
+#include <stdexcept>
+#include <thread>
 
 #include "inject/cache.h"
 #include "inject/trial.h"
@@ -88,50 +93,110 @@ Proportion CampaignResult::FailureRate() const {
 
 namespace {
 
-// Shared progress/telemetry state for one campaign's trial loop.
-struct TrialLoopObs {
-  using Clock = std::chrono::steady_clock;
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t ElapsedUs(Clock::time_point since, Clock::time_point t) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(t - since)
+          .count());
+}
+
+// Trial progress shared between the workers and the printer (worker 0).
+// Plain atomics: these feed progress lines only, never results or metrics.
+struct TrialProgress {
   Clock::time_point start = Clock::now();
-  Clock::time_point last_progress = start;
-  std::array<std::uint64_t, kNumOutcomes> outcomes{};
+  Clock::time_point last_line = start;
+  std::atomic<std::uint64_t> done{0};
+  std::array<std::atomic<std::uint64_t>, kNumOutcomes> outcomes{};
 
-  std::uint64_t ElapsedUs(Clock::time_point t) const {
-    return static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::microseconds>(t - start)
-            .count());
-  }
-
-  void PrintProgress(const std::string& key, int done, int total,
-                     bool final_line) {
+  void PrintLine(const std::string& key, int total, bool final_line) {
     const double secs =
-        static_cast<double>(ElapsedUs(Clock::now())) * 1e-6;
-    std::fprintf(stderr,
-                 "[campaign %s] %d/%d trials  %.1f trials/s  "
-                 "match=%llu term=%llu sdc=%llu gray=%llu%s\n",
-                 key.c_str(), done, total,
-                 secs > 0 ? static_cast<double>(done) / secs : 0.0,
-                 (unsigned long long)outcomes[0], (unsigned long long)outcomes[1],
-                 (unsigned long long)outcomes[2], (unsigned long long)outcomes[3],
-                 final_line ? " [done]" : "");
+        static_cast<double>(ElapsedUs(start, Clock::now())) * 1e-6;
+    const std::uint64_t d = done.load(std::memory_order_relaxed);
+    std::fprintf(
+        stderr,
+        "[campaign %s] %llu/%d trials  %.1f trials/s  "
+        "match=%llu term=%llu sdc=%llu gray=%llu%s\n",
+        key.c_str(), (unsigned long long)d, total,
+        secs > 0 ? static_cast<double>(d) / secs : 0.0,
+        (unsigned long long)outcomes[0].load(std::memory_order_relaxed),
+        (unsigned long long)outcomes[1].load(std::memory_order_relaxed),
+        (unsigned long long)outcomes[2].load(std::memory_order_relaxed),
+        (unsigned long long)outcomes[3].load(std::memory_order_relaxed),
+        final_line ? " [done]" : "");
   }
 };
 
+// Wall-clock span of one trial, for the chrome campaign lane. Filled by the
+// executing worker; read only after the pool joins.
+struct TrialTiming {
+  std::uint64_t ts_us = 0;
+  std::uint64_t dur_us = 0;
+  int worker = 0;
+};
+
+int ResolveJobs(int jobs) {
+  if (jobs > 0) return jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw ? static_cast<int>(hw) : 1;
+}
+
+// Replays a campaign's per-trial counters and histograms into `m`, in trial
+// order. Used both by live runs after the pool joins (so counter totals and
+// Welford histogram summaries are byte-identical at every `jobs` value) and
+// by cache hits (so a metrics-attached run that loads cached results still
+// reports the same campaign.* totals as the live run that produced them).
+void EmitTrialMetrics(const std::vector<TrialRecord>& trials,
+                      obs::MetricsRegistry& m) {
+  obs::Counter& total = m.GetCounter("campaign.trials");
+  obs::Histogram& cycles = m.GetHistogram("campaign.trial_cycles", 512, 20);
+  for (const TrialRecord& rec : trials) {
+    total.Inc();
+    m.GetCounter(std::string("campaign.outcome.") + OutcomeName(rec.outcome))
+        .Inc();
+    cycles.Add(rec.cycles);
+  }
+}
+
 }  // namespace
 
-CampaignResult RunCampaign(const CampaignSpec& spec, bool verbose,
-                           const CampaignObs* cobs) {
-  obs::MetricsRegistry* metrics = cobs ? cobs->sinks.metrics : nullptr;
-  obs::ChromeTraceWriter* chrome = cobs ? cobs->sinks.chrome : nullptr;
-  const bool tracing = cobs && cobs->collect_prop_traces;
+std::vector<TrialSpec> MakeTrialSpecs(const CampaignSpec& spec,
+                                      std::uint64_t injectable_bits) {
+  Rng rng(spec.seed);
+  std::vector<TrialSpec> specs;
+  specs.reserve(static_cast<std::size_t>(spec.trials));
+  for (int t = 0; t < spec.trials; ++t) {
+    TrialSpec ts;
+    ts.checkpoint = static_cast<int>(
+        rng.NextBelow(static_cast<std::uint64_t>(spec.golden.points)));
+    ts.offset = rng.NextBelow(spec.golden.offset_max);
+    ts.bit_index = rng.NextBelow(injectable_bits);
+    ts.include_ram = spec.include_ram;
+    ts.flips = spec.flips;
+    ts.adjacent = spec.adjacent;
+    specs.push_back(ts);
+  }
+  return specs;
+}
 
-  // Observed runs bypass the cache load: telemetry (traces, metrics,
-  // chrome events) records live execution and is never cached, so a cache
-  // hit would export hollow files. Results are still stored for untraced
-  // reuse.
-  if (!tracing && !metrics && !chrome) {
+CampaignResult RunCampaign(const CampaignSpec& spec,
+                           const CampaignOptions& opt) {
+  obs::MetricsRegistry* metrics = opt.obs.sinks.metrics;
+  obs::ChromeTraceWriter* chrome = opt.obs.sinks.chrome;
+  const bool tracing = opt.obs.collect_prop_traces;
+
+  // Per-trial artifacts (propagation traces, chrome spans) record live
+  // execution and are never cached, so runs collecting them always execute.
+  // Metrics-attached runs may load cached results: the campaign.* counters
+  // and histograms are replayed from the cached records (identical totals to
+  // a live run), and the hit itself becomes observable.
+  if (opt.use_cache && !tracing && !chrome) {
     if (auto cached = LoadCachedCampaign(spec)) {
-      if (metrics) metrics->GetCounter("campaign.cache.hits").Inc();
-      if (verbose)
+      if (metrics) {
+        metrics->GetCounter("campaign.cache.hits").Inc();
+        EmitTrialMetrics(cached->trials, *metrics);
+      }
+      if (opt.verbose)
         std::fprintf(stderr, "[campaign %s] loaded %zu trials from cache\n",
                      spec.CacheKey().c_str(), cached->trials.size());
       return *cached;
@@ -147,15 +212,14 @@ CampaignResult RunCampaign(const CampaignSpec& spec, bool verbose,
 
   const WorkloadInfo& info = WorkloadByName(spec.workload);
   const Program program = BuildWorkload(info, kCampaignIters);
-  if (verbose)
+  if (opt.verbose)
     std::fprintf(stderr, "[campaign %s] recording golden run...\n",
                  spec.CacheKey().c_str());
   std::shared_ptr<const GoldenRun> golden;
   {
     std::optional<obs::ScopedTimer> timed;
     if (metrics) timed.emplace(metrics->GetTimer("campaign.golden_record"));
-    golden = RecordGolden(spec.core, program, spec.golden,
-                          cobs ? &cobs->sinks : nullptr);
+    golden = RecordGolden(spec.core, program, spec.golden, &opt.obs.sinks);
   }
 
   CampaignResult result;
@@ -172,94 +236,158 @@ CampaignResult RunCampaign(const CampaignSpec& spec, bool verbose,
   for (int c = 0; c < kNumStateCats; ++c)
     result.inventory[c] = core.registry().Inventory(static_cast<StateCat>(c));
 
-  Rng rng(spec.seed);
   const std::uint64_t bits = core.registry().InjectableBits(spec.include_ram);
-  result.trials.reserve(static_cast<std::size_t>(spec.trials));
-  if (tracing) result.prop_traces.reserve(static_cast<std::size_t>(spec.trials));
+  const std::vector<TrialSpec> specs = MakeTrialSpecs(spec, bits);
+  const std::size_t n = specs.size();
+  result.trials.resize(n);
+  if (tracing) result.prop_traces.resize(n);
+  std::vector<TrialTiming> timing(n);
 
-  TrialLoopObs loop;
-  std::optional<obs::ScopedTimer> loop_timer;
-  if (metrics) loop_timer.emplace(metrics->GetTimer("campaign.trial_loop"));
-  for (int t = 0; t < spec.trials; ++t) {
-    TrialSpec ts;
-    ts.checkpoint = static_cast<int>(
-        rng.NextBelow(static_cast<std::uint64_t>(spec.golden.points)));
-    ts.offset = rng.NextBelow(spec.golden.offset_max);
-    ts.bit_index = rng.NextBelow(bits);
-    ts.include_ram = spec.include_ram;
-    ts.flips = spec.flips;
-    ts.adjacent = spec.adjacent;
+  const int jobs = std::min(
+      ResolveJobs(opt.jobs),
+      static_cast<int>(std::max<std::size_t>(n, 1)));
+  TrialProgress progress;
+  std::atomic<std::size_t> next{0};
 
-    obs::PropagationTrace trace;
-    const auto t0 = TrialLoopObs::Clock::now();
-    const TrialRecord rec =
-        RunTrial(core, *golden, ts, tracing ? &trace : nullptr);
-    const auto t1 = TrialLoopObs::Clock::now();
-    result.trials.push_back(rec);
-    if (tracing) result.prop_traces.push_back(std::move(trace));
-    loop.outcomes[static_cast<int>(rec.outcome)]++;
+  // One worker's share of the campaign: pull the next unclaimed trial index
+  // and run it on a private core replica against the shared golden run.
+  // Results land in per-index slots, so collection order never depends on
+  // scheduling. Worker 0 doubles as the progress printer.
+  auto work = [&](Core& worker_core, int worker) {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      obs::PropagationTrace trace;
+      const auto t0 = Clock::now();
+      const TrialRecord rec =
+          RunTrial(worker_core, *golden, specs[i], tracing ? &trace : nullptr);
+      const auto t1 = Clock::now();
+      result.trials[i] = rec;
+      if (tracing) result.prop_traces[i] = std::move(trace);
+      timing[i] = {ElapsedUs(progress.start, t0), ElapsedUs(t0, t1), worker};
+      progress.outcomes[static_cast<int>(rec.outcome)].fetch_add(
+          1, std::memory_order_relaxed);
+      const std::uint64_t done =
+          progress.done.fetch_add(1, std::memory_order_relaxed) + 1;
 
-    if (metrics) {
-      metrics->GetCounter("campaign.trials").Inc();
-      metrics->GetCounter(std::string("campaign.outcome.") +
-                          OutcomeName(rec.outcome))
-          .Inc();
-      metrics->GetHistogram("campaign.trial_cycles", 512, 20).Add(rec.cycles);
+      if (worker != 0) continue;
+      if (opt.obs.progress) {
+        const auto now = Clock::now();
+        if (now - progress.last_line >= std::chrono::seconds(1)) {
+          progress.last_line = now;
+          progress.PrintLine(spec.CacheKey(), spec.trials, false);
+        }
+      } else if (opt.verbose && done % 200 < static_cast<std::uint64_t>(jobs)) {
+        std::fprintf(stderr, "[campaign %s] %llu/%d trials\n",
+                     spec.CacheKey().c_str(), (unsigned long long)done,
+                     spec.trials);
+      }
     }
-    if (chrome) {
-      const std::uint64_t ts_us = loop.ElapsedUs(t0);
-      const std::uint64_t dur_us = loop.ElapsedUs(t1) - ts_us;
+  };
+
+  {
+    std::optional<obs::ScopedTimer> loop_timer;
+    if (metrics) loop_timer.emplace(metrics->GetTimer("campaign.trial_loop"));
+    if (jobs <= 1) {
+      work(core, 0);
+    } else {
+      std::vector<std::exception_ptr> errors(static_cast<std::size_t>(jobs));
+      std::vector<std::thread> pool;
+      pool.reserve(static_cast<std::size_t>(jobs));
+      for (int w = 0; w < jobs; ++w) {
+        pool.emplace_back([&, w] {
+          try {
+            Core replica(spec.core, program);
+            work(replica, w);
+          } catch (...) {
+            errors[static_cast<std::size_t>(w)] = std::current_exception();
+          }
+        });
+      }
+      for (auto& th : pool) th.join();
+      for (const auto& e : errors)
+        if (e) std::rethrow_exception(e);
+    }
+  }
+  if (opt.obs.progress)
+    progress.PrintLine(spec.CacheKey(), spec.trials, true);
+
+  // Telemetry is emitted after the pool joins, in trial-index order, so the
+  // exported counters/histograms (and the chrome span list) are identical
+  // to a serial run's regardless of how trials were scheduled.
+  if (metrics) EmitTrialMetrics(result.trials, *metrics);
+  if (chrome) {
+    for (int w = 0; w < jobs; ++w)
+      chrome->SetThreadName(obs::ChromeTraceWriter::kPidCampaign, w,
+                            "trial worker " + std::to_string(w));
+    for (std::size_t i = 0; i < n; ++i) {
+      const TrialRecord& rec = result.trials[i];
       chrome->CompleteEvent(
           OutcomeName(rec.outcome), obs::ChromeTraceWriter::kPidCampaign,
-          /*tid=*/0, ts_us, dur_us,
+          timing[i].worker, timing[i].ts_us, timing[i].dur_us,
           {{"category", StateCatName(rec.cat)},
            {"failure_mode", FailureModeName(rec.mode)},
            {"cycles", std::to_string(rec.cycles)}});
     }
-
-    const bool progress_due =
-        cobs && cobs->progress &&
-        (TrialLoopObs::Clock::now() - loop.last_progress >=
-         std::chrono::seconds(1));
-    if (progress_due) {
-      loop.last_progress = TrialLoopObs::Clock::now();
-      loop.PrintProgress(spec.CacheKey(), t + 1, spec.trials, false);
-    } else if (verbose && !(cobs && cobs->progress) && (t + 1) % 200 == 0) {
-      std::fprintf(stderr, "[campaign %s] %d/%d trials\n",
-                   spec.CacheKey().c_str(), t + 1, spec.trials);
-    }
   }
-  loop_timer.reset();
-  if (cobs && cobs->progress)
-    loop.PrintProgress(spec.CacheKey(), spec.trials, spec.trials, true);
 
-  StoreCachedCampaign(result);
+  if (opt.use_cache) StoreCachedCampaign(result);
   return result;
 }
 
 CampaignResult MergeResults(const std::vector<CampaignResult>& parts) {
   CampaignResult merged;
   if (parts.empty()) return merged;
-  merged.spec = parts.front().spec;
+  // An aggregate is only meaningful across campaigns of the same injected
+  // machine: the parts may differ in workload (that is the point) but not in
+  // protection config, fault model, injection population or state inventory.
+  const CampaignSpec& first = parts.front().spec;
+  for (const auto& p : parts) {
+    const auto& fp = first.core.protect;
+    const auto& pp = p.spec.core.protect;
+    const bool same_protect = fp.timeout_counter == pp.timeout_counter &&
+                              fp.regfile_ecc == pp.regfile_ecc &&
+                              fp.regptr_ecc == pp.regptr_ecc &&
+                              fp.insn_parity == pp.insn_parity;
+    bool same_inventory = true;
+    for (int c = 0; c < kNumStateCats; ++c)
+      same_inventory &=
+          p.inventory[c].latch_bits == parts.front().inventory[c].latch_bits &&
+          p.inventory[c].ram_bits == parts.front().inventory[c].ram_bits;
+    if (!same_protect || p.spec.include_ram != first.include_ram ||
+        p.spec.flips != first.flips || p.spec.adjacent != first.adjacent ||
+        !same_inventory)
+      throw std::invalid_argument(
+          "MergeResults: incompatible campaign specs (workload '" +
+          p.spec.workload + "' differs from '" + first.workload +
+          "' in protection/fault model/inventory)");
+  }
+  merged.spec = first;
   merged.spec.workload = "aggregate";
   merged.inventory = parts.front().inventory;
-  double ipc = 0;
+  double ipc = 0, bp = 0;
+  std::uint64_t dmiss = 0;
   for (const auto& p : parts) {
     merged.trials.insert(merged.trials.end(), p.trials.begin(),
                          p.trials.end());
     merged.prop_traces.insert(merged.prop_traces.end(), p.prop_traces.begin(),
                               p.prop_traces.end());
     ipc += p.golden_ipc;
+    bp += p.golden_bp_accuracy;
+    dmiss += p.golden_dcache_misses;
   }
   merged.golden_ipc = ipc / static_cast<double>(parts.size());
+  merged.golden_bp_accuracy = bp / static_cast<double>(parts.size());
+  merged.golden_dcache_misses = dmiss;
   return merged;
 }
 
-std::vector<CampaignResult> RunSuite(CampaignSpec spec, bool verbose) {
+std::vector<CampaignResult> RunSuite(CampaignSpec spec,
+                                     const CampaignOptions& opt) {
   std::vector<CampaignResult> out;
   for (const auto& w : AllWorkloads()) {
     spec.workload = w.name;
-    out.push_back(RunCampaign(spec, verbose));
+    out.push_back(RunCampaign(spec, opt));
   }
   return out;
 }

@@ -11,6 +11,7 @@
 
 #include "inject/golden.h"
 #include "inject/outcome.h"
+#include "inject/trial.h"
 #include "obs/prop_trace.h"
 #include "obs/sinks.h"
 #include "uarch/config.h"
@@ -47,6 +48,25 @@ struct CampaignObs {
   bool progress = false;
 };
 
+// How to run a campaign. Everything here is about *execution*, never about
+// *results*: a campaign's trial records, classification counts and cache
+// key depend only on the CampaignSpec, and are byte-identical at every
+// `jobs` value (trial specs are pre-generated from the seeded Rng before
+// any worker starts, and records are collected back in trial-index order).
+struct CampaignOptions {
+  // Worker threads for the trial loop. 1 runs serially on the calling
+  // thread; 0 or negative uses one worker per hardware thread. Each worker
+  // owns a private Core replica and shares the immutable golden run.
+  int jobs = 1;
+  // Stderr progress notes (golden recording, cache loads, trial counts).
+  bool verbose = true;
+  // Consult/populate the on-disk results cache. Benchmarks and determinism
+  // tests disable this to force live execution.
+  bool use_cache = true;
+  // Observability sinks and per-trial propagation tracing.
+  CampaignObs obs;
+};
+
 struct CampaignResult {
   CampaignSpec spec;
   std::vector<TrialRecord> trials;
@@ -70,17 +90,26 @@ struct CampaignResult {
   Proportion FailureRate() const;
 };
 
-// Runs (or loads from the cache) a campaign. Progress notes go to stderr
-// when `verbose`. `cobs` (optional) attaches observability sinks and
-// per-trial propagation tracing.
-CampaignResult RunCampaign(const CampaignSpec& spec, bool verbose = true,
-                           const CampaignObs* cobs = nullptr);
+// Pre-generates every trial's injection spec from the campaign's seeded
+// Rng, in trial order. The trial→spec mapping depends only on `spec` and
+// the machine's injectable-bit count — never on CampaignOptions — which is
+// what makes parallel runs byte-identical to serial ones.
+std::vector<TrialSpec> MakeTrialSpecs(const CampaignSpec& spec,
+                                      std::uint64_t injectable_bits);
+
+// Runs (or loads from the cache) a campaign.
+CampaignResult RunCampaign(const CampaignSpec& spec,
+                           const CampaignOptions& opt = {});
 
 // Merges multiple per-benchmark results into one aggregate (the paper's
-// rightmost "aggregate" bars).
+// rightmost "aggregate" bars). The parts must describe the same injected
+// machine (protection config, injection population, state inventory);
+// throws std::invalid_argument otherwise.
 CampaignResult MergeResults(const std::vector<CampaignResult>& parts);
 
-// Convenience: runs the same campaign spec across all ten workloads.
-std::vector<CampaignResult> RunSuite(CampaignSpec spec, bool verbose = true);
+// Convenience: runs the same campaign spec across all ten workloads,
+// forwarding `opt` (including observability sinks) to every campaign.
+std::vector<CampaignResult> RunSuite(CampaignSpec spec,
+                                     const CampaignOptions& opt = {});
 
 }  // namespace tfsim

@@ -1,0 +1,82 @@
+#include "util/argparse.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+
+namespace tfsim {
+
+void ArgParser::AddFlag(const std::string& name, bool* target,
+                        const std::string& help) {
+  specs_.push_back({"--" + name, Kind::kFlag, target, help});
+}
+
+void ArgParser::AddInt(const std::string& name, std::int64_t* target,
+                       const std::string& help) {
+  specs_.push_back({"--" + name, Kind::kInt, target, help});
+}
+
+void ArgParser::AddStr(const std::string& name, std::string* target,
+                       const std::string& help) {
+  specs_.push_back({"--" + name, Kind::kStr, target, help});
+}
+
+const ArgParser::Spec* ArgParser::Find(const std::string& name) const {
+  for (const Spec& s : specs_)
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+bool ArgParser::Parse(int argc, char** argv, int begin) {
+  error_.clear();
+  positional_.clear();
+  for (int i = begin; i < argc; ++i) {
+    const std::string tok = argv[i];
+    if (tok.rfind("--", 0) != 0) {
+      positional_.push_back(tok);
+      continue;
+    }
+    const Spec* spec = Find(tok);
+    if (!spec) {
+      error_ = "unknown option " + tok;
+      return false;
+    }
+    if (spec->kind == Kind::kFlag) {
+      *static_cast<bool*>(spec->target) = true;
+      continue;
+    }
+    if (++i >= argc) {
+      error_ = tok + " requires a value";
+      return false;
+    }
+    const std::string val = argv[i];
+    if (spec->kind == Kind::kStr) {
+      *static_cast<std::string*>(spec->target) = val;
+      continue;
+    }
+    errno = 0;
+    char* end = nullptr;
+    const long long parsed = std::strtoll(val.c_str(), &end, 10);
+    if (errno != 0 || end == val.c_str() || *end != '\0') {
+      error_ = tok + " expects an integer, got '" + val + "'";
+      return false;
+    }
+    *static_cast<std::int64_t*>(spec->target) = parsed;
+  }
+  return true;
+}
+
+std::string ArgParser::Help() const {
+  std::ostringstream os;
+  for (const Spec& s : specs_) {
+    std::string left = s.name;
+    if (s.kind == Kind::kInt) left += " N";
+    if (s.kind == Kind::kStr) left += " VALUE";
+    os << "  " << left;
+    for (std::size_t p = left.size(); p < 22; ++p) os << ' ';
+    os << s.help << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace tfsim

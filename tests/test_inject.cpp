@@ -157,8 +157,10 @@ TEST(Campaign, CacheRoundTrips) {
   spec.workload = "gzip";
   spec.trials = 25;
   spec.golden = SmallSpec();
-  const CampaignResult fresh = RunCampaign(spec, false);
-  const CampaignResult cached = RunCampaign(spec, false);
+  CampaignOptions quiet;
+  quiet.verbose = false;
+  const CampaignResult fresh = RunCampaign(spec, quiet);
+  const CampaignResult cached = RunCampaign(spec, quiet);
   ASSERT_EQ(fresh.trials.size(), cached.trials.size());
   for (std::size_t i = 0; i < fresh.trials.size(); ++i) {
     EXPECT_EQ(fresh.trials[i].outcome, cached.trials[i].outcome);
@@ -177,8 +179,10 @@ TEST(Campaign, DeterministicForFixedSeed) {
   spec.workload = "gzip";
   spec.trials = 15;
   spec.golden = SmallSpec();
-  const auto a = RunCampaign(spec, false).ByOutcome();
-  const auto b = RunCampaign(spec, false).ByOutcome();
+  CampaignOptions quiet;
+  quiet.verbose = false;
+  const auto a = RunCampaign(spec, quiet).ByOutcome();
+  const auto b = RunCampaign(spec, quiet).ByOutcome();
   EXPECT_EQ(a, b);
   ::unsetenv("TFI_CACHE_DIR");
 }

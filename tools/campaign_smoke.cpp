@@ -1,20 +1,49 @@
+// Quick end-to-end campaign harness (and the threaded-campaign ctest smoke):
+// runs one injection campaign and prints the outcome mix, failure modes and
+// per-category breakdown.
+//
+//   campaign_smoke [workload] [--trials N] [--jobs N] [--latches-only]
+//                  [--warmup N] [--points N] [--no-cache]
 #include <cstdio>
 #include <cstdlib>
 
 #include "inject/campaign.h"
+#include "util/argparse.h"
 
 using namespace tfsim;
 
 int main(int argc, char** argv) {
+  std::int64_t trials = 100, jobs = 1, warmup = 20000, points = 4;
+  bool latches_only = false, no_cache = false;
+  ArgParser p;
+  p.AddInt("trials", &trials, "injection trials");
+  p.AddInt("jobs", &jobs, "trial-loop worker threads; 0 = all hardware");
+  p.AddInt("warmup", &warmup, "golden-run warmup cycles");
+  p.AddInt("points", &points, "checkpoints per golden run");
+  p.AddFlag("latches-only", &latches_only, "inject latches only, not RAMs");
+  p.AddFlag("no-cache", &no_cache, "skip the on-disk results cache");
+  if (!p.Parse(argc, argv) || p.positional().size() > 1) {
+    std::fprintf(stderr, "campaign_smoke: %s\nusage: campaign_smoke "
+                         "[workload]\n%s",
+                 p.error().c_str(), p.Help().c_str());
+    return 2;
+  }
+
   CampaignSpec spec;
-  spec.workload = argc > 1 ? argv[1] : "gzip";
-  spec.trials = argc > 2 ? std::atoi(argv[2]) : 100;
-  spec.include_ram = argc > 3 ? std::atoi(argv[3]) != 0 : true;
-  spec.golden.warmup = 20000;
-  spec.golden.points = 4;
-  CampaignResult r = RunCampaign(spec);
+  spec.workload = p.positional().empty() ? "gzip" : p.positional()[0];
+  spec.trials = static_cast<int>(trials);
+  spec.include_ram = !latches_only;
+  spec.golden.warmup = static_cast<std::uint64_t>(warmup);
+  spec.golden.points = static_cast<int>(points);
+
+  CampaignOptions opt;
+  opt.jobs = static_cast<int>(jobs);
+  opt.use_cache = !no_cache;
+  CampaignResult r = RunCampaign(spec, opt);
   const auto o = r.ByOutcome();
-  std::printf("workload=%s trials=%zu ipc=%.2f\n", spec.workload.c_str(), r.trials.size(), r.golden_ipc);
+  std::printf("workload=%s trials=%zu jobs=%lld ipc=%.2f\n",
+              spec.workload.c_str(), r.trials.size(), (long long)jobs,
+              r.golden_ipc);
   for (int i = 0; i < kNumOutcomes; ++i)
     std::printf("  %-12s %llu (%.1f%%)\n", OutcomeName(static_cast<Outcome>(i)),
                 (unsigned long long)o[i], 100.0 * o[i] / r.trials.size());

@@ -54,12 +54,13 @@ int main() {
 
   obs::MetricsRegistry metrics;
   obs::ChromeTraceWriter chrome;
-  CampaignObs cobs;
-  cobs.sinks.metrics = &metrics;
-  cobs.sinks.chrome = &chrome;
-  cobs.collect_prop_traces = true;
+  CampaignOptions opt;
+  opt.verbose = false;
+  opt.obs.sinks.metrics = &metrics;
+  opt.obs.sinks.chrome = &chrome;
+  opt.obs.collect_prop_traces = true;
 
-  const CampaignResult r = RunCampaign(spec, /*verbose=*/false, &cobs);
+  const CampaignResult r = RunCampaign(spec, opt);
   Check(r.trials.size() == 20, "campaign ran 20 trials");
   Check(r.prop_traces.size() == 20, "one propagation trace per trial");
 

@@ -3,7 +3,7 @@
 //   tfi run <workload|file.s> [--cycles N] [--trace N]   run on the pipeline
 //   tfi exec <workload|file.s> [--iters N]               functional execution
 //   tfi campaign <workload> [--trials N] [--latches-only] [--protect]
-//                 [--flips N] [--adjacent]               one injection campaign
+//                 [--flips N] [--adjacent] [--jobs N]    one injection campaign
 //       telemetry: [--metrics-json FILE] [--prop-trace FILE]
 //                  [--chrome-trace FILE] [--progress]
 //   tfi soft <workload> <model> [--trials N]             Section 5 campaign
@@ -28,6 +28,7 @@
 #include "obs/metrics.h"
 #include "soft/soft_inject.h"
 #include "uarch/core.h"
+#include "util/argparse.h"
 #include "workloads/workloads.h"
 
 namespace tfsim {
@@ -40,6 +41,7 @@ struct Args {
   std::int64_t iters = 4;
   std::int64_t trace = 0;
   std::int64_t flips = 1;
+  std::int64_t jobs = 1;
   bool latches_only = false;
   bool protect = false;
   bool adjacent = false;
@@ -52,39 +54,35 @@ struct Args {
   std::string error;
 };
 
+ArgParser MakeParser(Args& a) {
+  ArgParser p;
+  p.AddInt("cycles", &a.cycles, "pipeline cycles to run (run)");
+  p.AddInt("trials", &a.trials, "injection trials (campaign, soft)");
+  p.AddInt("iters", &a.iters, "workload iterations (run, exec, soft)");
+  p.AddInt("trace", &a.trace, "dump the last N pipeline cycles (run)");
+  p.AddInt("flips", &a.flips, "bits flipped per trial (campaign)");
+  p.AddInt("jobs", &a.jobs,
+           "trial-loop worker threads; 0 = all hardware threads (campaign)");
+  p.AddFlag("latches-only", &a.latches_only,
+            "inject latches only, not RAMs (campaign)");
+  p.AddFlag("protect", &a.protect,
+            "enable the Section 4 protection mechanisms");
+  p.AddFlag("adjacent", &a.adjacent,
+            "extra flips hit adjacent bits (campaign)");
+  p.AddStr("metrics-json", &a.metrics_json, "metrics registry export path");
+  p.AddStr("prop-trace", &a.prop_trace, "propagation-trace JSONL path");
+  p.AddStr("chrome-trace", &a.chrome_trace, "chrome trace-event export path");
+  p.AddFlag("progress", &a.progress, "periodic trials/sec progress lines");
+  return p;
+}
+
 Args Parse(int argc, char** argv) {
   Args a;
-  for (int i = 2; i < argc && a.error.empty(); ++i) {
-    const std::string s = argv[i];
-    auto next_int = [&]() -> std::int64_t {
-      if (++i >= argc) {
-        a.error = s + " requires a value";
-        return 0;
-      }
-      return std::strtoll(argv[i], nullptr, 10);
-    };
-    auto next_str = [&]() -> std::string {
-      if (++i >= argc) {
-        a.error = s + " requires a value";
-        return {};
-      }
-      return argv[i];
-    };
-    if (s == "--cycles") a.cycles = next_int();
-    else if (s == "--trials") a.trials = next_int();
-    else if (s == "--iters") a.iters = next_int();
-    else if (s == "--trace") a.trace = next_int();
-    else if (s == "--flips") a.flips = next_int();
-    else if (s == "--latches-only") a.latches_only = true;
-    else if (s == "--protect") a.protect = true;
-    else if (s == "--adjacent") a.adjacent = true;
-    else if (s == "--metrics-json") a.metrics_json = next_str();
-    else if (s == "--prop-trace") a.prop_trace = next_str();
-    else if (s == "--chrome-trace") a.chrome_trace = next_str();
-    else if (s == "--progress") a.progress = true;
-    else if (s.rfind("--", 0) == 0) a.error = "unknown option " + s;
-    else a.positional.push_back(s);
-  }
+  ArgParser p = MakeParser(a);
+  if (!p.Parse(argc, argv, /*begin=*/2))
+    a.error = p.error();
+  else
+    a.positional = p.positional();
   return a;
 }
 
@@ -189,15 +187,14 @@ int CmdCampaign(const Args& a) {
   // Observability: attach only the sinks whose export files were requested.
   obs::MetricsRegistry metrics;
   obs::ChromeTraceWriter chrome;
-  CampaignObs cobs;
-  if (!a.metrics_json.empty()) cobs.sinks.metrics = &metrics;
-  if (!a.chrome_trace.empty()) cobs.sinks.chrome = &chrome;
-  cobs.collect_prop_traces = !a.prop_trace.empty();
-  cobs.progress = a.progress;
-  const bool want_obs = cobs.sinks.Any() || cobs.collect_prop_traces ||
-                        cobs.progress;
+  CampaignOptions opt;
+  opt.jobs = static_cast<int>(a.jobs);
+  if (!a.metrics_json.empty()) opt.obs.sinks.metrics = &metrics;
+  if (!a.chrome_trace.empty()) opt.obs.sinks.chrome = &chrome;
+  opt.obs.collect_prop_traces = !a.prop_trace.empty();
+  opt.obs.progress = a.progress;
 
-  const CampaignResult r = RunCampaign(spec, true, want_obs ? &cobs : nullptr);
+  const CampaignResult r = RunCampaign(spec, opt);
 
   if (!a.metrics_json.empty()) {
     auto out = OpenExport(a.metrics_json);
@@ -262,11 +259,12 @@ int CmdSoft(const Args& a) {
 }
 
 int Usage() {
+  Args dummy;
   std::fprintf(stderr,
                "usage: tfi <run|exec|campaign|soft|inventory|workloads> ...\n"
-               "campaign telemetry: --metrics-json FILE --prop-trace FILE\n"
-               "                    --chrome-trace FILE --progress\n"
-               "see the header of tools/tfi.cpp for details\n");
+               "options:\n%s"
+               "see the header of tools/tfi.cpp for details\n",
+               MakeParser(dummy).Help().c_str());
   return 2;
 }
 
