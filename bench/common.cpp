@@ -77,6 +77,12 @@ std::vector<CampaignResult> Suite(const CampaignSpec& spec) {
   if (!metrics_path.empty()) opt.obs.sinks.metrics = &GlobalMetrics();
 
   const std::vector<CampaignResult> out = RunSuite(spec, opt);
+  for (const auto& r : out)
+    if (!r.quarantined.empty())
+      std::fprintf(stderr,
+                   "[bench] warning: %zu quarantined trial(s) in %s — "
+                   "excluded from outcome percentages\n",
+                   r.quarantined.size(), r.spec.workload.c_str());
   if (!metrics_path.empty()) {
     std::ofstream f(metrics_path);
     if (f) GlobalMetrics().WriteJson(f);
@@ -86,12 +92,15 @@ std::vector<CampaignResult> Suite(const CampaignSpec& spec) {
 
 std::vector<std::string> OutcomeCells(
     const std::array<std::uint64_t, kNumOutcomes>& counts) {
+  // Percentages are over the paper's four outcomes: quarantined trials
+  // (Outcome::kTrialError) are sample holes, not machine behaviour, and
+  // Suite() reports them separately.
   std::uint64_t total = 0;
-  for (auto c : counts) total += c;
+  for (int i = 0; i < kNumPaperOutcomes; ++i) total += counts[i];
   std::vector<std::string> cells;
   std::vector<double> fractions;
   // Paper bar order: uArch Match, Terminated, SDC, Gray Area.
-  for (int i = 0; i < kNumOutcomes; ++i) {
+  for (int i = 0; i < kNumPaperOutcomes; ++i) {
     const double f =
         total ? static_cast<double>(counts[i]) / static_cast<double>(total)
               : 0.0;

@@ -1,14 +1,136 @@
 #include "inject/cache.h"
 
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
 
+#include "obs/metrics.h"
+#include "util/checksum.h"
 #include "util/env.h"
+#include "util/fs.h"
 
 namespace tfsim {
 namespace {
 
-constexpr const char* kMagic = "tfi-cache v1";
+constexpr const char* kMagicV1 = "tfi-cache v1";
+constexpr const char* kMagicV2 = "tfi-cache v2";
+constexpr const char* kCkptMagic = "tfi-ckpt v1";
+
+// --- record serialization ----------------------------------------------------
+
+void WriteTrial(std::ostream& os, const TrialRecord& t) {
+  os << static_cast<int>(t.outcome) << ' ' << static_cast<int>(t.mode) << ' '
+     << static_cast<int>(t.cat) << ' ' << static_cast<int>(t.storage) << ' '
+     << t.cycles << ' ' << t.valid_instrs << ' ' << t.inflight << '\n';
+}
+
+bool ReadTrial(std::istream& in, TrialRecord& t) {
+  int outcome, mode, cat, storage;
+  in >> outcome >> mode >> cat >> storage >> t.cycles >> t.valid_instrs >>
+      t.inflight;
+  if (!in) return false;
+  if (outcome < 0 || outcome >= kNumOutcomes || mode < 0 ||
+      mode >= kNumFailureModes || cat < 0 || cat >= kNumStateCats ||
+      storage < 0 || storage > 2)
+    return false;
+  t.outcome = static_cast<Outcome>(outcome);
+  t.mode = static_cast<FailureMode>(mode);
+  t.cat = static_cast<StateCat>(cat);
+  t.storage = static_cast<Storage>(storage);
+  return true;
+}
+
+// The v2 payload: the v1 body, but with every double at max_digits10 so a
+// cache hit reproduces the live run's golden stats bit-exactly.
+std::string SerializeResultPayload(const CampaignResult& r) {
+  std::ostringstream os;
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << r.trials.size() << '\n';
+  for (int c = 0; c < kNumStateCats; ++c)
+    os << r.inventory[c].latch_bits << ' ' << r.inventory[c].ram_bits << '\n';
+  os << r.golden_ipc << ' ' << r.golden_bp_accuracy << ' '
+     << r.golden_dcache_misses << '\n';
+  for (const auto& t : r.trials) WriteTrial(os, t);
+  return os.str();
+}
+
+// Parses a v1/v2 body from `in` into `r` (spec already set). Shared between
+// the legacy reader and the checksummed v2 reader: the field layout never
+// changed, only the envelope and the double precision did.
+bool ParseResultPayload(std::istream& in, CampaignResult& r) {
+  std::size_t n = 0;
+  in >> n;
+  for (int c = 0; c < kNumStateCats; ++c)
+    in >> r.inventory[c].latch_bits >> r.inventory[c].ram_bits;
+  in >> r.golden_ipc >> r.golden_bp_accuracy >> r.golden_dcache_misses;
+  if (!in) return false;
+  r.trials.resize(n);
+  for (auto& t : r.trials)
+    if (!ReadTrial(in, t)) return false;
+  // Rebuild the quarantine index (messages are diagnostic-only and not
+  // persisted) so cached and live results agree on its shape.
+  for (std::size_t i = 0; i < n; ++i)
+    if (r.trials[i].outcome == Outcome::kTrialError)
+      r.quarantined.push_back({i, std::string()});
+  return true;
+}
+
+// --- checksummed envelope ----------------------------------------------------
+//
+//   <magic>\n
+//   <crc32 hex> <payload bytes>\n
+//   <payload>
+
+std::string WrapChecksummed(const char* magic, const std::string& payload) {
+  std::ostringstream os;
+  os << magic << '\n' << std::hex << Crc32(payload) << std::dec << ' '
+     << payload.size() << '\n'
+     << payload;
+  return os.str();
+}
+
+// Reads and verifies the envelope after the magic line has been consumed.
+// Returns the payload only if the declared length matches the remaining
+// bytes exactly and the CRC verifies — torn, truncated, padded or tampered
+// files all fail here and the caller falls back to a clean re-run.
+std::optional<std::string> ReadChecksummed(std::istream& in) {
+  std::string header;
+  if (!std::getline(in, header)) return std::nullopt;
+  std::istringstream hs(header);
+  std::uint32_t crc = 0;
+  std::size_t size = 0;
+  hs >> std::hex >> crc >> std::dec >> size;
+  if (!hs) return std::nullopt;
+  std::string payload(size, '\0');
+  in.read(payload.data(), static_cast<std::streamsize>(size));
+  if (static_cast<std::size_t>(in.gcount()) != size) return std::nullopt;
+  if (in.peek() != std::char_traits<char>::eof()) return std::nullopt;
+  if (Crc32(payload) != crc) return std::nullopt;
+  return payload;
+}
+
+// Best-effort atomic store shared by the cache and the journal: ensures the
+// directory, writes temp + rename, and surfaces failures via stderr and the
+// named counter instead of silently dropping hours of results.
+bool StoreEnvelope(const std::filesystem::path& path, const char* magic,
+                   const std::string& payload, const char* failure_counter,
+                   obs::MetricsRegistry* metrics) {
+  std::error_code ec;
+  std::filesystem::create_directories(path.parent_path(), ec);
+  std::string error;
+  if (ec)
+    error = "cannot create " + path.parent_path().string() + ": " +
+            ec.message();
+  if (error.empty() && AtomicWriteFile(path, WrapChecksummed(magic, payload),
+                                       &error))
+    return true;
+  std::fprintf(stderr, "[cache] store failed: %s\n", error.c_str());
+  if (metrics) metrics->GetCounter(failure_counter).Inc();
+  return false;
+}
 
 }  // namespace
 
@@ -19,52 +141,82 @@ std::string CacheDir() {
 std::optional<CampaignResult> LoadCachedCampaign(const CampaignSpec& spec) {
   const std::filesystem::path path =
       std::filesystem::path(CacheDir()) / (spec.CacheKey() + ".txt");
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) return std::nullopt;
 
   std::string magic;
   std::getline(in, magic);
-  if (magic != kMagic) return std::nullopt;
 
   CampaignResult r;
   r.spec = spec;
-  std::size_t n = 0;
-  in >> n;
-  for (int c = 0; c < kNumStateCats; ++c)
-    in >> r.inventory[c].latch_bits >> r.inventory[c].ram_bits;
-  in >> r.golden_ipc >> r.golden_bp_accuracy >> r.golden_dcache_misses;
-  r.trials.resize(n);
-  for (auto& t : r.trials) {
-    int outcome, mode, cat, storage;
-    in >> outcome >> mode >> cat >> storage >> t.cycles >> t.valid_instrs >>
-        t.inflight;
-    t.outcome = static_cast<Outcome>(outcome);
-    t.mode = static_cast<FailureMode>(mode);
-    t.cat = static_cast<StateCat>(cat);
-    t.storage = static_cast<Storage>(storage);
+  if (magic == kMagicV2) {
+    const auto payload = ReadChecksummed(in);
+    if (!payload) return std::nullopt;
+    std::istringstream body(*payload);
+    if (!ParseResultPayload(body, r)) return std::nullopt;
+    return r;
   }
-  if (!in) return std::nullopt;  // truncated/corrupt file
-  return r;
+  if (magic == kMagicV1) {
+    // Legacy uprotected format: no checksum, stream-default double
+    // precision. Still readable so existing caches keep their value.
+    if (!ParseResultPayload(in, r)) return std::nullopt;
+    return r;
+  }
+  return std::nullopt;
 }
 
-void StoreCachedCampaign(const CampaignResult& result) {
-  std::error_code ec;
-  std::filesystem::create_directories(CacheDir(), ec);
+bool StoreCachedCampaign(const CampaignResult& result,
+                         obs::MetricsRegistry* metrics) {
   const std::filesystem::path path =
       std::filesystem::path(CacheDir()) / (result.spec.CacheKey() + ".txt");
-  std::ofstream out(path);
-  if (!out) return;  // caching is best-effort
-  out << kMagic << '\n' << result.trials.size() << '\n';
-  for (int c = 0; c < kNumStateCats; ++c)
-    out << result.inventory[c].latch_bits << ' '
-        << result.inventory[c].ram_bits << '\n';
-  out << result.golden_ipc << ' ' << result.golden_bp_accuracy << ' '
-      << result.golden_dcache_misses << '\n';
-  for (const auto& t : result.trials)
-    out << static_cast<int>(t.outcome) << ' ' << static_cast<int>(t.mode)
-        << ' ' << static_cast<int>(t.cat) << ' '
-        << static_cast<int>(t.storage) << ' ' << t.cycles << ' '
-        << t.valid_instrs << ' ' << t.inflight << '\n';
+  return StoreEnvelope(path, kMagicV2, SerializeResultPayload(result),
+                       "campaign.cache.store_failures", metrics);
+}
+
+// --- checkpoint journal ------------------------------------------------------
+//
+// Journal payload: the campaign's total trial count (a cross-check against
+// the spec, though the CacheKey already pins it) followed by the completed
+// prefix length and that many records in trial-index order.
+
+std::string CampaignCheckpointPath(const CampaignSpec& spec) {
+  return (std::filesystem::path(CacheDir()) / (spec.CacheKey() + ".ckpt"))
+      .string();
+}
+
+std::optional<std::vector<TrialRecord>> LoadCampaignCheckpoint(
+    const CampaignSpec& spec) {
+  std::ifstream in(CampaignCheckpointPath(spec), std::ios::binary);
+  if (!in) return std::nullopt;
+  std::string magic;
+  std::getline(in, magic);
+  if (magic != kCkptMagic) return std::nullopt;
+  const auto payload = ReadChecksummed(in);
+  if (!payload) return std::nullopt;
+  std::istringstream body(*payload);
+  std::size_t total = 0, done = 0;
+  body >> total >> done;
+  if (!body || total != static_cast<std::size_t>(spec.trials) || done > total)
+    return std::nullopt;
+  std::vector<TrialRecord> prefix(done);
+  for (auto& t : prefix)
+    if (!ReadTrial(body, t)) return std::nullopt;
+  return prefix;
+}
+
+bool StoreCampaignCheckpoint(const CampaignSpec& spec,
+                             const std::vector<TrialRecord>& prefix,
+                             obs::MetricsRegistry* metrics) {
+  std::ostringstream os;
+  os << spec.trials << '\n' << prefix.size() << '\n';
+  for (const auto& t : prefix) WriteTrial(os, t);
+  return StoreEnvelope(CampaignCheckpointPath(spec), kCkptMagic, os.str(),
+                       "campaign.checkpoint.store_failures", metrics);
+}
+
+void RemoveCampaignCheckpoint(const CampaignSpec& spec) {
+  std::error_code ec;
+  std::filesystem::remove(CampaignCheckpointPath(spec), ec);
 }
 
 }  // namespace tfsim

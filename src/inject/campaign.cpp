@@ -5,6 +5,8 @@
 #include <chrono>
 #include <cstdio>
 #include <exception>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
@@ -14,6 +16,8 @@
 #include "inject/trial.h"
 #include "obs/chrome_trace.h"
 #include "obs/metrics.h"
+#include "util/argparse.h"
+#include "util/env.h"
 #include "util/rng.h"
 #include "workloads/workloads.h"
 
@@ -88,7 +92,11 @@ Proportion CampaignResult::FailureRate() const {
   const auto o = ByOutcome();
   const std::uint64_t failed = o[static_cast<int>(Outcome::kSdc)] +
                                o[static_cast<int>(Outcome::kTerminated)];
-  return MakeProportion(failed, trials.size());
+  // Quarantined trials (kTrialError) are holes in the sample, not machine
+  // behaviour; they leave the denominator rather than diluting the rate.
+  std::uint64_t sample = 0;
+  for (int i = 0; i < kNumPaperOutcomes; ++i) sample += o[i];
+  return MakeProportion(failed, sample);
 }
 
 namespace {
@@ -116,13 +124,14 @@ struct TrialProgress {
     std::fprintf(
         stderr,
         "[campaign %s] %llu/%d trials  %.1f trials/s  "
-        "match=%llu term=%llu sdc=%llu gray=%llu%s\n",
+        "match=%llu term=%llu sdc=%llu gray=%llu err=%llu%s\n",
         key.c_str(), (unsigned long long)d, total,
         secs > 0 ? static_cast<double>(d) / secs : 0.0,
         (unsigned long long)outcomes[0].load(std::memory_order_relaxed),
         (unsigned long long)outcomes[1].load(std::memory_order_relaxed),
         (unsigned long long)outcomes[2].load(std::memory_order_relaxed),
         (unsigned long long)outcomes[3].load(std::memory_order_relaxed),
+        (unsigned long long)outcomes[4].load(std::memory_order_relaxed),
         final_line ? " [done]" : "");
   }
 };
@@ -135,10 +144,13 @@ struct TrialTiming {
   int worker = 0;
 };
 
-int ResolveJobs(int jobs) {
-  if (jobs > 0) return jobs;
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw ? static_cast<int>(hw) : 1;
+// The deterministic stand-in record for a trial whose execution threw: the
+// quarantine outcome with every machine-derived field at its default, so a
+// quarantined slot is byte-identical at any `jobs` value and after resume.
+TrialRecord QuarantineRecord() {
+  TrialRecord rec;
+  rec.outcome = Outcome::kTrialError;
+  return rec;
 }
 
 // Replays a campaign's per-trial counters and histograms into `m`, in trial
@@ -149,11 +161,13 @@ int ResolveJobs(int jobs) {
 void EmitTrialMetrics(const std::vector<TrialRecord>& trials,
                       obs::MetricsRegistry& m) {
   obs::Counter& total = m.GetCounter("campaign.trials");
+  obs::Counter& quarantined = m.GetCounter("campaign.trials.quarantined");
   obs::Histogram& cycles = m.GetHistogram("campaign.trial_cycles", 512, 20);
   for (const TrialRecord& rec : trials) {
     total.Inc();
     m.GetCounter(std::string("campaign.outcome.") + OutcomeName(rec.outcome))
         .Inc();
+    if (rec.outcome == Outcome::kTrialError) quarantined.Inc();
     cycles.Add(rec.cycles);
   }
 }
@@ -243,32 +257,110 @@ CampaignResult RunCampaign(const CampaignSpec& spec,
   if (tracing) result.prop_traces.resize(n);
   std::vector<TrialTiming> timing(n);
 
+  // Checkpoint journaling. TFI_CHECKPOINT_EVERY overrides the option so
+  // smoke tests can force tiny intervals on any binary. Trace-collecting
+  // runs never journal: the journal holds records only, and a resumed
+  // prefix without its traces would break trace/record parallelism.
+  const std::int64_t every_env =
+      EnvInt("TFI_CHECKPOINT_EVERY", opt.checkpoint_every);
+  const std::uint64_t journal_every =
+      (!tracing && every_env > 0) ? static_cast<std::uint64_t>(every_env) : 0;
+
+  // Per-trial completion flags: the release store in the worker pairs with
+  // the acquire scan in the checkpointer, making the record slots of the
+  // contiguous completed prefix safe to read while other trials still run.
+  auto completed = std::make_unique<std::atomic<bool>[]>(n);
+  std::size_t resumed = 0;
+  if (journal_every) {
+    if (auto ckpt = LoadCampaignCheckpoint(spec)) {
+      resumed = std::min(ckpt->size(), n);
+      for (std::size_t i = 0; i < resumed; ++i) {
+        result.trials[i] = (*ckpt)[i];
+        completed[i].store(true, std::memory_order_relaxed);
+      }
+      if (metrics && resumed)
+        metrics->GetCounter("campaign.checkpoint.resumed_trials")
+            .Inc(resumed);
+      if (opt.verbose && resumed)
+        std::fprintf(stderr,
+                     "[campaign %s] resumed %zu/%zu trials from checkpoint\n",
+                     spec.CacheKey().c_str(), resumed, n);
+    }
+  }
+
   const int jobs = std::min(
       ResolveJobs(opt.jobs),
-      static_cast<int>(std::max<std::size_t>(n, 1)));
+      static_cast<int>(std::max<std::size_t>(n - resumed, 1)));
   TrialProgress progress;
-  std::atomic<std::size_t> next{0};
+  for (std::size_t i = 0; i < resumed; ++i)
+    progress.outcomes[static_cast<int>(result.trials[i].outcome)].fetch_add(
+        1, std::memory_order_relaxed);
+  progress.done.store(resumed, std::memory_order_relaxed);
+  std::atomic<std::size_t> next{resumed};
+  std::vector<std::string> errmsgs(n);
+
+  // Flushes the journal with the current contiguous completed prefix.
+  // Serialized by the mutex; cheap no-op when the prefix hasn't advanced
+  // past what's already on disk.
+  std::mutex ckpt_mu;
+  std::size_t ckpt_prefix = resumed;   // both guarded by ckpt_mu
+  std::size_t ckpt_flushed = resumed;
+  auto FlushCheckpoint = [&] {
+    if (!journal_every) return;
+    std::lock_guard<std::mutex> lock(ckpt_mu);
+    while (ckpt_prefix < n &&
+           completed[ckpt_prefix].load(std::memory_order_acquire))
+      ++ckpt_prefix;
+    if (ckpt_prefix == ckpt_flushed) return;
+    const std::vector<TrialRecord> prefix(
+        result.trials.begin(),
+        result.trials.begin() + static_cast<std::ptrdiff_t>(ckpt_prefix));
+    if (StoreCampaignCheckpoint(spec, prefix, metrics))
+      ckpt_flushed = ckpt_prefix;
+  };
 
   // One worker's share of the campaign: pull the next unclaimed trial index
   // and run it on a private core replica against the shared golden run.
   // Results land in per-index slots, so collection order never depends on
-  // scheduling. Worker 0 doubles as the progress printer.
+  // scheduling. A trial whose execution throws is re-attempted up to
+  // `retries` times, then quarantined as a kTrialError record instead of
+  // poisoning the campaign. Cancellation drains: in-flight trials finish,
+  // no new ones start. Worker 0 doubles as the progress printer.
   auto work = [&](Core& worker_core, int worker) {
     for (;;) {
+      if (opt.cancel && opt.cancel->cancelled()) return;
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
       obs::PropagationTrace trace;
       const auto t0 = Clock::now();
-      const TrialRecord rec =
-          RunTrial(worker_core, *golden, specs[i], tracing ? &trace : nullptr);
+      TrialRecord rec;
+      bool ok = false;
+      const int attempts = 1 + std::max(opt.retries, 0);
+      for (int attempt = 0; attempt < attempts && !ok; ++attempt) {
+        try {
+          if (opt.trial_fault_hook) opt.trial_fault_hook(i);
+          obs::PropagationTrace attempt_trace;
+          rec = RunTrial(worker_core, *golden, specs[i],
+                         tracing ? &attempt_trace : nullptr);
+          trace = std::move(attempt_trace);
+          ok = true;
+        } catch (const std::exception& e) {
+          errmsgs[i] = e.what();
+        } catch (...) {
+          errmsgs[i] = "non-standard exception";
+        }
+      }
+      if (!ok) rec = QuarantineRecord();
       const auto t1 = Clock::now();
       result.trials[i] = rec;
       if (tracing) result.prop_traces[i] = std::move(trace);
       timing[i] = {ElapsedUs(progress.start, t0), ElapsedUs(t0, t1), worker};
+      completed[i].store(true, std::memory_order_release);
       progress.outcomes[static_cast<int>(rec.outcome)].fetch_add(
           1, std::memory_order_relaxed);
       const std::uint64_t done =
           progress.done.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (journal_every && done % journal_every == 0) FlushCheckpoint();
 
       if (worker != 0) continue;
       if (opt.obs.progress) {
@@ -312,6 +404,35 @@ CampaignResult RunCampaign(const CampaignSpec& spec,
   if (opt.obs.progress)
     progress.PrintLine(spec.CacheKey(), spec.trials, true);
 
+  // Interruption: keep only the contiguous completed prefix — exactly what
+  // the journal holds — so the partial result, its telemetry, and a later
+  // resumed run all agree on which trials exist. Trials completed out of
+  // order beyond the prefix are discarded (their specs re-run on resume).
+  if (opt.cancel && opt.cancel->cancelled()) {
+    std::size_t prefix = 0;
+    while (prefix < n &&
+           completed[prefix].load(std::memory_order_acquire))
+      ++prefix;
+    if (prefix < n) {
+      FlushCheckpoint();
+      result.interrupted = true;
+      result.trials.resize(prefix);
+      if (tracing) result.prop_traces.resize(prefix);
+      timing.resize(prefix);
+      if (opt.verbose)
+        std::fprintf(stderr,
+                     "[campaign %s] interrupted at %zu/%zu trials%s\n",
+                     spec.CacheKey().c_str(), prefix, n,
+                     journal_every ? " (checkpoint flushed)" : "");
+    }
+  }
+
+  // Quarantined trials, in trial-index order (messages are empty for
+  // records restored from a checkpoint — diagnostics are not persisted).
+  for (std::size_t i = 0; i < result.trials.size(); ++i)
+    if (result.trials[i].outcome == Outcome::kTrialError)
+      result.quarantined.push_back({i, errmsgs[i]});
+
   // Telemetry is emitted after the pool joins, in trial-index order, so the
   // exported counters/histograms (and the chrome span list) are identical
   // to a serial run's regardless of how trials were scheduled.
@@ -320,7 +441,7 @@ CampaignResult RunCampaign(const CampaignSpec& spec,
     for (int w = 0; w < jobs; ++w)
       chrome->SetThreadName(obs::ChromeTraceWriter::kPidCampaign, w,
                             "trial worker " + std::to_string(w));
-    for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t i = 0; i < result.trials.size(); ++i) {
       const TrialRecord& rec = result.trials[i];
       chrome->CompleteEvent(
           OutcomeName(rec.outcome), obs::ChromeTraceWriter::kPidCampaign,
@@ -331,7 +452,12 @@ CampaignResult RunCampaign(const CampaignSpec& spec,
     }
   }
 
-  if (opt.use_cache) StoreCachedCampaign(result);
+  if (!result.interrupted) {
+    if (opt.use_cache) StoreCachedCampaign(result, metrics);
+    // The journal is subsumed by the completed result; drop it so the next
+    // run of this CacheKey starts clean (or hits the cache).
+    if (journal_every) RemoveCampaignCheckpoint(spec);
+  }
   return result;
 }
 

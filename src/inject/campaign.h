@@ -5,6 +5,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -15,6 +16,7 @@
 #include "obs/prop_trace.h"
 #include "obs/sinks.h"
 #include "uarch/config.h"
+#include "util/cancel.h"
 #include "util/stats.h"
 
 namespace tfsim {
@@ -63,13 +65,55 @@ struct CampaignOptions {
   // Consult/populate the on-disk results cache. Benchmarks and determinism
   // tests disable this to force live execution.
   bool use_cache = true;
+  // Re-attempts for a trial whose execution throws before it is quarantined
+  // as Outcome::kTrialError. One retry absorbs transient host-level failures
+  // (resource exhaustion) without masking deterministic trial bugs.
+  int retries = 1;
+  // Checkpoint/resume: when > 0, the contiguous completed-trial prefix is
+  // flushed to a per-CacheKey journal under TFI_CACHE_DIR every this many
+  // completed trials (and on interruption), and an existing journal for the
+  // same CacheKey is loaded at startup so the campaign resumes exactly where
+  // it stopped. The TFI_CHECKPOINT_EVERY env var, when set, overrides this
+  // value (tests force tiny intervals through it). Journals only hold trial
+  // records, so runs collecting propagation traces never checkpoint/resume.
+  // Resumed records are byte-identical to an uninterrupted run's at any
+  // `jobs` value. 0 disables journaling.
+  int checkpoint_every = 0;
+  // Cooperative cancellation (e.g. wired to SIGINT). When requested,
+  // workers finish their in-flight trials and stop claiming new ones; the
+  // campaign flushes its checkpoint journal plus the telemetry for the
+  // completed prefix and returns with CampaignResult::interrupted set.
+  CancellationToken* cancel = nullptr;
+  // Test instrumentation: invoked (from worker threads; must be
+  // thread-safe) with the trial index before each execution attempt. An
+  // exception thrown here takes exactly the quarantine path a throwing
+  // trial would. Never set in production runs.
+  std::function<void(std::size_t)> trial_fault_hook;
   // Observability sinks and per-trial propagation tracing.
   CampaignObs obs;
+};
+
+// A quarantined trial: its index and the message of the exception that
+// escaped the trial runner. The record itself (trials[index]) carries
+// Outcome::kTrialError; the message is diagnostic only and is not persisted
+// in caches or checkpoints.
+struct QuarantinedTrial {
+  std::uint64_t index = 0;
+  std::string message;
 };
 
 struct CampaignResult {
   CampaignSpec spec;
   std::vector<TrialRecord> trials;
+  // Trials whose execution threw (after CampaignOptions::retries
+  // re-attempts), in trial-index order. Parallel to the kTrialError records
+  // in `trials`; counted by the campaign.trials.quarantined metric.
+  std::vector<QuarantinedTrial> quarantined;
+  // True when the campaign was cancelled before completing: `trials` then
+  // holds only the contiguous completed prefix (matching the checkpoint
+  // journal on disk, when journaling was enabled) and the result was not
+  // cached. Re-running the same spec resumes from the journal.
+  bool interrupted = false;
   // Per-trial propagation traces, parallel to `trials`. Only populated when
   // CampaignObs::collect_prop_traces was set (never loaded from the cache).
   std::vector<obs::PropagationTrace> prop_traces;

@@ -8,6 +8,7 @@ const char* OutcomeName(Outcome o) {
     case Outcome::kTerminated: return "Terminated";
     case Outcome::kSdc: return "SDC";
     case Outcome::kGrayArea: return "Gray Area";
+    case Outcome::kTrialError: return "Trial Error";
   }
   return "?";
 }

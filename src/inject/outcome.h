@@ -8,14 +8,23 @@
 
 namespace tfsim {
 
-// Four trial outcomes (Section 2.2).
+// The paper's four trial outcomes (Section 2.2), plus one harness-level
+// outcome: a trial whose execution itself failed (an exception escaped the
+// trial runner) is quarantined as kTrialError rather than aborting the
+// campaign. kTrialError says nothing about the injected machine — it marks
+// a hole in the sample that the aggregation layers can see and report.
 enum class Outcome : std::uint8_t {
   kMicroArchMatch,  // entire machine state re-converged with the golden run
   kTerminated,      // premature termination (exception or deadlock)
   kSdc,             // silent data corruption of architectural state
   kGrayArea,        // neither failed nor provably re-converged in the window
+  kTrialError,      // the trial itself threw and was quarantined
 };
-inline constexpr int kNumOutcomes = 4;
+inline constexpr int kNumOutcomes = 5;
+// The first four outcomes are the paper's taxonomy; figure tables and
+// masked/failure statistics iterate these and treat quarantined trials as
+// holes in the sample rather than machine behaviour.
+inline constexpr int kNumPaperOutcomes = 4;
 const char* OutcomeName(Outcome o);
 
 // Seven failure modes (Table 2). kNoFailure for non-failing outcomes.

@@ -14,7 +14,8 @@ void WriteTrialsCsv(const CampaignResult& result, std::ostream& os) {
 }
 
 void WriteCategoryCsv(const CampaignResult& result, std::ostream& os) {
-  os << "category,trials,match,terminated,sdc,gray,latch_bits,ram_bits\n";
+  os << "category,trials,match,terminated,sdc,gray,trial_error,latch_bits,"
+        "ram_bits\n";
   for (int c = 0; c < kNumStateCats; ++c) {
     const auto cat = static_cast<StateCat>(c);
     const auto n = result.TrialsForCat(cat);
@@ -25,6 +26,7 @@ void WriteCategoryCsv(const CampaignResult& result, std::ostream& os) {
        << o[static_cast<int>(Outcome::kTerminated)] << ','
        << o[static_cast<int>(Outcome::kSdc)] << ','
        << o[static_cast<int>(Outcome::kGrayArea)] << ','
+       << o[static_cast<int>(Outcome::kTrialError)] << ','
        << result.inventory[c].latch_bits << ','
        << result.inventory[c].ram_bits << '\n';
   }

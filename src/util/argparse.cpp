@@ -2,7 +2,9 @@
 
 #include <cerrno>
 #include <cstdlib>
+#include <limits>
 #include <sstream>
+#include <thread>
 
 namespace tfsim {
 
@@ -64,6 +66,15 @@ bool ArgParser::Parse(int argc, char** argv, int begin) {
     *static_cast<std::int64_t*>(spec->target) = parsed;
   }
   return true;
+}
+
+int ResolveJobs(std::int64_t jobs) {
+  if (jobs > 0)
+    return jobs > std::numeric_limits<int>::max()
+               ? std::numeric_limits<int>::max()
+               : static_cast<int>(jobs);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw ? static_cast<int>(hw) : 1;
 }
 
 std::string ArgParser::Help() const {

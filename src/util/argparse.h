@@ -53,4 +53,10 @@ class ArgParser {
   std::string error_;
 };
 
+// Resolves a --jobs value to a concrete worker count: positive values are
+// used as-is; 0 or negative means one worker per hardware thread, falling
+// back to 1 when std::thread::hardware_concurrency() reports 0 (the value
+// is unknown on some platforms) so a campaign never spawns zero workers.
+int ResolveJobs(std::int64_t jobs);
+
 }  // namespace tfsim

@@ -1,0 +1,26 @@
+// Cooperative cancellation for long-running loops (the campaign trial loop).
+//
+// Request() flips a single lock-free atomic flag, so it is safe to call from
+// a POSIX signal handler (tools/tfi.cpp wires it to SIGINT). Workers poll
+// cancelled() between trials and drain: in-flight trials finish, no new ones
+// start, and the campaign flushes its checkpoint before returning.
+#pragma once
+
+#include <atomic>
+
+namespace tfsim {
+
+class CancellationToken {
+ public:
+  void Request() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+  // For reuse across sequential campaigns in one process (tests, suites).
+  void Reset() { cancelled_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace tfsim

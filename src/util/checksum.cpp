@@ -1,0 +1,31 @@
+#include "util/checksum.h"
+
+#include <array>
+
+namespace tfsim {
+namespace {
+
+constexpr std::array<std::uint32_t, 256> MakeCrcTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kCrcTable = MakeCrcTable();
+
+}  // namespace
+
+std::uint32_t Crc32(std::string_view data, std::uint32_t crc) {
+  crc = ~crc;
+  for (const char ch : data)
+    crc = kCrcTable[(crc ^ static_cast<unsigned char>(ch)) & 0xFFu] ^
+          (crc >> 8);
+  return ~crc;
+}
+
+}  // namespace tfsim

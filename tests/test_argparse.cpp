@@ -97,5 +97,16 @@ TEST(ArgParser, HelpListsEveryFlagInRegistrationOrder) {
   EXPECT_NE(help.find("injection trials"), std::string::npos);
 }
 
+TEST(ArgParser, ResolveJobsNeverReturnsZeroWorkers) {
+  EXPECT_EQ(ResolveJobs(5), 5);
+  EXPECT_EQ(ResolveJobs(1), 1);
+  // 0 and negative mean "all hardware threads"; even when the hardware
+  // concurrency is unknown (reported as 0) at least one worker is spawned.
+  EXPECT_GE(ResolveJobs(0), 1);
+  EXPECT_GE(ResolveJobs(-3), 1);
+  // Absurd requests clamp instead of overflowing int.
+  EXPECT_GT(ResolveJobs(std::int64_t{1} << 40), 0);
+}
+
 }  // namespace
 }  // namespace tfsim

@@ -43,7 +43,7 @@ TEST(Report, CategoryCsvAggregates) {
   std::ostringstream os;
   WriteCategoryCsv(Sample(), os);
   const std::string out = os.str();
-  EXPECT_NE(out.find("regfile,1,0,0,1,0,80,5200"), std::string::npos);
+  EXPECT_NE(out.find("regfile,1,0,0,1,0,0,80,5200"), std::string::npos);
   EXPECT_NE(out.find("pc,1,1,0,0,0,0,0"), std::string::npos);
 }
 

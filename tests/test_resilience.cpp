@@ -1,0 +1,390 @@
+// The resilient execution layer: CRC32 + atomic file primitives, the v2
+// checksummed results cache (with v1 back-compat and bit-exact doubles),
+// trial quarantine, and checkpoint/resume byte-identity.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "inject/cache.h"
+#include "inject/campaign.h"
+#include "obs/metrics.h"
+#include "util/cancel.h"
+#include "util/checksum.h"
+#include "util/fs.h"
+
+namespace tfsim {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Scoped TFI_CACHE_DIR override pointing at a fresh temp directory.
+class ScopedCacheDir {
+ public:
+  explicit ScopedCacheDir(const std::string& name)
+      : dir_((fs::temp_directory_path() / name).string()) {
+    fs::remove_all(dir_);
+    ::setenv("TFI_CACHE_DIR", dir_.c_str(), 1);
+  }
+  ~ScopedCacheDir() {
+    fs::remove_all(dir_);
+    ::unsetenv("TFI_CACHE_DIR");
+  }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string dir_;
+};
+
+CampaignSpec SmallCampaign(int trials) {
+  CampaignSpec spec;
+  spec.workload = "gzip";
+  spec.trials = trials;
+  spec.golden.warmup = 12000;
+  spec.golden.points = 3;
+  spec.golden.spacing = 500;
+  spec.golden.window = 4000;
+  spec.golden.slack = 1000;
+  return spec;
+}
+
+CampaignOptions QuietLive() {
+  CampaignOptions opt;
+  opt.verbose = false;
+  opt.use_cache = false;
+  return opt;
+}
+
+// Expects `a` to hold exactly `n` records matching the first `n` of `b`.
+void ExpectSameRecords(const CampaignResult& a, const CampaignResult& b,
+                       std::size_t n) {
+  ASSERT_EQ(a.trials.size(), n);
+  ASSERT_GE(b.trials.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(a.trials[i].outcome, b.trials[i].outcome) << "trial " << i;
+    EXPECT_EQ(a.trials[i].mode, b.trials[i].mode) << "trial " << i;
+    EXPECT_EQ(a.trials[i].cat, b.trials[i].cat) << "trial " << i;
+    EXPECT_EQ(a.trials[i].storage, b.trials[i].storage) << "trial " << i;
+    EXPECT_EQ(a.trials[i].cycles, b.trials[i].cycles) << "trial " << i;
+    EXPECT_EQ(a.trials[i].valid_instrs, b.trials[i].valid_instrs);
+    EXPECT_EQ(a.trials[i].inflight, b.trials[i].inflight);
+  }
+}
+
+// A synthetic result exercising every serialized field, including doubles
+// that do not round-trip at default stream precision.
+CampaignResult AwkwardResult(const CampaignSpec& spec) {
+  CampaignResult r;
+  r.spec = spec;
+  r.golden_ipc = 1.0 / 3.0;
+  r.golden_bp_accuracy = 0.9428090415820634;  // irrational-ish, 17 digits
+  r.golden_dcache_misses = 123456789;
+  for (int c = 0; c < kNumStateCats; ++c) {
+    r.inventory[c].latch_bits = 1000 + c;
+    r.inventory[c].ram_bits = 7 * c;
+  }
+  r.trials.resize(static_cast<std::size_t>(spec.trials));
+  for (std::size_t i = 0; i < r.trials.size(); ++i) {
+    TrialRecord& t = r.trials[i];
+    t.outcome = static_cast<Outcome>(i % kNumOutcomes);
+    t.mode = static_cast<FailureMode>(i % kNumFailureModes);
+    t.cat = static_cast<StateCat>(i % kNumStateCats);
+    t.storage = static_cast<Storage>(i % 2);
+    t.cycles = static_cast<std::uint32_t>(17 * i + 3);
+    t.valid_instrs = static_cast<std::uint32_t>(5 * i);
+    t.inflight = static_cast<std::uint32_t>(i);
+  }
+  return r;
+}
+
+std::string CachePath(const CampaignSpec& spec) {
+  return (fs::path(CacheDir()) / (spec.CacheKey() + ".txt")).string();
+}
+
+std::string SlurpFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+void WriteRaw(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+}
+
+TEST(Checksum, Crc32KnownVectorAndIncremental) {
+  // The canonical CRC-32 check value (zlib, PNG, IEEE 802.3).
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+  // Incremental application over a split equals one pass over the whole.
+  const std::uint32_t part = Crc32("12345");
+  EXPECT_EQ(Crc32("6789", part), Crc32("123456789"));
+  // Sensitivity: one flipped bit changes the CRC.
+  EXPECT_NE(Crc32("123456788"), Crc32("123456789"));
+}
+
+TEST(AtomicWrite, WritesAndReplaces) {
+  const fs::path path = fs::temp_directory_path() / "tfi_atomic_write.txt";
+  fs::remove(path);
+  std::string error;
+  ASSERT_TRUE(AtomicWriteFile(path, "first", &error)) << error;
+  EXPECT_EQ(SlurpFile(path.string()), "first");
+  ASSERT_TRUE(AtomicWriteFile(path, "second longer contents", &error));
+  EXPECT_EQ(SlurpFile(path.string()), "second longer contents");
+  // No temporaries left behind.
+  int siblings = 0;
+  for (const auto& e : fs::directory_iterator(path.parent_path()))
+    if (e.path().filename().string().rfind("tfi_atomic_write.txt", 0) == 0)
+      ++siblings;
+  EXPECT_EQ(siblings, 1);
+  fs::remove(path);
+  // A missing parent directory fails cleanly instead of crashing.
+  EXPECT_FALSE(AtomicWriteFile(
+      fs::temp_directory_path() / "tfi_no_such_dir" / "x.txt", "y", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(CacheV2, RoundTripsEveryFieldBitExactly) {
+  ScopedCacheDir cache("tfi_test_cache_v2");
+  const CampaignSpec spec = SmallCampaign(11);
+  const CampaignResult stored = AwkwardResult(spec);
+  ASSERT_TRUE(StoreCachedCampaign(stored));
+
+  const auto loaded = LoadCachedCampaign(spec);
+  ASSERT_TRUE(loaded.has_value());
+  // Doubles survive bit-exactly (max_digits10 serialization).
+  EXPECT_EQ(loaded->golden_ipc, stored.golden_ipc);
+  EXPECT_EQ(loaded->golden_bp_accuracy, stored.golden_bp_accuracy);
+  EXPECT_EQ(loaded->golden_dcache_misses, stored.golden_dcache_misses);
+  for (int c = 0; c < kNumStateCats; ++c) {
+    EXPECT_EQ(loaded->inventory[c].latch_bits, stored.inventory[c].latch_bits);
+    EXPECT_EQ(loaded->inventory[c].ram_bits, stored.inventory[c].ram_bits);
+  }
+  ExpectSameRecords(*loaded, stored, stored.trials.size());
+  // The quarantine index is rebuilt from the kTrialError records.
+  std::size_t errors = 0;
+  for (const auto& t : stored.trials)
+    if (t.outcome == Outcome::kTrialError) ++errors;
+  EXPECT_EQ(loaded->quarantined.size(), errors);
+}
+
+TEST(CacheV2, RejectsTamperedTruncatedAndPaddedFiles) {
+  ScopedCacheDir cache("tfi_test_cache_tamper");
+  const CampaignSpec spec = SmallCampaign(9);
+  ASSERT_TRUE(StoreCachedCampaign(AwkwardResult(spec)));
+  const std::string path = CachePath(spec);
+  const std::string good = SlurpFile(path);
+  ASSERT_TRUE(LoadCachedCampaign(spec).has_value());
+
+  // Flip one payload byte: CRC mismatch.
+  std::string tampered = good;
+  tampered[good.size() - 2] ^= 0x01;
+  WriteRaw(path, tampered);
+  EXPECT_FALSE(LoadCachedCampaign(spec).has_value());
+
+  // Truncate: declared length can't be read.
+  WriteRaw(path, good.substr(0, good.size() / 2));
+  EXPECT_FALSE(LoadCachedCampaign(spec).has_value());
+
+  // Trailing garbage: file longer than the declared payload.
+  WriteRaw(path, good + "extra");
+  EXPECT_FALSE(LoadCachedCampaign(spec).has_value());
+
+  // Unknown magic.
+  WriteRaw(path, "tfi-cache v9\n" + good);
+  EXPECT_FALSE(LoadCachedCampaign(spec).has_value());
+
+  // Empty file.
+  WriteRaw(path, "");
+  EXPECT_FALSE(LoadCachedCampaign(spec).has_value());
+
+  // Restoring the original bytes restores the hit.
+  WriteRaw(path, good);
+  EXPECT_TRUE(LoadCachedCampaign(spec).has_value());
+}
+
+TEST(CacheV2, ReadsLegacyV1Files) {
+  ScopedCacheDir cache("tfi_test_cache_v1");
+  const CampaignSpec spec = SmallCampaign(3);
+  const CampaignResult r = AwkwardResult(spec);
+
+  // Write the file exactly as the v1 writer did: no checksum, default
+  // stream precision for doubles.
+  fs::create_directories(CacheDir());
+  std::ostringstream os;
+  os << "tfi-cache v1" << '\n' << r.trials.size() << '\n';
+  for (int c = 0; c < kNumStateCats; ++c)
+    os << r.inventory[c].latch_bits << ' ' << r.inventory[c].ram_bits << '\n';
+  os << r.golden_ipc << ' ' << r.golden_bp_accuracy << ' '
+     << r.golden_dcache_misses << '\n';
+  for (const auto& t : r.trials)
+    os << static_cast<int>(t.outcome) << ' ' << static_cast<int>(t.mode)
+       << ' ' << static_cast<int>(t.cat) << ' '
+       << static_cast<int>(t.storage) << ' ' << t.cycles << ' '
+       << t.valid_instrs << ' ' << t.inflight << '\n';
+  WriteRaw(CachePath(spec), os.str());
+
+  const auto loaded = LoadCachedCampaign(spec);
+  ASSERT_TRUE(loaded.has_value());
+  ExpectSameRecords(*loaded, r, r.trials.size());
+  // v1 doubles only promise default precision, not bit-exactness.
+  EXPECT_NEAR(loaded->golden_ipc, r.golden_ipc, 1e-5);
+}
+
+TEST(CacheV2, StoreFailureIsCountedNotSilent) {
+  // Point the cache "directory" at a regular file: create_directories and
+  // the write both fail, and the failure is observable.
+  const fs::path blocker = fs::temp_directory_path() / "tfi_cache_blocker";
+  WriteRaw(blocker.string(), "not a directory");
+  ::setenv("TFI_CACHE_DIR", blocker.c_str(), 1);
+
+  obs::MetricsRegistry metrics;
+  EXPECT_FALSE(StoreCachedCampaign(AwkwardResult(SmallCampaign(2)), &metrics));
+  EXPECT_EQ(metrics.GetCounter("campaign.cache.store_failures").value(), 1u);
+  EXPECT_FALSE(
+      StoreCampaignCheckpoint(SmallCampaign(2), {}, &metrics));
+  EXPECT_EQ(metrics.GetCounter("campaign.checkpoint.store_failures").value(),
+            1u);
+
+  ::unsetenv("TFI_CACHE_DIR");
+  fs::remove(blocker);
+}
+
+TEST(Quarantine, ThrowingTrialDoesNotAbortTheCampaign) {
+  const CampaignSpec spec = SmallCampaign(10);
+  const CampaignResult reference = RunCampaign(spec, QuietLive());
+
+  obs::MetricsRegistry metrics;
+  CampaignOptions opt = QuietLive();
+  opt.jobs = 4;
+  opt.retries = 1;
+  opt.obs.sinks.metrics = &metrics;
+  opt.trial_fault_hook = [](std::size_t i) {
+    if (i == 3) throw std::runtime_error("deliberate trial fault");
+  };
+  const CampaignResult r = RunCampaign(spec, opt);
+
+  ASSERT_EQ(r.trials.size(), 10u);
+  EXPECT_FALSE(r.interrupted);
+  EXPECT_EQ(r.trials[3].outcome, Outcome::kTrialError);
+  ASSERT_EQ(r.quarantined.size(), 1u);
+  EXPECT_EQ(r.quarantined[0].index, 3u);
+  EXPECT_EQ(r.quarantined[0].message, "deliberate trial fault");
+  EXPECT_EQ(metrics.GetCounter("campaign.trials.quarantined").value(), 1u);
+  EXPECT_EQ(r.ByOutcome()[static_cast<int>(Outcome::kTrialError)], 1u);
+  // Every other trial classified exactly as the clean run's.
+  for (std::size_t i = 0; i < r.trials.size(); ++i) {
+    if (i == 3) continue;
+    EXPECT_EQ(r.trials[i].outcome, reference.trials[i].outcome) << i;
+    EXPECT_EQ(r.trials[i].cycles, reference.trials[i].cycles) << i;
+  }
+}
+
+TEST(Quarantine, TransientFailureIsAbsorbedByRetry) {
+  const CampaignSpec spec = SmallCampaign(8);
+  const CampaignResult reference = RunCampaign(spec, QuietLive());
+
+  std::atomic<int> faults{0};
+  CampaignOptions opt = QuietLive();
+  opt.retries = 1;
+  opt.trial_fault_hook = [&faults](std::size_t i) {
+    // Throws on the first attempt of trial 2 only; the retry succeeds.
+    if (i == 2 && faults.fetch_add(1) == 0)
+      throw std::runtime_error("transient");
+  };
+  const CampaignResult r = RunCampaign(spec, opt);
+  EXPECT_EQ(faults.load(), 2);  // first attempt + successful retry
+  EXPECT_TRUE(r.quarantined.empty());
+  ExpectSameRecords(r, reference, reference.trials.size());
+
+  // With retries disabled the same transient quarantines the trial.
+  std::atomic<int> faults2{0};
+  CampaignOptions no_retry = QuietLive();
+  no_retry.retries = 0;
+  no_retry.trial_fault_hook = [&faults2](std::size_t i) {
+    if (i == 2 && faults2.fetch_add(1) == 0)
+      throw std::runtime_error("transient");
+  };
+  const CampaignResult q = RunCampaign(spec, no_retry);
+  ASSERT_EQ(q.quarantined.size(), 1u);
+  EXPECT_EQ(q.quarantined[0].index, 2u);
+}
+
+TEST(CheckpointResume, SeededJournalYieldsByteIdenticalRecords) {
+  ScopedCacheDir cache("tfi_test_ckpt_seed");
+  const CampaignSpec spec = SmallCampaign(12);
+  const CampaignResult reference = RunCampaign(spec, QuietLive());
+
+  // Seed a journal holding the first 7 records, as an interrupted run
+  // would have left it, then resume at a different worker count.
+  const std::vector<TrialRecord> prefix(reference.trials.begin(),
+                                        reference.trials.begin() + 7);
+  ASSERT_TRUE(StoreCampaignCheckpoint(spec, prefix));
+  ASSERT_TRUE(LoadCampaignCheckpoint(spec).has_value());
+
+  obs::MetricsRegistry metrics;
+  CampaignOptions opt = QuietLive();
+  opt.jobs = 3;
+  opt.checkpoint_every = 4;
+  opt.obs.sinks.metrics = &metrics;
+  const CampaignResult resumed = RunCampaign(spec, opt);
+
+  EXPECT_FALSE(resumed.interrupted);
+  ExpectSameRecords(resumed, reference, reference.trials.size());
+  EXPECT_EQ(resumed.spec.CacheKey(), reference.spec.CacheKey());
+  EXPECT_EQ(metrics.GetCounter("campaign.checkpoint.resumed_trials").value(),
+            7u);
+  // Replayed campaign metrics cover all trials, not just the live ones.
+  EXPECT_EQ(metrics.GetCounter("campaign.trials").value(), 12u);
+  // The journal is consumed by the completed run.
+  EXPECT_FALSE(fs::exists(CampaignCheckpointPath(spec)));
+}
+
+TEST(CheckpointResume, CancelledRunFlushesJournalAndResumesIdentically) {
+  ScopedCacheDir cache("tfi_test_ckpt_cancel");
+  const CampaignSpec spec = SmallCampaign(12);
+  const CampaignResult reference = RunCampaign(spec, QuietLive());
+
+  // Serial run cancelled from the hook of trial 4: that trial still
+  // completes (drain semantics), then the loop stops — deterministically
+  // five completed trials.
+  CancellationToken cancel;
+  CampaignOptions opt = QuietLive();
+  opt.jobs = 1;
+  opt.checkpoint_every = 3;
+  opt.cancel = &cancel;
+  opt.trial_fault_hook = [&cancel](std::size_t i) {
+    if (i == 4) cancel.Request();
+  };
+  const CampaignResult partial = RunCampaign(spec, opt);
+  EXPECT_TRUE(partial.interrupted);
+  ExpectSameRecords(partial, reference, 5);
+
+  const auto journal = LoadCampaignCheckpoint(spec);
+  ASSERT_TRUE(journal.has_value());
+  EXPECT_EQ(journal->size(), 5u);
+
+  // A corrupt journal is rejected (clean re-run), a good one resumes.
+  const std::string jpath = CampaignCheckpointPath(spec);
+  const std::string good = SlurpFile(jpath);
+  std::string bad = good;
+  bad[bad.size() - 3] ^= 0x10;
+  WriteRaw(jpath, bad);
+  EXPECT_FALSE(LoadCampaignCheckpoint(spec).has_value());
+  WriteRaw(jpath, good);
+
+  CampaignOptions ropt = QuietLive();
+  ropt.jobs = 4;
+  ropt.checkpoint_every = 3;
+  const CampaignResult resumed = RunCampaign(spec, ropt);
+  EXPECT_FALSE(resumed.interrupted);
+  ExpectSameRecords(resumed, reference, reference.trials.size());
+  EXPECT_FALSE(fs::exists(jpath));
+}
+
+}  // namespace
+}  // namespace tfsim

@@ -6,12 +6,16 @@
 //                 [--flips N] [--adjacent] [--jobs N]    one injection campaign
 //       telemetry: [--metrics-json FILE] [--prop-trace FILE]
 //                  [--chrome-trace FILE] [--progress]
+//       resilience: [--checkpoint-every N] (0 disables; SIGINT drains
+//                   in-flight trials, flushes the checkpoint + partial
+//                   exports, and a rerun resumes from the journal)
 //   tfi soft <workload> <model> [--trials N]             Section 5 campaign
 //   tfi inventory [--protect]                            Table 1 state listing
 //   tfi workloads                                        list the suite
 //
 // Unknown --flags are rejected with a usage error (they are never silently
 // treated as positional workload names).
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,10 +33,22 @@
 #include "soft/soft_inject.h"
 #include "uarch/core.h"
 #include "util/argparse.h"
+#include "util/cancel.h"
 #include "workloads/workloads.h"
 
 namespace tfsim {
 namespace {
+
+// SIGINT requests cooperative cancellation: the campaign drains in-flight
+// trials, flushes its checkpoint journal, and CmdCampaign still writes the
+// partial telemetry exports before exiting with 130. A second Ctrl-C kills
+// the process the traditional way (the handler restores SIG_DFL).
+CancellationToken g_interrupt;
+
+extern "C" void HandleSigint(int) {
+  g_interrupt.Request();
+  std::signal(SIGINT, SIG_DFL);
+}
 
 struct Args {
   std::vector<std::string> positional;
@@ -42,6 +58,7 @@ struct Args {
   std::int64_t trace = 0;
   std::int64_t flips = 1;
   std::int64_t jobs = 1;
+  std::int64_t checkpoint_every = 250;
   bool latches_only = false;
   bool protect = false;
   bool adjacent = false;
@@ -63,6 +80,8 @@ ArgParser MakeParser(Args& a) {
   p.AddInt("flips", &a.flips, "bits flipped per trial (campaign)");
   p.AddInt("jobs", &a.jobs,
            "trial-loop worker threads; 0 = all hardware threads (campaign)");
+  p.AddInt("checkpoint-every", &a.checkpoint_every,
+           "flush a resume journal every N trials; 0 disables (campaign)");
   p.AddFlag("latches-only", &a.latches_only,
             "inject latches only, not RAMs (campaign)");
   p.AddFlag("protect", &a.protect,
@@ -189,12 +208,16 @@ int CmdCampaign(const Args& a) {
   obs::ChromeTraceWriter chrome;
   CampaignOptions opt;
   opt.jobs = static_cast<int>(a.jobs);
+  opt.checkpoint_every = static_cast<int>(a.checkpoint_every);
+  opt.cancel = &g_interrupt;
   if (!a.metrics_json.empty()) opt.obs.sinks.metrics = &metrics;
   if (!a.chrome_trace.empty()) opt.obs.sinks.chrome = &chrome;
   opt.obs.collect_prop_traces = !a.prop_trace.empty();
   opt.obs.progress = a.progress;
 
+  std::signal(SIGINT, HandleSigint);
   const CampaignResult r = RunCampaign(spec, opt);
+  std::signal(SIGINT, SIG_DFL);
 
   if (!a.metrics_json.empty()) {
     auto out = OpenExport(a.metrics_json);
@@ -221,13 +244,25 @@ int CmdCampaign(const Args& a) {
   std::printf("workload=%s trials=%zu ipc=%.2f\n", spec.workload.c_str(),
               r.trials.size(), r.golden_ipc);
   for (int i = 0; i < kNumOutcomes; ++i)
-    std::printf("  %-12s %5.1f%%\n", OutcomeName(static_cast<Outcome>(i)),
-                100.0 * o[i] / n);
+    if (o[i] || static_cast<Outcome>(i) != Outcome::kTrialError)
+      std::printf("  %-12s %5.1f%%\n", OutcomeName(static_cast<Outcome>(i)),
+                  n > 0 ? 100.0 * o[i] / n : 0.0);
   const auto m = r.ByFailureMode();
   for (int i = 1; i < kNumFailureModes; ++i)
     if (m[i])
       std::printf("    %-8s %llu\n", FailureModeName(static_cast<FailureMode>(i)),
                   (unsigned long long)m[i]);
+  for (const auto& q : r.quarantined)
+    std::fprintf(stderr, "  quarantined trial %llu: %s\n",
+                 (unsigned long long)q.index, q.message.c_str());
+  if (r.interrupted) {
+    std::fprintf(stderr,
+                 "interrupted: %zu/%d trials completed%s; rerun the same "
+                 "command to resume\n",
+                 r.trials.size(), spec.trials,
+                 a.checkpoint_every > 0 ? " (checkpoint saved)" : "");
+    return 130;
+  }
   return 0;
 }
 
