@@ -28,6 +28,17 @@ void BM_CoreCycle(benchmark::State& state) {
 }
 BENCHMARK(BM_CoreCycle);
 
+// Same loop with the per-cycle invariant checker attached — the ratio to
+// BM_CoreCycle is the cost of running self-checked (`tfi campaign --check`).
+void BM_CoreCycleChecked(benchmark::State& state) {
+  CoreConfig cfg;
+  cfg.check_invariants = true;
+  Core core(cfg, GzipProgram());
+  for (auto _ : state) core.Cycle();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CoreCycleChecked);
+
 void BM_FunctionalStep(benchmark::State& state) {
   FunctionalSim sim(GzipProgram());
   for (auto _ : state) {

@@ -1,0 +1,89 @@
+#include "check/fuzz_harness.h"
+
+#include "arch/functional_sim.h"
+#include "check/invariants.h"
+#include "isa/assemble.h"
+#include "uarch/core.h"
+
+namespace tfsim::check {
+
+FuzzCaseResult RunLockstep(const std::string& src, const FuzzRunOptions& opt) {
+  const Program prog = Assemble(src);
+  CoreConfig cfg;
+  cfg.check_invariants = opt.check_invariants;
+  Core core(cfg, prog);
+  FunctionalSim ref(prog);
+  FuzzCaseResult r;
+  std::uint64_t last_retire_cycle = 0;
+  for (std::uint64_t c = 0; c < opt.cycles; ++c) {
+    core.Cycle();
+    if (core.halted_exception() != Exception::kNone) {
+      r.ok = false;
+      r.failure = "pipeline exception at cycle " + std::to_string(c);
+      return r;
+    }
+    for (const RetireEvent& ev : core.RetiredThisCycle()) {
+      const RetireEvent want = ref.Step();
+      if (!(ev == want)) {
+        r.ok = false;
+        r.failure = "retire mismatch #" + std::to_string(r.retired) +
+                    " at cycle " + std::to_string(c) +
+                    "\n  core: " + ToString(ev) + "\n  ref : " +
+                    ToString(want);
+        return r;
+      }
+      ++r.retired;
+    }
+    if (!core.RetiredThisCycle().empty()) last_retire_cycle = c;
+    if (const InvariantChecker* chk = core.invariant_checker();
+        chk && chk->total() != 0) {
+      r.ok = false;
+      r.violations = chk->total();
+      const InvariantViolation& v = chk->violations().front();
+      r.failure = std::string("invariant violation [") +
+                  InvariantKindName(v.kind) + "] at cycle " +
+                  std::to_string(v.cycle) + ": " + v.detail;
+      return r;
+    }
+    if (c - last_retire_cycle > opt.deadlock_cycles) {
+      r.ok = false;
+      r.failure = "deadlock: no retirement since cycle " +
+                  std::to_string(last_retire_cycle);
+      return r;
+    }
+  }
+  return r;
+}
+
+ShrinkResult ShrinkFailure(const FuzzProgram& prog,
+                           const FuzzRunOptions& opt) {
+  ShrinkResult out;
+  out.enabled.assign(prog.blocks.size(), true);
+  const FuzzCaseResult full = RunLockstep(prog.Source(out.enabled), opt);
+  ++out.runs;
+  out.failure = full.failure;
+  if (full.ok) {  // caller error (case doesn't fail); return it unshrunk
+    out.source = prog.Source(out.enabled);
+    return out;
+  }
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t i = 0; i < out.enabled.size(); ++i) {
+      if (!out.enabled[i]) continue;
+      out.enabled[i] = false;
+      const FuzzCaseResult r = RunLockstep(prog.Source(out.enabled), opt);
+      ++out.runs;
+      if (r.ok) {
+        out.enabled[i] = true;  // block is load-bearing, keep it
+      } else {
+        out.failure = r.failure;
+        progress = true;
+      }
+    }
+  }
+  out.source = prog.Source(out.enabled);
+  return out;
+}
+
+}  // namespace tfsim::check

@@ -1,0 +1,47 @@
+// Differential fuzzing harness: runs a generated program on the detailed
+// core in lockstep with the FunctionalSim oracle, with the per-cycle
+// invariant checker enabled, and greedily shrinks failing cases by
+// disabling program blocks (see progfuzz.h). Used by tools/fuzz and by the
+// differential test suites.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/progfuzz.h"
+
+namespace tfsim::check {
+
+struct FuzzRunOptions {
+  std::uint64_t cycles = 15000;
+  bool check_invariants = true;
+  // Generated programs retire continuously when healthy (they end in a
+  // self-retiring spin loop); this many retire-less cycles is a deadlock.
+  std::uint64_t deadlock_cycles = 2000;
+};
+
+struct FuzzCaseResult {
+  bool ok = true;
+  std::string failure;           // first mismatch/violation/deadlock report
+  std::uint64_t retired = 0;     // retire events compared in lockstep
+  std::uint64_t violations = 0;  // invariant violations observed
+};
+
+// Assembles `src` and runs the core against the functional simulator,
+// failing on the first retire mismatch, invariant violation, pipeline
+// exception, or retirement deadlock.
+FuzzCaseResult RunLockstep(const std::string& src, const FuzzRunOptions& opt);
+
+struct ShrinkResult {
+  std::vector<bool> enabled;  // minimal failing block mask
+  std::string source;         // shrunk assembly source
+  std::string failure;        // failure report of the shrunk case
+  int runs = 0;               // lockstep executions spent shrinking
+};
+
+// Greedy shrink to a fixpoint: repeatedly re-runs with each still-enabled
+// block disabled, keeping every disable under which the case still fails.
+ShrinkResult ShrinkFailure(const FuzzProgram& prog, const FuzzRunOptions& opt);
+
+}  // namespace tfsim::check

@@ -1,0 +1,442 @@
+#include "check/invariants.h"
+
+#include <algorithm>
+#include <string>
+
+#include "uarch/core.h"
+
+namespace tfsim {
+namespace check {
+namespace {
+
+std::string U(std::uint64_t v) { return std::to_string(v); }
+
+// Splitmix64-filled table mapping each possible 7-bit register pointer to a
+// pseudo-random 64-bit value. The conservation fast path sums these instead
+// of marking a table: the multiset {0..phys-1} has a unique expected sum, and
+// any corruption (duplicate + leak pair) shifts it by a non-zero delta —
+// cancellation would need an exact 64-bit collision across the deltas.
+const std::uint64_t* MixTable() {
+  static const std::array<std::uint64_t, 128> t = [] {
+    std::array<std::uint64_t, 128> a{};
+    std::uint64_t x = 0;
+    for (auto& v : a) {
+      x += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      v = z ^ (z >> 31);
+    }
+    return a;
+  }();
+  return t.data();
+}
+
+}  // namespace
+
+const char* InvariantKindName(InvariantKind kind) {
+  switch (kind) {
+    case InvariantKind::kPregConservation: return "preg_conservation";
+    case InvariantKind::kQueuePointers: return "queue_pointers";
+    case InvariantKind::kRobOrder: return "rob_order";
+    case InvariantKind::kSchedulerRef: return "scheduler_ref";
+    case InvariantKind::kLsqOrder: return "lsq_order";
+    case InvariantKind::kRenameRange: return "rename_range";
+    case InvariantKind::kNumKinds: break;
+  }
+  return "?";
+}
+
+void InvariantChecker::Report(InvariantKind kind, std::uint64_t cycle,
+                              std::string detail) {
+  ++total_;
+  ++counts_[static_cast<std::size_t>(kind)];
+  if (std::find(last_kinds_.begin(), last_kinds_.end(), kind) ==
+      last_kinds_.end())
+    last_kinds_.push_back(kind);
+  if (violations_.size() < kMaxStored)
+    violations_.push_back({kind, cycle, std::move(detail)});
+}
+
+void InvariantChecker::Clear() {
+  violations_.clear();
+  counts_.fill(0);
+  last_kinds_.clear();
+  total_ = 0;
+}
+
+std::size_t InvariantChecker::Check(const Core& core) {
+  last_kinds_.clear();
+  const std::uint64_t before = total_;
+  const std::uint64_t cyc = core.stats().cycles;
+
+  const Rename& ren = core.rename_unit();
+  const Rob& rob = core.rob();
+  const Scheduler& sched = core.scheduler();
+  const Lsq& lsq = core.lsq();
+  const std::uint64_t phys =
+      static_cast<std::uint64_t>(core.config().phys_regs);
+  const std::uint64_t fls = ren.free_size();
+  const std::uint64_t rents = rob.entries();
+
+  // This runs after every cycle of a checked core, so the ring walks below
+  // avoid runtime-divisor `%` (an integer division per call in AgeOf/Contains
+  // would dominate the whole audit): heads are reduced once, then indices
+  // advance with a conditional subtract. Corrupt out-of-range tags still get
+  // the (rare) full modulo so the audited semantics match Rob::Contains.
+  const std::uint64_t rob_head = rob.Head();
+  const std::uint64_t rob_count = rob.Count();
+  const auto wrap = [](std::uint64_t v, std::uint64_t size) {
+    return v >= size ? v - size : v;
+  };
+  const auto rob_age = [&](std::uint64_t tag) {
+    if (tag >= rents) tag %= rents;
+    return wrap(tag + rents - rob_head, rents);
+  };
+  const auto rob_contains = [&](std::uint64_t tag) {
+    return rob_age(tag) < rob_count;
+  };
+
+  // Flat view of the registry word store. StateField::Get() is three
+  // dependent loads (field -> registry -> word), and the Report() call sites
+  // inside every loop stop the compiler from caching any of them; reading
+  // w[f.offset() + i] through this local pointer makes each probe one load.
+  const std::uint64_t* const w = core.registry().WordsData();
+  const auto rd = [w](const StateField& f, std::uint64_t i) {
+    return w[f.offset() + i];
+  };
+
+  // --- queue_pointers: every ring's latches must agree -----------------------
+  const auto ring = [&](const char* name, std::uint64_t head,
+                        std::uint64_t tail, std::uint64_t count,
+                        std::uint64_t size) {
+    if (head < size && tail < size && count <= size &&
+        (head + count) % size == tail)
+      return;
+    Report(InvariantKind::kQueuePointers, cyc,
+           std::string(name) + ": head=" + U(head) + " tail=" + U(tail) +
+               " count=" + U(count) + " size=" + U(size));
+  };
+  ring("rob", rob.HeadRaw(), rob.TailRaw(), rob.Count(), rents);
+  ring("rename.sfl", ren.SflHead(), ren.SflTail(), ren.SpecFreeCount(), fls);
+  ring("rename.afl", ren.AflHead(), ren.AflTail(), ren.ArchFreeCount(), fls);
+  ring("lq", lsq.lq_head.Get(0), lsq.lq_tail.Get(0), lsq.lq_count.Get(0),
+       lsq.lq_entries());
+  ring("sq", lsq.sq_head.Get(0), lsq.sq_tail.Get(0), lsq.sq_count.Get(0),
+       lsq.sq_entries());
+  ring("sb", lsq.sb_head.Get(0), lsq.sb_tail.Get(0), lsq.sb_count.Get(0),
+       lsq.sb_valid.count());
+
+  // --- preg conservation + rename_range --------------------------------------
+  // Ownership multiset: a physical register is named exactly once across the
+  // RAT + free list + live ROB previous-mapping slots. Pointers are 7-bit, so
+  // a 128-slot mark table covers every corrupt value; anything >= phys_regs
+  // is a rename_range violation and excluded from the multiset.
+  std::uint64_t range_bad = 0;
+  std::string range_first;
+  const auto range = [&](std::uint64_t p, const char* where,
+                         std::uint64_t idx) {
+    if (p < phys) return true;
+    ++range_bad;
+    if (range_first.empty())
+      range_first = std::string(where) + "[" + U(idx) + "]=" + U(p);
+    return false;
+  };
+  const std::uint64_t rob_cnt = std::min(rob_count, rents);
+
+  // Fast probe: sum a per-pointer random value over each view and compare
+  // count and sum against the full-multiset expectation (see MixTable). This
+  // is the every-cycle path — branch-light, no strings, no mark table; the
+  // exact mark-based walk below only runs when the probe trips, to name the
+  // duplicated/leaked register. All pointer fields are <= 7 bits wide and
+  // masked on write, so `mix[p]` is in bounds for any corrupt value.
+  const std::uint64_t* const mix = MixTable();
+  if (mix_phys_ != phys) {
+    mix_phys_ = phys;
+    mix_expected_ = 0;
+    for (std::uint64_t p = 0; p < phys; ++p) mix_expected_ += mix[p];
+  }
+  std::uint64_t oor = 0;  // any pointer >= phys in either view
+  std::uint64_t sum_spec = 0, cnt_spec = 0, sum_arch = 0, cnt_arch = 0;
+  {
+    const std::size_t o_srat = ren.SpecRatField().offset();
+    const std::size_t o_arat = ren.ArchRatField().offset();
+    for (std::uint64_t a = 0; a < kNumArchRegs; ++a) {
+      const std::uint64_t ps = w[o_srat + a], pa = w[o_arat + a];
+      sum_spec += mix[ps];
+      sum_arch += mix[pa];
+      oor |= (ps >= phys) | (pa >= phys);
+    }
+    cnt_spec += kNumArchRegs;
+    cnt_arch += kNumArchRegs;
+    // Ring walks as two linear spans (head..end, then 0..remainder): memory-
+    // sequential, no per-element wraparound arithmetic.
+    const auto fl_span = [&](std::size_t o, std::uint64_t start,
+                             std::uint64_t n, std::uint64_t& sum) {
+      for (std::uint64_t i = start; i < start + n; ++i) {
+        const std::uint64_t p = w[o + i];
+        sum += mix[p];
+        oor |= p >= phys;
+      }
+    };
+    const std::size_t o_sfl = ren.SflField().offset();
+    const std::uint64_t sfl_n = std::min(ren.SpecFreeCount(), fls);
+    const std::uint64_t sfl_head = ren.SflHead() % fls;
+    const std::uint64_t sfl_first = std::min(sfl_n, fls - sfl_head);
+    fl_span(o_sfl, sfl_head, sfl_first, sum_spec);
+    fl_span(o_sfl, 0, sfl_n - sfl_first, sum_spec);
+    cnt_spec += sfl_n;
+    const std::size_t o_afl = ren.AflField().offset();
+    const std::uint64_t afl_n = std::min(ren.ArchFreeCount(), fls);
+    const std::uint64_t afl_head = ren.AflHead() % fls;
+    const std::uint64_t afl_first = std::min(afl_n, fls - afl_head);
+    fl_span(o_afl, afl_head, afl_first, sum_arch);
+    fl_span(o_afl, 0, afl_n - afl_first, sum_arch);
+    cnt_arch += afl_n;
+    const std::size_t o_hd = rob.has_dst.offset();
+    const std::size_t o_oldp = rob.oldp.offset();
+    const std::size_t o_newp = rob.newp.offset();
+    const auto rob_span = [&](std::uint64_t start, std::uint64_t n) {
+      for (std::uint64_t tag = start; tag < start + n; ++tag) {
+        const std::uint64_t hd = w[o_hd + tag];  // 1-bit field: 0 or 1
+        const std::uint64_t oldp = w[o_oldp + tag];
+        const std::uint64_t newp = w[o_newp + tag];
+        sum_spec += mix[oldp] & (0 - hd);
+        cnt_spec += hd;
+        oor |= hd & ((oldp >= phys) | (newp >= phys));
+      }
+    };
+    const std::uint64_t rob_first = std::min(rob_cnt, rents - rob_head);
+    rob_span(rob_head, rob_first);
+    rob_span(0, rob_cnt - rob_first);
+  }
+
+  if (oor || cnt_spec != phys || sum_spec != mix_expected_ ||
+      cnt_arch != phys || sum_arch != mix_expected_) {
+    std::array<std::uint8_t, 128> marks;
+    const auto conserve = [&](const char* view, auto&& fill) {
+      marks.fill(0);
+      fill();
+      std::uint64_t dup = 0, missing = 0;
+      std::string first;
+      for (std::uint64_t p = 0; p < phys; ++p) {
+        if (marks[p] == 1) continue;
+        marks[p] ? ++dup : ++missing;
+        if (first.empty())
+          first = "preg " + U(p) + " named " + U(marks[p]) + "x";
+      }
+      if (dup || missing)
+        Report(InvariantKind::kPregConservation, cyc,
+               std::string(view) + ": " + U(dup) + " duplicated, " +
+                   U(missing) + " leaked (first: " + first + ")");
+    };
+    conserve("spec", [&] {
+      for (std::uint64_t a = 0; a < kNumArchRegs; ++a) {
+        const std::uint64_t p = rd(ren.SpecRatField(), a);
+        if (range(p, "specrat", a)) ++marks[p];
+      }
+      const std::uint64_t n = std::min(ren.SpecFreeCount(), fls);
+      const std::uint64_t head = ren.SflHead() % fls;
+      for (std::uint64_t k = 0; k < n; ++k) {
+        const std::uint64_t idx = wrap(head + k, fls);
+        const std::uint64_t p = rd(ren.SflField(), idx);
+        if (range(p, "sfl", idx)) ++marks[p];
+      }
+      for (std::uint64_t k = 0; k < rob_cnt; ++k) {
+        const std::uint64_t tag = wrap(rob_head + k, rents);
+        if (!rd(rob.has_dst, tag)) continue;
+        const std::uint64_t p = rd(rob.oldp, tag);
+        if (range(p, "rob.oldp", tag)) ++marks[p];
+        range(rd(rob.newp, tag), "rob.newp", tag);
+      }
+    });
+    conserve("arch", [&] {
+      for (std::uint64_t a = 0; a < kNumArchRegs; ++a) {
+        const std::uint64_t p = rd(ren.ArchRatField(), a);
+        if (range(p, "archrat", a)) ++marks[p];
+      }
+      const std::uint64_t n = std::min(ren.ArchFreeCount(), fls);
+      const std::uint64_t head = ren.AflHead() % fls;
+      for (std::uint64_t k = 0; k < n; ++k) {
+        const std::uint64_t idx = wrap(head + k, fls);
+        const std::uint64_t p = rd(ren.AflField(), idx);
+        if (range(p, "afl", idx)) ++marks[p];
+      }
+    });
+  }
+
+  // --- rob_order: live window in program (fetch-sequence) order --------------
+  // Branchless monotonicity scan first; the reporting walk runs only when it
+  // trips (same fast/slow split as conservation above).
+  const std::uint64_t* const seqs = core.RobSeqs().data();
+  std::uint64_t order_bad = 0;
+  if (rob_cnt > 1) {
+    const std::uint64_t first = std::min(rob_cnt, rents - rob_head);
+    const std::uint64_t* const a = seqs + rob_head;
+    for (std::uint64_t k = 1; k < first; ++k)
+      order_bad |= static_cast<std::uint64_t>(a[k] <= a[k - 1]);
+    if (rob_cnt > first) {
+      order_bad |= static_cast<std::uint64_t>(seqs[0] <= a[first - 1]);
+      for (std::uint64_t k = 1; k < rob_cnt - first; ++k)
+        order_bad |= static_cast<std::uint64_t>(seqs[k] <= seqs[k - 1]);
+    }
+  }
+  if (order_bad) {
+    std::uint64_t prev_seq = 0;
+    for (std::uint64_t k = 0; k < rob_cnt; ++k) {
+      const std::uint64_t order_tag = wrap(rob_head + k, rents);
+      const std::uint64_t seq = seqs[order_tag];
+      if (k != 0 && seq <= prev_seq) {
+        Report(InvariantKind::kRobOrder, cyc,
+               "rob[" + U(order_tag) + "] seq=" + U(seq) +
+                   " not younger than predecessor seq=" + U(prev_seq));
+        break;
+      }
+      prev_seq = seq;
+    }
+  }
+
+  // --- scheduler_ref: valid entries reference live, incomplete uops ----------
+  // Branchless anomaly scan over every slot (invalid entries masked out at
+  // the end), then the reporting walk only when something tripped.
+  std::uint64_t sched_bad = 0;
+  {
+    const std::size_t o_v = sched.valid.offset();
+    const std::size_t o_st = sched.state.offset();
+    const std::size_t o_tag = sched.robtag.offset();
+    const std::size_t o_s1 = sched.src1p.offset();
+    const std::size_t o_s2 = sched.src2p.offset();
+    const std::size_t o_hd = sched.has_dst.offset();
+    const std::size_t o_dp = sched.dstp.offset();
+    const std::size_t o_done = rob.done.offset();
+    for (std::uint64_t i = 0; i < sched.entries(); ++i) {
+      std::uint64_t tag = w[o_tag + i];
+      if (tag >= rents) tag %= rents;
+      const std::uint64_t age = wrap(tag + rents - rob_head, rents);
+      const std::uint64_t bad =
+          static_cast<std::uint64_t>(w[o_st + i] > Scheduler::kIssued) |
+          static_cast<std::uint64_t>(age >= rob_count) | w[o_done + tag] |
+          static_cast<std::uint64_t>(w[o_s1 + i] >= phys) |
+          static_cast<std::uint64_t>(w[o_s2 + i] >= phys) |
+          (w[o_hd + i] & static_cast<std::uint64_t>(w[o_dp + i] >= phys));
+      sched_bad |= w[o_v + i] & bad;
+    }
+  }
+  if (sched_bad) {
+    for (std::uint64_t i = 0; i < sched.entries(); ++i) {
+      if (!rd(sched.valid, i)) continue;
+      const std::uint64_t st = rd(sched.state, i);
+      if (st > Scheduler::kIssued)
+        Report(InvariantKind::kSchedulerRef, cyc,
+               "sched[" + U(i) + "] illegal state " + U(st));
+      const std::uint64_t tag = rd(sched.robtag, i);
+      if (!rob_contains(tag))
+        Report(InvariantKind::kSchedulerRef, cyc,
+               "sched[" + U(i) + "] robtag " + U(tag) + " not in flight");
+      else if (rd(rob.done, tag))
+        Report(InvariantKind::kSchedulerRef, cyc,
+               "sched[" + U(i) + "] robtag " + U(tag) + " already complete");
+      range(rd(sched.src1p, i), "sched.src1p", i);
+      range(rd(sched.src2p, i), "sched.src2p", i);
+      if (rd(sched.has_dst, i)) range(rd(sched.dstp, i), "sched.dstp", i);
+    }
+  }
+
+  // --- lsq_order: valid bits track the rings; rings in ROB age order ---------
+  // Branchless anomaly scan per queue; `queue` below re-walks with reporting
+  // only when its scan trips. A backpointer mismatch pollutes prev_age here,
+  // but it also sets `bad`, so the slow walk (which skips mismatched entries)
+  // still sees every real ordering violation.
+  const auto queue_bad = [&](const StateField& valid, const StateField& robtag,
+                             const StateField& isflag, std::uint64_t head,
+                             std::uint64_t count, std::uint64_t size) {
+    const std::size_t o_v = valid.offset();
+    const std::size_t o_t = robtag.offset();
+    const std::size_t o_f = isflag.offset();
+    const std::size_t o_idx = rob.lsq_idx.offset();
+    std::uint64_t bad = 0;
+    for (std::uint64_t i = 0; i < size; ++i)
+      bad |= w[o_v + i] ^
+             static_cast<std::uint64_t>(wrap(i + size - head, size) < count);
+    const std::uint64_t n = std::min(count, size);
+    std::uint64_t prev_age = 0;
+    for (std::uint64_t k = 0; k < n; ++k) {
+      const std::uint64_t i = wrap(head + k, size);
+      std::uint64_t tag = w[o_t + i];
+      if (tag >= rents) tag %= rents;
+      const std::uint64_t age = wrap(tag + rents - rob_head, rents);
+      bad |= static_cast<std::uint64_t>(age >= rob_count) |
+             (w[o_f + tag] ^ 1u) |
+             static_cast<std::uint64_t>(w[o_idx + tag] != i) |
+             (static_cast<std::uint64_t>(k != 0) &
+              static_cast<std::uint64_t>(age <= prev_age));
+      prev_age = age;
+    }
+    return bad != 0;
+  };
+  const auto queue = [&](const char* name, const StateField& valid,
+                         const StateField& robtag, const StateField& isflag,
+                         std::uint64_t head, std::uint64_t count,
+                         std::uint64_t size) {
+    // Ring membership the same way LqContains/SqContains define it, with the
+    // head reduction hoisted out of the per-slot test.
+    const auto member = [&](std::uint64_t i) {
+      return wrap(i + size - head, size) < count;
+    };
+    for (std::uint64_t i = 0; i < size; ++i) {
+      if ((rd(valid, i) != 0) == member(i)) continue;
+      Report(InvariantKind::kLsqOrder, cyc,
+             std::string(name) + "[" + U(i) + "] valid=" +
+                 U(rd(valid, i)) + " but ring membership=" +
+                 U(member(i)));
+    }
+    const std::uint64_t n = std::min(count, size);
+    std::uint64_t prev_age = 0;
+    for (std::uint64_t k = 0; k < n; ++k) {
+      const std::uint64_t i = wrap(head + k, size);
+      const std::uint64_t tag = rd(robtag, i);
+      if (!rob_contains(tag) || !rd(isflag, tag) ||
+          rd(rob.lsq_idx, tag) != i) {
+        Report(InvariantKind::kLsqOrder, cyc,
+               std::string(name) + "[" + U(i) + "] robtag " + U(tag) +
+                   " backpointer mismatch");
+        continue;
+      }
+      const std::uint64_t age = rob_age(tag);
+      if (k != 0 && age <= prev_age)
+        Report(InvariantKind::kLsqOrder, cyc,
+               std::string(name) + "[" + U(i) + "] rob age " + U(age) +
+                   " not younger than predecessor age " + U(prev_age));
+      prev_age = age;
+    }
+  };
+  const std::uint64_t lq_head_r = lsq.lq_head.Get(0) % lsq.lq_entries();
+  const std::uint64_t sq_head_r = lsq.sq_head.Get(0) % lsq.sq_entries();
+  if (queue_bad(lsq.lq_valid, lsq.lq_robtag, rob.is_load, lq_head_r,
+                lsq.lq_count.Get(0), lsq.lq_entries()))
+    queue("lq", lsq.lq_valid, lsq.lq_robtag, rob.is_load, lq_head_r,
+          lsq.lq_count.Get(0), lsq.lq_entries());
+  if (queue_bad(lsq.sq_valid, lsq.sq_robtag, rob.is_store, sq_head_r,
+                lsq.sq_count.Get(0), lsq.sq_entries()))
+    queue("sq", lsq.sq_valid, lsq.sq_robtag, rob.is_store, sq_head_r,
+          lsq.sq_count.Get(0), lsq.sq_entries());
+  {
+    const std::uint64_t lq_n = lsq.lq_entries();
+    const std::uint64_t n = std::min(lsq.lq_count.Get(0), lq_n);
+    const std::uint64_t head = lsq.lq_head.Get(0) % lq_n;
+    for (std::uint64_t k = 0; k < n; ++k) {
+      const std::uint64_t i = wrap(head + k, lq_n);
+      if (rd(lsq.lq_has_dst, i)) range(rd(lsq.lq_dstp, i), "lq.dstp", i);
+    }
+  }
+
+  if (range_bad)
+    Report(InvariantKind::kRenameRange, cyc,
+           U(range_bad) + " pointer(s) out of range (first: " + range_first +
+               ", phys_regs=" + U(phys) + ")");
+
+  return static_cast<std::size_t>(total_ - before);
+}
+
+}  // namespace check
+}  // namespace tfsim

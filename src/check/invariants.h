@@ -1,0 +1,100 @@
+// Per-cycle structural invariant checker (opt-in via
+// CoreConfig::check_invariants). After every Core::Cycle() it audits the
+// machine's bookkeeping state — the properties the pipeline relies on but
+// never re-derives:
+//
+//   * preg_conservation — every physical register is named exactly once
+//     across the speculative RAT + speculative free list + live ROB oldp
+//     entries (and, independently, across the architectural RAT + arch free
+//     list): no leaked and no double-allocated registers.
+//   * queue_pointers   — every circular queue (ROB, LQ, SQ, store buffer,
+//     both free lists) has head/tail/count latches that agree:
+//     head,tail < size, count <= size, (head + count) mod size == tail.
+//   * rob_order        — live ROB entries are in program order (strictly
+//     increasing fetch sequence from head to tail).
+//   * scheduler_ref    — every valid scheduler entry references a live,
+//     incomplete ROB entry and holds a legal state-machine value.
+//   * lsq_order        — LQ/SQ valid bits match ring membership; live
+//     entries are in ROB age order with correct ROB backpointers
+//     (is_load/is_store + lsq_idx).
+//   * rename_range     — every live register pointer (RATs, free lists, ROB
+//     newp/oldp, scheduler sources/dest, LQ dest) names a real physical
+//     register (< phys_regs).
+//
+// The checker reads stored bits raw (no ECC correction) — it audits what is
+// latched, not what a protected read would repair. A fault-free run must
+// report zero violations at every cycle boundary; the differential fuzzer
+// and the clean-run tests in tests/test_check.cpp enforce exactly that.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tfsim {
+
+class Core;
+
+namespace check {
+
+enum class InvariantKind : std::uint8_t {
+  kPregConservation,
+  kQueuePointers,
+  kRobOrder,
+  kSchedulerRef,
+  kLsqOrder,
+  kRenameRange,
+  kNumKinds,
+};
+inline constexpr int kNumInvariantKinds =
+    static_cast<int>(InvariantKind::kNumKinds);
+
+// Stable snake_case name, also the metric suffix: check.violations.<name>.
+const char* InvariantKindName(InvariantKind kind);
+
+struct InvariantViolation {
+  InvariantKind kind = InvariantKind::kNumKinds;
+  std::uint64_t cycle = 0;  // CoreStats::cycles at detection time
+  std::string detail;
+};
+
+class InvariantChecker {
+ public:
+  // Audits `core` once and records any violations; returns the number found
+  // by this call. Stored violation records are capped at kMaxStored (per-kind
+  // counts keep accumulating past the cap).
+  std::size_t Check(const Core& core);
+
+  const std::vector<InvariantViolation>& violations() const {
+    return violations_;
+  }
+  std::uint64_t total() const { return total_; }
+  std::uint64_t CountFor(InvariantKind kind) const {
+    return counts_[static_cast<std::size_t>(kind)];
+  }
+  bool SawKind(InvariantKind kind) const { return CountFor(kind) != 0; }
+  // Kinds reported by the most recent Check() call, deduplicated — what the
+  // core uses to bump check.violations.* counters without re-scanning.
+  const std::vector<InvariantKind>& last_kinds() const { return last_kinds_; }
+
+  void Clear();
+
+  static constexpr std::size_t kMaxStored = 64;
+
+ private:
+  void Report(InvariantKind kind, std::uint64_t cycle, std::string detail);
+
+  std::vector<InvariantViolation> violations_;
+  std::array<std::uint64_t, kNumInvariantKinds> counts_{};
+  std::vector<InvariantKind> last_kinds_;
+  std::uint64_t total_ = 0;
+  // Cached expected mixed-sum for the preg-conservation fast path (a function
+  // of phys_regs only; recomputed if a differently-sized core is audited).
+  std::uint64_t mix_phys_ = 0;
+  std::uint64_t mix_expected_ = 0;
+};
+
+}  // namespace check
+}  // namespace tfsim

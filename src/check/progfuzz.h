@@ -1,0 +1,53 @@
+// Randomized miniAlpha program generation for differential fuzzing
+// (generalized from the generator that used to live inside
+// tests/test_differential.cpp).
+//
+// Generated programs are trap-free by construction (memory accesses are
+// masked to aligned offsets inside a private buffer; control flow is an
+// outer counted loop of forward branches and bounded inner loops) and
+// therefore must retire identically on the detailed core and the functional
+// simulator — any divergence is a model bug.
+//
+// Programs are block-structured: a prologue (register/counter seeding), a
+// list of independent labeled body blocks, and an epilogue (loop back-edge +
+// data section). The fuzz harness shrinks a failing case by disabling body
+// blocks and re-running, so each block must be self-contained (its labels
+// are prefixed with its block index and nothing jumps across blocks).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tfsim::check {
+
+enum class FuzzShape : std::uint8_t {
+  kMixed,         // uniform mix of everything below
+  kAluDense,      // long dependent ALU chains incl. complex-port ops
+  kStoreHeavy,    // store bursts + store-to-load forwarding pairs
+  kBranchErratic, // data-dependent forward branches + bounded inner loops
+  kMemWidths,     // mixed 1/4/8-byte traffic over overlapping addresses
+};
+
+const char* FuzzShapeName(FuzzShape shape);
+std::optional<FuzzShape> FuzzShapeFromName(std::string_view name);
+// All shapes, for "sweep every shape" loops.
+std::vector<FuzzShape> AllFuzzShapes();
+
+struct FuzzProgram {
+  std::string prologue;
+  std::vector<std::string> blocks;
+  std::string epilogue;
+
+  // Assembly source with every block included.
+  std::string Source() const;
+  // Assembly source with only blocks whose mask bit is true (mask shorter
+  // than blocks ⇒ missing entries count as enabled).
+  std::string Source(const std::vector<bool>& enabled) const;
+};
+
+FuzzProgram GenerateFuzzProgram(std::uint64_t seed, FuzzShape shape);
+
+}  // namespace tfsim::check

@@ -12,6 +12,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "check/invariants.h"
 #include "inject/cache.h"
 #include "inject/trial.h"
 #include "obs/chrome_trace.h"
@@ -26,7 +27,8 @@ namespace tfsim {
 std::string CampaignSpec::CacheKey() const {
   // Versioned content hash over everything that affects results. Bump the
   // salt when the model or classifier changes behaviour.
-  constexpr std::uint64_t kVersionSalt = 8;
+  constexpr std::uint64_t kVersionSalt = 9;  // 9: store-buffer-forward
+                                             // order-violation fix
   std::uint64_t h = Mix64(kVersionSalt);
   for (char c : workload) h = Mix64(h ^ static_cast<std::uint64_t>(c));
   const auto& p = core.protect;
@@ -198,13 +200,19 @@ CampaignResult RunCampaign(const CampaignSpec& spec,
   obs::MetricsRegistry* metrics = opt.obs.sinks.metrics;
   obs::ChromeTraceWriter* chrome = opt.obs.sinks.chrome;
   const bool tracing = opt.obs.collect_prop_traces;
+  // Checked campaigns run every trial core with the per-cycle invariant
+  // checker and quarantine structural violations. The CacheKey deliberately
+  // does not hash execution options, so checked runs (whose quarantine
+  // decisions differ from unchecked ones) must bypass the cache and the
+  // checkpoint journal in both directions.
+  const bool checked = opt.check_invariants || spec.core.check_invariants;
 
   // Per-trial artifacts (propagation traces, chrome spans) record live
   // execution and are never cached, so runs collecting them always execute.
   // Metrics-attached runs may load cached results: the campaign.* counters
   // and histograms are replayed from the cached records (identical totals to
   // a live run), and the hit itself becomes observable.
-  if (opt.use_cache && !tracing && !chrome) {
+  if (opt.use_cache && !tracing && !chrome && !checked) {
     if (auto cached = LoadCachedCampaign(spec)) {
       if (metrics) {
         metrics->GetCounter("campaign.cache.hits").Inc();
@@ -246,7 +254,12 @@ CampaignResult RunCampaign(const CampaignSpec& spec,
           : 0.0;
   result.golden_dcache_misses = golden->stats.dcache_misses;
 
-  Core core(spec.core, program);
+  // Trial cores optionally carry the invariant checker; the golden run above
+  // always executes unchecked (it defines reference behaviour, and a clean
+  // machine never violates).
+  CoreConfig trial_cfg = spec.core;
+  trial_cfg.check_invariants = checked;
+  Core core(trial_cfg, program);
   for (int c = 0; c < kNumStateCats; ++c)
     result.inventory[c] = core.registry().Inventory(static_cast<StateCat>(c));
 
@@ -263,8 +276,9 @@ CampaignResult RunCampaign(const CampaignSpec& spec,
   // prefix without its traces would break trace/record parallelism.
   const std::int64_t every_env =
       EnvInt("TFI_CHECKPOINT_EVERY", opt.checkpoint_every);
-  const std::uint64_t journal_every =
-      (!tracing && every_env > 0) ? static_cast<std::uint64_t>(every_env) : 0;
+  const std::uint64_t journal_every = (!tracing && !checked && every_env > 0)
+                                          ? static_cast<std::uint64_t>(every_env)
+                                          : 0;
 
   // Per-trial completion flags: the release store in the worker pairs with
   // the acquire scan in the checkpointer, making the record slots of the
@@ -298,6 +312,11 @@ CampaignResult RunCampaign(const CampaignSpec& spec,
   progress.done.store(resumed, std::memory_order_relaxed);
   std::atomic<std::size_t> next{resumed};
   std::vector<std::string> errmsgs(n);
+  // Per-trial per-kind invariant-violation counts (checked campaigns only).
+  // Collected in per-index slots and summed after the pool joins, so the
+  // exported check.violations.* totals are identical at every `jobs` value.
+  using KindCounts = std::array<std::uint64_t, check::kNumInvariantKinds>;
+  std::vector<KindCounts> viol_counts(checked ? n : 0, KindCounts{});
 
   // Flushes the journal with the current contiguous completed prefix.
   // Serialized by the mutex; cheap no-op when the prefix hasn't advanced
@@ -351,6 +370,25 @@ CampaignResult RunCampaign(const CampaignSpec& spec,
         }
       }
       if (!ok) rec = QuarantineRecord();
+      // Checked campaigns: a trial whose injected fault broke a structural
+      // invariant is quarantined like a throwing trial — its classification
+      // ran on a machine the checker proved inconsistent. The propagation
+      // trace (which already carries the violation details) is kept.
+      if (ok && checked) {
+        if (const check::InvariantChecker* chk =
+                worker_core.invariant_checker();
+            chk && chk->total() != 0) {
+          for (int k = 0; k < check::kNumInvariantKinds; ++k)
+            viol_counts[i][static_cast<std::size_t>(k)] =
+                chk->CountFor(static_cast<check::InvariantKind>(k));
+          const check::InvariantViolation& v = chk->violations().front();
+          std::ostringstream msg;
+          msg << "invariant violation [" << check::InvariantKindName(v.kind)
+              << "] at trial cycle " << v.cycle << ": " << v.detail;
+          errmsgs[i] = msg.str();
+          rec = QuarantineRecord();
+        }
+      }
       const auto t1 = Clock::now();
       result.trials[i] = rec;
       if (tracing) result.prop_traces[i] = std::move(trace);
@@ -389,7 +427,7 @@ CampaignResult RunCampaign(const CampaignSpec& spec,
       for (int w = 0; w < jobs; ++w) {
         pool.emplace_back([&, w] {
           try {
-            Core replica(spec.core, program);
+            Core replica(trial_cfg, program);
             work(replica, w);
           } catch (...) {
             errors[static_cast<std::size_t>(w)] = std::current_exception();
@@ -437,6 +475,19 @@ CampaignResult RunCampaign(const CampaignSpec& spec,
   // exported counters/histograms (and the chrome span list) are identical
   // to a serial run's regardless of how trials were scheduled.
   if (metrics) EmitTrialMetrics(result.trials, *metrics);
+  if (metrics && checked) {
+    for (int k = 0; k < check::kNumInvariantKinds; ++k) {
+      std::uint64_t sum = 0;
+      for (std::size_t i = 0; i < result.trials.size(); ++i)
+        sum += viol_counts[i][static_cast<std::size_t>(k)];
+      if (sum)
+        metrics
+            ->GetCounter(std::string("check.violations.") +
+                         check::InvariantKindName(
+                             static_cast<check::InvariantKind>(k)))
+            .Inc(sum);
+    }
+  }
   if (chrome) {
     for (int w = 0; w < jobs; ++w)
       chrome->SetThreadName(obs::ChromeTraceWriter::kPidCampaign, w,
@@ -453,7 +504,7 @@ CampaignResult RunCampaign(const CampaignSpec& spec,
   }
 
   if (!result.interrupted) {
-    if (opt.use_cache) StoreCachedCampaign(result, metrics);
+    if (opt.use_cache && !checked) StoreCachedCampaign(result, metrics);
     // The journal is subsumed by the completed result; drop it so the next
     // run of this CacheKey starts clean (or hits the cache).
     if (journal_every) RemoveCampaignCheckpoint(spec);

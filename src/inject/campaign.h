@@ -79,6 +79,15 @@ struct CampaignOptions {
   // Resumed records are byte-identical to an uninterrupted run's at any
   // `jobs` value. 0 disables journaling.
   int checkpoint_every = 0;
+  // Debug mode: run every trial core with the per-cycle invariant checker
+  // (CoreConfig::check_invariants) and quarantine any trial whose injected
+  // fault breaks a structural invariant (preg conservation, queue pointers,
+  // ordering...) as Outcome::kTrialError, with the first violation in the
+  // quarantine message. Data-value faults don't violate structural
+  // invariants and classify normally. Checked runs bypass the results cache
+  // and checkpoint journal (options must never change cached results) and
+  // report check.violations.* counter totals when metrics are attached.
+  bool check_invariants = false;
   // Cooperative cancellation (e.g. wired to SIGINT). When requested,
   // workers finish their in-flight trials and stop claiming new ones; the
   // campaign flushes its checkpoint journal plus the telemetry for the

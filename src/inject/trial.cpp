@@ -1,5 +1,6 @@
 #include "inject/trial.h"
 
+#include "check/invariants.h"
 #include "util/rng.h"
 
 namespace tfsim {
@@ -121,6 +122,18 @@ TrialRecord RunTrial(Core& core, const GoldenRun& golden,
           m != FailureMode::kNoFailure && m != FailureMode::kLocked
               ? static_cast<std::int64_t>(cycles)
               : -1;
+      // Structural self-check results (checked trials only). Violation
+      // cycles are CoreStats cycles since the checkpoint Load; the injection
+      // happened after `offset` of them, and the pre-injection advance is
+      // fault-free, so the difference is the injection-relative latency.
+      if (const check::InvariantChecker* chk = core.invariant_checker();
+          chk && chk->total() != 0) {
+        trace->invariant_violations = chk->total();
+        const check::InvariantViolation& v = chk->violations().front();
+        trace->first_violation_cycle = static_cast<std::int64_t>(v.cycle) -
+                                       static_cast<std::int64_t>(spec.offset);
+        trace->first_violation_kind = check::InvariantKindName(v.kind);
+      }
     }
     return rec;
   };

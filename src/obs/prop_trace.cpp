@@ -29,6 +29,11 @@ void WritePropTraceRow(const PropagationTrace& t, const std::string& workload,
     if (t.Touched(static_cast<StateCat>(c)))
       w.Value(std::string_view(StateCatName(static_cast<StateCat>(c))));
   w.End();
+  w.Field("invariant_violations", t.invariant_violations);
+  if (t.invariant_violations != 0) {
+    w.Field("first_violation_cycle", t.first_violation_cycle);
+    w.Field("first_violation_kind", t.first_violation_kind);
+  }
   w.Field("valid_instrs", static_cast<std::uint64_t>(t.valid_instrs));
   w.Field("inflight", static_cast<std::uint64_t>(t.inflight));
   w.End();

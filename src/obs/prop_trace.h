@@ -50,6 +50,14 @@ struct PropagationTrace {
   // unless the flip was overwritten before the first end-of-cycle sample.
   std::uint32_t cats_touched_mask = 0;
 
+  // --- self-checking -------------------------------------------------------
+  // Structural invariant violations observed by the per-cycle checker during
+  // the trial. Only populated when the trial core ran with
+  // CoreConfig::check_invariants (checked campaigns); all-zero otherwise.
+  std::uint64_t invariant_violations = 0;
+  std::int64_t first_violation_cycle = -1;  // cycles from injection; -1 = none
+  std::string first_violation_kind;         // InvariantKindName, "" = none
+
   // --- context -------------------------------------------------------------
   std::uint32_t valid_instrs = 0;  // Figure 6 statistic at injection
   std::uint32_t inflight = 0;

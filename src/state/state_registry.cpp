@@ -1,6 +1,5 @@
 #include "state/state_registry.h"
 
-#include <cassert>
 #include <stdexcept>
 
 #include "util/rng.h"
@@ -39,21 +38,6 @@ const char* StateCatName(StateCat cat) {
     case StateCat::kNumCats: break;
   }
   return "?";
-}
-
-std::uint64_t StateField::Get(std::size_t i) const {
-  assert(reg_ && i < count_);
-  return reg_->words_[offset_ + i];
-}
-
-void StateField::Set(std::size_t i, std::uint64_t value) {
-  assert(reg_ && i < count_);
-  const std::size_t w = offset_ + i;
-  const std::uint64_t before = reg_->words_[w];
-  const std::uint64_t after = value & mask_;
-  if (before == after) return;
-  reg_->words_[w] = after;
-  reg_->UpdateHash(w, before, after);
 }
 
 StateField StateRegistry::Allocate(std::string name, StateCat cat,

@@ -69,6 +69,9 @@ class StateField {
  public:
   StateField() = default;
 
+  // Defined inline below StateRegistry: reads and the no-change write
+  // fast path stay in the caller (the per-cycle invariant checker makes
+  // hundreds of reads per cycle; only real writes pay the hash update).
   std::uint64_t Get(std::size_t i) const;
   void Set(std::size_t i, std::uint64_t value);
 
@@ -78,6 +81,10 @@ class StateField {
   std::size_t count() const { return count_; }
   std::uint8_t width() const { return width_; }
   std::uint64_t mask() const { return mask_; }
+  // Word index of element 0 in StateRegistry::WordsData() — lets bulk readers
+  // (the per-cycle invariant checker) index one flat array instead of paying
+  // Get()'s registry indirection on every probe.
+  std::size_t offset() const { return offset_; }
 
  private:
   friend class StateRegistry;
@@ -170,6 +177,11 @@ class StateRegistry {
 
   std::size_t WordCount() const { return words_.size(); }
 
+  // Read-only view of the whole word store (stable once allocation is done).
+  // Pair with StateField::offset(): w[f.offset() + i] == f.Get(i), already
+  // masked because every write goes through Set().
+  const std::uint64_t* WordsData() const { return words_.data(); }
+
  private:
   friend class StateField;
 
@@ -194,5 +206,18 @@ class StateRegistry {
   std::uint64_t hash_ = 0;
   CatHashArray cat_hash_{};
 };
+
+inline std::uint64_t StateField::Get(std::size_t i) const {
+  return reg_->words_[offset_ + i];
+}
+
+inline void StateField::Set(std::size_t i, std::uint64_t value) {
+  const std::size_t w = offset_ + i;
+  const std::uint64_t before = reg_->words_[w];
+  const std::uint64_t after = value & mask_;
+  if (before == after) return;
+  reg_->words_[w] = after;
+  reg_->UpdateHash(w, before, after);
+}
 
 }  // namespace tfsim

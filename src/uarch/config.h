@@ -55,6 +55,11 @@ struct CoreConfig {
   // Protection.
   ProtectionConfig protect;
   int timeout_cycles = 100;   // protection timeout-counter threshold
+  // Self-checking: audit structural invariants (preg conservation, queue
+  // pointer consistency, ROB/LSQ ordering...) after every cycle. Costs cycle
+  // time when on (see EXPERIMENTS.md); violations are recorded on the core's
+  // InvariantChecker and, when obs is attached, as check.violations.* metrics.
+  bool check_invariants = false;
 
   // Derived.
   int MaxInFlight() const { return fetch_queue + rob_entries + 8 * 4; }

@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "arch/syscall.h"
+#include "check/invariants.h"
 #include "util/rng.h"
 
 namespace tfsim {
@@ -76,7 +77,11 @@ Core::Core(const CoreConfig& cfg, const Program& program)
   fetch_.SetFetchPc(program.entry);
   arch_next_pc_.Set(0, PcStore(program.entry));
   rob_seq_.resize(static_cast<std::size_t>(cfg.rob_entries), 0);
+  if (cfg_.check_invariants)
+    checker_ = std::make_unique<check::InvariantChecker>();
 }
+
+Core::~Core() = default;
 
 std::uint64_t Core::StateHash() const {
   std::uint64_t h = registry_.Hash() ^ mem_.ContentHash() ^ out_hash_;
@@ -125,6 +130,12 @@ Core::Snapshot Core::Save() const {
   s.exit_code = exit_code_;
   s.halted_exc = halted_exc_;
   s.retired_total = retired_total_;
+  s.seq_counter = fetch_.seq_counter;
+  s.fq_seq = fetch_.fq_seq;
+  s.fb_seq = fetch_.fb_seq;
+  s.d1_seq = decode_.stage1.seq;
+  s.d2_seq = decode_.stage2.seq;
+  s.rob_seq = rob_seq_;
   return s;
 }
 
@@ -137,13 +148,21 @@ void Core::Load(const Snapshot& s) {
   exit_code_ = s.exit_code;
   halted_exc_ = s.halted_exc;
   retired_total_ = s.retired_total;
+  fetch_.seq_counter = s.seq_counter;
+  fetch_.fq_seq = s.fq_seq;
+  fetch_.fb_seq = s.fb_seq;
+  decode_.stage1.seq = s.d1_seq;
+  decode_.stage2.seq = s.d2_seq;
+  rob_seq_ = s.rob_seq;
   itlb_miss_ = false;
   stats_ = CoreStats{};
   obs_flushed_ = CoreStats{};
+  if (checker_) checker_->Clear();
 }
 
 void Core::Cycle() {
   CycleInner();
+  if (checker_ && checker_->Check(*this) != 0 && obs_) ObsCountViolations();
   if (obs_) ObsSample();
 }
 
@@ -279,6 +298,16 @@ void Core::RetireOne(bool& stop) {
     e.store_value = lsq_.sq_data.Get(si);
     e.store_size =
         static_cast<std::uint8_t>(DecodeSizeCode(lsq_.sq_size.Get(si)));
+    // Drop forward shadows naming this SQ slot before it is recycled: stores
+    // retire in order, so once the forward source commits, any older-than-load
+    // store still resolving its address is younger than the source and must
+    // always squash — a stale shadow pointing at the slot's next (younger)
+    // occupant would wrongly suppress that squash and let the load keep
+    // superseded data. (Found by the differential fuzzer.)
+    for (std::uint64_t li = 0; li < lsq_.lq_entries(); ++li)
+      if (lsq_.lq_valid.GetBit(li) && lsq_.lq_fwd_valid.GetBit(li) &&
+          lsq_.lq_fwd_sq.Get(li) % lsq_.sq_entries() == si)
+        lsq_.lq_fwd_valid.Set(li, 0);
     lsq_.SbPush(e.store_addr, e.store_value, lsq_.sq_size.Get(si));
     lsq_.PopSqHead();
   }
@@ -473,7 +502,13 @@ bool Core::TryLoadAccess(std::uint64_t li) {
     }
     lsq_.lq_spec.Set(li, 0);
     lsq_.lq_value.Set(li, lsq_.sb_data.Get(si));
-    lsq_.lq_fwd_valid.Set(li, 1);
+    // Deliberately NOT recorded as a forward (lq_fwd_valid stays 0): the
+    // store buffer holds committed stores, older than every in-flight store,
+    // so an older-than-load store resolving later with an overlapping
+    // address must always squash this load — the fwd_sq shadow test in
+    // CheckOrderViolation can never legitimately apply. (Setting fwd_valid
+    // here with a stale fwd_sq slot let exactly such loads keep stale data;
+    // found by the differential fuzzer.)
     lsq_.lq_state.Set(li, kLqAccessing);
     lsq_.lq_timer.Set(li, 1);
     if (lsq_.lq_has_dst.GetBit(li)) sched_.Wakeup(lsq_.lq_dstp.Get(li));

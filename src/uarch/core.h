@@ -40,6 +40,10 @@
 
 namespace tfsim {
 
+namespace check {
+class InvariantChecker;
+}  // namespace check
+
 // Counters exposed for experiments and realism checks (plain instrumentation,
 // not machine state).
 struct CoreStats {
@@ -63,6 +67,7 @@ struct CoreStats {
 class Core {
  public:
   Core(const CoreConfig& cfg, const Program& program);
+  ~Core();  // out-of-line: InvariantChecker is incomplete here
 
   // Advances one clock. Retire events produced this cycle are available via
   // RetiredThisCycle() until the next call.
@@ -88,7 +93,21 @@ class Core {
   Memory& memory() { return mem_; }
   Tlb& tlb() { return tlb_; }
   CoreStats& stats() { return stats_; }
+  const CoreStats& stats() const { return stats_; }
   const CoreConfig& config() const { return cfg_; }
+
+  // Read-only component views for the invariant checker / audits.
+  const Rename& rename_unit() const { return rename_; }
+  const Rob& rob() const { return rob_; }
+  const Scheduler& scheduler() const { return sched_; }
+  const Lsq& lsq() const { return lsq_; }
+  const std::vector<std::uint64_t>& RobSeqs() const { return rob_seq_; }
+  // Non-null iff CoreConfig::check_invariants; audited after every Cycle(),
+  // cleared by Load(). Violations accumulate on the checker.
+  const check::InvariantChecker* invariant_checker() const {
+    return checker_.get();
+  }
+  check::InvariantChecker* invariant_checker() { return checker_.get(); }
 
   bool exited() const { return exited_; }
   Exception halted_exception() const { return halted_exc_; }
@@ -124,6 +143,12 @@ class Core {
     std::uint64_t exit_code = 0;
     Exception halted_exc = Exception::kNone;
     std::uint64_t retired_total = 0;
+    // Fetch-sequence instrumentation. Never read by pipeline logic, but the
+    // invariant checker audits ROB program order through it, so a restored
+    // machine must carry the saving core's numbering — and a worker replica
+    // must not inherit stale numbers from whatever it ran before.
+    std::uint64_t seq_counter = 0;
+    std::vector<std::uint64_t> fq_seq, fb_seq, d1_seq, d2_seq, rob_seq;
   };
   Snapshot Save() const;
   void Load(const Snapshot& s);
@@ -222,6 +247,7 @@ class Core {
   std::uint64_t retired_total_ = 0;
 
   // Instrumentation (never read by pipeline logic).
+  std::unique_ptr<check::InvariantChecker> checker_;
   CoreStats stats_;
   std::vector<RetireEvent> retired_this_cycle_;
   std::vector<std::uint64_t> retired_seqs_this_cycle_;
@@ -238,6 +264,11 @@ class Core {
   obs::Histogram* h_sq_ = nullptr;
   obs::Histogram* h_mshr_ = nullptr;
   obs::Histogram* h_inflight_ = nullptr;
+  // check.violations.<kind> counters, indexed by InvariantKind (resolved at
+  // attach when this core runs checked; empty otherwise).
+  std::vector<obs::Counter*> c_viol_;
+  // Bumps c_viol_ for the kinds the checker just reported (core_obs.cpp).
+  void ObsCountViolations();
   CoreStats obs_flushed_;  // counter values already pushed to the registry
 };
 

@@ -2,6 +2,7 @@
 // into the metrics registry and the chrome-trace pipeline lane, plus the
 // CoreStats counter flush. Kept out of core.cpp so the hot pipeline file
 // does not depend on the obs implementation headers.
+#include "check/invariants.h"
 #include "obs/chrome_trace.h"
 #include "obs/metrics.h"
 #include "uarch/core.h"
@@ -11,9 +12,17 @@ namespace tfsim {
 void Core::AttachObs(const obs::ObsSinks* obs) {
   obs_ = obs && obs->Any() ? obs : nullptr;
   h_fq_ = h_sched_ = h_rob_ = h_lq_ = h_sq_ = h_mshr_ = h_inflight_ = nullptr;
+  c_viol_.clear();
   obs_flushed_ = CoreStats{};
   if (!obs_ || !obs_->metrics) return;
   obs::MetricsRegistry& m = *obs_->metrics;
+  if (checker_) {
+    c_viol_.resize(check::kNumInvariantKinds, nullptr);
+    for (int k = 0; k < check::kNumInvariantKinds; ++k)
+      c_viol_[static_cast<std::size_t>(k)] = &m.GetCounter(
+          std::string("check.violations.") +
+          check::InvariantKindName(static_cast<check::InvariantKind>(k)));
+  }
   // Bucket shapes sized to each structure's capacity so the histograms read
   // directly as occupancy distributions.
   h_fq_ = &m.GetHistogram("pipe.fetchq.occupancy", 2, 17);
@@ -23,6 +32,12 @@ void Core::AttachObs(const obs::ObsSinks* obs) {
   h_sq_ = &m.GetHistogram("pipe.sq.occupancy", 1, 17);
   h_mshr_ = &m.GetHistogram("pipe.dcache.mshrs_in_use", 1, 9);
   h_inflight_ = &m.GetHistogram("pipe.inflight", 8, 18);
+}
+
+void Core::ObsCountViolations() {
+  if (c_viol_.empty()) return;
+  for (const check::InvariantKind k : checker_->last_kinds())
+    c_viol_[static_cast<std::size_t>(k)]->Inc();
 }
 
 void Core::ObsSample() {

@@ -77,6 +77,26 @@ class Rename {
   // architectural ones.
   void CopyArchToSpec();
 
+  // --- raw audit views (invariant checker) ----------------------------------
+  // Direct, non-mutating reads with no ECC scrub — the checker must see the
+  // stored bits exactly as they are.
+  std::uint64_t ReadSpecRaw(std::uint64_t areg) const {
+    return specrat_.Get(areg % kNumArchRegs);
+  }
+  // Whole-field views so the checker can walk the RATs and free lists through
+  // the registry's flat word array (StateField::offset()) instead of paying a
+  // Get() per element on its per-cycle path.
+  const StateField& SpecRatField() const { return specrat_; }
+  const StateField& ArchRatField() const { return archrat_; }
+  const StateField& SflField() const { return sfl_; }
+  const StateField& AflField() const { return afl_; }
+  std::uint64_t SflHead() const { return sfl_head_.Get(0); }
+  std::uint64_t SflTail() const { return sfl_tail_.Get(0); }
+  std::uint64_t AflHead() const { return afl_head_.Get(0); }
+  std::uint64_t AflTail() const { return afl_tail_.Get(0); }
+  std::uint64_t ArchFreeCount() const { return afl_count_.Get(0); }
+  std::uint64_t free_size() const { return free_size_; }
+
  private:
   std::uint64_t free_size_;
   bool ecc_on_;

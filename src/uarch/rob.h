@@ -20,6 +20,10 @@ class Rob {
 
   std::uint64_t Count() const { return count_.Get(0); }
   std::uint64_t Head() const { return head_.Get(0) % entries_; }
+  std::uint64_t Tail() const { return tail_.Get(0) % entries_; }
+  // Raw latch values (audit view — unmasked, so pointer corruption shows).
+  std::uint64_t HeadRaw() const { return head_.Get(0); }
+  std::uint64_t TailRaw() const { return tail_.Get(0); }
   bool Full() const { return Count() >= entries_; }
   bool Empty() const { return Count() == 0; }
   std::uint64_t entries() const { return entries_; }

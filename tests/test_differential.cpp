@@ -1,110 +1,112 @@
 // Differential testing: randomly generated programs executed on the
 // detailed pipeline must retire exactly the functional simulator's
-// instruction stream. This sweeps corners no hand-written workload hits
-// (odd register reuse, dense dependency chains, mixed-size memory traffic,
-// erratic branch patterns).
+// instruction stream, with the per-cycle invariant checker silent the whole
+// way. Programs come from the shared fuzz generator (src/check/progfuzz.h);
+// the shape-specific suites sweep corners no hand-written workload hits —
+// store bursts with store-to-load forwarding, erratic branch patterns,
+// mixed-width memory traffic over overlapping addresses, dense ALU chains.
 #include <gtest/gtest.h>
 
-#include <sstream>
+#include <cstdint>
 
-#include "arch/functional_sim.h"
-#include "isa/assemble.h"
-#include "uarch/core.h"
-#include "util/rng.h"
+#include "check/fuzz_harness.h"
+#include "check/progfuzz.h"
 
 namespace tfsim {
 namespace {
 
-// Generates a random but trap-free program: an outer loop over a body of
-// random ALU ops, masked-address loads/stores into a private buffer, and
-// data-dependent forward branches.
-std::string GenerateProgram(std::uint64_t seed) {
-  Rng rng(seed);
-  std::ostringstream s;
-  s << "_start:\n";
-  s << "  li r9, " << 200 + rng.NextBelow(200) << "\n";  // outer counter
-  s << "  la r10, buf\n";
-  // Seed working registers r1..r8 with random 16-bit values.
-  for (int r = 1; r <= 8; ++r)
-    s << "  li r" << r << ", " << rng.NextBelow(32768) << "\n";
-  s << "outer:\n";
+using check::FuzzRunOptions;
+using check::FuzzShape;
 
-  static const char* kAluR[] = {"addq", "subq", "andq", "bisq", "xorq",
-                                "bicq", "cmpeq", "cmplt", "cmpule", "addl",
-                                "subl", "sextb", "mulq", "umulh", "mull"};
-  static const char* kAluI[] = {"addqi", "subqi", "andqi", "bisqi", "xorqi",
-                                "mulqi", "cmpeqi", "cmplti", "addli"};
-  const int body = 24 + static_cast<int>(rng.NextBelow(24));
-  int label = 0;
-  for (int i = 0; i < body; ++i) {
-    const int a = 1 + static_cast<int>(rng.NextBelow(8));
-    const int b = 1 + static_cast<int>(rng.NextBelow(8));
-    const int c = 1 + static_cast<int>(rng.NextBelow(8));
-    switch (rng.NextBelow(8)) {
-      case 0: {  // masked store + load of a random size
-        const int size = 1 << (3 * rng.NextBelow(2));  // 1 or 8 bytes
-        s << "  andqi r" << a << ", 248, r8\n";  // 8-aligned offset in [0,248]
-        s << "  addq r10, r8, r8\n";
-        s << (size == 1 ? "  stb r" : "  stq r") << b << ", 0(r8)\n";
-        s << (size == 1 ? "  ldbu r" : "  ldq r") << c << ", 0(r8)\n";
-        break;
-      }
-      case 1: {  // shift with a safe literal amount
-        s << "  sllqi r" << a << ", " << rng.NextBelow(63) << ", r" << c
-          << "\n";
-        break;
-      }
-      case 2: {  // short data-dependent forward branch
-        s << "  andqi r" << a << ", 1, r8\n";
-        s << "  beq r8, L" << label << "\n";
-        s << "  xorqi r" << c << ", 21555, r" << c << "\n";
-        s << "L" << label++ << ":\n";
-        break;
-      }
-      case 3: {  // immediate ALU
-        s << "  " << kAluI[rng.NextBelow(std::size(kAluI))] << " r" << a
-          << ", " << rng.NextRange(-1000, 1000) << ", r" << c << "\n";
-        break;
-      }
-      default: {  // register ALU (includes complex-port ops)
-        s << "  " << kAluR[rng.NextBelow(std::size(kAluR))] << " r" << a
-          << ", r" << b << ", r" << c << "\n";
-        break;
-      }
-    }
-  }
-  s << "  subqi r9, 1, r9\n";
-  s << "  bgt r9, outer\n";
-  s << "hang: br hang\n";
-  s << ".data\n.align 8\nbuf: .space 264\n";
-  return s.str();
+// Same per-seed scrambling as tools/fuzz, so a failing test names a case
+// reproducible with `fuzz --shape <shape> --seed-base <param> --seeds 1`.
+std::uint64_t ScrambleSeed(int param) {
+  return static_cast<std::uint64_t>(param) * 0x9E3779B97F4A7C15ULL + 17;
 }
 
-class Differential : public ::testing::TestWithParam<int> {};
-
-TEST_P(Differential, PipelineMatchesFunctionalOnRandomPrograms) {
-  const std::string src = GenerateProgram(static_cast<std::uint64_t>(
-      GetParam()) * 0x9E3779B97F4A7C15ULL + 17);
-  const Program prog = Assemble(src);
-  Core core(CoreConfig{}, prog);
-  FunctionalSim ref(prog);
-  std::uint64_t checked = 0;
-  for (int c = 0; c < 15000; ++c) {
-    core.Cycle();
-    ASSERT_EQ(core.halted_exception(), Exception::kNone)
-        << "cycle " << c << "\n" << src;
-    for (const RetireEvent& ev : core.RetiredThisCycle()) {
-      const RetireEvent want = ref.Step();
-      ASSERT_EQ(ev, want) << "retire #" << checked << " cycle " << c
-                          << "\n  core: " << ToString(ev)
-                          << "\n  ref : " << ToString(want);
-      ++checked;
-    }
-  }
-  EXPECT_GT(checked, 5000u);
+void RunShapeCase(FuzzShape shape, int param) {
+  const check::FuzzProgram prog =
+      check::GenerateFuzzProgram(ScrambleSeed(param), shape);
+  FuzzRunOptions opt;
+  opt.cycles = 15000;
+  opt.check_invariants = true;
+  const check::FuzzCaseResult r = check::RunLockstep(prog.Source(), opt);
+  ASSERT_TRUE(r.ok) << check::FuzzShapeName(shape) << " seed-base " << param
+                    << ": " << r.failure << "\n"
+                    << prog.Source();
+  EXPECT_EQ(r.violations, 0u);
+  EXPECT_GT(r.retired, 5000u);
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, Differential, ::testing::Range(0, 16));
+class MixedDifferential : public ::testing::TestWithParam<int> {};
+TEST_P(MixedDifferential, PipelineMatchesFunctional) {
+  RunShapeCase(FuzzShape::kMixed, GetParam());
+}
+INSTANTIATE_TEST_SUITE_P(Seeds, MixedDifferential, ::testing::Range(0, 16));
+
+// Store-heavy programs regress the store-queue/store-buffer forwarding
+// paths (including the stale forward-shadow bugs the fuzzer originally
+// found in the memory-order violation check).
+class StoreHeavyDifferential : public ::testing::TestWithParam<int> {};
+TEST_P(StoreHeavyDifferential, PipelineMatchesFunctional) {
+  RunShapeCase(FuzzShape::kStoreHeavy, GetParam());
+}
+INSTANTIATE_TEST_SUITE_P(Seeds, StoreHeavyDifferential,
+                         ::testing::Range(0, 10));
+
+class BranchErraticDifferential : public ::testing::TestWithParam<int> {};
+TEST_P(BranchErraticDifferential, PipelineMatchesFunctional) {
+  RunShapeCase(FuzzShape::kBranchErratic, GetParam());
+}
+INSTANTIATE_TEST_SUITE_P(Seeds, BranchErraticDifferential,
+                         ::testing::Range(0, 10));
+
+class MemWidthsDifferential : public ::testing::TestWithParam<int> {};
+TEST_P(MemWidthsDifferential, PipelineMatchesFunctional) {
+  RunShapeCase(FuzzShape::kMemWidths, GetParam());
+}
+INSTANTIATE_TEST_SUITE_P(Seeds, MemWidthsDifferential,
+                         ::testing::Range(0, 10));
+
+// Direct regressions for the forwarding bugs found by the 200-seed sweep:
+// these exact (shape, seed) pairs retired stale load values before the
+// store-buffer-forward and SQ-slot-reuse shadow fixes in Core.
+struct RegressionCase {
+  FuzzShape shape;
+  int seed_base;
+};
+
+class ForwardShadowRegression
+    : public ::testing::TestWithParam<RegressionCase> {};
+TEST_P(ForwardShadowRegression, NoStaleForwardedLoads) {
+  RunShapeCase(GetParam().shape, GetParam().seed_base);
+}
+INSTANTIATE_TEST_SUITE_P(
+    FuzzFound, ForwardShadowRegression,
+    ::testing::Values(RegressionCase{FuzzShape::kStoreHeavy, 8},
+                      RegressionCase{FuzzShape::kStoreHeavy, 68},
+                      RegressionCase{FuzzShape::kStoreHeavy, 77},
+                      RegressionCase{FuzzShape::kStoreHeavy, 120},
+                      RegressionCase{FuzzShape::kMemWidths, 57},
+                      RegressionCase{FuzzShape::kMemWidths, 153},
+                      RegressionCase{FuzzShape::kMixed, 48}));
+
+// The shrinker itself: block masks must compose into valid programs (every
+// block is self-contained by construction).
+TEST(FuzzProgram, DisabledBlocksStillAssembleAndPass) {
+  const check::FuzzProgram prog =
+      check::GenerateFuzzProgram(ScrambleSeed(3), FuzzShape::kMixed);
+  ASSERT_GT(prog.blocks.size(), 2u);
+  std::vector<bool> enabled(prog.blocks.size(), true);
+  enabled[0] = false;
+  enabled[prog.blocks.size() / 2] = false;
+  FuzzRunOptions opt;
+  opt.cycles = 6000;
+  const check::FuzzCaseResult r =
+      check::RunLockstep(prog.Source(enabled), opt);
+  EXPECT_TRUE(r.ok) << r.failure;
+  EXPECT_GT(r.retired, 0u);
+}
 
 }  // namespace
 }  // namespace tfsim

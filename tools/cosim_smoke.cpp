@@ -1,60 +1,95 @@
-// Throwaway debugging harness: run each workload on the pipeline and the
-// functional simulator in lockstep, comparing retire events.
+// Lockstep co-simulation check: run each workload on the detailed pipeline
+// and the functional simulator simultaneously, comparing every retire event
+// and (by default) auditing the per-cycle structural invariants. Registered
+// as the `cosim_all_workloads` ctest; exits with the number of failing
+// workloads.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
 #include "arch/functional_sim.h"
+#include "check/invariants.h"
 #include "uarch/core.h"
+#include "util/argparse.h"
 #include "workloads/workloads.h"
 
 using namespace tfsim;
 
 int main(int argc, char** argv) {
-  const std::uint64_t cycles = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20000;
-  const std::string only = argc > 2 ? argv[2] : "";
+  std::int64_t cycles = 20000;
+  std::string only;
+  bool no_check = false;
+  ArgParser ap;
+  ap.AddInt("cycles", &cycles, "lockstep cycles per workload");
+  ap.AddStr("workload", &only, "run only this workload");
+  ap.AddFlag("no-check", &no_check, "disable the per-cycle invariant checker");
+  if (!ap.Parse(argc, argv) || !ap.positional().empty()) {
+    std::fprintf(stderr, "%s\nusage: cosim_smoke [flags]\n%s",
+                 ap.error().empty() ? "unexpected positional argument"
+                                    : ap.error().c_str(),
+                 ap.Help().c_str());
+    return 2;
+  }
+
+  CoreConfig cfg;
+  cfg.check_invariants = !no_check;
   int failures = 0;
   for (const auto& w : AllWorkloads()) {
     if (!only.empty() && w.name != only) continue;
     Program prog = BuildWorkload(w, kCampaignIters);
-    Core core(CoreConfig{}, prog);
+    Core core(cfg, prog);
     FunctionalSim ref(prog);
     std::uint64_t checked = 0;
     bool ok = true;
-    for (std::uint64_t c = 0; c < cycles && ok; ++c) {
+    for (std::int64_t c = 0; c < cycles && ok; ++c) {
       core.Cycle();
       if (core.halted_exception() != Exception::kNone) {
-        std::printf("[%s] pipeline exception %s at cycle %llu\n", w.name.c_str(),
-                    ExceptionName(core.halted_exception()), (unsigned long long)c);
-        ok = false; break;
+        std::printf("[%s] pipeline exception %s at cycle %lld\n",
+                    w.name.c_str(), ExceptionName(core.halted_exception()),
+                    (long long)c);
+        ok = false;
+        break;
       }
       if (core.itlb_miss()) {
-        std::printf("[%s] itlb miss at cycle %llu addr=0x%llx\n", w.name.c_str(),
-                    (unsigned long long)c, (unsigned long long)core.itlb_addr());
-        ok = false; break;
+        std::printf("[%s] itlb miss at cycle %lld addr=0x%llx\n",
+                    w.name.c_str(), (long long)c,
+                    (unsigned long long)core.itlb_addr());
+        ok = false;
+        break;
       }
       for (const RetireEvent& ev : core.RetiredThisCycle()) {
         const RetireEvent want = ref.Step();
         if (!(ev == want)) {
-          std::printf("[%s] MISMATCH at retire #%llu cycle %llu\n  core: %s\n  ref : %s\n",
-                      w.name.c_str(), (unsigned long long)checked,
-                      (unsigned long long)c, ToString(ev).c_str(),
-                      ToString(want).c_str());
+          std::printf(
+              "[%s] MISMATCH at retire #%llu cycle %lld\n  core: %s\n"
+              "  ref : %s\n",
+              w.name.c_str(), (unsigned long long)checked, (long long)c,
+              ToString(ev).c_str(), ToString(want).c_str());
           ok = false;
           break;
         }
         ++checked;
       }
+      if (const check::InvariantChecker* chk = core.invariant_checker();
+          chk && chk->total() != 0) {
+        const check::InvariantViolation& v = chk->violations().front();
+        std::printf("[%s] INVARIANT VIOLATION [%s] at cycle %llu: %s\n",
+                    w.name.c_str(), check::InvariantKindName(v.kind),
+                    (unsigned long long)v.cycle, v.detail.c_str());
+        ok = false;
+      }
     }
     const auto& st = core.stats();
-    std::printf("[%-7s] %s: retired=%llu cycles=%llu IPC=%.2f bp=%.1f%% d$miss=%llu repl=%llu viol=%llu\n",
-                w.name.c_str(), ok ? "OK" : "FAIL",
-                (unsigned long long)st.retired, (unsigned long long)st.cycles,
-                st.Ipc(),
-                st.branches ? 100.0 * (1.0 - (double)st.mispredicts / (double)st.branches) : 0.0,
-                (unsigned long long)st.dcache_misses,
-                (unsigned long long)st.replays,
-                (unsigned long long)st.order_violations);
+    std::printf(
+        "[%-7s] %s: retired=%llu cycles=%llu IPC=%.2f bp=%.1f%% d$miss=%llu "
+        "repl=%llu viol=%llu\n",
+        w.name.c_str(), ok ? "OK" : "FAIL", (unsigned long long)st.retired,
+        (unsigned long long)st.cycles, st.Ipc(),
+        st.branches
+            ? 100.0 * (1.0 - (double)st.mispredicts / (double)st.branches)
+            : 0.0,
+        (unsigned long long)st.dcache_misses, (unsigned long long)st.replays,
+        (unsigned long long)st.order_violations);
     if (!ok) ++failures;
   }
   return failures;

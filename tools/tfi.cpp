@@ -67,6 +67,7 @@ struct Args {
   std::string prop_trace;
   std::string chrome_trace;
   bool progress = false;
+  bool check = false;
   // Parse error: first unknown --flag, or a flag missing its value.
   std::string error;
 };
@@ -92,6 +93,9 @@ ArgParser MakeParser(Args& a) {
   p.AddStr("prop-trace", &a.prop_trace, "propagation-trace JSONL path");
   p.AddStr("chrome-trace", &a.chrome_trace, "chrome trace-event export path");
   p.AddFlag("progress", &a.progress, "periodic trials/sec progress lines");
+  p.AddFlag("check", &a.check,
+            "run trials with the per-cycle invariant checker; violations "
+            "quarantine the trial (campaign; bypasses the results cache)");
   return p;
 }
 
@@ -214,6 +218,7 @@ int CmdCampaign(const Args& a) {
   if (!a.chrome_trace.empty()) opt.obs.sinks.chrome = &chrome;
   opt.obs.collect_prop_traces = !a.prop_trace.empty();
   opt.obs.progress = a.progress;
+  opt.check_invariants = a.check;
 
   std::signal(SIGINT, HandleSigint);
   const CampaignResult r = RunCampaign(spec, opt);
