@@ -1,0 +1,214 @@
+#include "analyze/inventory.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "isa/assemble.h"
+#include "uarch/core.h"
+
+namespace tfsim::analyze {
+namespace {
+
+bool HasField(const std::vector<StateRegistry::FieldInfo>& fields,
+              const std::string& name) {
+  return std::any_of(fields.begin(), fields.end(),
+                     [&](const auto& f) { return f.name == name; });
+}
+
+std::string Prefix(const std::string& name) {
+  const std::size_t dot = name.find_last_of('.');
+  return dot == std::string::npos ? name : name.substr(0, dot);
+}
+
+// Does a travelling-ECC sibling exist for pointer field `name`? Naming in
+// the model follows two idioms: `x` -> `x_ecc` (rename.specrat ->
+// rename.specrat_ecc) and `xp`/`xpN` -> `x_ecc` with the trailing 'p'
+// dropped (sched.src1p -> sched.src1_ecc, lq.dstp -> lq.dst_ecc).
+bool HasEccSibling(const std::vector<StateRegistry::FieldInfo>& fields,
+                   const std::string& name) {
+  if (HasField(fields, name + "_ecc")) return true;
+  if (!name.empty() && name.back() == 'p' &&
+      HasField(fields, name.substr(0, name.size() - 1) + "_ecc"))
+    return true;
+  return false;
+}
+
+}  // namespace
+
+std::vector<MechanismCoverage> ComputeProtectionCoverage(
+    const std::vector<StateRegistry::FieldInfo>& fields) {
+  MechanismCoverage regfile;
+  regfile.mechanism = "regfile_ecc";
+  MechanismCoverage regptr;
+  regptr.mechanism = "regptr_ecc";
+  MechanismCoverage parity;
+  parity.mechanism = "insn_parity";
+  MechanismCoverage timeout;
+  timeout.mechanism = "timeout_counter";
+
+  const bool regfile_ecc_on = HasField(fields, "regfile.ecc");
+  for (const auto& f : fields) {
+    switch (f.cat) {
+      case StateCat::kRegfile:
+        // The paper ECCs the 65-bit register entries (RAM); the per-register
+        // ready scoreboard stays an unprotected latch.
+        if (f.storage == Storage::kRam && regfile_ecc_on) {
+          regfile.covered_bits += f.bits();
+        } else {
+          regfile.uncovered_bits += f.bits();
+          regfile.uncovered_fields.push_back(f.name);
+        }
+        break;
+      case StateCat::kRegptr:
+      case StateCat::kSpecRat:
+      case StateCat::kArchRat:
+      case StateCat::kSpecFreelist:
+      case StateCat::kArchFreelist:
+        if (HasEccSibling(fields, f.name)) {
+          regptr.covered_bits += f.bits();
+        } else {
+          regptr.uncovered_bits += f.bits();
+          regptr.uncovered_fields.push_back(f.name);
+        }
+        break;
+      case StateCat::kInsn:
+        if (f.storage == Storage::kBackground) break;  // cache arrays
+        if (HasField(fields, Prefix(f.name) + ".parity")) {
+          parity.covered_bits += f.bits();
+        } else {
+          parity.uncovered_bits += f.bits();
+          parity.uncovered_fields.push_back(f.name);
+        }
+        break;
+      case StateCat::kEcc:
+        if (Prefix(f.name) == "regfile")
+          regfile.check_bits += f.bits();
+        else
+          regptr.check_bits += f.bits();
+        break;
+      case StateCat::kParity:
+        parity.check_bits += f.bits();
+        break;
+      default:
+        break;
+    }
+    // The timeout counter adds one latch counter and covers no stored bits —
+    // it is a recovery mechanism for corrupted control state, not storage
+    // protection.
+    if (f.name == "retire.timeout") timeout.check_bits += f.bits();
+  }
+  return {regfile, regptr, parity, timeout};
+}
+
+namespace {
+
+void WriteConfig(std::ostream& os,
+                 const std::vector<StateRegistry::FieldInfo>& fields,
+                 bool with_protection) {
+  struct Bits {
+    std::uint64_t latch = 0, ram = 0, background = 0;
+  };
+  Bits cats[kNumStateCats];
+  Bits total;
+  std::uint64_t words = 0;
+  for (const auto& f : fields) {
+    Bits& b = cats[static_cast<int>(f.cat)];
+    words += f.count;
+    switch (f.storage) {
+      case Storage::kLatch: b.latch += f.bits(); total.latch += f.bits(); break;
+      case Storage::kRam: b.ram += f.bits(); total.ram += f.bits(); break;
+      case Storage::kBackground:
+        b.background += f.bits();
+        total.background += f.bits();
+        break;
+    }
+  }
+  os << "    \"categories\": {\n";
+  bool first = true;
+  for (int c = 0; c < kNumStateCats; ++c) {
+    const Bits& b = cats[c];
+    if (b.latch + b.ram + b.background == 0) continue;
+    if (!first) os << ",\n";
+    first = false;
+    os << "      \"" << StateCatName(static_cast<StateCat>(c))
+       << "\": {\"latch\": " << b.latch << ", \"ram\": " << b.ram
+       << ", \"background\": " << b.background << "}";
+  }
+  os << "\n    },\n";
+  os << "    \"totals\": {\"latch\": " << total.latch << ", \"ram\": "
+     << total.ram << ", \"background\": " << total.background
+     << ", \"injectable\": " << total.latch + total.ram
+     << ", \"fields\": " << fields.size() << ", \"words\": " << words
+     << "}";
+  if (!with_protection) {
+    os << "\n";
+    return;
+  }
+  os << ",\n    \"protection\": {\n";
+  const auto coverage = ComputeProtectionCoverage(fields);
+  for (std::size_t i = 0; i < coverage.size(); ++i) {
+    const MechanismCoverage& m = coverage[i];
+    os << "      \"" << m.mechanism << "\": {\"covered\": " << m.covered_bits
+       << ", \"uncovered\": " << m.uncovered_bits
+       << ", \"check_bits\": " << m.check_bits << ", \"uncovered_fields\": [";
+    for (std::size_t u = 0; u < m.uncovered_fields.size(); ++u)
+      os << (u ? ", " : "") << "\"" << m.uncovered_fields[u] << "\"";
+    os << "]}" << (i + 1 < coverage.size() ? "," : "") << "\n";
+  }
+  os << "    }\n";
+}
+
+}  // namespace
+
+std::string BuildInventoryJson(
+    const std::vector<StateRegistry::FieldInfo>& base_fields,
+    const std::vector<StateRegistry::FieldInfo>& protected_fields) {
+  std::ostringstream os;
+  os << "{\n  \"schema\": 1,\n  \"base\": {\n";
+  WriteConfig(os, base_fields, /*with_protection=*/false);
+  os << "  },\n  \"protected\": {\n";
+  WriteConfig(os, protected_fields, /*with_protection=*/true);
+  os << "  }\n}\n";
+  return os.str();
+}
+
+std::string BuildInventoryJsonFromCores() {
+  CoreConfig base;
+  CoreConfig prot;
+  prot.protect = ProtectionConfig::All();
+  const Program empty;
+  const Core base_core(base, empty);
+  const Core prot_core(prot, empty);
+  return BuildInventoryJson(base_core.registry().Fields(),
+                            prot_core.registry().Fields());
+}
+
+bool CheckInventoryBaseline(const std::string& generated,
+                            const std::string& baseline,
+                            std::string* message) {
+  if (generated == baseline) return true;
+  if (message) {
+    std::size_t i = 0;
+    int line = 1;
+    while (i < generated.size() && i < baseline.size() &&
+           generated[i] == baseline[i]) {
+      if (generated[i] == '\n') ++line;
+      ++i;
+    }
+    auto context = [i](const std::string& s) {
+      const std::size_t b = s.rfind('\n', i == 0 ? 0 : i - 1);
+      const std::size_t e = s.find('\n', i);
+      return s.substr(b == std::string::npos ? 0 : b + 1,
+                      (e == std::string::npos ? s.size() : e) -
+                          (b == std::string::npos ? 0 : b + 1));
+    };
+    *message = "inventory differs from baseline at line " +
+               std::to_string(line) + ":\n  baseline:  " + context(baseline) +
+               "\n  generated: " + context(generated) +
+               "\nif the surface change is deliberate, regenerate with "
+               "`tfi inventory --write-baseline`";
+  }
+  return false;
+}
+
+}  // namespace tfsim::analyze

@@ -1,0 +1,53 @@
+// Runtime injection-surface audit: the repo's Table-1 analogue.
+//
+// Walks the live StateRegistry of a constructed core and produces a
+// canonical JSON accounting of the surface — per-category latch/RAM/
+// background bit counts for the base and fully-protected configurations,
+// plus a map of which registered bits each Section-4 protection mechanism
+// covers (and, just as importantly, which eligible bits it does NOT).
+//
+// The JSON is deterministic byte-for-byte, so it can be pinned as
+// tools/inventory_baseline.json: any PR that changes the injection surface
+// fails the `inventory_audit` ctest until the baseline is consciously
+// regenerated (`tfi inventory --write-baseline`), making surface changes
+// reviewable events instead of silent drift.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "state/state_registry.h"
+
+namespace tfsim::analyze {
+
+// Coverage of one protection mechanism over the registered bit space.
+struct MechanismCoverage {
+  std::string mechanism;
+  std::uint64_t covered_bits = 0;    // data bits the mechanism protects
+  std::uint64_t uncovered_bits = 0;  // eligible bits it does NOT reach
+  std::uint64_t check_bits = 0;      // added ecc/parity storage
+  std::vector<std::string> uncovered_fields;  // names behind uncovered_bits
+};
+
+// Computes coverage from a fully-protected registry's field list.
+std::vector<MechanismCoverage> ComputeProtectionCoverage(
+    const std::vector<StateRegistry::FieldInfo>& fields);
+
+// Builds the canonical inventory JSON from the two registries' field lists
+// (base configuration and ProtectionConfig::All + timeout counter).
+std::string BuildInventoryJson(
+    const std::vector<StateRegistry::FieldInfo>& base_fields,
+    const std::vector<StateRegistry::FieldInfo>& protected_fields);
+
+// Convenience: constructs the two cores (empty program — the registry
+// layout depends only on the configuration) and renders the JSON.
+std::string BuildInventoryJsonFromCores();
+
+// Byte-for-byte baseline comparison. Returns true on match; otherwise
+// `message` carries a first-difference diagnostic.
+bool CheckInventoryBaseline(const std::string& generated,
+                            const std::string& baseline,
+                            std::string* message);
+
+}  // namespace tfsim::analyze

@@ -1,0 +1,261 @@
+#include "analyze/statelint.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace tfsim::analyze {
+namespace {
+
+// True when the class takes part in the injection surface: it allocates
+// registry state (or holds StateField handles). Only such classes are held
+// to the every-member-is-registered standard.
+bool Participates(const CppClass& c) {
+  if (c.registry_ctor) return true;
+  return std::any_of(c.members.begin(), c.members.end(),
+                     [](const CppMember& m) { return m.is_state_field; });
+}
+
+// True when `type` names another participating class (possibly qualified):
+// component members (Core holds a Rob, a Scheduler...) are audited through
+// their own class, not as hidden state of the owner.
+bool IsComponentType(const CppModel& model, const std::string& type) {
+  for (const CppClass& c : model.classes) {
+    if (!Participates(c)) continue;
+    const std::size_t cut = c.name.find_last_of(':');
+    const std::string short_name =
+        cut == std::string::npos ? c.name : c.name.substr(cut + 1);
+    if (type == c.name || type == short_name) return true;
+  }
+  return false;
+}
+
+std::string ShortClassName(const std::string& name) {
+  const std::size_t cut = name.find_last_of(':');
+  return cut == std::string::npos ? name : name.substr(cut + 1);
+}
+
+bool Consume(std::vector<AllowEntry>& allow, const std::string& key) {
+  bool found = false;
+  for (AllowEntry& e : allow)
+    if (e.key == key) e.used = found = true;
+  return found;
+}
+
+std::string Basename(const std::string& path) {
+  const std::size_t cut = path.find_last_of('/');
+  return cut == std::string::npos ? path : path.substr(cut + 1);
+}
+
+// Pairs a live registry field with the static Allocate call that produced
+// it: same source file, compatible registered name (exact or prefix+suffix),
+// and the call starting within a few lines of the field's allocation-site
+// tag (std::source_location reports the END of a multi-line call; the
+// extractor records the line of the `Allocate` token).
+bool SiteMatches(const CppAllocation& a, const StateRegistry::FieldInfo& f) {
+  if (!a.MatchesFieldName(f.name)) return false;
+  if (!f.site_file || Basename(f.site_file) != Basename(a.file)) return false;
+  const int site = static_cast<int>(f.site_line);
+  return a.line <= site && site - a.line <= 10;
+}
+
+}  // namespace
+
+const char* FindingKindName(FindingKind k) {
+  switch (k) {
+    case FindingKind::kHiddenState: return "hidden-state";
+    case FindingKind::kStaleRegistration: return "stale-registration";
+    case FindingKind::kCatStorageMismatch: return "cat-storage-mismatch";
+    case FindingKind::kUnusedAllowlist: return "unused-allowlist";
+    case FindingKind::kParseGap: return "parse-gap";
+  }
+  return "?";
+}
+
+std::string Finding::Format() const {
+  std::ostringstream os;
+  os << file << ":" << line << ": [" << FindingKindName(kind) << "] " << where
+     << ": " << detail;
+  return os.str();
+}
+
+bool ParseAllowlist(const std::string& text, std::vector<AllowEntry>* out,
+                    std::string* error) {
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const std::size_t b = line.find_first_not_of(" \t");
+    if (b == std::string::npos) continue;
+    const std::size_t e = line.find_last_not_of(" \t");
+    line = line.substr(b, e - b + 1);
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      if (error)
+        *error = "allowlist line " + std::to_string(lineno) +
+                 ": expected `Class.member: justification`";
+      return false;
+    }
+    AllowEntry entry;
+    entry.key = line.substr(0, colon);
+    while (!entry.key.empty() && entry.key.back() == ' ') entry.key.pop_back();
+    const std::size_t wb = line.find_first_not_of(" \t", colon + 1);
+    entry.why = wb == std::string::npos ? "" : line.substr(wb);
+    entry.line = lineno;
+    if (entry.key.empty() || entry.why.empty()) {
+      if (error)
+        *error = "allowlist line " + std::to_string(lineno) +
+                 ": every exception needs a non-empty key and a one-line "
+                 "justification";
+      return false;
+    }
+    out->push_back(std::move(entry));
+  }
+  return true;
+}
+
+std::vector<Finding> RunStateLint(const CppModel& model,
+                                  std::vector<AllowEntry>& allow,
+                                  const LintOptions& opt) {
+  std::vector<Finding> findings;
+  auto report = [&](FindingKind kind, std::string where, std::string file,
+                    int line, std::string detail) {
+    findings.push_back(
+        {kind, std::move(where), std::move(file), line, std::move(detail)});
+  };
+
+  // --- hidden state --------------------------------------------------------
+  for (const CppClass& cls : model.classes) {
+    if (!Participates(cls)) continue;
+    const std::string short_name = ShortClassName(cls.name);
+    for (const CppMember& m : cls.members) {
+      const std::string key = short_name + "." + m.name;
+      if (m.is_state_field) {
+        // A StateField member must be backed by at least one Allocate call
+        // (conditionally-compiled or config-gated allocations still appear
+        // statically, which is all that matters here).
+        const bool backed = std::any_of(
+            model.allocations.begin(), model.allocations.end(),
+            [&](const CppAllocation& a) {
+              return a.member == m.name &&
+                     (a.class_name == cls.name ||
+                      ShortClassName(a.class_name) == short_name);
+            });
+        if (!backed && !Consume(allow, key))
+          report(FindingKind::kHiddenState, key, cls.file, m.line,
+                 "StateField member has no StateRegistry::Allocate call "
+                 "backing it — the handle is never registered");
+        continue;
+      }
+      if (!m.MutableNonField()) continue;
+      if (IsComponentType(model, m.type)) continue;  // audited via its class
+      if (Consume(allow, key)) continue;
+      report(FindingKind::kHiddenState, key, cls.file, m.line,
+             "mutable member (type `" + m.type +
+                 "`) is not backed by a StateField — state here escapes "
+                 "the injection surface; register it or allowlist it with "
+                 "a justification");
+    }
+  }
+
+  // --- stale registration --------------------------------------------------
+  // Count identifier occurrences of each allocated member beyond its
+  // declaration(s) and allocation statement(s); zero means the field is
+  // write-only dead weight in the bit space.
+  for (const CppAllocation& a : model.allocations) {
+    if (a.member.empty()) continue;
+    int occurrences = 0;
+    for (const CppFile& f : model.files)
+      occurrences += CountIdentifier(f.blanked, a.member);
+    int expected = 0;  // declarations + allocation assignments of this name
+    for (const CppClass& c : model.classes)
+      for (const CppMember& m : c.members)
+        if (m.name == a.member) ++expected;
+    for (const CppAllocation& other : model.allocations)
+      if (other.member == a.member) ++expected;
+    if (occurrences > expected) continue;
+    const std::string key = ShortClassName(a.class_name) + "." + a.member;
+    if (Consume(allow, key)) continue;
+    report(FindingKind::kStaleRegistration, key, a.file, a.line,
+           "field `" + a.reg_name +
+               "` is allocated but its member is never read back — "
+               "injections into it can never alter behaviour");
+  }
+
+  // --- category/storage mismatches ----------------------------------------
+  // Prefer exact shapes from the live registry (matched by registered
+  // name); fall back to literal count/width when running purely statically.
+  for (const CppAllocation& a : model.allocations) {
+    // Shapes to check: every live field produced by this call (a class
+    // instantiated N times yields N fields per call), or the literal
+    // count/width when running purely statically.
+    std::vector<std::pair<long long, long long>> shapes;
+    if (opt.runtime_fields) {
+      for (const auto& f : *opt.runtime_fields)
+        if (SiteMatches(a, f))
+          shapes.emplace_back(static_cast<long long>(f.count), f.width);
+    }
+    if (shapes.empty() && a.count_value >= 0 && a.width_value >= 0)
+      shapes.emplace_back(a.count_value, a.width_value);
+    const std::string key = ShortClassName(a.class_name) + "." +
+                            (a.member.empty() ? a.reg_name : a.member);
+    for (const auto& [count, width] : shapes) {
+      const long long bits = count * width;
+      if (a.storage == "kLatch" &&
+          count >= static_cast<long long>(opt.latch_count_limit) &&
+          bits >= static_cast<long long>(opt.latch_bits_limit) &&
+          !Consume(allow, key)) {
+        report(FindingKind::kCatStorageMismatch, key, a.file, a.line,
+               "`" + a.reg_name + "` registers " + std::to_string(count) +
+                   " x " + std::to_string(width) +
+                   "b as kLatch — a RAM-sized array misfiled as latch state "
+                   "skews the paper's latch-only campaigns");
+        break;
+      }
+      if (a.storage == "kRam" && count == 1 && !Consume(allow, key)) {
+        report(FindingKind::kCatStorageMismatch, key, a.file, a.line,
+               "`" + a.reg_name +
+                   "` registers a single element as kRam — a lone latch "
+                   "misfiled as RAM escapes latch-only campaigns");
+        break;
+      }
+      if (a.cat == "kParity" && width != 1 && !Consume(allow, key)) {
+        report(FindingKind::kCatStorageMismatch, key, a.file, a.line,
+               "`" + a.reg_name + "` registers " + std::to_string(width) +
+                   "-bit elements as kParity — parity check bits are 1-bit "
+                   "by construction");
+        break;
+      }
+    }
+  }
+
+  // --- parse gaps (live registry cross-check) ------------------------------
+  if (opt.runtime_fields) {
+    for (const auto& f : *opt.runtime_fields) {
+      const bool matched = std::any_of(
+          model.allocations.begin(), model.allocations.end(),
+          [&](const CppAllocation& a) { return SiteMatches(a, f); });
+      if (matched || Consume(allow, f.name)) continue;
+      report(FindingKind::kParseGap, f.name,
+             f.site_file ? f.site_file : "", static_cast<int>(f.site_line),
+             "live registry field has no statically-extracted Allocate "
+             "call — the extractor cannot see this allocation site, so "
+             "hidden state could hide beside it");
+    }
+  }
+
+  // --- unused allowlist entries --------------------------------------------
+  for (const AllowEntry& e : allow) {
+    if (e.used) continue;
+    report(FindingKind::kUnusedAllowlist, e.key, "statelint_allow.txt",
+           e.line,
+           "allowlist exception matched no member or field — remove it "
+           "(stale exceptions erode the audit)");
+  }
+
+  return findings;
+}
+
+}  // namespace tfsim::analyze

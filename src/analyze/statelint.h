@@ -1,0 +1,91 @@
+// statelint: static verification of the injection surface.
+//
+// The paper's methodology stands on the model being latch-accurate: every
+// bit of pipeline state is enumerable (Table 1) and uniformly samplable.
+// A mutable data member added to a src/uarch/ pipeline class WITHOUT a
+// backing StateRegistry field is a hole in that surface — campaigns would
+// silently never inject it, biasing every figure. statelint makes the
+// completeness a machine-checked invariant by cross-referencing the
+// extracted C++ model (analyze/cpp_model.h) against the Allocate calls
+// backing it, optionally tightened with the live registry of a constructed
+// core (count/width values and extractor-gap detection).
+//
+// Finding classes:
+//   * hidden-state        — a mutable member of a registry-backed class with
+//                           no StateField backing and no allowlist entry
+//                           (also: a StateField member never Allocate-d).
+//   * stale-registration  — an Allocate whose field is never read back
+//                           anywhere on the cycle path (write-only state
+//                           cannot affect behaviour, so injections into it
+//                           are silently dead).
+//   * cat-storage-mismatch— a field whose registered Table-1 classification
+//                           contradicts its shape (RAM-sized array as
+//                           kLatch, single element as kRam, multi-bit
+//                           kParity).
+//   * unused-allowlist    — an allowlist exception no finding needed (the
+//                           audit trail must not rot).
+//   * parse-gap           — a live registry field the extractor could not
+//                           attribute to any Allocate call (an extractor
+//                           blind spot; surfaced so it cannot hide state).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analyze/cpp_model.h"
+#include "state/state_registry.h"
+
+namespace tfsim::analyze {
+
+enum class FindingKind {
+  kHiddenState,
+  kStaleRegistration,
+  kCatStorageMismatch,
+  kUnusedAllowlist,
+  kParseGap,
+};
+
+const char* FindingKindName(FindingKind k);
+
+struct Finding {
+  FindingKind kind = FindingKind::kHiddenState;
+  std::string where;   // "Class.member" or registered field name
+  std::string file;    // declaration / allocation site
+  int line = 0;
+  std::string detail;  // human-readable explanation
+
+  std::string Format() const;
+};
+
+// One audited exception: `Class.member: one-line justification`.
+struct AllowEntry {
+  std::string key;
+  std::string why;
+  int line = 0;
+  bool used = false;
+};
+
+// Parses the allowlist text. Entries without a justification are reported
+// through `error` (and the parse fails): an unexplained exception is exactly
+// the hidden-state problem the lint exists to prevent.
+bool ParseAllowlist(const std::string& text, std::vector<AllowEntry>* out,
+                    std::string* error);
+
+struct LintOptions {
+  // Live registry fields from a constructed core (all protection mechanisms
+  // on, so conditionally-allocated fields are present). Enables exact
+  // count/width values for the mismatch checks and the parse-gap
+  // cross-check. Null for purely static runs (extractor tests).
+  const std::vector<StateRegistry::FieldInfo>* runtime_fields = nullptr;
+  // Shape thresholds for "RAM-sized array registered as kLatch".
+  std::size_t latch_count_limit = 32;
+  std::uint64_t latch_bits_limit = 1024;
+};
+
+// Runs every check over the extracted model. Allowlist entries consumed by a
+// suppressed finding are marked used; unused entries become findings.
+std::vector<Finding> RunStateLint(const CppModel& model,
+                                  std::vector<AllowEntry>& allow,
+                                  const LintOptions& opt);
+
+}  // namespace tfsim::analyze

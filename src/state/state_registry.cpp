@@ -42,7 +42,8 @@ const char* StateCatName(StateCat cat) {
 
 StateField StateRegistry::Allocate(std::string name, StateCat cat,
                                    Storage storage, std::size_t count,
-                                   std::uint8_t width) {
+                                   std::uint8_t width,
+                                   std::source_location site) {
   if (width == 0 || width > 64)
     throw std::invalid_argument("field width must be 1..64");
   Field f;
@@ -53,6 +54,8 @@ StateField StateRegistry::Allocate(std::string name, StateCat cat,
   f.count = count;
   f.width = width;
   f.mask = width == 64 ? ~0ULL : ((1ULL << width) - 1);
+  f.site_file = site.file_name();
+  f.site_line = site.line();
   words_.resize(words_.size() + count, 0);
   word_cat_.resize(words_.size(), static_cast<std::uint8_t>(cat));
   fields_.push_back(f);
@@ -62,6 +65,8 @@ StateField StateRegistry::Allocate(std::string name, StateCat cat,
   h.offset_ = f.offset;
   h.count_ = count;
   h.width_ = width;
+  h.cat_ = cat;
+  h.storage_ = storage;
   h.mask_ = f.mask;
   return h;
 }
@@ -166,9 +171,15 @@ StateRegistry::CategoryBits StateRegistry::TotalInjectable() const {
 std::vector<StateRegistry::FieldInfo> StateRegistry::Fields() const {
   std::vector<FieldInfo> out;
   out.reserve(fields_.size());
-  for (const Field& f : fields_)
-    out.push_back({f.name, f.cat, f.storage, f.count, f.width});
+  for (std::size_t i = 0; i < fields_.size(); ++i)
+    out.push_back(FieldInfoAt(i));
   return out;
+}
+
+StateRegistry::FieldInfo StateRegistry::FieldInfoAt(std::size_t i) const {
+  const Field& f = fields_.at(i);
+  return {f.name, f.cat,       f.storage,   f.count,
+          f.width, f.site_file, f.site_line};
 }
 
 }  // namespace tfsim

@@ -25,6 +25,7 @@
 
 #include <array>
 #include <cstdint>
+#include <source_location>
 #include <string>
 #include <vector>
 
@@ -81,6 +82,12 @@ class StateField {
   std::size_t count() const { return count_; }
   std::uint8_t width() const { return width_; }
   std::uint64_t mask() const { return mask_; }
+  // Table-1 classification of the backing field (introspection for audits;
+  // a default-constructed, unallocated handle reads as ctrl/latch).
+  StateCat cat() const { return cat_; }
+  Storage storage() const { return storage_; }
+  // True once the handle is backed by a registry allocation.
+  bool allocated() const { return reg_ != nullptr; }
   // Word index of element 0 in StateRegistry::WordsData() — lets bulk readers
   // (the per-cycle invariant checker) index one flat array instead of paying
   // Get()'s registry indirection on every probe.
@@ -92,6 +99,8 @@ class StateField {
   std::size_t offset_ = 0;  // first word index in the registry store
   std::size_t count_ = 0;
   std::uint8_t width_ = 0;
+  StateCat cat_ = StateCat::kCtrl;
+  Storage storage_ = Storage::kLatch;
   std::uint64_t mask_ = 0;
 };
 
@@ -115,9 +124,14 @@ class StateRegistry {
 
   // Allocates `count` elements of `width` bits. Fields allocated in the same
   // order across two registry instances occupy identical word offsets — the
-  // property that makes golden/faulty hash comparison meaningful.
+  // property that makes golden/faulty hash comparison meaningful. The call
+  // site is recorded on the field (FieldInfo::site_file/site_line) so audits
+  // like `tools/statelint` can map every registered bit back to the source
+  // line that declared it.
   StateField Allocate(std::string name, StateCat cat, Storage storage,
-                      std::size_t count, std::uint8_t width);
+                      std::size_t count, std::uint8_t width,
+                      std::source_location site =
+                          std::source_location::current());
 
   // Incremental content hash over every registered word (background
   // included). O(1) to read.
@@ -172,8 +186,14 @@ class StateRegistry {
     Storage storage = Storage::kLatch;
     std::size_t count = 0;
     std::uint8_t width = 0;
+    // Allocation site (the Allocate() call that created the field).
+    const char* site_file = "";
+    std::uint32_t site_line = 0;
+    std::uint64_t bits() const { return count * width; }
   };
   std::vector<FieldInfo> Fields() const;
+  std::size_t FieldCount() const { return fields_.size(); }
+  FieldInfo FieldInfoAt(std::size_t i) const;
 
   std::size_t WordCount() const { return words_.size(); }
 
@@ -193,6 +213,8 @@ class StateRegistry {
     std::size_t count;
     std::uint8_t width;
     std::uint64_t mask;
+    const char* site_file;  // source_location storage is static-duration
+    std::uint32_t site_line;
     std::uint64_t bits() const { return count * width; }
   };
 

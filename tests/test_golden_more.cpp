@@ -79,7 +79,9 @@ TEST(GoldenMore, CountToCycleMapsFirstOccurrence) {
   for (const auto& [count, cycle] : tl.count_to_cycle) {
     ASSERT_LT(cycle, tl.retired_total.size());
     EXPECT_EQ(tl.retired_total[cycle], count);
-    if (cycle > 0) EXPECT_LT(tl.retired_total[cycle - 1], count + 1);
+    if (cycle > 0) {
+      EXPECT_LT(tl.retired_total[cycle - 1], count + 1);
+    }
   }
 }
 

@@ -263,8 +263,9 @@ TEST_F(PropTraceTest, TraceAgreesWithRecordAndOrdersCycles) {
       EXPECT_GE(trace.arch_divergence_cycle, 0);
       ++failures_seen;
     }
-    if (rec.mode == FailureMode::kLocked)
+    if (rec.mode == FailureMode::kLocked) {
       EXPECT_EQ(trace.arch_divergence_cycle, -1);
+    }
   }
   // The seed above produces failing trials; if this ever regresses to zero
   // the assertions above were vacuous.

@@ -1,0 +1,351 @@
+// Adversarial fixtures for the statelint extractor (src/analyze/cpp_model)
+// and the lint checks themselves (src/analyze/statelint): comma-declared
+// members, nested structs, StateField arrays, conditionally-compiled
+// members, ctor-init-list brace initializers, prefix-string registered
+// names, and — the acceptance case — a seeded hidden member that MUST be
+// flagged.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analyze/cpp_model.h"
+#include "analyze/statelint.h"
+
+namespace tfsim::analyze {
+namespace {
+
+CppModel ParseText(const std::string& text) {
+  CppModel model;
+  ParseCppSource("fixture.cpp", text, &model);
+  return model;
+}
+
+std::vector<Finding> Lint(CppModel& model,
+                          const std::string& allow_text = "") {
+  std::vector<AllowEntry> allow;
+  std::string error;
+  EXPECT_TRUE(ParseAllowlist(allow_text, &allow, &error)) << error;
+  LintOptions opt;
+  return RunStateLint(model, allow, opt);
+}
+
+int CountKind(const std::vector<Finding>& fs, FindingKind k) {
+  int n = 0;
+  for (const auto& f : fs) n += f.kind == k ? 1 : 0;
+  return n;
+}
+
+// --- extractor: members -----------------------------------------------------
+
+TEST(CppModelTest, CommaDeclaratorsYieldOneMemberEach) {
+  const CppModel m = ParseText(R"(
+    namespace tfsim {
+    class Widget {
+     public:
+      Widget(StateRegistry& reg);
+     private:
+      std::uint64_t head_, tail_, count_;
+      StateField a_, b_;
+      int x_ = 1, y_ = 2;
+    };
+    }
+  )");
+  const CppClass* c = m.FindClass("Widget");
+  ASSERT_NE(c, nullptr);
+  EXPECT_TRUE(c->registry_ctor);
+  ASSERT_EQ(c->members.size(), 7u);
+  for (const char* n : {"head_", "tail_", "count_", "x_", "y_"}) {
+    const CppMember* mem = c->FindMember(n);
+    ASSERT_NE(mem, nullptr) << n;
+    EXPECT_FALSE(mem->is_state_field) << n;
+    EXPECT_TRUE(mem->MutableNonField()) << n;
+  }
+  for (const char* n : {"a_", "b_"}) {
+    const CppMember* mem = c->FindMember(n);
+    ASSERT_NE(mem, nullptr) << n;
+    EXPECT_TRUE(mem->is_state_field) << n;
+  }
+}
+
+TEST(CppModelTest, NestedStructDeclaratorBecomesEnclosingMember) {
+  const CppModel m = ParseText(R"(
+    class Outer {
+      struct Entry {
+        std::uint64_t addr;
+        bool valid;
+      } entries_;
+      StateField data_;
+    };
+  )");
+  const CppClass* outer = m.FindClass("Outer");
+  ASSERT_NE(outer, nullptr);
+  const CppMember* entries = outer->FindMember("entries_");
+  ASSERT_NE(entries, nullptr);
+  EXPECT_EQ(entries->type, "Entry");
+  const CppClass* nested = m.FindClass("Outer::Entry");
+  ASSERT_NE(nested, nullptr);
+  EXPECT_NE(nested->FindMember("addr"), nullptr);
+  EXPECT_NE(nested->FindMember("valid"), nullptr);
+}
+
+TEST(CppModelTest, StateFieldArraysAndArraySuffixes) {
+  const CppModel m = ParseText(R"(
+    class Banks {
+      StateField lanes_[4];
+      std::uint8_t scratch_[16];
+      static constexpr int kWays = 4;
+      const int ways_ = 4;
+    };
+  )");
+  const CppClass* c = m.FindClass("Banks");
+  ASSERT_NE(c, nullptr);
+  const CppMember* lanes = c->FindMember("lanes_");
+  ASSERT_NE(lanes, nullptr);
+  EXPECT_TRUE(lanes->is_state_field);
+  EXPECT_EQ(lanes->array_suffix, "[4]");
+  const CppMember* scratch = c->FindMember("scratch_");
+  ASSERT_NE(scratch, nullptr);
+  EXPECT_TRUE(scratch->MutableNonField());
+  const CppMember* kways = c->FindMember("kWays");
+  ASSERT_NE(kways, nullptr);
+  EXPECT_FALSE(kways->MutableNonField());  // static constexpr
+  const CppMember* ways = c->FindMember("ways_");
+  ASSERT_NE(ways, nullptr);
+  EXPECT_FALSE(ways->MutableNonField());  // const
+}
+
+TEST(CppModelTest, ConditionallyCompiledMembersAreAlwaysSeen) {
+  // A member under #ifdef exists in SOME build; the lint must see every
+  // branch (both the #if and #else arms).
+  const CppModel m = ParseText(R"(
+    class Gated {
+      StateField always_;
+    #ifdef TFI_EXTRA_STATE
+      std::uint64_t extra_;
+    #else
+      std::uint64_t fallback_;
+    #endif
+    };
+  )");
+  const CppClass* c = m.FindClass("Gated");
+  ASSERT_NE(c, nullptr);
+  EXPECT_NE(c->FindMember("extra_"), nullptr);
+  EXPECT_NE(c->FindMember("fallback_"), nullptr);
+}
+
+TEST(CppModelTest, ConstPointerMemberIsStillMutableState) {
+  const CppModel m = ParseText(R"(
+    class Holder {
+      const Sink* sink_ = nullptr;
+      StateField f_;
+    };
+  )");
+  const CppMember* sink = m.FindClass("Holder")->FindMember("sink_");
+  ASSERT_NE(sink, nullptr);
+  EXPECT_TRUE(sink->MutableNonField());  // const binds to the pointee
+}
+
+// --- extractor: allocations -------------------------------------------------
+
+TEST(CppModelTest, AllocationAttributionAndAliasResolution) {
+  const CppModel m = ParseText(R"(
+    namespace tfsim {
+    Widget::Widget(StateRegistry& reg, const Config& cfg)
+        : head_{0}, tail_(0) {
+      const auto latch = Storage::kLatch;
+      head_f_ = reg.Allocate("w.head", StateCat::kQctrl, latch, 1, 4);
+      data_ = reg.Allocate("w.data", StateCat::kData, Storage::kRam,
+                           entries_, 64);
+    }
+    }
+  )");
+  ASSERT_EQ(m.allocations.size(), 2u);
+  const CppAllocation& a0 = m.allocations[0];
+  EXPECT_EQ(a0.class_name, "Widget");
+  EXPECT_EQ(a0.member, "head_f_");
+  EXPECT_EQ(a0.reg_name, "w.head");
+  EXPECT_EQ(a0.cat, "kQctrl");
+  EXPECT_EQ(a0.storage, "kLatch");  // resolved through the local alias
+  EXPECT_EQ(a0.count_value, 1);
+  EXPECT_EQ(a0.width_value, 4);
+  const CppAllocation& a1 = m.allocations[1];
+  EXPECT_EQ(a1.member, "data_");
+  EXPECT_EQ(a1.storage, "kRam");
+  EXPECT_EQ(a1.count_expr, "entries_");
+  EXPECT_EQ(a1.count_value, -1);  // non-literal count
+}
+
+TEST(CppModelTest, PrefixStringNamesAreSuffixMatches) {
+  const CppModel m = ParseText(R"(
+    Bank::Bank(StateRegistry& reg, const std::string& p) {
+      valid_ = reg.Allocate(p + ".valid", StateCat::kValid, Storage::kLatch,
+                            8, 1);
+    }
+  )");
+  ASSERT_EQ(m.allocations.size(), 1u);
+  const CppAllocation& a = m.allocations[0];
+  EXPECT_EQ(a.reg_name, ".valid");
+  EXPECT_TRUE(a.name_is_suffix);
+  EXPECT_TRUE(a.MatchesFieldName("d1.valid"));
+  EXPECT_TRUE(a.MatchesFieldName("d2.valid"));
+  EXPECT_FALSE(a.MatchesFieldName("d1.invalid2"));
+  EXPECT_FALSE(a.MatchesFieldName(".valid"));  // a bare suffix is no field
+}
+
+TEST(CppModelTest, ArrayElementAssignmentAttributesToMember) {
+  const CppModel m = ParseText(R"(
+    Bank::Bank(StateRegistry& reg) {
+      for (int i = 0; i < 4; ++i)
+        lanes_[i] = reg.Allocate("bank.lane", StateCat::kData,
+                                 Storage::kLatch, 1, 64);
+    }
+  )");
+  ASSERT_EQ(m.allocations.size(), 1u);
+  EXPECT_EQ(m.allocations[0].member, "lanes_");
+}
+
+TEST(CppModelTest, IdentifierCountsIgnoreStringsAndSubwords) {
+  CppModel m;
+  ParseCppSource("f.cpp", R"(
+    int head = 0;
+    use(head);
+    str = "head of queue";  // inside a literal: must not count
+    int head_count = head;  // subword on the lhs: must not count
+  )", &m);
+  EXPECT_EQ(CountIdentifier(m.files[0].blanked, "head"), 3);
+}
+
+// --- lint: finding classes --------------------------------------------------
+
+// The acceptance-criteria case: seed a hidden mutable member into an
+// otherwise fully-registered class and require the lint to flag exactly it.
+TEST(StateLintTest, SeededHiddenMemberIsFlagged) {
+  CppModel m = ParseText(R"(
+    class Sneaky {
+     public:
+      Sneaky(StateRegistry& reg) {
+        valid_ = reg.Allocate("sneaky.valid", StateCat::kValid,
+                              Storage::kLatch, 1, 1);
+      }
+     private:
+      StateField valid_;
+      std::uint64_t shadow_pc_;  // hidden state: never registered
+    };
+  )");
+  const std::vector<Finding> fs = Lint(m);
+  ASSERT_EQ(CountKind(fs, FindingKind::kHiddenState), 1);
+  const Finding* hidden = nullptr;
+  for (const auto& f : fs)
+    if (f.kind == FindingKind::kHiddenState) hidden = &f;
+  ASSERT_NE(hidden, nullptr);
+  EXPECT_EQ(hidden->where, "Sneaky.shadow_pc_");
+}
+
+TEST(StateLintTest, AllowlistSuppressesAndUnusedEntriesAreFlagged) {
+  CppModel m = ParseText(R"(
+    class Sneaky {
+      Sneaky(StateRegistry& reg);
+      StateField valid_;
+      std::uint64_t shadow_pc_;
+    };
+    Sneaky::Sneaky(StateRegistry& reg) {
+      valid_ = reg.Allocate("s.valid", StateCat::kValid, Storage::kLatch,
+                            1, 1);
+    }
+  )");
+  const std::vector<Finding> fs =
+      Lint(m,
+           "Sneaky.shadow_pc_: test fixture justification\n"
+           "Sneaky.ghost_: entry that matches nothing\n");
+  EXPECT_EQ(CountKind(fs, FindingKind::kHiddenState), 0);
+  ASSERT_EQ(CountKind(fs, FindingKind::kUnusedAllowlist), 1);
+}
+
+TEST(StateLintTest, AllowlistRequiresJustification) {
+  std::vector<AllowEntry> allow;
+  std::string error;
+  EXPECT_FALSE(ParseAllowlist("Sneaky.shadow_pc_:\n", &allow, &error));
+  EXPECT_NE(error.find("justification"), std::string::npos);
+  EXPECT_FALSE(ParseAllowlist("just a bare line\n", &allow, &error));
+}
+
+TEST(StateLintTest, UnbackedStateFieldMemberIsFlagged) {
+  CppModel m = ParseText(R"(
+    class Half {
+      Half(StateRegistry& reg);
+      StateField registered_;
+      StateField orphan_;
+    };
+    Half::Half(StateRegistry& reg) {
+      registered_ = reg.Allocate("h.reg", StateCat::kCtrl, Storage::kLatch,
+                                 1, 1);
+    }
+  )");
+  const std::vector<Finding> fs = Lint(m);
+  ASSERT_EQ(CountKind(fs, FindingKind::kHiddenState), 1);
+  EXPECT_EQ(fs[0].where, "Half.orphan_");
+}
+
+TEST(StateLintTest, StaleRegistrationIsFlagged) {
+  // `dead_` is allocated but never read back anywhere; `live_` is used.
+  CppModel m = ParseText(R"(
+    class Q {
+      Q(StateRegistry& reg);
+      std::uint64_t Peek() const;
+      StateField live_;
+      StateField dead_;
+    };
+    Q::Q(StateRegistry& reg) {
+      live_ = reg.Allocate("q.live", StateCat::kCtrl, Storage::kLatch, 1, 8);
+      dead_ = reg.Allocate("q.dead", StateCat::kCtrl, Storage::kLatch, 1, 8);
+    }
+    std::uint64_t Q::Peek() const { return read(live_); }
+  )");
+  const std::vector<Finding> fs = Lint(m);
+  ASSERT_EQ(CountKind(fs, FindingKind::kStaleRegistration), 1);
+  const Finding* stale = nullptr;
+  for (const auto& f : fs)
+    if (f.kind == FindingKind::kStaleRegistration) stale = &f;
+  EXPECT_EQ(stale->where, "Q.dead_");
+}
+
+TEST(StateLintTest, CatStorageMismatchesAreFlagged) {
+  CppModel m = ParseText(R"(
+    class Shapes {
+      Shapes(StateRegistry& reg);
+      std::uint64_t Use() const;
+      StateField big_latch_;
+      StateField lone_ram_;
+      StateField fat_parity_;
+    };
+    Shapes::Shapes(StateRegistry& reg) {
+      big_latch_ = reg.Allocate("s.big", StateCat::kData, Storage::kLatch,
+                                512, 64);
+      lone_ram_ = reg.Allocate("s.lone", StateCat::kCtrl, Storage::kRam,
+                               1, 8);
+      fat_parity_ = reg.Allocate("s.par", StateCat::kParity, Storage::kLatch,
+                                 4, 8);
+    }
+    std::uint64_t Shapes::Use() const {
+      return read(big_latch_) + read(lone_ram_) + read(fat_parity_);
+    }
+  )");
+  const std::vector<Finding> fs = Lint(m);
+  EXPECT_EQ(CountKind(fs, FindingKind::kCatStorageMismatch), 3);
+}
+
+TEST(StateLintTest, NonParticipatingClassesAreExempt) {
+  // A plain struct with no registry ctor and no StateField members is not
+  // part of the injection surface — no findings no matter its members.
+  CppModel m = ParseText(R"(
+    struct PlainConfig {
+      int width = 4;
+      std::uint64_t entries = 64;
+    };
+  )");
+  EXPECT_TRUE(Lint(m).empty());
+}
+
+}  // namespace
+}  // namespace tfsim::analyze

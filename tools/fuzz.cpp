@@ -7,6 +7,9 @@
 //   fuzz --seeds 50 --shape store    # store-heavy programs only
 //   fuzz --seed-base 1000 --print    # different seed range, echo sources
 //
+// TFI_SMOKE_SEEDS overrides --seeds (env wins, like TFI_CHECKPOINT_EVERY),
+// so CI can deepen the pinned `fuzz_smoke` ctest without editing CMake.
+//
 // Exit code is the number of failing cases (0 = clean sweep).
 #include <cstdio>
 #include <string>
@@ -15,6 +18,7 @@
 #include "check/fuzz_harness.h"
 #include "check/progfuzz.h"
 #include "util/argparse.h"
+#include "util/env.h"
 
 using namespace tfsim;
 using namespace tfsim::check;
@@ -45,6 +49,8 @@ int main(int argc, char** argv) {
                  ap.Help().c_str());
     return 2;
   }
+  seeds = EnvInt("TFI_SMOKE_SEEDS", seeds);
+  if (seeds < 1) seeds = 1;
 
   std::vector<FuzzShape> shapes;
   if (shape_name.empty()) {

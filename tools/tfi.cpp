@@ -11,7 +11,10 @@
 //                   exports, and a rerun resumes from the journal)
 //   tfi soft <workload> <model> [--trials N]             Section 5 campaign
 //   tfi inventory [--protect]                            Table 1 state listing
+//       audit: [--json] [--coverage] [--check --baseline FILE]
+//              [--write-baseline --baseline FILE]
 //   tfi workloads                                        list the suite
+//   tfi version                                          build configuration
 //
 // Unknown --flags are rejected with a usage error (they are never silently
 // treated as positional workload names).
@@ -25,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "analyze/inventory.h"
 #include "arch/functional_sim.h"
 #include "inject/campaign.h"
 #include "inject/report.h"
@@ -35,6 +39,12 @@
 #include "util/argparse.h"
 #include "util/cancel.h"
 #include "workloads/workloads.h"
+
+// Active sanitizer configuration, stamped in by CMake from TFI_SANITIZE so
+// campaign records always say which instrumentation produced them.
+#ifndef TFI_SANITIZE_NAME
+#define TFI_SANITIZE_NAME "off"
+#endif
 
 namespace tfsim {
 namespace {
@@ -68,6 +78,11 @@ struct Args {
   std::string chrome_trace;
   bool progress = false;
   bool check = false;
+  // Inventory audit (inventory subcommand).
+  bool json = false;
+  bool coverage = false;
+  bool write_baseline = false;
+  std::string baseline;
   // Parse error: first unknown --flag, or a flag missing its value.
   std::string error;
 };
@@ -95,7 +110,15 @@ ArgParser MakeParser(Args& a) {
   p.AddFlag("progress", &a.progress, "periodic trials/sec progress lines");
   p.AddFlag("check", &a.check,
             "run trials with the per-cycle invariant checker; violations "
-            "quarantine the trial (campaign; bypasses the results cache)");
+            "quarantine the trial (campaign; bypasses the results cache). "
+            "With inventory: compare against --baseline and fail on drift");
+  p.AddFlag("json", &a.json, "emit the canonical audit JSON (inventory)");
+  p.AddFlag("coverage", &a.coverage,
+            "per-mechanism protection coverage table (inventory)");
+  p.AddStr("baseline", &a.baseline,
+           "pinned inventory JSON for --check/--write-baseline (inventory)");
+  p.AddFlag("write-baseline", &a.write_baseline,
+            "regenerate the pinned --baseline file (inventory)");
   return p;
 }
 
@@ -135,9 +158,56 @@ int CmdWorkloads() {
 }
 
 int CmdInventory(const Args& a) {
+  // Audit modes work on the canonical JSON (deterministic byte-for-byte, so
+  // it can be pinned as tools/inventory_baseline.json and diffed in review).
+  if (a.json || a.check || a.write_baseline) {
+    const std::string json = analyze::BuildInventoryJsonFromCores();
+    if (a.json) std::fputs(json.c_str(), stdout);
+    if (a.write_baseline) {
+      if (a.baseline.empty())
+        throw std::runtime_error("--write-baseline needs --baseline FILE");
+      auto out = OpenExport(a.baseline);
+      out << json;
+      std::fprintf(stderr, "wrote inventory baseline to %s\n",
+                   a.baseline.c_str());
+    }
+    if (a.check) {
+      if (a.baseline.empty())
+        throw std::runtime_error("inventory --check needs --baseline FILE");
+      std::ifstream in(a.baseline);
+      if (!in) throw std::runtime_error("cannot open " + a.baseline);
+      std::ostringstream pinned;
+      pinned << in.rdbuf();
+      std::string message;
+      if (!analyze::CheckInventoryBaseline(json, pinned.str(), &message)) {
+        std::fprintf(stderr, "tfi inventory: %s\n", message.c_str());
+        return 1;
+      }
+      std::printf("inventory matches %s\n", a.baseline.c_str());
+    }
+    return 0;
+  }
   CoreConfig cfg;
   if (a.protect) cfg.protect = ProtectionConfig::All();
   Core core(cfg, BuildWorkload(AllWorkloads()[0], kCampaignIters));
+  if (a.coverage) {
+    if (!a.protect)
+      std::fprintf(stderr,
+                   "note: --coverage without --protect shows what the "
+                   "mechanisms would leave uncovered in this build\n");
+    std::printf("%-16s %10s %10s %10s\n", "mechanism", "covered", "uncovered",
+                "check bits");
+    for (const auto& m :
+         analyze::ComputeProtectionCoverage(core.registry().Fields())) {
+      std::printf("%-16s %10llu %10llu %10llu\n", m.mechanism.c_str(),
+                  (unsigned long long)m.covered_bits,
+                  (unsigned long long)m.uncovered_bits,
+                  (unsigned long long)m.check_bits);
+      for (const auto& f : m.uncovered_fields)
+        std::printf("  uncovered: %s\n", f.c_str());
+    }
+    return 0;
+  }
   std::printf("%-14s %10s %10s\n", "category", "latch bits", "RAM bits");
   std::uint64_t lt = 0, rt = 0;
   for (int c = 0; c < kNumStateCats; ++c) {
@@ -152,6 +222,17 @@ int CmdInventory(const Args& a) {
   }
   std::printf("%-14s %10llu %10llu\n", "total", (unsigned long long)lt,
               (unsigned long long)rt);
+  return 0;
+}
+
+int CmdVersion() {
+  std::printf("tfi (transient-fault-injection toolkit)\n");
+  std::printf("  sanitizer: %s\n", TFI_SANITIZE_NAME);
+#ifdef NDEBUG
+  std::printf("  assertions: off\n");
+#else
+  std::printf("  assertions: on\n");
+#endif
   return 0;
 }
 
@@ -246,8 +327,9 @@ int CmdCampaign(const Args& a) {
 
   const auto o = r.ByOutcome();
   const double n = static_cast<double>(r.trials.size());
-  std::printf("workload=%s trials=%zu ipc=%.2f\n", spec.workload.c_str(),
-              r.trials.size(), r.golden_ipc);
+  std::printf("workload=%s trials=%zu ipc=%.2f sanitizer=%s\n",
+              spec.workload.c_str(), r.trials.size(), r.golden_ipc,
+              TFI_SANITIZE_NAME);
   for (int i = 0; i < kNumOutcomes; ++i)
     if (o[i] || static_cast<Outcome>(i) != Outcome::kTrialError)
       std::printf("  %-12s %5.1f%%\n", OutcomeName(static_cast<Outcome>(i)),
@@ -301,7 +383,8 @@ int CmdSoft(const Args& a) {
 int Usage() {
   Args dummy;
   std::fprintf(stderr,
-               "usage: tfi <run|exec|campaign|soft|inventory|workloads> ...\n"
+               "usage: tfi "
+               "<run|exec|campaign|soft|inventory|workloads|version> ...\n"
                "options:\n%s"
                "see the header of tools/tfi.cpp for details\n",
                MakeParser(dummy).Help().c_str());
@@ -315,6 +398,7 @@ int main(int argc, char** argv) {
   using namespace tfsim;
   if (argc < 2) return Usage();
   const std::string cmd = argv[1];
+  if (cmd == "version" || cmd == "--version") return CmdVersion();
   const Args args = Parse(argc, argv);
   if (!args.error.empty()) {
     std::fprintf(stderr, "tfi: %s\n", args.error.c_str());
