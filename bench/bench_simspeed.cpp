@@ -3,8 +3,13 @@
 // and whole fault-injection trials/s.
 #include <benchmark/benchmark.h>
 
+#include <fstream>
+
 #include "arch/functional_sim.h"
 #include "inject/campaign.h"
+#include "obs/events.h"
+#include "obs/metrics.h"
+#include "obs/status_server.h"
 #include "inject/golden.h"
 #include "inject/trial.h"
 #include "uarch/core.h"
@@ -106,6 +111,47 @@ BENCHMARK(BM_CampaignTrials)
     ->Arg(1)
     ->Arg(4)
     ->Arg(0)  // 0 = one worker per hardware thread
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// The same campaign with every telemetry feature on — event journal with a
+// JSONL sink to the null device, metrics registry, and the HTTP status
+// server listening (no clients connected). The ratio to BM_CampaignTrials
+// at the same arg is the telemetry overhead; the budget is <3%.
+void BM_CampaignTrialsTelemetry(benchmark::State& state) {
+  CampaignSpec spec;
+  spec.workload = "gzip";
+  spec.trials = 64;
+  spec.golden.warmup = 12000;
+  spec.golden.points = 3;
+  spec.golden.spacing = 500;
+  spec.golden.window = 4000;
+  spec.golden.slack = 1000;
+  // One journal + server for the whole benchmark (as in suite mode); the
+  // loop measures the marginal per-campaign cost of live telemetry.
+  std::ofstream null_out("/dev/null");
+  obs::EventJournal journal;
+  obs::JsonlEventSink sink(null_out);
+  journal.AddSink(&sink);
+  obs::CampaignStatusServer status;
+  status.Start(0, journal);
+  obs::MetricsRegistry metrics;
+  CampaignOptions opt;
+  opt.jobs = static_cast<int>(state.range(0));
+  opt.verbose = false;
+  opt.use_cache = false;
+  opt.obs.events = &journal;
+  opt.obs.sinks.metrics = &metrics;
+  for (auto _ : state) benchmark::DoNotOptimize(RunCampaign(spec, opt));
+  status.Stop();
+  journal.RemoveSink(&sink);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          spec.trials);
+}
+BENCHMARK(BM_CampaignTrialsTelemetry)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(0)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 

@@ -16,6 +16,9 @@
 #include "inject/cache.h"
 #include "inject/trial.h"
 #include "obs/chrome_trace.h"
+#include <iostream>
+
+#include "obs/events.h"
 #include "obs/metrics.h"
 #include "util/argparse.h"
 #include "util/env.h"
@@ -111,31 +114,22 @@ std::uint64_t ElapsedUs(Clock::time_point since, Clock::time_point t) {
           .count());
 }
 
-// Trial progress shared between the workers and the printer (worker 0).
-// Plain atomics: these feed progress lines only, never results or metrics.
-struct TrialProgress {
-  Clock::time_point start = Clock::now();
-  Clock::time_point last_line = start;
-  std::atomic<std::uint64_t> done{0};
-  std::array<std::atomic<std::uint64_t>, kNumOutcomes> outcomes{};
-
-  void PrintLine(const std::string& key, int total, bool final_line) {
-    const double secs =
-        static_cast<double>(ElapsedUs(start, Clock::now())) * 1e-6;
-    const std::uint64_t d = done.load(std::memory_order_relaxed);
-    std::fprintf(
-        stderr,
-        "[campaign %s] %llu/%d trials  %.1f trials/s  "
-        "match=%llu term=%llu sdc=%llu gray=%llu err=%llu%s\n",
-        key.c_str(), (unsigned long long)d, total,
-        secs > 0 ? static_cast<double>(d) / secs : 0.0,
-        (unsigned long long)outcomes[0].load(std::memory_order_relaxed),
-        (unsigned long long)outcomes[1].load(std::memory_order_relaxed),
-        (unsigned long long)outcomes[2].load(std::memory_order_relaxed),
-        (unsigned long long)outcomes[3].load(std::memory_order_relaxed),
-        (unsigned long long)outcomes[4].load(std::memory_order_relaxed),
-        final_line ? " [done]" : "");
+// Removes the per-campaign progress sink on every exit path (the caller's
+// journal outlives this campaign; a sink left registered would dangle).
+// RemoveSink waits out in-flight deliveries, so the sink may be destroyed
+// as soon as the guard has run.
+struct ProgressSinkGuard {
+  obs::EventJournal* journal;
+  obs::EventSink* sink;
+  ProgressSinkGuard(obs::EventJournal* j, obs::EventSink* s)
+      : journal(j), sink(s) {
+    if (journal && sink) journal->AddSink(sink);
   }
+  ~ProgressSinkGuard() {
+    if (journal && sink) journal->RemoveSink(sink);
+  }
+  ProgressSinkGuard(const ProgressSinkGuard&) = delete;
+  ProgressSinkGuard& operator=(const ProgressSinkGuard&) = delete;
 };
 
 // Wall-clock span of one trial, for the chrome campaign lane. Filled by the
@@ -200,12 +194,73 @@ CampaignResult RunCampaign(const CampaignSpec& spec,
   obs::MetricsRegistry* metrics = opt.obs.sinks.metrics;
   obs::ChromeTraceWriter* chrome = opt.obs.sinks.chrome;
   const bool tracing = opt.obs.collect_prop_traces;
+  const std::string key = spec.CacheKey();
   // Checked campaigns run every trial core with the per-cycle invariant
   // checker and quarantine structural violations. The CacheKey deliberately
   // does not hash execution options, so checked runs (whose quarantine
   // decisions differ from unchecked ones) must bypass the cache and the
   // checkpoint journal in both directions.
   const bool checked = opt.check_invariants || spec.core.check_invariants;
+
+  // Event journal: the caller's, or a private one spun up so --progress can
+  // run as a journal consumer even with no other telemetry attached. All
+  // emission below funnels through `journal`; when it is null an event
+  // costs one pointer test. The journal is pure telemetry — trial records,
+  // classification counts and cache keys are byte-identical with it on or
+  // off (pinned by tests/test_telemetry.cpp).
+  std::optional<obs::EventJournal> local_journal;
+  obs::EventJournal* journal = opt.obs.events;
+  if (!journal && opt.obs.progress) {
+    local_journal.emplace();
+    journal = &*local_journal;
+  }
+  std::optional<obs::ProgressSink> progress_sink;
+  if (journal && opt.obs.progress)
+    progress_sink.emplace(key, spec.trials, std::cerr);
+  ProgressSinkGuard progress_guard(
+      journal, progress_sink ? &*progress_sink : nullptr);
+
+  auto emit = [&](obs::Event e) {
+    if (journal) journal->Emit(std::move(e));
+  };
+  // Metrics snapshots ride the journal as events whose detail is the full
+  // registry JSON, emitted only at points where no other thread mutates the
+  // (deliberately lock-free) registry: after the cache check, after the
+  // golden run, under the checkpoint mutex, and after the post-join replay.
+  // The status server serves the latest one as /metrics; the JSONL file
+  // sink skips them.
+  auto emit_metrics_snapshot = [&] {
+    if (!journal || !metrics) return;
+    std::ostringstream os;
+    metrics->WriteJson(os);
+    obs::Event e;
+    e.kind = obs::EventKind::kMetricsSnapshot;
+    e.detail = os.str();
+    journal->Emit(std::move(e));
+  };
+  // Campaign-finish bookkeeping shared by the cache-hit and live paths: a
+  // final metrics snapshot, the finish event, then a drain so the journal
+  // (including the --progress summary line) is complete before RunCampaign
+  // returns — also on interruption.
+  auto finish_journal = [&](std::uint64_t kept, bool interrupted) {
+    if (!journal) return;
+    emit_metrics_snapshot();
+    obs::Event e;
+    e.kind = obs::EventKind::kCampaignFinish;
+    e.value = kept;
+    e.interrupted = interrupted;
+    journal->Emit(std::move(e));
+    journal->Flush();
+  };
+
+  {
+    obs::Event e;
+    e.kind = obs::EventKind::kCampaignStart;
+    e.detail = key;
+    e.field = spec.workload;
+    e.value = static_cast<std::uint64_t>(spec.trials);
+    emit(std::move(e));
+  }
 
   // Per-trial artifacts (propagation traces, chrome spans) record live
   // execution and are never cached, so runs collecting them always execute.
@@ -218,9 +273,16 @@ CampaignResult RunCampaign(const CampaignSpec& spec,
         metrics->GetCounter("campaign.cache.hits").Inc();
         EmitTrialMetrics(cached->trials, *metrics);
       }
+      {
+        obs::Event e;
+        e.kind = obs::EventKind::kCacheHit;
+        e.value = cached->trials.size();
+        emit(std::move(e));
+      }
       if (opt.verbose)
         std::fprintf(stderr, "[campaign %s] loaded %zu trials from cache\n",
-                     spec.CacheKey().c_str(), cached->trials.size());
+                     key.c_str(), cached->trials.size());
+      finish_journal(cached->trials.size(), /*interrupted=*/false);
       return *cached;
     }
   }
@@ -236,13 +298,20 @@ CampaignResult RunCampaign(const CampaignSpec& spec,
   const Program program = BuildWorkload(info, kCampaignIters);
   if (opt.verbose)
     std::fprintf(stderr, "[campaign %s] recording golden run...\n",
-                 spec.CacheKey().c_str());
+                 key.c_str());
   std::shared_ptr<const GoldenRun> golden;
   {
     std::optional<obs::ScopedTimer> timed;
     if (metrics) timed.emplace(metrics->GetTimer("campaign.golden_record"));
     golden = RecordGolden(spec.core, program, spec.golden, &opt.obs.sinks);
   }
+  {
+    obs::Event e;
+    e.kind = obs::EventKind::kGoldenDone;
+    e.value = golden->checkpoints.size();
+    emit(std::move(e));
+  }
+  emit_metrics_snapshot();
 
   CampaignResult result;
   result.spec = spec;
@@ -298,18 +367,17 @@ CampaignResult RunCampaign(const CampaignSpec& spec,
       if (opt.verbose && resumed)
         std::fprintf(stderr,
                      "[campaign %s] resumed %zu/%zu trials from checkpoint\n",
-                     spec.CacheKey().c_str(), resumed, n);
+                     key.c_str(), resumed, n);
     }
   }
 
   const int jobs = std::min(
       ResolveJobs(opt.jobs),
       static_cast<int>(std::max<std::size_t>(n - resumed, 1)));
-  TrialProgress progress;
-  for (std::size_t i = 0; i < resumed; ++i)
-    progress.outcomes[static_cast<int>(result.trials[i].outcome)].fetch_add(
-        1, std::memory_order_relaxed);
-  progress.done.store(resumed, std::memory_order_relaxed);
+  // Wall epoch for the chrome campaign lane and its instant markers; trial
+  // completion counting moved into the event journal (ProgressSink).
+  const Clock::time_point wall_epoch = Clock::now();
+  std::atomic<std::uint64_t> done{resumed};
   std::atomic<std::size_t> next{resumed};
   std::vector<std::string> errmsgs(n);
   // Per-trial per-kind invariant-violation counts (checked campaigns only).
@@ -317,6 +385,24 @@ CampaignResult RunCampaign(const CampaignSpec& spec,
   // exported check.violations.* totals are identical at every `jobs` value.
   using KindCounts = std::array<std::uint64_t, check::kNumInvariantKinds>;
   std::vector<KindCounts> viol_counts(checked ? n : 0, KindCounts{});
+
+  // Campaign-lane happenings (retry, quarantine, checkpoint flush,
+  // cancellation) surface in the chrome trace as instant markers. Workers
+  // collect them under a mutex during the run; they are emitted into the
+  // writer (which is not thread-safe) only after the pool joins.
+  struct Marker {
+    std::string name;
+    std::uint64_t ts_us;
+    obs::ChromeTraceWriter::Args args;
+  };
+  std::vector<Marker> markers;
+  std::mutex markers_mu;
+  auto add_marker = [&](const char* name, obs::ChromeTraceWriter::Args args) {
+    if (!chrome) return;
+    const std::uint64_t ts = ElapsedUs(wall_epoch, Clock::now());
+    std::lock_guard<std::mutex> lock(markers_mu);
+    markers.push_back({name, ts, std::move(args)});
+  };
 
   // Flushes the journal with the current contiguous completed prefix.
   // Serialized by the mutex; cheap no-op when the prefix hasn't advanced
@@ -334,8 +420,21 @@ CampaignResult RunCampaign(const CampaignSpec& spec,
     const std::vector<TrialRecord> prefix(
         result.trials.begin(),
         result.trials.begin() + static_cast<std::ptrdiff_t>(ckpt_prefix));
-    if (StoreCampaignCheckpoint(spec, prefix, metrics))
+    if (StoreCampaignCheckpoint(spec, prefix, metrics)) {
       ckpt_flushed = ckpt_prefix;
+      add_marker("checkpoint flush",
+                 {{"prefix", std::to_string(ckpt_flushed)}});
+      if (journal) {
+        obs::Event e;
+        e.kind = obs::EventKind::kCheckpointFlush;
+        e.value = ckpt_flushed;
+        journal->Emit(std::move(e));
+      }
+      // Safe snapshot point: ckpt_mu serializes flushes, and the flushing
+      // worker is the only thread touching the registry mid-loop (trial
+      // cores carry no sinks; golden-run instruments are quiescent).
+      emit_metrics_snapshot();
+    }
   };
 
   // One worker's share of the campaign: pull the next unclaimed trial index
@@ -368,8 +467,24 @@ CampaignResult RunCampaign(const CampaignSpec& spec,
         } catch (...) {
           errmsgs[i] = "non-standard exception";
         }
+        if (!ok) {
+          if (journal) {
+            obs::Event ev;
+            ev.kind = obs::EventKind::kTrialRetry;
+            ev.trial = static_cast<std::int64_t>(i);
+            ev.value = static_cast<std::uint64_t>(attempt + 1);
+            ev.detail = errmsgs[i];
+            journal->Emit(std::move(ev));
+          }
+          add_marker("trial retry", {{"trial", std::to_string(i)},
+                                     {"error", errmsgs[i]}});
+        }
       }
-      if (!ok) rec = QuarantineRecord();
+      bool quarantined_now = false;
+      if (!ok) {
+        rec = QuarantineRecord();
+        quarantined_now = true;
+      }
       // Checked campaigns: a trial whose injected fault broke a structural
       // invariant is quarantined like a throwing trial — its classification
       // ran on a machine the checker proved inconsistent. The propagation
@@ -387,30 +502,61 @@ CampaignResult RunCampaign(const CampaignSpec& spec,
               << "] at trial cycle " << v.cycle << ": " << v.detail;
           errmsgs[i] = msg.str();
           rec = QuarantineRecord();
+          quarantined_now = true;
         }
+      }
+      if (quarantined_now) {
+        if (journal) {
+          obs::Event ev;
+          ev.kind = obs::EventKind::kTrialQuarantine;
+          ev.trial = static_cast<std::int64_t>(i);
+          ev.detail = errmsgs[i];
+          journal->Emit(std::move(ev));
+        }
+        add_marker("trial quarantined", {{"trial", std::to_string(i)},
+                                         {"error", errmsgs[i]}});
       }
       const auto t1 = Clock::now();
       result.trials[i] = rec;
       if (tracing) result.prop_traces[i] = std::move(trace);
-      timing[i] = {ElapsedUs(progress.start, t0), ElapsedUs(t0, t1), worker};
+      timing[i] = {ElapsedUs(wall_epoch, t0), ElapsedUs(t0, t1), worker};
       completed[i].store(true, std::memory_order_release);
-      progress.outcomes[static_cast<int>(rec.outcome)].fetch_add(
-          1, std::memory_order_relaxed);
-      const std::uint64_t done =
-          progress.done.fetch_add(1, std::memory_order_relaxed) + 1;
-      if (journal_every && done % journal_every == 0) FlushCheckpoint();
-
-      if (worker != 0) continue;
-      if (opt.obs.progress) {
-        const auto now = Clock::now();
-        if (now - progress.last_line >= std::chrono::seconds(1)) {
-          progress.last_line = now;
-          progress.PrintLine(spec.CacheKey(), spec.trials, false);
+      if (journal) {
+        // The injection site resolved to its registry field: the replica's
+        // registry layout is identical across cores of the same
+        // config/program, so this is a pure read that never perturbs the
+        // trial. Propagation latencies join in when tracing (-1 = silent).
+        const BitLocation loc = worker_core.registry().LocateBit(
+            specs[i].bit_index, specs[i].include_ram);
+        obs::Event ev;
+        ev.kind = obs::EventKind::kTrialDone;
+        ev.trial = static_cast<std::int64_t>(i);
+        ev.outcome = rec.outcome;
+        ev.mode = rec.mode;
+        // Site category/storage come from the resolved location, not the
+        // record: a quarantined record carries defaults, but the injection
+        // site is still real.
+        ev.cat = loc.cat;
+        ev.storage = loc.storage;
+        ev.cycles = rec.cycles;
+        ev.dur_us = ElapsedUs(t0, t1);
+        ev.field = loc.name;
+        ev.field_bits =
+            worker_core.registry().FieldInfoAt(loc.field_index).bits();
+        if (tracing) {
+          ev.arch_divergence_cycle = trace.arch_divergence_cycle;
+          ev.first_spread_cycle = trace.first_spread_cycle;
         }
-      } else if (opt.verbose && done % 200 < static_cast<std::uint64_t>(jobs)) {
-        std::fprintf(stderr, "[campaign %s] %llu/%d trials\n",
-                     spec.CacheKey().c_str(), (unsigned long long)done,
-                     spec.trials);
+        journal->Emit(std::move(ev));
+      }
+      const std::uint64_t d =
+          done.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (journal_every && d % journal_every == 0) FlushCheckpoint();
+
+      if (worker == 0 && !opt.obs.progress && opt.verbose &&
+          d % 200 < static_cast<std::uint64_t>(jobs)) {
+        std::fprintf(stderr, "[campaign %s] %llu/%d trials\n", key.c_str(),
+                     (unsigned long long)d, spec.trials);
       }
     }
   };
@@ -439,14 +585,17 @@ CampaignResult RunCampaign(const CampaignSpec& spec,
         if (e) std::rethrow_exception(e);
     }
   }
-  if (opt.obs.progress)
-    progress.PrintLine(spec.CacheKey(), spec.trials, true);
-
   // Interruption: keep only the contiguous completed prefix — exactly what
   // the journal holds — so the partial result, its telemetry, and a later
   // resumed run all agree on which trials exist. Trials completed out of
   // order beyond the prefix are discarded (their specs re-run on resume).
   if (opt.cancel && opt.cancel->cancelled()) {
+    {
+      obs::Event e;
+      e.kind = obs::EventKind::kCancelRequested;
+      emit(std::move(e));
+    }
+    add_marker("cancelled", {});
     std::size_t prefix = 0;
     while (prefix < n &&
            completed[prefix].load(std::memory_order_acquire))
@@ -460,7 +609,7 @@ CampaignResult RunCampaign(const CampaignSpec& spec,
       if (opt.verbose)
         std::fprintf(stderr,
                      "[campaign %s] interrupted at %zu/%zu trials%s\n",
-                     spec.CacheKey().c_str(), prefix, n,
+                     key.c_str(), prefix, n,
                      journal_every ? " (checkpoint flushed)" : "");
     }
   }
@@ -501,14 +650,28 @@ CampaignResult RunCampaign(const CampaignSpec& spec,
            {"failure_mode", FailureModeName(rec.mode)},
            {"cycles", std::to_string(rec.cycles)}});
     }
+    // Instant markers last, in time order (workers appended them in
+    // completion order, which needn't be monotone across threads).
+    std::sort(markers.begin(), markers.end(),
+              [](const Marker& a, const Marker& b) { return a.ts_us < b.ts_us; });
+    for (const Marker& m : markers)
+      chrome->InstantEvent(m.name, obs::ChromeTraceWriter::kPidCampaign,
+                           m.ts_us, m.args);
   }
 
   if (!result.interrupted) {
-    if (opt.use_cache && !checked) StoreCachedCampaign(result, metrics);
+    if (opt.use_cache && !checked &&
+        StoreCachedCampaign(result, metrics)) {
+      obs::Event e;
+      e.kind = obs::EventKind::kCacheStore;
+      e.value = result.trials.size();
+      emit(std::move(e));
+    }
     // The journal is subsumed by the completed result; drop it so the next
     // run of this CacheKey starts clean (or hits the cache).
     if (journal_every) RemoveCampaignCheckpoint(spec);
   }
+  finish_journal(result.trials.size(), result.interrupted);
   return result;
 }
 

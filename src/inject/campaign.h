@@ -46,8 +46,19 @@ struct CampaignObs {
   // Traced runs bypass the on-disk result cache (traces are not cached) but
   // still store their results for later untraced runs.
   bool collect_prop_traces = false;
-  // Periodic stderr progress lines with trials/sec and the outcome mix.
+  // Periodic stderr progress lines with trials/sec and the outcome mix,
+  // implemented as an obs::ProgressSink consuming the event journal (a
+  // private journal is created when `events` is null).
   bool progress = false;
+  // Structured campaign event journal (obs/events.h). When non-null, the
+  // campaign emits start/finish, golden-done, cache, per-trial-completion,
+  // retry/quarantine, checkpoint-flush, cancellation and metrics-snapshot
+  // events into it; tfi wires file (--events-jsonl) and HTTP status
+  // (--status-port) sinks to the same journal. Emission never blocks trial
+  // workers on I/O, and — like every other member here — attaching a
+  // journal leaves trial records, classification counts and cache keys
+  // byte-identical.
+  obs::EventJournal* events = nullptr;
 };
 
 // How to run a campaign. Everything here is about *execution*, never about

@@ -1,5 +1,9 @@
 #include "inject/report.h"
 
+#include "obs/events.h"
+#include "uarch/core.h"
+#include "workloads/workloads.h"
+
 namespace tfsim {
 
 void WriteTrialsCsv(const CampaignResult& result, std::ostream& os) {
@@ -34,9 +38,46 @@ void WriteCategoryCsv(const CampaignResult& result, std::ostream& os) {
 
 bool WritePropTraceJsonl(const CampaignResult& result, std::ostream& os) {
   if (result.prop_traces.empty()) return false;
+  os << obs::RenderJournalHeader() << '\n';
   for (std::size_t i = 0; i < result.prop_traces.size(); ++i)
     obs::WritePropTraceRow(result.prop_traces[i], result.spec.workload, i, os);
   return true;
+}
+
+obs::VulnerabilityHeatmap BuildHeatmap(const CampaignResult& result) {
+  obs::VulnerabilityHeatmap hm;
+  if (result.trials.empty()) return hm;
+  // Rebuild the machine the campaign injected: the registry layout (and
+  // therefore the bit-index → field mapping) depends only on the core
+  // config and program, so one throwaway core resolves every trial's site.
+  const WorkloadInfo& info = WorkloadByName(result.spec.workload);
+  const Program program = BuildWorkload(info, kCampaignIters);
+  Core core(result.spec.core, program);
+  const StateRegistry& reg = core.registry();
+  const std::vector<TrialSpec> specs = MakeTrialSpecs(
+      result.spec, reg.InjectableBits(result.spec.include_ram));
+  // An interrupted result holds only the completed prefix; traces, when
+  // collected, are parallel to the kept trials.
+  const bool traced = result.prop_traces.size() == result.trials.size();
+  for (std::size_t i = 0; i < result.trials.size() && i < specs.size(); ++i) {
+    const TrialRecord& rec = result.trials[i];
+    const BitLocation loc =
+        reg.LocateBit(specs[i].bit_index, specs[i].include_ram);
+    obs::VulnerabilityHeatmap::Sample s;
+    s.field = loc.name;
+    s.cat = loc.cat;
+    s.storage = loc.storage;
+    s.field_bits = reg.FieldInfoAt(loc.field_index).bits();
+    s.outcome = rec.outcome;
+    s.mode = rec.mode;
+    s.cycles = rec.cycles;
+    if (traced) {
+      s.arch_divergence_cycle = result.prop_traces[i].arch_divergence_cycle;
+      s.first_spread_cycle = result.prop_traces[i].first_spread_cycle;
+    }
+    hm.Add(s);
+  }
+  return hm;
 }
 
 void WriteUtilizationCsv(const CampaignResult& result, std::ostream& os) {

@@ -51,12 +51,13 @@ void ChromeTraceWriter::CompleteEvent(const std::string& name, int pid,
 }
 
 void ChromeTraceWriter::InstantEvent(const std::string& name, int pid,
-                                     std::uint64_t ts_us) {
+                                     std::uint64_t ts_us, const Args& args) {
   Event e;
   e.ph = 'I';
   e.name = name;
   e.pid = pid;
   e.ts_us = ts_us;
+  e.string_args = args;
   events_.push_back(std::move(e));
 }
 

@@ -39,8 +39,10 @@ class ChromeTraceWriter {
                      std::uint64_t ts_us, std::uint64_t dur_us,
                      const Args& args = {});
 
-  // "I" instant event (campaign milestones: golden recorded, cache hit...).
-  void InstantEvent(const std::string& name, int pid, std::uint64_t ts_us);
+  // "I" instant event (campaign milestones: checkpoint flushes, trial
+  // retries/quarantines, cancellation). Args land in the detail pane.
+  void InstantEvent(const std::string& name, int pid, std::uint64_t ts_us,
+                    const Args& args = {});
 
   std::size_t EventCount() const { return events_.size(); }
 

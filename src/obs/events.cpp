@@ -1,0 +1,307 @@
+#include "obs/events.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/export_meta.h"
+#include "obs/json_writer.h"
+
+namespace tfsim::obs {
+
+namespace {
+
+// Rendered-line ring capacity for the /events?tail=N endpoint.
+constexpr std::size_t kTailCapacity = 1024;
+
+const char* StorageName(Storage s) {
+  return s == Storage::kLatch ? "latch" : s == Storage::kRam ? "ram"
+                                                             : "background";
+}
+
+}  // namespace
+
+const char* EventKindName(EventKind k) {
+  switch (k) {
+    case EventKind::kCampaignStart: return "campaign_start";
+    case EventKind::kGoldenDone: return "golden_done";
+    case EventKind::kCacheHit: return "cache_hit";
+    case EventKind::kCacheStore: return "cache_store";
+    case EventKind::kTrialDone: return "trial_done";
+    case EventKind::kTrialRetry: return "trial_retry";
+    case EventKind::kTrialQuarantine: return "trial_quarantine";
+    case EventKind::kCheckpointFlush: return "checkpoint_flush";
+    case EventKind::kCancelRequested: return "cancel_requested";
+    case EventKind::kMetricsSnapshot: return "metrics_snapshot";
+    case EventKind::kCampaignFinish: return "campaign_finish";
+  }
+  return "unknown";
+}
+
+std::string RenderEventJson(const Event& e) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.BeginObject();
+  w.Field("ev", EventKindName(e.kind));
+  w.Field("ts_us", e.ts_us);
+  if (e.trial >= 0) w.Field("trial", e.trial);
+  switch (e.kind) {
+    case EventKind::kCampaignStart:
+      w.Field("campaign", e.detail);
+      w.Field("workload", e.field);
+      w.Field("trials", e.value);
+      break;
+    case EventKind::kGoldenDone:
+      w.Field("checkpoints", e.value);
+      break;
+    case EventKind::kCacheHit:
+    case EventKind::kCacheStore:
+      w.Field("trials", e.value);
+      break;
+    case EventKind::kTrialDone:
+      w.Field("outcome", OutcomeName(e.outcome));
+      w.Field("failure_mode", FailureModeName(e.mode));
+      w.Field("category", StateCatName(e.cat));
+      w.Field("storage", StorageName(e.storage));
+      w.Field("field", e.field);
+      w.Field("field_bits", e.field_bits);
+      w.Field("cycles", static_cast<std::uint64_t>(e.cycles));
+      w.Field("dur_us", e.dur_us);
+      if (e.arch_divergence_cycle != Event::kNotTraced)
+        w.Field("arch_divergence_cycle", e.arch_divergence_cycle);
+      if (e.first_spread_cycle != Event::kNotTraced)
+        w.Field("first_spread_cycle", e.first_spread_cycle);
+      break;
+    case EventKind::kTrialRetry:
+      w.Field("attempt", e.value);
+      w.Field("error", e.detail);
+      break;
+    case EventKind::kTrialQuarantine:
+      w.Field("error", e.detail);
+      break;
+    case EventKind::kCheckpointFlush:
+      w.Field("prefix", e.value);
+      break;
+    case EventKind::kCancelRequested:
+      break;
+    case EventKind::kMetricsSnapshot:
+      // Journal consumers see the kind only; the payload is served live.
+      break;
+    case EventKind::kCampaignFinish:
+      w.Field("trials_kept", e.value);
+      w.Field("interrupted", e.interrupted);
+      break;
+  }
+  w.End();
+  return os.str();
+}
+
+std::string RenderJournalHeader(std::string_view generated_at) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.BeginObject();
+  w.Field("type", "header");
+  w.Field("schema_version", kObsSchemaVersion);
+  w.Field("generated_at",
+          generated_at.empty() ? Rfc3339Now() : std::string(generated_at));
+  w.End();
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// EventJournal
+// ---------------------------------------------------------------------------
+
+EventJournal::EventJournal(std::size_t capacity)
+    : capacity_(capacity ? capacity : 1),
+      epoch_(std::chrono::steady_clock::now()),
+      drain_([this] { DrainLoop(); }) {}
+
+EventJournal::~EventJournal() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  not_empty_.notify_all();
+  drain_.join();
+}
+
+void EventJournal::AddSink(EventSink* sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sinks_.push_back(sink);
+}
+
+void EventJournal::RemoveSink(EventSink* sink) {
+  std::unique_lock<std::mutex> lock(mu_);
+  sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink), sinks_.end());
+  // The drain thread snapshots the sink list before delivering unlocked, so
+  // an in-flight delivery may still hold this sink: wait it out, after which
+  // the caller may safely destroy the sink.
+  drained_.wait(lock, [&] { return !in_flight_; });
+}
+
+std::uint64_t EventJournal::NowUs() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void EventJournal::Emit(Event e) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_full_.wait(lock, [&] { return queue_.size() < capacity_ || stop_; });
+  if (stop_) return;
+  // Stamp under the lock: the journal stream is monotone in ts_us.
+  e.ts_us = NowUs();
+  queue_.push_back(std::move(e));
+  ++emitted_;
+  lock.unlock();
+  not_empty_.notify_one();
+}
+
+void EventJournal::Flush() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drained_.wait(lock, [&] { return delivered_ == emitted_ || stop_; });
+}
+
+std::vector<std::string> EventJournal::Tail(std::size_t n) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t take = std::min(n, tail_.size());
+  return std::vector<std::string>(tail_.end() - static_cast<std::ptrdiff_t>(take),
+                                  tail_.end());
+}
+
+std::uint64_t EventJournal::emitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return emitted_;
+}
+
+void EventJournal::DrainLoop() {
+  for (;;) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return !queue_.empty() || stop_; });
+    if (queue_.empty() && stop_) return;
+    const Event e = std::move(queue_.front());
+    queue_.pop_front();
+    // Snapshot the sink list so OnEvent runs unlocked (a sink may be slow;
+    // emitters must only contend on the queue push).
+    const std::vector<EventSink*> sinks = sinks_;
+    in_flight_ = true;
+    lock.unlock();
+    not_full_.notify_all();
+
+    for (EventSink* s : sinks) s->OnEvent(e);
+    std::string line = RenderEventJson(e);
+
+    lock.lock();
+    in_flight_ = false;
+    tail_.push_back(std::move(line));
+    if (tail_.size() > kTailCapacity) tail_.pop_front();
+    ++delivered_;
+    lock.unlock();
+    // Wakes both Flush (delivered==emitted) and RemoveSink (!in_flight).
+    drained_.notify_all();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// JsonlEventSink
+// ---------------------------------------------------------------------------
+
+JsonlEventSink::JsonlEventSink(std::ostream& os, std::string_view generated_at)
+    : os_(os) {
+  os_ << RenderJournalHeader(generated_at) << '\n';
+}
+
+void JsonlEventSink::OnEvent(const Event& e) {
+  if (e.kind == EventKind::kMetricsSnapshot) return;
+  os_ << RenderEventJson(e) << '\n';
+  // Keep the on-disk journal a complete prefix at every campaign boundary:
+  // an interrupted run's last line is its campaign_finish event.
+  if (e.kind == EventKind::kCampaignFinish || e.kind == EventKind::kCancelRequested)
+    os_.flush();
+}
+
+// ---------------------------------------------------------------------------
+// ProgressSink
+// ---------------------------------------------------------------------------
+
+ProgressSink::ProgressSink(std::string label, int total_trials,
+                           std::ostream& os)
+    : label_(std::move(label)), total_(total_trials), os_(os) {}
+
+void ProgressSink::PrintLine(std::uint64_t ts_us, bool final_line,
+                             bool interrupted) {
+  // Monotonic microsecond elapsed time; the max() keeps sub-millisecond
+  // campaigns from dividing by (or reporting) zero.
+  const double secs =
+      static_cast<double>(std::max<std::uint64_t>(ts_us - first_ts_us_, 1)) *
+      1e-6;
+  const double rate = static_cast<double>(done_) / secs;
+  char head[160];
+  std::snprintf(head, sizeof(head),
+                "[campaign %s] %llu/%d trials  %.1f trials/s",
+                label_.c_str(), static_cast<unsigned long long>(done_), total_,
+                rate);
+  char mix[160];
+  std::snprintf(
+      mix, sizeof(mix), "  match=%llu term=%llu sdc=%llu gray=%llu err=%llu",
+      static_cast<unsigned long long>(outcomes_[0]),
+      static_cast<unsigned long long>(outcomes_[1]),
+      static_cast<unsigned long long>(outcomes_[2]),
+      static_cast<unsigned long long>(outcomes_[3]),
+      static_cast<unsigned long long>(outcomes_[4]));
+  os_ << head << mix;
+  if (final_line) {
+    os_ << "  [" << (interrupted ? "interrupted" : "done") << " in ";
+    char secs_buf[32];
+    std::snprintf(secs_buf, sizeof(secs_buf), "%.1fs", secs);
+    os_ << secs_buf;
+    if (from_cache_) os_ << ", cached";
+    os_ << ']';
+  } else if (rate > 0 && done_ < static_cast<std::uint64_t>(total_)) {
+    char eta[32];
+    std::snprintf(eta, sizeof(eta), "  eta %.0fs",
+                  static_cast<double>(total_ - done_) / rate);
+    os_ << eta;
+  }
+  os_ << '\n';
+  os_.flush();
+}
+
+void ProgressSink::OnEvent(const Event& e) {
+  switch (e.kind) {
+    case EventKind::kCampaignStart:
+      first_ts_us_ = e.ts_us;
+      last_line_us_ = e.ts_us;
+      break;
+    case EventKind::kCacheHit:
+      from_cache_ = e.value;
+      break;
+    case EventKind::kTrialDone:
+      if (!saw_trial_) {
+        saw_trial_ = true;
+        if (first_ts_us_ == 0 && last_line_us_ == 0) {
+          first_ts_us_ = e.ts_us;
+          last_line_us_ = e.ts_us;
+        }
+      }
+      ++done_;
+      ++outcomes_[static_cast<int>(e.outcome)];
+      if (e.ts_us - last_line_us_ >= 1000000) {
+        last_line_us_ = e.ts_us;
+        PrintLine(e.ts_us, /*final_line=*/false, /*interrupted=*/false);
+      }
+      break;
+    case EventKind::kCampaignFinish:
+      // Resumed/cached trials never produced trial_done events; fold them in
+      // so the summary reports the campaign's true completed count.
+      if (e.value > done_) done_ = e.value;
+      PrintLine(e.ts_us, /*final_line=*/true, e.interrupted);
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace tfsim::obs

@@ -1,0 +1,198 @@
+// Structured campaign event journal: every campaign-level happening
+// (start/finish, golden recorded, cache hit/store, per-trial completion with
+// outcome and wall time, retry/quarantine, checkpoint flush, cancellation)
+// becomes one typed Event, pushed into a bounded in-memory queue and drained
+// by a dedicated writer thread. Trial workers therefore never perform
+// journal I/O: Emit() is a timestamp plus a queue push under a short mutex
+// (it blocks only if the queue is full — backpressure, never data loss, so
+// an interrupted campaign's journal is always a complete prefix).
+//
+// Consumers subscribe as EventSinks and run on the drain thread, in emit
+// order (event timestamps are assigned under the queue lock, so the stream
+// is monotone in ts_us). The shipped sinks:
+//   * JsonlEventSink — one JSON object per line after a schema_version
+//     header; the on-disk wire format of `tfi campaign --events-jsonl`.
+//   * ProgressSink   — the `--progress` stderr lines, reimplemented as a
+//     journal consumer (monotonic trials/sec, ETA, final summary line even
+//     on cancellation).
+//   * CampaignStatusServer (status_server.h) — live /progress, /heatmap and
+//     /events?tail=N endpoints.
+//
+// Determinism: the journal is pure telemetry. Campaign trial records,
+// classification counts and cache keys are byte-identical with the journal
+// attached or absent, at any --jobs value (pinned by tests/test_telemetry).
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "inject/outcome.h"
+
+namespace tfsim::obs {
+
+enum class EventKind : std::uint8_t {
+  kCampaignStart,     // detail=cache key, field=workload, value=planned trials
+  kGoldenDone,        // golden run recorded; value=checkpoints
+  kCacheHit,          // results loaded from the on-disk cache; value=trials
+  kCacheStore,        // completed results stored; value=trials
+  kTrialDone,         // one trial classified; full injection-site payload
+  kTrialRetry,        // an execution attempt threw; value=attempt, detail=why
+  kTrialQuarantine,   // all attempts failed (or an invariant tripped)
+  kCheckpointFlush,   // journal flushed; value=contiguous prefix size
+  kCancelRequested,   // cooperative cancellation observed by the campaign
+  kMetricsSnapshot,   // detail=metrics registry JSON at a safe point (served
+                      // by /metrics; skipped by the JSONL file sink)
+  kCampaignFinish,    // value=trials kept; interrupted flag set on cancel
+};
+inline constexpr int kNumEventKinds = 11;
+const char* EventKindName(EventKind k);
+
+struct Event {
+  EventKind kind = EventKind::kCampaignStart;
+  std::uint64_t ts_us = 0;  // microseconds since journal creation (monotonic;
+                            // stamped by Emit under the queue lock)
+  std::int64_t trial = -1;  // trial index, -1 when not trial-scoped
+
+  // Trial payload (kTrialDone; also cat/storage defaults elsewhere).
+  Outcome outcome = Outcome::kGrayArea;
+  FailureMode mode = FailureMode::kNoFailure;
+  StateCat cat = StateCat::kCtrl;
+  Storage storage = Storage::kLatch;
+  std::uint32_t cycles = 0;       // cycles to classification
+  std::uint64_t dur_us = 0;       // trial wall time
+  std::string field;              // injected registry field (kTrialDone) or
+                                  // workload name (kCampaignStart)
+  std::uint64_t field_bits = 0;   // injectable bits of that field
+  // Propagation latencies joined from the trial's trace when the campaign
+  // collects prop traces; kNotTraced otherwise (-1 = observed silent).
+  static constexpr std::int64_t kNotTraced = -2;
+  std::int64_t arch_divergence_cycle = kNotTraced;
+  std::int64_t first_spread_cycle = kNotTraced;
+
+  // Generic payload (see the per-kind notes above).
+  std::uint64_t value = 0;
+  std::string detail;
+  bool interrupted = false;  // kCampaignFinish only
+};
+
+// Renders one event as a compact JSON object (no trailing newline).
+std::string RenderEventJson(const Event& e);
+
+// The JSONL header line: {"type":"header","schema_version":...,
+// "generated_at":...}. `generated_at` defaults to the current wall clock;
+// tests pass a fixed timestamp for byte-stable output.
+std::string RenderJournalHeader(std::string_view generated_at = {});
+
+// A journal consumer. OnEvent runs on the journal's drain thread; keep it
+// quick (it is off the trial workers' path, but a slow sink delays every
+// other sink and the Flush() at campaign end).
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void OnEvent(const Event& e) = 0;
+};
+
+class EventJournal {
+ public:
+  // `capacity` bounds the in-flight event queue; emitters block (briefly)
+  // when it is full rather than dropping events.
+  explicit EventJournal(std::size_t capacity = 4096);
+  ~EventJournal();  // drains outstanding events, stops the writer thread
+  EventJournal(const EventJournal&) = delete;
+  EventJournal& operator=(const EventJournal&) = delete;
+
+  // Sinks may be added/removed between campaigns (RunSuite reuses one
+  // journal; each campaign attaches its own progress sink). Thread-safe.
+  // RemoveSink additionally waits out any in-flight delivery, so the sink
+  // may be destroyed the moment it returns.
+  void AddSink(EventSink* sink);
+  void RemoveSink(EventSink* sink);
+
+  // Stamps e.ts_us and enqueues. Callable from any thread; never performs
+  // I/O on the calling thread.
+  void Emit(Event e);
+
+  // Blocks until every event emitted so far has been delivered to all
+  // sinks. RunCampaign flushes before returning so the journal (and the
+  // progress summary) is complete when the caller resumes.
+  void Flush();
+
+  // Monotonic microseconds since journal creation (the ts_us clock).
+  std::uint64_t NowUs() const;
+
+  // The last `n` rendered JSONL lines (most recent last), from a bounded
+  // ring the drain thread maintains — the /events?tail=N endpoint.
+  std::vector<std::string> Tail(std::size_t n) const;
+
+  std::uint64_t emitted() const;
+
+ private:
+  void DrainLoop();
+
+  const std::size_t capacity_;
+  const std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::condition_variable drained_;
+  std::deque<Event> queue_;
+  std::vector<EventSink*> sinks_;
+  std::deque<std::string> tail_;  // bounded rendered-line ring
+  std::uint64_t emitted_ = 0;
+  std::uint64_t delivered_ = 0;
+  bool in_flight_ = false;  // drain thread is inside sink OnEvent calls
+  bool stop_ = false;
+  std::thread drain_;
+};
+
+// Writes the journal to a stream as JSONL: header line at construction,
+// then one line per event (kMetricsSnapshot excluded — metrics snapshots
+// are served live, not journaled; the final registry lands in
+// --metrics-json). The stream must outlive the sink; the sink flushes the
+// stream on campaign finish so a SIGINT-interrupted journal is complete up
+// to its last event.
+class JsonlEventSink : public EventSink {
+ public:
+  explicit JsonlEventSink(std::ostream& os, std::string_view generated_at = {});
+  void OnEvent(const Event& e) override;
+
+ private:
+  std::ostream& os_;
+};
+
+// The --progress consumer: a throttled status line per second of trial
+// completions plus an unconditional final summary (also on interruption).
+// Rates use the journal's monotonic microsecond clock, so sub-second
+// campaigns report a real trials/sec figure instead of zero.
+class ProgressSink : public EventSink {
+ public:
+  // `label` prefixes every line (the campaign cache key). Lines go to `os`
+  // (stderr in tfi; tests capture a stringstream).
+  ProgressSink(std::string label, int total_trials, std::ostream& os);
+  void OnEvent(const Event& e) override;
+
+ private:
+  void PrintLine(std::uint64_t ts_us, bool final_line, bool interrupted);
+
+  const std::string label_;
+  const int total_;
+  std::ostream& os_;
+  std::uint64_t first_ts_us_ = 0;
+  std::uint64_t last_line_us_ = 0;
+  bool saw_trial_ = false;
+  std::uint64_t done_ = 0;
+  std::uint64_t from_cache_ = 0;
+  std::array<std::uint64_t, kNumOutcomes> outcomes_{};
+};
+
+}  // namespace tfsim::obs

@@ -1,0 +1,21 @@
+#include "obs/export_meta.h"
+
+#include <cstdio>
+#include <ctime>
+
+namespace tfsim::obs {
+
+std::string Rfc3339Utc(std::chrono::system_clock::time_point tp) {
+  const std::time_t t = std::chrono::system_clock::to_time_t(tp);
+  std::tm tm{};
+  gmtime_r(&t, &tm);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02dZ",
+                tm.tm_year + 1900, (tm.tm_mon % 12) + 1, tm.tm_mday % 100,
+                tm.tm_hour % 100, tm.tm_min % 100, tm.tm_sec % 100);
+  return buf;
+}
+
+std::string Rfc3339Now() { return Rfc3339Utc(std::chrono::system_clock::now()); }
+
+}  // namespace tfsim::obs

@@ -1,0 +1,184 @@
+#include "obs/heatmap.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/export_meta.h"
+#include "obs/json_writer.h"
+
+namespace tfsim::obs {
+
+namespace {
+
+const char* StorageName(Storage s) {
+  return s == Storage::kLatch ? "latch" : s == Storage::kRam ? "ram"
+                                                             : "background";
+}
+
+void WriteLatencyJson(JsonWriter& w, std::string_view key,
+                      const VulnerabilityHeatmap::Latency& l) {
+  w.BeginObject(key);
+  w.Field("n", l.n);
+  w.Field("silent", l.silent);
+  w.Field("sum_cycles", l.sum);
+  if (l.n) {
+    w.Field("min", l.min);
+    w.Field("max", l.max);
+    w.Field("mean", l.Mean());
+  }
+  w.Field("bucket_width", VulnerabilityHeatmap::kLatencyBucketWidth);
+  w.BeginArray("buckets");
+  for (std::uint64_t b : l.buckets) w.Value(b);
+  w.End();
+  w.End();
+}
+
+}  // namespace
+
+void VulnerabilityHeatmap::Latency::Add(std::int64_t cycle) {
+  if (cycle == kNotTraced) return;
+  if (cycle < 0) {
+    ++silent;
+    return;
+  }
+  const std::uint64_t c = static_cast<std::uint64_t>(cycle);
+  if (n == 0 || c < min) min = c;
+  if (n == 0 || c > max) max = c;
+  ++n;
+  sum += c;
+  const std::size_t b = static_cast<std::size_t>(c / kLatencyBucketWidth);
+  buckets[b < kLatencyBuckets ? b : kLatencyBuckets]++;
+}
+
+std::uint64_t VulnerabilityHeatmap::Cell::Failures() const {
+  return outcomes[static_cast<int>(Outcome::kSdc)] +
+         outcomes[static_cast<int>(Outcome::kTerminated)];
+}
+
+void VulnerabilityHeatmap::Add(const Sample& s) {
+  Cell& c = cells_[s.field];
+  if (c.trials == 0) {
+    c.cat = s.cat;
+    c.storage = s.storage;
+    c.bits = s.field_bits;
+  } else if (c.bits == 0 && s.field_bits) {
+    c.bits = s.field_bits;
+  }
+  ++c.trials;
+  ++trials_;
+  ++c.outcomes[static_cast<int>(s.outcome)];
+  ++c.modes[static_cast<int>(s.mode)];
+  c.arch_divergence.Add(s.arch_divergence_cycle);
+  c.first_spread.Add(s.first_spread_cycle);
+}
+
+std::uint64_t VulnerabilityHeatmap::failures() const {
+  std::uint64_t f = 0;
+  for (const auto& [name, c] : cells_) f += c.Failures();
+  return f;
+}
+
+std::vector<VulnerabilityHeatmap::CategoryShare>
+VulnerabilityHeatmap::CategoryContributions() const {
+  std::array<CategoryShare, kNumStateCats> by_cat{};
+  for (int i = 0; i < kNumStateCats; ++i)
+    by_cat[static_cast<std::size_t>(i)].cat = static_cast<StateCat>(i);
+  for (const auto& [name, c] : cells_) {
+    auto& share = by_cat[static_cast<std::size_t>(c.cat)];
+    share.trials += c.trials;
+    share.failures += c.Failures();
+  }
+  std::vector<CategoryShare> out;
+  for (const auto& s : by_cat)
+    if (s.trials) out.push_back(s);
+  std::sort(out.begin(), out.end(),
+            [](const CategoryShare& a, const CategoryShare& b) {
+              if (a.failures != b.failures) return a.failures > b.failures;
+              return std::string_view(StateCatName(a.cat)) <
+                     std::string_view(StateCatName(b.cat));
+            });
+  return out;
+}
+
+void VulnerabilityHeatmap::WriteJson(std::ostream& os,
+                                     std::string_view workload,
+                                     std::string_view generated_at) const {
+  const std::uint64_t total_failures = failures();
+  JsonWriter w(os);
+  w.BeginObject();
+  w.Field("schema_version", kObsSchemaVersion);
+  w.Field("generated_at",
+          generated_at.empty() ? Rfc3339Now() : std::string(generated_at));
+  if (!workload.empty()) w.Field("workload", workload);
+  w.Field("trials", trials_);
+  w.Field("failures", total_failures);
+
+  w.BeginArray("fields");
+  for (const auto& [name, c] : cells_) {
+    w.BeginObject();
+    w.Field("field", name);
+    w.Field("category", StateCatName(c.cat));
+    w.Field("storage", StorageName(c.storage));
+    w.Field("bits", c.bits);
+    w.Field("trials", c.trials);
+    w.BeginObject("outcomes");
+    for (int o = 0; o < kNumOutcomes; ++o)
+      w.Field(OutcomeName(static_cast<Outcome>(o)), c.outcomes[o]);
+    w.End();
+    w.BeginObject("failure_modes");
+    for (int m = 0; m < kNumFailureModes; ++m)
+      if (c.modes[m])
+        w.Field(FailureModeName(static_cast<FailureMode>(m)), c.modes[m]);
+    w.End();
+    w.Field("failures", c.Failures());
+    w.Field("failure_share",
+            total_failures ? static_cast<double>(c.Failures()) /
+                                 static_cast<double>(total_failures)
+                           : 0.0);
+    WriteLatencyJson(w, "arch_divergence", c.arch_divergence);
+    WriteLatencyJson(w, "first_spread", c.first_spread);
+    w.End();
+  }
+  w.End();
+
+  // Figure 8 rollup, already in contribution order.
+  w.BeginArray("categories");
+  for (const CategoryShare& s : CategoryContributions()) {
+    w.BeginObject();
+    w.Field("category", StateCatName(s.cat));
+    w.Field("trials", s.trials);
+    w.Field("failures", s.failures);
+    w.Field("failure_share",
+            total_failures ? static_cast<double>(s.failures) /
+                                 static_cast<double>(total_failures)
+                           : 0.0);
+    w.End();
+  }
+  w.End();
+
+  w.End();
+  os << '\n';
+}
+
+void VulnerabilityHeatmap::WriteCsv(std::ostream& os) const {
+  const std::uint64_t total_failures = failures();
+  os << "field,category,storage,bits,trials,match,terminated,sdc,gray,"
+        "trial_error,failures,failure_share,div_n,div_silent,div_sum,"
+        "spread_n,spread_silent,spread_sum\n";
+  for (const auto& [name, c] : cells_) {
+    os << name << ',' << StateCatName(c.cat) << ',' << StorageName(c.storage)
+       << ',' << c.bits << ',' << c.trials;
+    for (int o = 0; o < kNumOutcomes; ++o) os << ',' << c.outcomes[o];
+    os << ',' << c.Failures() << ',';
+    char share[32];
+    std::snprintf(share, sizeof(share), "%.6f",
+                  total_failures ? static_cast<double>(c.Failures()) /
+                                       static_cast<double>(total_failures)
+                                 : 0.0);
+    os << share << ',' << c.arch_divergence.n << ',' << c.arch_divergence.silent
+       << ',' << c.arch_divergence.sum << ',' << c.first_spread.n << ','
+       << c.first_spread.silent << ',' << c.first_spread.sum << '\n';
+  }
+}
+
+}  // namespace tfsim::obs

@@ -1,5 +1,6 @@
 #include "obs/metrics.h"
 
+#include "obs/export_meta.h"
 #include "obs/json_writer.h"
 
 namespace tfsim::obs {
@@ -27,6 +28,11 @@ Timer& MetricsRegistry::GetTimer(const std::string& name) {
 void MetricsRegistry::WriteJson(std::ostream& os, bool include_timers) const {
   JsonWriter w(os);
   w.BeginObject();
+  w.Field("schema_version", kObsSchemaVersion);
+  // The timestamp is wall-clock, so it rides with the timers section: the
+  // timer-less export stays the byte-deterministic portion (pinned by
+  // tests), and version-less PR 1 readers simply ignore both keys.
+  if (include_timers) w.Field("generated_at", Rfc3339Now());
 
   w.BeginObject("counters");
   for (const auto& [name, c] : counters_) w.Field(name, c->value());

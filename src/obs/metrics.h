@@ -109,6 +109,9 @@ class MetricsRegistry {
 
   // Exports the registry as one JSON object with "counters", "histograms"
   // and (when `include_timers`) "timers" sections, keys sorted by name.
+  // Stamped with schema_version, plus an RFC3339 generated_at when timers
+  // are included (the timestamp is wall-clock like the timers, so the
+  // timer-less export remains byte-deterministic across identical runs).
   void WriteJson(std::ostream& os, bool include_timers = true) const;
 
   std::size_t InstrumentCount() const {

@@ -13,6 +13,7 @@ class ChromeTraceWriter;
 class Counter;
 class Histogram;
 class Timer;
+class EventJournal;
 
 struct ObsSinks {
   MetricsRegistry* metrics = nullptr;

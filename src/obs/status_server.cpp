@@ -1,0 +1,164 @@
+#include "obs/status_server.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "obs/export_meta.h"
+#include "obs/json_writer.h"
+
+namespace tfsim::obs {
+
+CampaignStatusServer::~CampaignStatusServer() { Stop(); }
+
+bool CampaignStatusServer::Start(std::uint16_t port, EventJournal& journal,
+                                 std::string* error) {
+  if (!http_.Start(port, [this](const HttpRequest& r) { return Handle(r); },
+                   error))
+    return false;
+  journal_ = &journal;
+  journal.AddSink(this);
+  return true;
+}
+
+void CampaignStatusServer::Stop() {
+  if (journal_) {
+    journal_->RemoveSink(this);
+    journal_ = nullptr;
+  }
+  http_.Stop();
+}
+
+void CampaignStatusServer::OnEvent(const Event& e) {
+  std::lock_guard<std::mutex> lock(mu_);
+  last_ts_us_ = e.ts_us;
+  switch (e.kind) {
+    case EventKind::kCampaignStart:
+      campaign_ = e.detail;
+      workload_ = e.field;
+      total_ = e.value;
+      done_ = 0;
+      quarantined_ = 0;
+      start_ts_us_ = e.ts_us;
+      finished_ = false;
+      interrupted_ = false;
+      outcomes_ = {};
+      // A suite reuses one server across campaigns; the heatmap keeps
+      // accumulating (it is keyed by field, not by campaign).
+      break;
+    case EventKind::kCacheHit:
+      done_ = e.value;
+      break;
+    case EventKind::kTrialDone: {
+      ++done_;
+      ++outcomes_[static_cast<int>(e.outcome)];
+      VulnerabilityHeatmap::Sample s;
+      s.field = e.field;
+      s.cat = e.cat;
+      s.storage = e.storage;
+      s.field_bits = e.field_bits;
+      s.outcome = e.outcome;
+      s.mode = e.mode;
+      s.cycles = e.cycles;
+      s.arch_divergence_cycle = e.arch_divergence_cycle;
+      s.first_spread_cycle = e.first_spread_cycle;
+      heatmap_.Add(s);
+      break;
+    }
+    case EventKind::kTrialQuarantine:
+      ++quarantined_;
+      break;
+    case EventKind::kMetricsSnapshot:
+      metrics_json_ = e.detail;
+      break;
+    case EventKind::kCampaignFinish:
+      if (e.value > done_) done_ = e.value;  // resumed-prefix trials
+      finished_ = true;
+      interrupted_ = e.interrupted;
+      break;
+    default:
+      break;
+  }
+}
+
+std::string CampaignStatusServer::ProgressJson() const {
+  const double elapsed_s =
+      static_cast<double>(last_ts_us_ - start_ts_us_) * 1e-6;
+  const double rate =
+      done_ ? static_cast<double>(done_) /
+                  (elapsed_s > 1e-6 ? elapsed_s : 1e-6)
+            : 0.0;
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.BeginObject();
+  w.Field("schema_version", kObsSchemaVersion);
+  w.Field("generated_at", Rfc3339Now());
+  w.Field("campaign", campaign_);
+  w.Field("workload", workload_);
+  w.Field("trials_total", total_);
+  w.Field("trials_done", done_);
+  w.Field("quarantined", quarantined_);
+  w.BeginObject("outcomes");
+  for (int o = 0; o < kNumOutcomes; ++o)
+    w.Field(OutcomeName(static_cast<Outcome>(o)), outcomes_[o]);
+  w.End();
+  w.Field("elapsed_seconds", elapsed_s);
+  w.Field("trials_per_sec", rate);
+  w.Field("eta_seconds",
+          rate > 0 && total_ > done_
+              ? static_cast<double>(total_ - done_) / rate
+              : 0.0);
+  w.Field("finished", finished_);
+  w.Field("interrupted", interrupted_);
+  w.End();
+  os << '\n';
+  return os.str();
+}
+
+HttpResponse CampaignStatusServer::Handle(const HttpRequest& req) {
+  HttpResponse resp;
+  if (req.path == "/progress") {
+    std::lock_guard<std::mutex> lock(mu_);
+    resp.body = ProgressJson();
+  } else if (req.path == "/metrics") {
+    std::lock_guard<std::mutex> lock(mu_);
+    resp.body = metrics_json_;
+  } else if (req.path == "/heatmap") {
+    std::ostringstream os;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      heatmap_.WriteJson(os, workload_);
+    }
+    resp.body = os.str();
+  } else if (req.path == "/events") {
+    std::size_t tail = 64;
+    if (auto it = req.query.find("tail"); it != req.query.end()) {
+      const long v = std::atol(it->second.c_str());
+      if (v < 0) {
+        resp.status = 400;
+        resp.body = "{\"error\":\"tail must be >= 0\"}\n";
+        return resp;
+      }
+      tail = static_cast<std::size_t>(v);
+    }
+    // journal_ only changes on Start/Stop; the handler never runs after
+    // Stop() (the listener joins first).
+    const std::vector<std::string> lines =
+        journal_ ? journal_->Tail(tail) : std::vector<std::string>{};
+    // Lines are pre-rendered JSON objects; splice them in verbatim.
+    std::ostringstream out;
+    out << "{\"schema_version\":" << kObsSchemaVersion << ",\"events\":[";
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      if (i) out << ',';
+      out << lines[i];
+    }
+    out << "]}\n";
+    resp.body = out.str();
+  } else {
+    resp.status = 404;
+    resp.body = "{\"error\":\"unknown endpoint\",\"endpoints\":"
+                "[\"/progress\",\"/metrics\",\"/heatmap\",\"/events\"]}\n";
+  }
+  return resp;
+}
+
+}  // namespace tfsim::obs

@@ -1,0 +1,73 @@
+// Live campaign status over HTTP/JSON: a CampaignStatusServer subscribes to
+// the campaign's EventJournal and serves its aggregated view on a loopback
+// HTTP/1.1 listener (util/http). This is the wire format the ROADMAP's
+// distributed campaign service (`tfi serve`) is specified to speak — the
+// endpoint schemas are documented (and frozen) in EXPERIMENTS.md.
+//
+//   GET /progress          trials done/total, outcome mix, trials/sec, ETA
+//   GET /metrics           the PR 1 metrics-registry JSON (latest snapshot
+//                          emitted by the campaign at safe points)
+//   GET /heatmap           live per-field vulnerability aggregator snapshot
+//   GET /events?tail=N     the last N journal lines as a JSON array
+//
+// All state is fed exclusively by journal events on the drain thread and
+// read by the HTTP thread under one mutex — the campaign workers never see
+// the server. Serving (or not serving) requests cannot change trial
+// results, and an idle server costs the campaign one event-sink dispatch
+// per event.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "obs/events.h"
+#include "obs/heatmap.h"
+#include "util/http.h"
+
+namespace tfsim::obs {
+
+class CampaignStatusServer : public EventSink {
+ public:
+  CampaignStatusServer() = default;
+  ~CampaignStatusServer() override;
+
+  // Binds 127.0.0.1:`port` (0 = ephemeral; see port()) and subscribes to
+  // `journal`. Returns false with a diagnostic on listener failure.
+  bool Start(std::uint16_t port, EventJournal& journal,
+             std::string* error = nullptr);
+
+  // Unsubscribes and stops the listener. Idempotent; also run by the dtor.
+  void Stop();
+
+  bool running() const { return http_.running(); }
+  std::uint16_t port() const { return http_.port(); }
+
+  // EventSink (drain thread).
+  void OnEvent(const Event& e) override;
+
+ private:
+  HttpResponse Handle(const HttpRequest& req);
+  std::string ProgressJson() const;  // caller holds mu_
+
+  HttpServer http_;
+  EventJournal* journal_ = nullptr;
+
+  mutable std::mutex mu_;
+  // Campaign progress state (all guarded by mu_).
+  std::string campaign_;
+  std::string workload_;
+  std::uint64_t total_ = 0;
+  std::uint64_t done_ = 0;
+  std::uint64_t quarantined_ = 0;
+  std::uint64_t start_ts_us_ = 0;
+  std::uint64_t last_ts_us_ = 0;
+  bool finished_ = false;
+  bool interrupted_ = false;
+  std::array<std::uint64_t, kNumOutcomes> outcomes_{};
+  VulnerabilityHeatmap heatmap_;
+  std::string metrics_json_ = "{}\n";
+};
+
+}  // namespace tfsim::obs

@@ -1,0 +1,243 @@
+#include "util/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <thread>
+
+namespace tfsim {
+
+namespace {
+
+constexpr std::size_t kMaxRequestBytes = 8192;
+constexpr int kIoTimeoutMs = 2000;
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    default: return "Error";
+  }
+}
+
+// %xx-decodes a query component (plus '+' as space).
+std::string UrlDecode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '+') {
+      out.push_back(' ');
+    } else if (s[i] == '%' && i + 2 < s.size()) {
+      auto hex = [](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+        return -1;
+      };
+      const int hi = hex(s[i + 1]), lo = hex(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>(hi * 16 + lo));
+        i += 2;
+      } else {
+        out.push_back(s[i]);
+      }
+    } else {
+      out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+void ParseTarget(std::string_view target, HttpRequest* req) {
+  const std::size_t qpos = target.find('?');
+  req->path = std::string(target.substr(0, qpos));
+  if (qpos == std::string_view::npos) return;
+  std::string_view qs = target.substr(qpos + 1);
+  while (!qs.empty()) {
+    const std::size_t amp = qs.find('&');
+    std::string_view pair = qs.substr(0, amp);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string_view::npos)
+      req->query[UrlDecode(pair.substr(0, eq))] = UrlDecode(pair.substr(eq + 1));
+    else if (!pair.empty())
+      req->query[UrlDecode(pair)] = "";
+    if (amp == std::string_view::npos) break;
+    qs.remove_prefix(amp + 1);
+  }
+}
+
+// Reads from `fd` until the header terminator, EOF, error or timeout.
+bool ReadRequestHead(int fd, std::string* head) {
+  char buf[1024];
+  while (head->size() < kMaxRequestBytes) {
+    if (head->find("\r\n\r\n") != std::string::npos) return true;
+    pollfd p{fd, POLLIN, 0};
+    const int pr = poll(&p, 1, kIoTimeoutMs);
+    if (pr <= 0) return false;
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return false;
+    head->append(buf, static_cast<std::size_t>(n));
+  }
+  return head->find("\r\n\r\n") != std::string::npos;
+}
+
+bool SendAll(int fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string RenderResponse(const HttpResponse& r) {
+  std::ostringstream os;
+  os << "HTTP/1.1 " << r.status << ' ' << StatusText(r.status) << "\r\n"
+     << "Content-Type: " << r.content_type << "\r\n"
+     << "Content-Length: " << r.body.size() << "\r\n"
+     << "Connection: close\r\n\r\n"
+     << r.body;
+  return os.str();
+}
+
+}  // namespace
+
+struct HttpServer::Impl {
+  std::thread thread;
+  std::atomic<bool> stop{false};
+};
+
+HttpServer::~HttpServer() { Stop(); }
+
+bool HttpServer::Start(std::uint16_t port, Handler handler,
+                       std::string* error) {
+  auto fail = [&](const std::string& what) {
+    if (error) *error = what + ": " + std::strerror(errno);
+    if (listen_fd_ >= 0) close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  };
+  if (running_) {
+    if (error) *error = "already running";
+    return false;
+  }
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return fail("socket");
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
+    return fail("bind 127.0.0.1:" + std::to_string(port));
+  if (listen(listen_fd_, 16) != 0) return fail("listen");
+  socklen_t len = sizeof(addr);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0)
+    return fail("getsockname");
+  port_ = ntohs(addr.sin_port);
+  handler_ = std::move(handler);
+  impl_ = new Impl;
+  impl_->thread = std::thread([this] { AcceptLoop(); });
+  running_ = true;
+  return true;
+}
+
+void HttpServer::Stop() {
+  if (!impl_) return;
+  impl_->stop.store(true, std::memory_order_relaxed);
+  impl_->thread.join();
+  delete impl_;
+  impl_ = nullptr;
+  if (listen_fd_ >= 0) close(listen_fd_);
+  listen_fd_ = -1;
+  running_ = false;
+}
+
+void HttpServer::AcceptLoop() {
+  // Poll with a short timeout so Stop()'s flag is honoured promptly without
+  // the platform games of waking a blocked accept().
+  while (!impl_->stop.load(std::memory_order_relaxed)) {
+    pollfd p{listen_fd_, POLLIN, 0};
+    const int pr = poll(&p, 1, 50);
+    if (pr < 0 && errno != EINTR) break;
+    if (pr <= 0 || !(p.revents & POLLIN)) continue;
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    ServeConnection(fd);
+    close(fd);
+  }
+}
+
+void HttpServer::ServeConnection(int fd) {
+  std::string head;
+  if (!ReadRequestHead(fd, &head)) return;
+  const std::size_t eol = head.find("\r\n");
+  std::istringstream line(head.substr(0, eol));
+  HttpRequest req;
+  std::string target, version;
+  line >> req.method >> target >> version;
+  HttpResponse resp;
+  if (req.method.empty() || target.empty() || target[0] != '/') {
+    resp = {400, "application/json", "{\"error\":\"malformed request\"}\n"};
+  } else if (req.method != "GET") {
+    resp = {405, "application/json", "{\"error\":\"GET only\"}\n"};
+  } else {
+    ParseTarget(target, &req);
+    resp = handler_(req);
+  }
+  SendAll(fd, RenderResponse(resp));
+}
+
+bool HttpGet(std::uint16_t port, const std::string& target, std::string* body,
+             int* status, std::string* error) {
+  auto fail = [&](const std::string& what, int fd = -1) {
+    if (error) *error = what + ": " + std::strerror(errno);
+    if (fd >= 0) close(fd);
+    return false;
+  };
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return fail("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
+    return fail("connect 127.0.0.1:" + std::to_string(port), fd);
+  const std::string req = "GET " + target +
+                          " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                          "Connection: close\r\n\r\n";
+  if (!SendAll(fd, req)) return fail("send", fd);
+  std::string raw;
+  char buf[2048];
+  for (;;) {
+    pollfd p{fd, POLLIN, 0};
+    if (poll(&p, 1, kIoTimeoutMs) <= 0) return fail("poll", fd);
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) return fail("recv", fd);
+    if (n == 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  close(fd);
+  const std::size_t sep = raw.find("\r\n\r\n");
+  if (raw.rfind("HTTP/1.", 0) != 0 || sep == std::string::npos) {
+    if (error) *error = "malformed response";
+    return false;
+  }
+  if (status) *status = std::atoi(raw.c_str() + raw.find(' ') + 1);
+  if (body) *body = raw.substr(sep + 4);
+  return true;
+}
+
+}  // namespace tfsim

@@ -1,0 +1,71 @@
+// Minimal HTTP/1.1 listener (and a matching blocking client for tests and
+// smokes) for the campaign status endpoint. Deliberately tiny: GET-only,
+// loopback-only, one short-lived connection at a time, `Connection: close`
+// on every response. This is a telemetry peephole, not a web server — the
+// future `tfi serve` campaign service is expected to reuse exactly this
+// request/response surface.
+//
+// Threading: Start() spawns one accept thread; the handler runs on that
+// thread, so a slow handler delays the next request but never the campaign.
+// Stop() (also run by the destructor) shuts the listener down and joins.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+namespace tfsim {
+
+struct HttpRequest {
+  std::string method;  // "GET"
+  std::string path;    // target with the query string stripped ("/events")
+  std::map<std::string, std::string> query;  // parsed ?k=v&k2=v2 params
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpServer() = default;
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  // Binds 127.0.0.1:`port` (0 picks an ephemeral port, readable via port())
+  // and starts the accept thread. Returns false with a diagnostic in *error
+  // on bind/listen failure or when already running.
+  bool Start(std::uint16_t port, Handler handler, std::string* error = nullptr);
+
+  // Stops accepting, closes the listener and joins the thread. Idempotent.
+  void Stop();
+
+  bool running() const { return running_; }
+  std::uint16_t port() const { return port_; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  Handler handler_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  bool running_ = false;
+  // Accept thread handle, opaque to keep <thread> out of this header.
+  struct Impl;
+  Impl* impl_ = nullptr;
+};
+
+// Blocking GET of http://127.0.0.1:port/<target> (target may carry a query
+// string). Fills *body (and *status when non-null) from the response;
+// returns false with a diagnostic in *error on connect/IO/parse failure.
+bool HttpGet(std::uint16_t port, const std::string& target, std::string* body,
+             int* status = nullptr, std::string* error = nullptr);
+
+}  // namespace tfsim

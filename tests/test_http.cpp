@@ -1,0 +1,93 @@
+// The minimal loopback HTTP listener behind the campaign status endpoint:
+// request routing, query parsing, error statuses, ephemeral ports and
+// clean/idempotent shutdown.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/http.h"
+
+namespace tfsim {
+namespace {
+
+TEST(Http, RoundTripOnEphemeralPort) {
+  HttpServer server;
+  std::string err;
+  ASSERT_TRUE(server.Start(0, [](const HttpRequest& req) {
+    HttpResponse resp;
+    resp.body = "{\"path\":\"" + req.path + "\"}\n";
+    return resp;
+  }, &err)) << err;
+  ASSERT_TRUE(server.running());
+  ASSERT_NE(server.port(), 0);
+
+  std::string body;
+  int status = 0;
+  ASSERT_TRUE(HttpGet(server.port(), "/progress", &body, &status, &err)) << err;
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(body, "{\"path\":\"/progress\"}\n");
+
+  // The server stays up across sequential requests (Connection: close).
+  ASSERT_TRUE(HttpGet(server.port(), "/metrics", &body, &status, &err)) << err;
+  EXPECT_EQ(body, "{\"path\":\"/metrics\"}\n");
+
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  server.Stop();  // idempotent
+}
+
+TEST(Http, ParsesQueryParameters) {
+  HttpServer server;
+  HttpRequest seen;
+  std::string err;
+  ASSERT_TRUE(server.Start(0, [&](const HttpRequest& req) {
+    seen = req;
+    return HttpResponse{};
+  }, &err)) << err;
+  std::string body;
+  ASSERT_TRUE(HttpGet(server.port(), "/events?tail=5&label=a%20b", &body,
+                      nullptr, &err))
+      << err;
+  EXPECT_EQ(seen.method, "GET");
+  EXPECT_EQ(seen.path, "/events");
+  ASSERT_EQ(seen.query.count("tail"), 1u);
+  EXPECT_EQ(seen.query.at("tail"), "5");
+  EXPECT_EQ(seen.query.at("label"), "a b");  // percent-decoded
+}
+
+TEST(Http, PropagatesHandlerStatus) {
+  HttpServer server;
+  std::string err;
+  ASSERT_TRUE(server.Start(0, [](const HttpRequest& req) {
+    HttpResponse resp;
+    if (req.path != "/ok") {
+      resp.status = 404;
+      resp.body = "{\"error\":\"not found\"}\n";
+    }
+    return resp;
+  }, &err)) << err;
+  std::string body;
+  int status = 0;
+  ASSERT_TRUE(HttpGet(server.port(), "/nope", &body, &status, &err)) << err;
+  EXPECT_EQ(status, 404);
+  EXPECT_NE(body.find("not found"), std::string::npos);
+  ASSERT_TRUE(HttpGet(server.port(), "/ok", &body, &status, &err)) << err;
+  EXPECT_EQ(status, 200);
+}
+
+TEST(Http, ClientReportsConnectionFailure) {
+  // Start then stop a server to obtain a port that is (very likely) closed.
+  HttpServer server;
+  std::string err;
+  ASSERT_TRUE(server.Start(0, [](const HttpRequest&) {
+    return HttpResponse{};
+  }, &err)) << err;
+  const std::uint16_t port = server.port();
+  server.Stop();
+  std::string body;
+  EXPECT_FALSE(HttpGet(port, "/progress", &body, nullptr, &err));
+  EXPECT_FALSE(err.empty());
+}
+
+}  // namespace
+}  // namespace tfsim

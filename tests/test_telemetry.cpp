@@ -1,0 +1,358 @@
+// Campaign telemetry: the event journal is pure observation. Attaching it
+// (with any set of sinks) must leave trial records, classification counts
+// and cache keys byte-identical at every --jobs value, and the journal
+// itself must be a well-formed, monotone, complete event stream — including
+// when the campaign is cancelled mid-flight.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "inject/campaign.h"
+#include "obs/events.h"
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+#include "util/cancel.h"
+
+namespace tfsim {
+namespace {
+
+GoldenSpec SmallSpec() {
+  GoldenSpec gs;
+  gs.warmup = 12000;
+  gs.points = 3;
+  gs.spacing = 500;
+  gs.window = 4000;
+  gs.slack = 1000;
+  return gs;
+}
+
+CampaignSpec SmallCampaign(int trials) {
+  CampaignSpec spec;
+  spec.workload = "gzip";
+  spec.trials = trials;
+  spec.golden = SmallSpec();
+  return spec;
+}
+
+void ExpectSameRecords(const CampaignResult& a, const CampaignResult& b) {
+  ASSERT_EQ(a.trials.size(), b.trials.size());
+  for (std::size_t i = 0; i < a.trials.size(); ++i) {
+    EXPECT_EQ(a.trials[i].outcome, b.trials[i].outcome) << "trial " << i;
+    EXPECT_EQ(a.trials[i].mode, b.trials[i].mode) << "trial " << i;
+    EXPECT_EQ(a.trials[i].cat, b.trials[i].cat) << "trial " << i;
+    EXPECT_EQ(a.trials[i].storage, b.trials[i].storage) << "trial " << i;
+    EXPECT_EQ(a.trials[i].cycles, b.trials[i].cycles) << "trial " << i;
+    EXPECT_EQ(a.trials[i].valid_instrs, b.trials[i].valid_instrs);
+    EXPECT_EQ(a.trials[i].inflight, b.trials[i].inflight);
+  }
+  EXPECT_EQ(a.ByOutcome(), b.ByOutcome());
+  EXPECT_EQ(a.ByFailureMode(), b.ByFailureMode());
+  EXPECT_EQ(a.spec.CacheKey(), b.spec.CacheKey());
+}
+
+// Collects every delivered event for post-run inspection. OnEvent runs on
+// the journal's drain thread; reads happen only after RunCampaign returned
+// (which flushes the journal), under the same mutex for rigor.
+class CollectSink : public obs::EventSink {
+ public:
+  void OnEvent(const obs::Event& e) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.push_back(e);
+  }
+  std::vector<obs::Event> Events() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<obs::Event> events_;
+};
+
+TEST(Telemetry, JournalOnOrOffLeavesResultsByteIdentical) {
+  const CampaignSpec spec = SmallCampaign(24);
+  CampaignOptions plain;
+  plain.verbose = false;
+  plain.use_cache = false;
+  const CampaignResult baseline = RunCampaign(spec, plain);
+  ASSERT_EQ(baseline.trials.size(), 24u);
+
+  for (int jobs : {1, 4}) {
+    obs::EventJournal journal;
+    std::ostringstream jsonl;
+    obs::JsonlEventSink file_sink(jsonl, "2026-01-01T00:00:00Z");
+    journal.AddSink(&file_sink);
+    obs::MetricsRegistry metrics;
+    CampaignOptions opt;
+    opt.verbose = false;
+    opt.use_cache = false;
+    opt.jobs = jobs;
+    opt.obs.events = &journal;
+    opt.obs.sinks.metrics = &metrics;
+    const CampaignResult r = RunCampaign(spec, opt);
+    journal.RemoveSink(&file_sink);
+    ExpectSameRecords(baseline, r);
+    // And the journal accounted for every trial exactly once.
+    std::size_t trial_done = 0;
+    std::istringstream lines(jsonl.str());
+    std::string line;
+    while (std::getline(lines, line))
+      if (line.find("\"ev\":\"trial_done\"") != std::string::npos)
+        ++trial_done;
+    EXPECT_EQ(trial_done, r.trials.size()) << "jobs=" << jobs;
+  }
+}
+
+TEST(Telemetry, JsonlStreamIsWellFormedOrderedAndComplete) {
+  const CampaignSpec spec = SmallCampaign(16);
+  obs::EventJournal journal;
+  std::ostringstream jsonl;
+  obs::JsonlEventSink file_sink(jsonl, "2026-01-01T00:00:00Z");
+  journal.AddSink(&file_sink);
+  CollectSink collect;
+  journal.AddSink(&collect);
+  obs::MetricsRegistry metrics;
+  CampaignOptions opt;
+  opt.verbose = false;
+  opt.use_cache = false;
+  opt.jobs = 2;
+  opt.obs.events = &journal;
+  opt.obs.sinks.metrics = &metrics;
+  const CampaignResult r = RunCampaign(spec, opt);
+  journal.RemoveSink(&collect);
+  journal.RemoveSink(&file_sink);
+
+  // Every line is valid JSON; the first is the schema header.
+  std::istringstream lines(jsonl.str());
+  std::string line;
+  std::vector<std::string> all;
+  while (std::getline(lines, line)) all.push_back(line);
+  ASSERT_FALSE(all.empty());
+  EXPECT_NE(all.front().find("\"type\":\"header\""), std::string::npos);
+  EXPECT_NE(all.front().find("\"schema_version\""), std::string::npos);
+  for (const std::string& l : all) {
+    std::string err;
+    EXPECT_TRUE(obs::JsonLint(l, &err)) << err << "\n" << l;
+  }
+  // Metrics snapshots are served live, never journaled to the file.
+  EXPECT_EQ(jsonl.str().find("\"ev\":\"metrics_snapshot\""), std::string::npos);
+
+  // The delivered event stream is monotone in ts_us, brackets the campaign,
+  // and covers every trial index exactly once.
+  const std::vector<obs::Event> events = collect.Events();
+  ASSERT_GE(events.size(), 3u);
+  EXPECT_EQ(events.front().kind, obs::EventKind::kCampaignStart);
+  EXPECT_EQ(events.back().kind, obs::EventKind::kCampaignFinish);
+  EXPECT_EQ(events.back().value, r.trials.size());
+  EXPECT_FALSE(events.back().interrupted);
+  std::uint64_t prev_ts = 0;
+  std::vector<int> seen(r.trials.size(), 0);
+  for (const obs::Event& e : events) {
+    EXPECT_GE(e.ts_us, prev_ts);
+    prev_ts = e.ts_us;
+    if (e.kind == obs::EventKind::kTrialDone) {
+      ASSERT_GE(e.trial, 0);
+      ASSERT_LT(static_cast<std::size_t>(e.trial), seen.size());
+      seen[static_cast<std::size_t>(e.trial)]++;
+      EXPECT_EQ(e.outcome, r.trials[static_cast<std::size_t>(e.trial)].outcome);
+      EXPECT_FALSE(e.field.empty());
+      EXPECT_GT(e.field_bits, 0u);
+    }
+  }
+  for (std::size_t i = 0; i < seen.size(); ++i)
+    EXPECT_EQ(seen[i], 1) << "trial " << i;
+}
+
+TEST(Telemetry, CancellationYieldsWellFormedPrefixAndInterruptedFinish) {
+  const CampaignSpec spec = SmallCampaign(40);
+  CancellationToken cancel;
+  obs::EventJournal journal;
+  std::ostringstream jsonl;
+  obs::JsonlEventSink file_sink(jsonl, "2026-01-01T00:00:00Z");
+  journal.AddSink(&file_sink);
+  CampaignOptions opt;
+  opt.verbose = false;
+  opt.use_cache = false;
+  opt.jobs = 2;
+  opt.cancel = &cancel;
+  opt.obs.events = &journal;
+  // Request cancellation from inside the trial loop, like a SIGINT landing
+  // mid-campaign would.
+  opt.trial_fault_hook = [&](std::size_t i) {
+    if (i == 9) cancel.Request();
+  };
+  const CampaignResult r = RunCampaign(spec, opt);
+  journal.RemoveSink(&file_sink);
+
+  ASSERT_TRUE(r.interrupted);
+  ASSERT_LT(r.trials.size(), 40u);
+
+  std::istringstream lines(jsonl.str());
+  std::string line;
+  std::vector<std::string> all;
+  while (std::getline(lines, line)) all.push_back(line);
+  ASSERT_GE(all.size(), 3u);
+  for (const std::string& l : all) {
+    std::string err;
+    EXPECT_TRUE(obs::JsonLint(l, &err)) << err << "\n" << l;
+  }
+  // The journal observed the cancellation and still closed the campaign.
+  EXPECT_NE(jsonl.str().find("\"ev\":\"cancel_requested\""), std::string::npos);
+  EXPECT_NE(all.back().find("\"ev\":\"campaign_finish\""), std::string::npos);
+  EXPECT_NE(all.back().find("\"interrupted\":true"), std::string::npos);
+  // Every kept trial produced its trial_done line (completions past the
+  // discarded out-of-order tail may also appear; the kept prefix must).
+  for (std::size_t i = 0; i < r.trials.size(); ++i) {
+    const std::string needle = "\"trial\":" + std::to_string(i) + ",";
+    EXPECT_NE(jsonl.str().find(needle), std::string::npos) << "trial " << i;
+  }
+}
+
+TEST(Telemetry, RetryAndQuarantineBecomeEvents) {
+  const CampaignSpec spec = SmallCampaign(8);
+  obs::EventJournal journal;
+  CollectSink collect;
+  journal.AddSink(&collect);
+  CampaignOptions opt;
+  opt.verbose = false;
+  opt.use_cache = false;
+  opt.retries = 1;
+  opt.obs.events = &journal;
+  opt.trial_fault_hook = [](std::size_t i) {
+    if (i == 3) throw std::runtime_error("injected host fault");
+  };
+  const CampaignResult r = RunCampaign(spec, opt);
+  journal.RemoveSink(&collect);
+
+  ASSERT_EQ(r.trials.size(), 8u);
+  EXPECT_EQ(r.trials[3].outcome, Outcome::kTrialError);
+  ASSERT_EQ(r.quarantined.size(), 1u);
+  EXPECT_EQ(r.quarantined[0].index, 3u);
+
+  int retries = 0, quarantines = 0;
+  for (const obs::Event& e : collect.Events()) {
+    if (e.kind == obs::EventKind::kTrialRetry) {
+      ++retries;
+      EXPECT_EQ(e.trial, 3);
+      EXPECT_EQ(e.detail, "injected host fault");
+    }
+    if (e.kind == obs::EventKind::kTrialQuarantine) {
+      ++quarantines;
+      EXPECT_EQ(e.trial, 3);
+    }
+  }
+  EXPECT_EQ(retries, 2);  // initial attempt + one retry, both threw
+  EXPECT_EQ(quarantines, 1);
+}
+
+TEST(Telemetry, ProgressSinkReportsRateAndFinalSummary) {
+  std::ostringstream out;
+  obs::ProgressSink sink("test_key", 3, out);
+  obs::Event start;
+  start.kind = obs::EventKind::kCampaignStart;
+  start.ts_us = 100;
+  sink.OnEvent(start);
+  for (int i = 0; i < 3; ++i) {
+    obs::Event e;
+    e.kind = obs::EventKind::kTrialDone;
+    e.trial = i;
+    e.ts_us = 200 + static_cast<std::uint64_t>(i);
+    e.outcome = i == 2 ? Outcome::kSdc : Outcome::kMicroArchMatch;
+    sink.OnEvent(e);
+  }
+  obs::Event fin;
+  fin.kind = obs::EventKind::kCampaignFinish;
+  fin.ts_us = 500;  // 400us elapsed: a sub-second campaign
+  fin.value = 3;
+  sink.OnEvent(fin);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("3/3 trials"), std::string::npos) << s;
+  EXPECT_NE(s.find("match=2"), std::string::npos) << s;
+  EXPECT_NE(s.find("sdc=1"), std::string::npos) << s;
+  EXPECT_NE(s.find("[done in"), std::string::npos) << s;
+  // The monotonic clock gives a real (huge) rate even under a second.
+  EXPECT_EQ(s.find(" 0.0 trials/s"), std::string::npos) << s;
+}
+
+TEST(Telemetry, ProgressSinkReportsInterruption) {
+  std::ostringstream out;
+  obs::ProgressSink sink("test_key", 10, out);
+  obs::Event start;
+  start.kind = obs::EventKind::kCampaignStart;
+  start.ts_us = 0;
+  sink.OnEvent(start);
+  obs::Event e;
+  e.kind = obs::EventKind::kTrialDone;
+  e.trial = 0;
+  e.ts_us = 50;
+  e.outcome = Outcome::kMicroArchMatch;
+  sink.OnEvent(e);
+  obs::Event fin;
+  fin.kind = obs::EventKind::kCampaignFinish;
+  fin.ts_us = 90;
+  fin.value = 1;
+  fin.interrupted = true;
+  sink.OnEvent(fin);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("1/10 trials"), std::string::npos) << s;
+  EXPECT_NE(s.find("[interrupted in"), std::string::npos) << s;
+}
+
+TEST(Telemetry, CacheHitPathStillBracketsTheJournal) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "tfi_test_cache_telemetry")
+          .string();
+  ::setenv("TFI_CACHE_DIR", dir.c_str(), 1);
+  std::filesystem::remove_all(dir);
+
+  const CampaignSpec spec = SmallCampaign(10);
+  CampaignOptions warm;
+  warm.verbose = false;
+  RunCampaign(spec, warm);  // populate the cache
+
+  obs::EventJournal journal;
+  CollectSink collect;
+  journal.AddSink(&collect);
+  CampaignOptions opt;
+  opt.verbose = false;
+  opt.obs.events = &journal;
+  const CampaignResult r = RunCampaign(spec, opt);
+  journal.RemoveSink(&collect);
+  EXPECT_EQ(r.trials.size(), 10u);
+
+  const std::vector<obs::Event> events = collect.Events();
+  ASSERT_GE(events.size(), 3u);
+  EXPECT_EQ(events.front().kind, obs::EventKind::kCampaignStart);
+  bool saw_hit = false;
+  for (const obs::Event& e : events)
+    saw_hit |= e.kind == obs::EventKind::kCacheHit && e.value == 10;
+  EXPECT_TRUE(saw_hit);
+  EXPECT_EQ(events.back().kind, obs::EventKind::kCampaignFinish);
+  EXPECT_EQ(events.back().value, 10u);
+
+  std::filesystem::remove_all(dir);
+  ::unsetenv("TFI_CACHE_DIR");
+}
+
+TEST(Telemetry, MetricsExportCarriesSchemaVersionDeterministically) {
+  obs::MetricsRegistry m;
+  m.GetCounter("a").Inc(2);
+  std::ostringstream det1, det2, timed;
+  m.WriteJson(det1, /*include_timers=*/false);
+  m.WriteJson(det2, /*include_timers=*/false);
+  m.WriteJson(timed, /*include_timers=*/true);
+  // schema_version always; generated_at (wall clock) only with timers, so
+  // the deterministic export stays byte-stable.
+  EXPECT_EQ(det1.str(), det2.str());
+  EXPECT_NE(det1.str().find("\"schema_version\""), std::string::npos);
+  EXPECT_EQ(det1.str().find("\"generated_at\""), std::string::npos);
+  EXPECT_NE(timed.str().find("\"generated_at\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tfsim

@@ -86,22 +86,34 @@ int main() {
   }
   std::ifstream jsonl(jsonl_path);
   std::string line;
-  int rows = 0;
-  bool rows_parse = true, rows_complete = true;
+  int rows = 0, headers = 0;
+  bool rows_parse = true, rows_complete = true, header_versioned = true;
   while (std::getline(jsonl, line)) {
-    ++rows;
     std::string lerr;
     if (!obs::JsonLint(line, &lerr)) {
       rows_parse = false;
-      std::fprintf(stderr, "row %d: %s\n", rows, lerr.c_str());
+      std::fprintf(stderr, "line %d: %s\n", rows + headers + 1, lerr.c_str());
     }
+    // Schema v2 exports lead with a header line; readers (this one included)
+    // must keep accepting header-less v1 files, so the header is optional
+    // but, when present, must carry the schema version.
+    if (line.find("\"type\":\"header\"") != std::string::npos) {
+      ++headers;
+      if (line.find("\"schema_version\"") == std::string::npos ||
+          line.find("\"generated_at\"") == std::string::npos)
+        header_versioned = false;
+      continue;
+    }
+    ++rows;
     // Every row must carry outcome, injection category, and divergence cycle.
     for (const char* key : {"\"outcome\"", "\"category\"",
                             "\"arch_divergence_cycle\"", "\"trial\""})
       if (line.find(key) == std::string::npos) rows_complete = false;
   }
   Check(rows == 20, "prop.jsonl has one row per trial");
-  Check(rows_parse, "every prop.jsonl row parses as JSON");
+  Check(headers == 1 && header_versioned,
+        "prop.jsonl header carries schema_version/generated_at");
+  Check(rows_parse, "every prop.jsonl line parses as JSON");
   Check(rows_complete, "every row has outcome/category/divergence keys");
 
   // --- chrome trace --------------------------------------------------------

@@ -1,0 +1,206 @@
+// CTest smoke for campaign telemetry, end to end: runs a campaign with the
+// structured event journal, a JSONL file sink and the HTTP status server on
+// an ephemeral port, polls /progress, /metrics, /heatmap and /events from a
+// tiny built-in client WHILE trials execute, and validates every response
+// (and the journal file) with the built-in JSON checker — no python, no
+// external curl. After the run it cross-checks the heatmap's per-category
+// failure-contribution ordering against the same ordering computed directly
+// from the campaign result (the Figure 8 computation).
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "inject/campaign.h"
+#include "inject/report.h"
+#include "obs/events.h"
+#include "obs/heatmap.h"
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+#include "obs/status_server.h"
+#include "util/http.h"
+
+using namespace tfsim;
+
+namespace {
+
+int g_failures = 0;
+
+void Check(bool ok, const std::string& what) {
+  std::printf("%-58s %s\n", what.c_str(), ok ? "ok" : "FAIL");
+  if (!ok) ++g_failures;
+}
+
+bool LintBody(const std::string& body, const char* endpoint) {
+  std::string err;
+  const bool ok = obs::JsonLint(body, &err);
+  if (!ok) std::fprintf(stderr, "%s: %s\n%s\n", endpoint, err.c_str(), body.c_str());
+  return ok;
+}
+
+}  // namespace
+
+int main() {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "tfsim_telemetry_smoke";
+  std::filesystem::create_directories(dir);
+  setenv("TFI_CACHE_DIR", (dir / "cache").c_str(), 1);
+
+  CampaignSpec spec;
+  spec.workload = "gzip";
+  spec.trials = 80;
+  spec.golden.warmup = 12000;
+  spec.golden.points = 3;
+  spec.golden.spacing = 500;
+  spec.golden.window = 4000;
+  spec.golden.slack = 1000;
+
+  obs::EventJournal journal;
+  const auto events_path = dir / "events.jsonl";
+  std::ofstream events_out(events_path);
+  obs::JsonlEventSink events_sink(events_out);
+  journal.AddSink(&events_sink);
+
+  obs::CampaignStatusServer status;
+  std::string err;
+  Check(status.Start(0, journal, &err), "status server starts (" + err + ")");
+  Check(status.port() != 0, "ephemeral port assigned");
+  const std::uint16_t port = status.port();
+
+  obs::MetricsRegistry metrics;
+  CampaignOptions opt;
+  opt.verbose = false;
+  opt.use_cache = false;
+  opt.jobs = 2;
+  opt.obs.events = &journal;
+  opt.obs.sinks.metrics = &metrics;
+
+  // Run the campaign off-thread; the main thread plays the live client.
+  CampaignResult result;
+  std::atomic<bool> running{true};
+  std::thread campaign([&] {
+    result = RunCampaign(spec, opt);
+    running.store(false);
+  });
+
+  // Poll all four endpoints for as long as the campaign runs (and once
+  // after), validating every response as JSON.
+  int progress_polls = 0;
+  bool progress_ok = true, metrics_ok = true, heatmap_ok = true,
+       events_ok = true;
+  bool saw_live_progress = false;
+  do {
+    std::string body;
+    int http_status = 0;
+    if (HttpGet(port, "/progress", &body, &http_status, &err)) {
+      ++progress_polls;
+      progress_ok &= http_status == 200 && LintBody(body, "/progress");
+      // The campaign_start event is delivered asynchronously, so only
+      // snapshots taken after it carry the trial total.
+      if (running.load() &&
+          body.find("\"trials_total\":80") != std::string::npos &&
+          body.find("\"finished\":false") != std::string::npos)
+        saw_live_progress = true;
+    }
+    if (HttpGet(port, "/metrics", &body, &http_status, &err))
+      metrics_ok &= http_status == 200 && LintBody(body, "/metrics");
+    if (HttpGet(port, "/heatmap", &body, &http_status, &err))
+      heatmap_ok &= http_status == 200 && LintBody(body, "/heatmap");
+    if (HttpGet(port, "/events?tail=5", &body, &http_status, &err))
+      events_ok &= http_status == 200 && LintBody(body, "/events");
+  } while (running.load());
+  campaign.join();
+
+  Check(progress_polls > 0, "polled /progress during the campaign");
+  Check(saw_live_progress, "observed an unfinished /progress snapshot");
+  Check(progress_ok, "/progress responses are valid JSON");
+  Check(metrics_ok, "/metrics responses are valid JSON");
+  Check(heatmap_ok, "/heatmap responses are valid JSON");
+  Check(events_ok, "/events responses are valid JSON");
+
+  // Terminal state: the journal has been flushed by RunCampaign, so the
+  // server's final /progress must agree with the result.
+  {
+    std::string body;
+    int http_status = 0;
+    Check(HttpGet(port, "/progress", &body, &http_status, &err) &&
+              http_status == 200 &&
+              body.find("\"finished\":true") != std::string::npos &&
+              body.find("\"trials_done\":80") != std::string::npos,
+          "final /progress reports the finished campaign");
+    Check(HttpGet(port, "/metrics", &body, &http_status, &err) &&
+              body.find("\"campaign.trials\"") != std::string::npos,
+          "/metrics serves the campaign counter snapshot");
+    Check(HttpGet(port, "/heatmap", &body, &http_status, &err) &&
+              body.find("\"trials\":80") != std::string::npos,
+          "/heatmap aggregated all 80 trials");
+    Check(HttpGet(port, "/nope", &body, &http_status, &err) &&
+              http_status == 404,
+          "unknown endpoint returns 404");
+  }
+
+  // The live heatmap's category ordering equals the Figure 8 ordering
+  // computed from the campaign result itself (failures desc, name asc) —
+  // via the same post-hoc builder tfi --heatmap-json uses.
+  {
+    const obs::VulnerabilityHeatmap hm = BuildHeatmap(result);
+    std::vector<std::pair<std::uint64_t, std::string>> expect;
+    for (int c = 0; c < kNumStateCats; ++c) {
+      const auto cat = static_cast<StateCat>(c);
+      if (result.TrialsForCat(cat) == 0) continue;
+      const auto by = result.ByOutcomeForCat(cat);
+      expect.emplace_back(by[static_cast<int>(Outcome::kSdc)] +
+                              by[static_cast<int>(Outcome::kTerminated)],
+                          StateCatName(cat));
+    }
+    std::sort(expect.begin(), expect.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;
+    });
+    const auto shares = hm.CategoryContributions();
+    bool same = shares.size() == expect.size();
+    for (std::size_t i = 0; same && i < shares.size(); ++i)
+      same = expect[i].second == StateCatName(shares[i].cat) &&
+             expect[i].first == shares[i].failures;
+    Check(same, "heatmap category order matches Figure 8 computation");
+
+    std::ostringstream json;
+    hm.WriteJson(json, spec.workload);
+    Check(LintBody(json.str(), "heatmap.json"), "heatmap JSON export parses");
+  }
+
+  status.Stop();
+  journal.RemoveSink(&events_sink);
+  events_out.close();
+
+  // The journal file: header first, every line valid JSON, campaign
+  // bracketed, one trial_done per trial.
+  {
+    std::ifstream in(events_path);
+    std::string line;
+    std::vector<std::string> lines;
+    while (std::getline(in, line)) lines.push_back(line);
+    bool parses = !lines.empty();
+    for (const std::string& l : lines) parses &= LintBody(l, "events.jsonl");
+    Check(parses, "every events.jsonl line parses as JSON");
+    Check(!lines.empty() &&
+              lines.front().find("\"type\":\"header\"") != std::string::npos,
+          "events.jsonl starts with the schema header");
+    int trial_done = 0;
+    for (const std::string& l : lines)
+      if (l.find("\"ev\":\"trial_done\"") != std::string::npos) ++trial_done;
+    Check(trial_done == 80, "events.jsonl has one trial_done per trial");
+    Check(!lines.empty() && lines.back().find("\"ev\":\"campaign_finish\"") !=
+                                std::string::npos,
+          "events.jsonl ends with campaign_finish");
+  }
+
+  std::printf("telemetry_smoke: %s\n", g_failures ? "FAILED" : "PASSED");
+  return g_failures ? 1 : 0;
+}

@@ -6,6 +6,12 @@
 //                 [--flips N] [--adjacent] [--jobs N]    one injection campaign
 //       telemetry: [--metrics-json FILE] [--prop-trace FILE]
 //                  [--chrome-trace FILE] [--progress]
+//                  [--events-jsonl FILE] (structured campaign event journal)
+//                  [--heatmap-json FILE] [--heatmap-csv FILE] (per-field
+//                  vulnerability heatmap)
+//                  [--status-port N] (live HTTP/JSON status endpoints
+//                  /progress /metrics /heatmap /events on 127.0.0.1;
+//                  0 picks an ephemeral port, printed to stderr)
 //       resilience: [--checkpoint-every N] (0 disables; SIGINT drains
 //                   in-flight trials, flushes the checkpoint + partial
 //                   exports, and a rerun resumes from the journal)
@@ -24,6 +30,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -33,7 +40,10 @@
 #include "inject/campaign.h"
 #include "inject/report.h"
 #include "obs/chrome_trace.h"
+#include "obs/events.h"
+#include "obs/heatmap.h"
 #include "obs/metrics.h"
+#include "obs/status_server.h"
 #include "soft/soft_inject.h"
 #include "uarch/core.h"
 #include "util/argparse.h"
@@ -76,6 +86,10 @@ struct Args {
   std::string metrics_json;
   std::string prop_trace;
   std::string chrome_trace;
+  std::string events_jsonl;
+  std::string heatmap_json;
+  std::string heatmap_csv;
+  std::int64_t status_port = -1;  // -1 = off, 0 = ephemeral
   bool progress = false;
   bool check = false;
   // Inventory audit (inventory subcommand).
@@ -107,6 +121,15 @@ ArgParser MakeParser(Args& a) {
   p.AddStr("metrics-json", &a.metrics_json, "metrics registry export path");
   p.AddStr("prop-trace", &a.prop_trace, "propagation-trace JSONL path");
   p.AddStr("chrome-trace", &a.chrome_trace, "chrome trace-event export path");
+  p.AddStr("events-jsonl", &a.events_jsonl,
+           "structured campaign event journal path (JSONL)");
+  p.AddStr("heatmap-json", &a.heatmap_json,
+           "per-field vulnerability heatmap JSON path");
+  p.AddStr("heatmap-csv", &a.heatmap_csv,
+           "per-field vulnerability heatmap CSV path");
+  p.AddInt("status-port", &a.status_port,
+           "serve live /progress /metrics /heatmap /events JSON on this "
+           "127.0.0.1 port while the campaign runs; 0 = ephemeral");
   p.AddFlag("progress", &a.progress, "periodic trials/sec progress lines");
   p.AddFlag("check", &a.check,
             "run trials with the per-cycle invariant checker; violations "
@@ -301,9 +324,64 @@ int CmdCampaign(const Args& a) {
   opt.obs.progress = a.progress;
   opt.check_invariants = a.check;
 
+  // Event journal: one shared stream feeding the JSONL file sink and the
+  // HTTP status server (--progress attaches its own consumer inside the
+  // campaign). /metrics needs registry snapshots, so the status server
+  // implies a metrics registry even without --metrics-json.
+  const bool serve = a.status_port >= 0;
+  obs::EventJournal journal;
+  std::ofstream events_out;
+  std::optional<obs::JsonlEventSink> events_sink;
+  obs::CampaignStatusServer status;
+  if (!a.events_jsonl.empty() || serve) {
+    opt.obs.events = &journal;
+    if (!a.events_jsonl.empty()) {
+      events_out = OpenExport(a.events_jsonl);
+      events_sink.emplace(events_out);
+      journal.AddSink(&*events_sink);
+    }
+    if (serve) {
+      opt.obs.sinks.metrics = &metrics;
+      std::string err;
+      if (a.status_port > 65535 ||
+          !status.Start(static_cast<std::uint16_t>(a.status_port), journal,
+                        &err)) {
+        throw std::runtime_error("--status-port: " +
+                                 (err.empty() ? "invalid port" : err));
+      }
+      std::fprintf(stderr, "status server on http://127.0.0.1:%u\n",
+                   static_cast<unsigned>(status.port()));
+    }
+  }
+
   std::signal(SIGINT, HandleSigint);
   const CampaignResult r = RunCampaign(spec, opt);
   std::signal(SIGINT, SIG_DFL);
+
+  // The campaign flushed the journal before returning; detach our sinks in
+  // the reverse order they were attached.
+  if (status.running()) status.Stop();
+  if (events_sink) {
+    journal.RemoveSink(&*events_sink);
+    std::fprintf(stderr, "wrote %llu events to %s\n",
+                 (unsigned long long)journal.emitted(),
+                 a.events_jsonl.c_str());
+  }
+
+  if (!a.heatmap_json.empty() || !a.heatmap_csv.empty()) {
+    const obs::VulnerabilityHeatmap hm = BuildHeatmap(r);
+    if (!a.heatmap_json.empty()) {
+      auto out = OpenExport(a.heatmap_json);
+      hm.WriteJson(out, spec.workload);
+      std::fprintf(stderr, "wrote heatmap (%zu fields) to %s\n",
+                   hm.cells().size(), a.heatmap_json.c_str());
+    }
+    if (!a.heatmap_csv.empty()) {
+      auto out = OpenExport(a.heatmap_csv);
+      hm.WriteCsv(out);
+      std::fprintf(stderr, "wrote heatmap CSV to %s\n", a.heatmap_csv.c_str());
+    }
+  }
 
   if (!a.metrics_json.empty()) {
     auto out = OpenExport(a.metrics_json);
