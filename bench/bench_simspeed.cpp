@@ -71,19 +71,73 @@ void BM_InjectionTrial(benchmark::State& state) {
   gs.warmup = 20000;
   gs.points = 2;
   const auto golden = RecordGolden(CoreConfig{}, GzipProgram(), gs);
-  Core core(CoreConfig{}, GzipProgram());
+  TrialRunner runner(golden);  // no FastPathPlan recorded: slow path
   Rng rng(7);
-  const std::uint64_t bits = core.registry().InjectableBits(true);
+  const std::uint64_t bits = runner.core().registry().InjectableBits(true);
   for (auto _ : state) {
     TrialSpec ts;
     ts.checkpoint = static_cast<int>(rng.NextBelow(2));
     ts.offset = rng.NextBelow(gs.offset_max);
     ts.bit_index = rng.NextBelow(bits);
-    benchmark::DoNotOptimize(RunTrial(core, *golden, ts));
+    benchmark::DoNotOptimize(runner.Run(ts));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_InjectionTrial);
+
+// Trial throughput against one pre-recorded golden run, fast path vs slow,
+// over the exact trial population a campaign of this shape would run. The
+// golden run (recorded once, outside the timing loop, with the fast-path
+// capture plan) is shared by both variants; the ratio
+// BM_CampaignTrialsFast / BM_CampaignTrialsSlow is the fast-path speedup on
+// identical work with identical results.
+struct TrialBenchRig {
+  CampaignSpec spec;
+  std::shared_ptr<const GoldenRun> golden;
+  std::vector<TrialSpec> specs;
+};
+
+const TrialBenchRig& SharedTrialRig() {
+  static const TrialBenchRig rig = [] {
+    TrialBenchRig r;
+    // Deliberately the stock CampaignSpec/GoldenSpec (500 trials, 12 points,
+    // 10 000-cycle window): the ratio below is the fast-path speedup on the
+    // default campaign, not on a shape tuned to flatter it.
+    r.spec.workload = "gzip";
+    Core probe(r.spec.core, GzipProgram());
+    r.specs = MakeTrialSpecs(
+        r.spec, probe.registry().InjectableBits(r.spec.include_ram));
+    const FastPathPlan plan =
+        PlanFastPath(r.spec.golden, r.specs, probe.registry());
+    r.golden = RecordGolden(r.spec.core, GzipProgram(), r.spec.golden,
+                            nullptr, &plan);
+    return r;
+  }();
+  return rig;
+}
+
+void RunTrialBench(benchmark::State& state, bool fast) {
+  const TrialBenchRig& rig = SharedTrialRig();
+  TrialPolicy policy;
+  policy.fast_path = fast;
+  TrialRunner runner(rig.golden, policy);
+  for (auto _ : state) {
+    for (const TrialSpec& ts : rig.specs)
+      benchmark::DoNotOptimize(runner.Run(ts));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rig.specs.size()));
+}
+
+void BM_CampaignTrialsFast(benchmark::State& state) {
+  RunTrialBench(state, /*fast=*/true);
+}
+BENCHMARK(BM_CampaignTrialsFast)->Unit(benchmark::kMillisecond);
+
+void BM_CampaignTrialsSlow(benchmark::State& state) {
+  RunTrialBench(state, /*fast=*/false);
+}
+BENCHMARK(BM_CampaignTrialsSlow)->Unit(benchmark::kMillisecond);
 
 // Whole-campaign trials/sec at 1 vs N trial-loop workers (the engine behind
 // `tfi campaign --jobs`). Each iteration re-records the golden run, so the

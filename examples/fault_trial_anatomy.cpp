@@ -27,8 +27,8 @@ int main() {
               "against the functional reference\n\n",
               golden->stats.Ipc(), golden->timeline.events.size());
 
-  Core core(CoreConfig{}, program);
-  const std::uint64_t bits = core.registry().InjectableBits(true);
+  TrialRunner runner(golden);
+  const std::uint64_t bits = runner.core().registry().InjectableBits(true);
   std::printf("injectable state: %llu bits (latches + RAM arrays)\n\n",
               static_cast<unsigned long long>(bits));
 
@@ -40,8 +40,9 @@ int main() {
     ts.checkpoint = static_cast<int>(rng.NextBelow(gs.points));
     ts.offset = rng.NextBelow(gs.offset_max);
     ts.bit_index = rng.NextBelow(bits);
-    const BitLocation loc = core.registry().LocateBit(ts.bit_index, true);
-    const TrialRecord r = RunTrial(core, *golden, ts);
+    const BitLocation loc =
+        runner.core().registry().LocateBit(ts.bit_index, true);
+    const TrialRecord r = runner.Run(ts).record;
     // Show a diverse sample: prefer non-masked outcomes.
     if (r.outcome == Outcome::kMicroArchMatch && shown >= 4 && t < 380)
       continue;

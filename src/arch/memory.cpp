@@ -109,6 +109,24 @@ std::vector<std::uint64_t> Memory::MappedPageIndices() const {
   return out;
 }
 
+std::vector<std::pair<std::uint64_t, std::uint64_t>> Memory::DiffWords(
+    const Memory& base) const {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+  static const Page kZeroPage{};
+  for (const auto& [index, page] : pages_) {
+    const Page* theirs = base.FindPage(index);
+    if (theirs == nullptr) theirs = &kZeroPage;  // unmapped base reads as 0
+    if (std::memcmp(page->data(), theirs->data(), kPageBytes) == 0) continue;
+    for (std::uint64_t off = 0; off < kPageBytes; off += 8) {
+      std::uint64_t mine, base_word;
+      std::memcpy(&mine, page->data() + off, 8);
+      std::memcpy(&base_word, theirs->data() + off, 8);
+      if (mine != base_word) out.emplace_back(index * kPageBytes + off, mine);
+    }
+  }
+  return out;
+}
+
 bool Memory::operator==(const Memory& other) const {
   if (hash_ != other.hash_) return false;
   // Hash equality is the fast path; verify bytes for the (test-only) cases

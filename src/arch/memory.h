@@ -53,6 +53,15 @@ class Memory {
   // Pages that currently exist, as page indices (addr / kPageBytes).
   std::vector<std::uint64_t> MappedPageIndices() const;
 
+  // Aligned 8-byte words whose value here differs from `base`, as
+  // (address, value-here) pairs in ascending address order. Requires every
+  // page mapped in `base` to also be mapped here — true whenever this image
+  // evolved from `base` by simulation, since pages are never unmapped.
+  // Replaying the pairs onto a copy of `base` (Write(addr, value, 8))
+  // reproduces this image exactly, hash included.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> DiffWords(
+      const Memory& base) const;
+
   bool operator==(const Memory& other) const;
 
  private:

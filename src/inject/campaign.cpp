@@ -140,15 +140,6 @@ struct TrialTiming {
   int worker = 0;
 };
 
-// The deterministic stand-in record for a trial whose execution threw: the
-// quarantine outcome with every machine-derived field at its default, so a
-// quarantined slot is byte-identical at any `jobs` value and after resume.
-TrialRecord QuarantineRecord() {
-  TrialRecord rec;
-  rec.outcome = Outcome::kTrialError;
-  return rec;
-}
-
 // Replays a campaign's per-trial counters and histograms into `m`, in trial
 // order. Used both by live runs after the pool joins (so counter totals and
 // Welford histogram summaries are byte-identical at every `jobs` value) and
@@ -296,6 +287,34 @@ CampaignResult RunCampaign(const CampaignSpec& spec,
 
   const WorkloadInfo& info = WorkloadByName(spec.workload);
   const Program program = BuildWorkload(info, kCampaignIters);
+
+  // Trial cores optionally carry the invariant checker; the golden run below
+  // always executes unchecked (it defines reference behaviour, and a clean
+  // machine never violates). The probe replica exists before the golden run
+  // so the trial specs (and the fast-path capture plan derived from them)
+  // can be handed to the recorder.
+  CoreConfig trial_cfg = spec.core;
+  trial_cfg.check_invariants = checked;
+  Core probe(trial_cfg, program);
+
+  CampaignResult result;
+  result.spec = spec;
+  for (int c = 0; c < kNumStateCats; ++c)
+    result.inventory[c] = probe.registry().Inventory(static_cast<StateCat>(c));
+
+  const std::uint64_t bits = probe.registry().InjectableBits(spec.include_ram);
+  const std::vector<TrialSpec> specs = MakeTrialSpecs(spec, bits);
+  const std::size_t n = specs.size();
+
+  // Trial fast path: tell the recorder which injection cycles to
+  // delta-snapshot and which words' first accesses to track. Checked
+  // campaigns force the slow path (violation cycles are checkpoint-relative
+  // and the pre-injection advance must execute under the checker too);
+  // everything else is byte-identical either way.
+  const bool fast = opt.fast_path && !checked;
+  FastPathPlan plan;
+  if (fast) plan = PlanFastPath(spec.golden, specs, probe.registry());
+
   if (opt.verbose)
     std::fprintf(stderr, "[campaign %s] recording golden run...\n",
                  key.c_str());
@@ -303,7 +322,8 @@ CampaignResult RunCampaign(const CampaignSpec& spec,
   {
     std::optional<obs::ScopedTimer> timed;
     if (metrics) timed.emplace(metrics->GetTimer("campaign.golden_record"));
-    golden = RecordGolden(spec.core, program, spec.golden, &opt.obs.sinks);
+    golden = RecordGolden(spec.core, program, spec.golden, &opt.obs.sinks,
+                          fast ? &plan : nullptr);
   }
   {
     obs::Event e;
@@ -313,8 +333,6 @@ CampaignResult RunCampaign(const CampaignSpec& spec,
   }
   emit_metrics_snapshot();
 
-  CampaignResult result;
-  result.spec = spec;
   result.golden_ipc = golden->stats.Ipc();
   result.golden_bp_accuracy =
       golden->stats.branches
@@ -323,18 +341,6 @@ CampaignResult RunCampaign(const CampaignSpec& spec,
           : 0.0;
   result.golden_dcache_misses = golden->stats.dcache_misses;
 
-  // Trial cores optionally carry the invariant checker; the golden run above
-  // always executes unchecked (it defines reference behaviour, and a clean
-  // machine never violates).
-  CoreConfig trial_cfg = spec.core;
-  trial_cfg.check_invariants = checked;
-  Core core(trial_cfg, program);
-  for (int c = 0; c < kNumStateCats; ++c)
-    result.inventory[c] = core.registry().Inventory(static_cast<StateCat>(c));
-
-  const std::uint64_t bits = core.registry().InjectableBits(spec.include_ram);
-  const std::vector<TrialSpec> specs = MakeTrialSpecs(spec, bits);
-  const std::size_t n = specs.size();
   result.trials.resize(n);
   if (tracing) result.prop_traces.resize(n);
   std::vector<TrialTiming> timing(n);
@@ -437,75 +443,57 @@ CampaignResult RunCampaign(const CampaignSpec& spec,
     }
   };
 
+  // Execution policy for every worker's TrialRunner: the retry/quarantine
+  // loop and the checked-run handling live in the runner; the campaign adds
+  // telemetry through its hooks and collects results in per-index slots.
+  TrialPolicy policy;
+  policy.fast_path = fast;
+  policy.retries = opt.retries;
+  policy.check_invariants = checked;
+
   // One worker's share of the campaign: pull the next unclaimed trial index
-  // and run it on a private core replica against the shared golden run.
+  // and run it on a private TrialRunner against the shared golden run.
   // Results land in per-index slots, so collection order never depends on
-  // scheduling. A trial whose execution throws is re-attempted up to
-  // `retries` times, then quarantined as a kTrialError record instead of
-  // poisoning the campaign. Cancellation drains: in-flight trials finish,
-  // no new ones start. Worker 0 doubles as the progress printer.
-  auto work = [&](Core& worker_core, int worker) {
+  // scheduling. Cancellation drains: in-flight trials finish, no new ones
+  // start. Worker 0 doubles as the progress printer.
+  auto work = [&](TrialRunner& runner, int worker) {
+    std::size_t cur = 0;  // trial index the hooks below report against
+    TrialRunner::Hooks hooks;
+    hooks.before_attempt = [&] {
+      if (opt.trial_fault_hook) opt.trial_fault_hook(cur);
+    };
+    hooks.on_retry = [&](int attempt, const std::string& error) {
+      if (journal) {
+        obs::Event ev;
+        ev.kind = obs::EventKind::kTrialRetry;
+        ev.trial = static_cast<std::int64_t>(cur);
+        ev.value = static_cast<std::uint64_t>(attempt);
+        ev.detail = error;
+        journal->Emit(std::move(ev));
+      }
+      add_marker("trial retry",
+                 {{"trial", std::to_string(cur)}, {"error", error}});
+    };
     for (;;) {
       if (opt.cancel && opt.cancel->cancelled()) return;
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
-      obs::PropagationTrace trace;
+      cur = i;
       const auto t0 = Clock::now();
-      TrialRecord rec;
-      bool ok = false;
-      const int attempts = 1 + std::max(opt.retries, 0);
-      for (int attempt = 0; attempt < attempts && !ok; ++attempt) {
-        try {
-          if (opt.trial_fault_hook) opt.trial_fault_hook(i);
-          obs::PropagationTrace attempt_trace;
-          rec = RunTrial(worker_core, *golden, specs[i],
-                         tracing ? &attempt_trace : nullptr);
-          trace = std::move(attempt_trace);
-          ok = true;
-        } catch (const std::exception& e) {
-          errmsgs[i] = e.what();
-        } catch (...) {
-          errmsgs[i] = "non-standard exception";
-        }
-        if (!ok) {
-          if (journal) {
-            obs::Event ev;
-            ev.kind = obs::EventKind::kTrialRetry;
-            ev.trial = static_cast<std::int64_t>(i);
-            ev.value = static_cast<std::uint64_t>(attempt + 1);
-            ev.detail = errmsgs[i];
-            journal->Emit(std::move(ev));
+      TrialRunner::Result res = runner.Run(specs[i], tracing, &hooks);
+      const auto t1 = Clock::now();
+      if (res.quarantined) {
+        errmsgs[i] = res.error;
+        if (checked) {
+          // Per-kind violation tallies for the check.violations.* totals.
+          if (const check::InvariantChecker* chk =
+                  runner.core().invariant_checker();
+              chk && chk->total() != 0) {
+            for (int k = 0; k < check::kNumInvariantKinds; ++k)
+              viol_counts[i][static_cast<std::size_t>(k)] =
+                  chk->CountFor(static_cast<check::InvariantKind>(k));
           }
-          add_marker("trial retry", {{"trial", std::to_string(i)},
-                                     {"error", errmsgs[i]}});
         }
-      }
-      bool quarantined_now = false;
-      if (!ok) {
-        rec = QuarantineRecord();
-        quarantined_now = true;
-      }
-      // Checked campaigns: a trial whose injected fault broke a structural
-      // invariant is quarantined like a throwing trial — its classification
-      // ran on a machine the checker proved inconsistent. The propagation
-      // trace (which already carries the violation details) is kept.
-      if (ok && checked) {
-        if (const check::InvariantChecker* chk =
-                worker_core.invariant_checker();
-            chk && chk->total() != 0) {
-          for (int k = 0; k < check::kNumInvariantKinds; ++k)
-            viol_counts[i][static_cast<std::size_t>(k)] =
-                chk->CountFor(static_cast<check::InvariantKind>(k));
-          const check::InvariantViolation& v = chk->violations().front();
-          std::ostringstream msg;
-          msg << "invariant violation [" << check::InvariantKindName(v.kind)
-              << "] at trial cycle " << v.cycle << ": " << v.detail;
-          errmsgs[i] = msg.str();
-          rec = QuarantineRecord();
-          quarantined_now = true;
-        }
-      }
-      if (quarantined_now) {
         if (journal) {
           obs::Event ev;
           ev.kind = obs::EventKind::kTrialQuarantine;
@@ -516,9 +504,8 @@ CampaignResult RunCampaign(const CampaignSpec& spec,
         add_marker("trial quarantined", {{"trial", std::to_string(i)},
                                          {"error", errmsgs[i]}});
       }
-      const auto t1 = Clock::now();
-      result.trials[i] = rec;
-      if (tracing) result.prop_traces[i] = std::move(trace);
+      result.trials[i] = res.record;
+      if (tracing) result.prop_traces[i] = std::move(res.trace);
       timing[i] = {ElapsedUs(wall_epoch, t0), ElapsedUs(t0, t1), worker};
       completed[i].store(true, std::memory_order_release);
       if (journal) {
@@ -526,26 +513,27 @@ CampaignResult RunCampaign(const CampaignSpec& spec,
         // registry layout is identical across cores of the same
         // config/program, so this is a pure read that never perturbs the
         // trial. Propagation latencies join in when tracing (-1 = silent).
-        const BitLocation loc = worker_core.registry().LocateBit(
-            specs[i].bit_index, specs[i].include_ram);
+        const InjectionSite site = ResolveInjectionSite(
+            golden->spec, specs[i], runner.core().registry());
+        const BitLocation& loc = site.primary;
         obs::Event ev;
         ev.kind = obs::EventKind::kTrialDone;
         ev.trial = static_cast<std::int64_t>(i);
-        ev.outcome = rec.outcome;
-        ev.mode = rec.mode;
+        ev.outcome = res.record.outcome;
+        ev.mode = res.record.mode;
         // Site category/storage come from the resolved location, not the
         // record: a quarantined record carries defaults, but the injection
         // site is still real.
         ev.cat = loc.cat;
         ev.storage = loc.storage;
-        ev.cycles = rec.cycles;
+        ev.cycles = res.record.cycles;
         ev.dur_us = ElapsedUs(t0, t1);
         ev.field = loc.name;
         ev.field_bits =
-            worker_core.registry().FieldInfoAt(loc.field_index).bits();
+            runner.core().registry().FieldInfoAt(loc.field_index).bits();
         if (tracing) {
-          ev.arch_divergence_cycle = trace.arch_divergence_cycle;
-          ev.first_spread_cycle = trace.first_spread_cycle;
+          ev.arch_divergence_cycle = result.prop_traces[i].arch_divergence_cycle;
+          ev.first_spread_cycle = result.prop_traces[i].first_spread_cycle;
         }
         journal->Emit(std::move(ev));
       }
@@ -565,7 +553,8 @@ CampaignResult RunCampaign(const CampaignSpec& spec,
     std::optional<obs::ScopedTimer> loop_timer;
     if (metrics) loop_timer.emplace(metrics->GetTimer("campaign.trial_loop"));
     if (jobs <= 1) {
-      work(core, 0);
+      TrialRunner runner(golden, policy);
+      work(runner, 0);
     } else {
       std::vector<std::exception_ptr> errors(static_cast<std::size_t>(jobs));
       std::vector<std::thread> pool;
@@ -573,8 +562,8 @@ CampaignResult RunCampaign(const CampaignSpec& spec,
       for (int w = 0; w < jobs; ++w) {
         pool.emplace_back([&, w] {
           try {
-            Core replica(trial_cfg, program);
-            work(replica, w);
+            TrialRunner runner(golden, policy);
+            work(runner, w);
           } catch (...) {
             errors[static_cast<std::size_t>(w)] = std::current_exception();
           }

@@ -76,6 +76,14 @@ struct CampaignOptions {
   // Consult/populate the on-disk results cache. Benchmarks and determinism
   // tests disable this to force live execution.
   bool use_cache = true;
+  // Trial fast path: record injection-cycle delta snapshots + first-access
+  // data during the golden run, then start trials at their injection point
+  // and classify provably convergent/latent trials without simulating.
+  // Results are byte-identical to the slow path (pinned by
+  // tests/test_fastpath.cpp and the fastpath_ab_smoke ctest), so this is
+  // pure execution policy and is NOT part of the CacheKey. Checked runs
+  // (check_invariants) always take the slow path.
+  bool fast_path = true;
   // Re-attempts for a trial whose execution throws before it is quarantined
   // as Outcome::kTrialError. One retry absorbs transient host-level failures
   // (resource exhaustion) without masking deterministic trial bugs.

@@ -1,5 +1,6 @@
 #include "inject/golden.h"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
@@ -19,7 +20,8 @@ std::uint32_t GoldenTimeline::ValidInstrsAt(std::size_t cycle_index) const {
 std::shared_ptr<const GoldenRun> RecordGolden(const CoreConfig& cfg,
                                               const Program& program,
                                               const GoldenSpec& spec,
-                                              const obs::ObsSinks* obs) {
+                                              const obs::ObsSinks* obs,
+                                              const FastPathPlan* fastpath) {
   auto run = std::make_shared<GoldenRun>();
   run->cfg = cfg;
   run->program = program;
@@ -36,10 +38,34 @@ std::shared_ptr<const GoldenRun> RecordGolden(const CoreConfig& cfg,
   GoldenTimeline& tl = run->timeline;
   tl.state_hash.reserve(record_cycles);
 
+  // Trial fast path: track the first access to every word the campaign will
+  // flip. The tracker observes the pipeline's own accesses (installed around
+  // Cycle(); Core pauses it for checker/obs instrumentation) plus the
+  // ArchViewHash reads below — the trial loop's continuous architectural
+  // check reads the arch RAT and arch-mapped registers every cycle, so a
+  // flip there is "accessed" even if the pipeline proper never touches it.
+  // Everything else the trial loop consults (retire events, state/category/
+  // memory hashes, store-buffer emptiness) either involves no registry reads
+  // or cannot change a trial's classification while the machine still
+  // matches golden outside the flipped words.
+  std::shared_ptr<WordFirstAccessTracker> tracker;
+  if (fastpath != nullptr) {
+    tracker =
+        std::make_shared<WordFirstAccessTracker>(core.registry().WordCount());
+    for (const auto& [word, cycle] : fastpath->watches)
+      tracker->Watch(word, cycle);
+    tracker->Seal();
+  }
+
   std::uint64_t max_retire_gap = 0;
   std::uint64_t gap = 0;
 
   auto step = [&](bool recording, std::uint64_t rel_cycle) {
+    const bool track = recording && tracker != nullptr && !tracker->Done();
+    if (track) {
+      tracker->SetCycle(rel_cycle);
+      core.registry().SetAccessTracker(tracker.get());
+    }
     core.Cycle();
     if (core.halted_exception() != Exception::kNone || core.itlb_miss() ||
         core.exited()) {
@@ -64,7 +90,11 @@ std::shared_ptr<const GoldenRun> RecordGolden(const CoreConfig& cfg,
     if (!recording) return;
     tl.state_hash.push_back(core.StateHash());
     tl.cat_hash.push_back(core.registry().CatHashes());
+    // ArchViewHash runs with the tracker still installed: its reads mirror
+    // the trial loop's continuous architectural check (see above). The
+    // samples below are recorder-only instrumentation and stay untracked.
     tl.arch_hash.push_back(core.ArchViewHash());
+    core.registry().SetAccessTracker(nullptr);
     tl.mem_hash.push_back(core.memory().ContentHash() ^ core.OutputHash());
     tl.sb_empty.push_back(core.StoreBufferEmpty() ? 1 : 0);
     tl.retired_total.push_back(core.RetiredTotal());
@@ -82,10 +112,27 @@ std::shared_ptr<const GoldenRun> RecordGolden(const CoreConfig& cfg,
   for (std::uint64_t c = 0; c < spec.warmup; ++c) step(false, 0);
   tl.base_retired = core.RetiredTotal();
 
+  std::size_t next_point = 0;
   for (std::uint64_t c = 0; c < record_cycles; ++c) {
     if (c % spec.spacing == 0 &&
         c / spec.spacing < static_cast<std::uint64_t>(spec.points))
       run->checkpoints.push_back(core.Save());
+    // Injection-cycle delta snapshots, captured like checkpoints: before the
+    // cycle executes. The base is the newest checkpoint at or before this
+    // cycle, so it is always already saved (the offset-0 case diffs a
+    // checkpoint against itself and stores an empty delta).
+    if (fastpath != nullptr) {
+      while (next_point < fastpath->snapshot_cycles.size() &&
+             fastpath->snapshot_cycles[next_point] == c) {
+        const std::size_t base = std::min(
+            static_cast<std::size_t>(c / spec.spacing),
+            run->checkpoints.size() - 1);
+        run->fastpath.points.emplace(
+            c, GoldenFastPath::Point{
+                   base, core.SaveDelta(run->checkpoints[base])});
+        ++next_point;
+      }
+    }
     step(true, c);
   }
 
@@ -93,6 +140,10 @@ std::shared_ptr<const GoldenRun> RecordGolden(const CoreConfig& cfg,
     throw std::runtime_error(
         "golden run stalled past the locked-detection threshold");
 
+  if (fastpath != nullptr) {
+    run->fastpath.enabled = true;
+    run->fastpath.access = tracker;
+  }
   run->tlb = core.tlb();
   run->tlb.SetLearning(false);
   run->stats = core.stats();

@@ -62,12 +62,47 @@ struct GoldenTimeline {
   std::uint32_t ValidInstrsAt(std::size_t cycle_index) const;
 };
 
+// What the golden recorder should pre-capture for the trial fast path,
+// derived from a campaign's trial specs (PlanFastPath in inject/trial.h).
+// Cycles are timeline indices (0 = the first checkpoint's cycle).
+struct FastPathPlan {
+  // Distinct injection cycles to delta-snapshot, sorted ascending. A trial's
+  // injection cycle is checkpoint*spacing + offset: the machine state
+  // *before* that timeline cycle executes is the trial's start state.
+  std::vector<std::uint64_t> snapshot_cycles;
+  // (registry word, injection cycle) pairs whose first post-injection access
+  // the recorder tracks — the words the campaign's trials flip.
+  std::vector<std::pair<std::size_t, std::uint64_t>> watches;
+};
+
+// Fast-path data captured during recording when a FastPathPlan was supplied.
+// Immutable after RecordGolden returns; shared read-only across trial
+// workers like the rest of GoldenRun.
+struct GoldenFastPath {
+  bool enabled = false;
+  // Machine state at each planned injection cycle, stored as a sparse delta
+  // against an already-saved checkpoint (~20 KB instead of a ~350 KB full
+  // snapshot). Restoring base_checkpoint + delta reproduces bit-exactly the
+  // state a slow trial reaches by replaying `offset` cycles.
+  struct Point {
+    std::size_t base_checkpoint = 0;
+    Core::SnapshotDelta delta;
+  };
+  std::unordered_map<std::uint64_t, Point> points;  // keyed by injection cycle
+  // First pipeline access (plus the continuous architectural-view check's
+  // reads) to each watched (word, cycle) pair. Lookup() answers whether a
+  // flipped word was overwritten (trial provably re-converges), never
+  // touched (provably stays latent), or read (trial must simulate).
+  std::shared_ptr<const WordFirstAccessTracker> access;
+};
+
 struct GoldenRun {
   CoreConfig cfg;
   Program program;
   GoldenSpec spec;
   GoldenTimeline timeline;
   std::vector<Core::Snapshot> checkpoints;  // checkpoint k at index k*spacing
+  GoldenFastPath fastpath;  // populated when recorded with a FastPathPlan
   Tlb tlb;        // pages learned across the whole golden run
   CoreStats stats;  // golden pipeline statistics (IPC etc.)
 };
@@ -77,11 +112,16 @@ struct GoldenRun {
 // which would indicate a model bug, not a valid golden execution. When `obs`
 // is non-null its sinks observe the fault-free execution: per-cycle stage
 // occupancies land in the metrics registry and (sampled) in the chrome
-// trace's pipeline lane.
+// trace's pipeline lane. When `fastpath` is non-null the recorder
+// additionally captures injection-cycle snapshots and first-access data for
+// the trial fast path (GoldenRun::fastpath); recording output is otherwise
+// unchanged.
 std::shared_ptr<const GoldenRun> RecordGolden(const CoreConfig& cfg,
                                               const Program& program,
                                               const GoldenSpec& spec,
                                               const obs::ObsSinks* obs =
+                                                  nullptr,
+                                              const FastPathPlan* fastpath =
                                                   nullptr);
 
 }  // namespace tfsim

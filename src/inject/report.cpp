@@ -62,7 +62,7 @@ obs::VulnerabilityHeatmap BuildHeatmap(const CampaignResult& result) {
   for (std::size_t i = 0; i < result.trials.size() && i < specs.size(); ++i) {
     const TrialRecord& rec = result.trials[i];
     const BitLocation loc =
-        reg.LocateBit(specs[i].bit_index, specs[i].include_ram);
+        ResolveInjectionSite(result.spec.golden, specs[i], reg).primary;
     obs::VulnerabilityHeatmap::Sample s;
     s.field = loc.name;
     s.cat = loc.cat;

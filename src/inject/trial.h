@@ -1,10 +1,25 @@
-// Single fault-injection trial: restore a checkpoint, advance to the
-// injection cycle, flip one bit, then co-compare against the golden timeline
-// for up to the observation window, classifying the paper's four outcomes
-// and seven failure modes.
+// Single fault-injection trial: restore the machine at the injection cycle,
+// flip one bit, then co-compare against the golden timeline for up to the
+// observation window, classifying the paper's four outcomes and seven
+// failure modes.
+//
+// Trials execute through TrialRunner, which owns its core replica and an
+// explicit TrialPolicy. With the fast path enabled (the default) and a
+// golden run recorded with a FastPathPlan, a trial starts *at* its injection
+// cycle from a pre-captured delta snapshot instead of replaying `offset`
+// cycles from a checkpoint — and most trials never simulate at all: the
+// recorder's first-access data proves a flipped word was either overwritten
+// at a known cycle (μArch Match, exact re-convergence latency) or never
+// touched inside the window (Gray Area). Only trials whose flipped word is
+// *read* while divergent execute the differential loop. Fast and slow paths
+// produce byte-identical TrialRecords and propagation traces.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "inject/golden.h"
 #include "inject/outcome.h"
@@ -26,18 +41,107 @@ struct TrialSpec {
   bool adjacent = false;
 };
 
-// Runs one trial on `core`, which must have been constructed with the same
-// CoreConfig and Program as the golden run (it is fully overwritten by the
-// checkpoint restore, so one core can be reused across trials).
-//
-// When `trace` is non-null, the trial additionally records a per-trial
-// fault-propagation trace: the injected bit's site, the first cycle of
-// architectural divergence, the set of state categories that held divergent
-// state before classification, and the classification latency. Tracing only
-// reads machine state, so a traced trial classifies identically to an
-// untraced one.
-TrialRecord RunTrial(Core& core, const GoldenRun& golden,
-                     const TrialSpec& spec,
-                     obs::PropagationTrace* trace = nullptr);
+// How TrialRunner executes trials. Execution policy only: every combination
+// of fast_path and window classifies a given TrialSpec identically (window
+// changes the observation length, which IS part of the result — it is a
+// policy knob so hosts can thread GoldenRunSpec::window through explicitly;
+// 0 means "the golden run's window").
+struct TrialPolicy {
+  bool fast_path = true;        // use fast-path data when the golden has it
+  std::uint64_t window = 0;     // observation window; 0 = golden.spec.window
+  int retries = 1;              // re-attempts before quarantining a throw
+  bool check_invariants = false;  // run the replica with the cycle checker
+};
+
+// Where a TrialSpec lands: the resolved timeline cycles and flipped bits.
+// The single source of truth shared by trial execution, fast-path capture
+// planning, and heatmap site re-derivation (inject/report.cpp), so the three
+// can never drift.
+struct InjectionSite {
+  std::uint64_t base = 0;       // checkpoint cycle (timeline index)
+  std::uint64_t inj_cycle = 0;  // first cycle executed after injection
+  // Timeline index whose recorded state the injected machine was in
+  // (utilization sampling; equals inj_cycle - 1 except at offset 0).
+  std::uint64_t inj_index = 0;
+  BitLocation primary;              // the uniformly drawn bit
+  std::vector<BitLocation> flips;   // all flips in application order
+};
+
+// Resolves a trial's injection site against a registry of the golden
+// machine's layout (any core built from the same config and program).
+InjectionSite ResolveInjectionSite(const GoldenSpec& spec,
+                                   const TrialSpec& trial,
+                                   const StateRegistry& registry);
+inline InjectionSite ResolveInjectionSite(const GoldenRun& golden,
+                                          const TrialSpec& trial,
+                                          const StateRegistry& registry) {
+  return ResolveInjectionSite(golden.spec, trial, registry);
+}
+
+// Derives the golden recorder's fast-path capture plan (injection-cycle
+// snapshots + first-access watches) from a campaign's trial specs.
+FastPathPlan PlanFastPath(const GoldenSpec& spec,
+                          const std::vector<TrialSpec>& trials,
+                          const StateRegistry& registry);
+
+// Runs fault-injection trials against one golden run on a privately owned
+// core replica (campaign workers hold one runner each; the golden run is
+// shared read-only). Classification depends only on the golden run, the
+// TrialSpec, and the effective window — never on fast_path, retries, or how
+// many trials ran before.
+class TrialRunner {
+ public:
+  explicit TrialRunner(std::shared_ptr<const GoldenRun> golden,
+                       TrialPolicy policy = {});
+
+  struct Result {
+    TrialRecord record;
+    // Populated when Run() was asked to trace; identical to a slow traced
+    // trial's on every path.
+    obs::PropagationTrace trace;
+    bool fast = false;        // classified from first-access data, no sim
+    int attempts = 1;         // execution attempts consumed
+    bool quarantined = false; // record is the kTrialError stand-in
+    std::string error;        // last failure message when quarantined
+  };
+
+  // Host instrumentation around the retry loop (campaign telemetry/tests).
+  struct Hooks {
+    // Invoked before each execution attempt; a throw takes the same
+    // retry/quarantine path as a throwing trial.
+    std::function<void()> before_attempt;
+    // Invoked after each failed attempt with its 1-based number.
+    std::function<void(int attempt, const std::string& error)> on_retry;
+  };
+
+  // Runs one trial: up to 1 + max(retries, 0) attempts, then quarantine.
+  // Under check_invariants, a structurally inconsistent machine also
+  // quarantines (the violating attempt's trace is kept; the checker state
+  // stays readable via core() until the next Run).
+  Result Run(const TrialSpec& spec, bool want_trace = false,
+             const Hooks* hooks = nullptr);
+
+  // The owned replica: registry layout for site introspection, and the
+  // invariant checker's verdicts after a checked Run(). Mutated by Run().
+  Core& core() { return *core_; }
+  const Core& core() const { return *core_; }
+
+  const GoldenRun& golden() const { return *golden_; }
+  const TrialPolicy& policy() const { return policy_; }
+  // The observation window Run() classifies against.
+  std::uint64_t window() const;
+
+ private:
+  TrialRecord RunOnce(const TrialSpec& spec, obs::PropagationTrace* trace,
+                      bool* fast);
+  TrialRecord Simulate(const TrialSpec& spec, const InjectionSite& site,
+                       obs::PropagationTrace* trace);
+  bool TryShortcut(const TrialSpec& spec, const InjectionSite& site,
+                   TrialRecord& rec, obs::PropagationTrace* trace);
+
+  std::shared_ptr<const GoldenRun> golden_;
+  TrialPolicy policy_;
+  std::unique_ptr<Core> core_;
+};
 
 }  // namespace tfsim

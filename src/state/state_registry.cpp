@@ -1,5 +1,6 @@
 #include "state/state_registry.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "util/rng.h"
@@ -16,6 +17,66 @@ std::uint64_t Contribution(std::size_t word_index, std::uint64_t value) {
 }
 
 }  // namespace
+
+void WordFirstAccessTracker::Watch(std::size_t word,
+                                   std::uint64_t from_cycle) {
+  if (sealed_) throw std::logic_error("Watch() after Seal()");
+  if (word >= slot_.size()) throw std::out_of_range("watched word");
+  if (slot_[word] < 0) {
+    slot_[word] = static_cast<std::int32_t>(lists_.size());
+    lists_.emplace_back();
+  }
+  auto& entries = lists_[static_cast<std::size_t>(slot_[word])].entries;
+  for (const Entry& e : entries) {
+    if (e.from_cycle == from_cycle) return;  // duplicate (word, cycle) pair
+  }
+  entries.push_back(Entry{from_cycle, {}});
+  ++outstanding_;
+}
+
+void WordFirstAccessTracker::Seal() {
+  for (auto& list : lists_) {
+    std::sort(list.entries.begin(), list.entries.end(),
+              [](const Entry& a, const Entry& b) {
+                return a.from_cycle < b.from_cycle;
+              });
+  }
+  sealed_ = true;
+}
+
+void WordFirstAccessTracker::Resolve(std::size_t word, bool is_write) {
+  WordEntries& list = lists_[static_cast<std::size_t>(slot_[word])];
+  // Entries are sorted by from_cycle; an access at cycle_ answers every
+  // still-pending watch whose injection cycle is at or before cycle_.
+  while (list.head < list.entries.size() &&
+         list.entries[list.head].from_cycle <= cycle_) {
+    list.entries[list.head].result =
+        FirstAccess{static_cast<std::int64_t>(cycle_), is_write};
+    ++list.head;
+    --outstanding_;
+  }
+}
+
+WordFirstAccessTracker::FirstAccess WordFirstAccessTracker::Lookup(
+    std::size_t word, std::uint64_t from_cycle) const {
+  if (word >= slot_.size() || slot_[word] < 0) return {};
+  const auto& entries = lists_[static_cast<std::size_t>(slot_[word])].entries;
+  const auto it = std::lower_bound(
+      entries.begin(), entries.end(), from_cycle,
+      [](const Entry& e, std::uint64_t c) { return e.from_cycle < c; });
+  if (it == entries.end() || it->from_cycle != from_cycle) return {};
+  return it->result;
+}
+
+bool WordFirstAccessTracker::Watched(std::size_t word,
+                                     std::uint64_t from_cycle) const {
+  if (word >= slot_.size() || slot_[word] < 0) return false;
+  const auto& entries = lists_[static_cast<std::size_t>(slot_[word])].entries;
+  const auto it = std::lower_bound(
+      entries.begin(), entries.end(), from_cycle,
+      [](const Entry& e, std::uint64_t c) { return e.from_cycle < c; });
+  return it != entries.end() && it->from_cycle == from_cycle;
+}
 
 const char* StateCatName(StateCat cat) {
   switch (cat) {

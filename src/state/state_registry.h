@@ -64,6 +64,71 @@ enum class Storage : std::uint8_t { kLatch, kRam, kBackground };
 
 class StateRegistry;
 
+// Records the FIRST access (read or write, in call order) to selected words
+// at-or-after a per-watch start cycle. Installed on a StateRegistry only
+// while the golden run records (see RecordGolden); normal simulation pays a
+// single null-pointer check per field access.
+//
+// Semantics deliberately sit at the *call* level, before StateField::Set's
+// no-change short-circuit: a write that happens to store the value already
+// present in the golden run would still overwrite a flipped copy of that
+// word in a faulty run, so it counts as a write here. That is exactly the
+// property the trial fast path needs: if the first access to an injected
+// word is a write, the faulty machine provably re-converges with the golden
+// timeline at that cycle; if the word is never accessed inside the
+// observation window, the fault provably stays latent (Gray Area). Only a
+// first access that is a *read* forces a trial to actually simulate.
+class WordFirstAccessTracker {
+ public:
+  struct FirstAccess {
+    std::int64_t cycle = -1;  // -1: no access at-or-after from_cycle
+    bool is_write = false;
+  };
+
+  explicit WordFirstAccessTracker(std::size_t word_count)
+      : slot_(word_count, -1) {}
+
+  // Registers interest in the first access to `word` at-or-after
+  // `from_cycle`. Duplicate (word, from_cycle) pairs collapse. Must be
+  // called before Seal().
+  void Watch(std::size_t word, std::uint64_t from_cycle);
+  // Sorts the pending lists; call once, after all Watch() calls.
+  void Seal();
+
+  // Recording-side interface.
+  void SetCycle(std::uint64_t cycle) { cycle_ = cycle; }
+  bool Done() const { return outstanding_ == 0; }
+  void OnAccess(std::size_t word, bool is_write) {
+    if (slot_[word] >= 0) Resolve(word, is_write);
+  }
+
+  // Query after recording. Returns cycle=-1 if (word, from_cycle) was never
+  // watched or never accessed.
+  FirstAccess Lookup(std::size_t word, std::uint64_t from_cycle) const;
+  // Whether the exact (word, from_cycle) pair was registered — callers use
+  // this to tell "never accessed" (a provable verdict) apart from "never
+  // watched" (no data).
+  bool Watched(std::size_t word, std::uint64_t from_cycle) const;
+
+ private:
+  struct Entry {
+    std::uint64_t from_cycle = 0;
+    FirstAccess result;
+  };
+  struct WordEntries {
+    std::vector<Entry> entries;  // sorted ascending by from_cycle after Seal
+    std::size_t head = 0;        // first unresolved entry
+  };
+
+  void Resolve(std::size_t word, bool is_write);
+
+  std::vector<std::int32_t> slot_;  // word -> index into lists_, or -1
+  std::vector<WordEntries> lists_;
+  std::uint64_t cycle_ = 0;
+  std::size_t outstanding_ = 0;
+  bool sealed_ = false;
+};
+
 // Lightweight handle to an allocated field. Reads are direct; writes go
 // through Set() so the registry's incremental hash stays consistent.
 class StateField {
@@ -202,6 +267,32 @@ class StateRegistry {
   // masked because every write goes through Set().
   const std::uint64_t* WordsData() const { return words_.data(); }
 
+  // Flat word index backing a located bit (for snapshot deltas and the
+  // fast-path access tracker).
+  std::size_t WordIndexOf(const BitLocation& loc) const {
+    return fields_[loc.field_index].offset + loc.element;
+  }
+
+  // Overwrites one word with a value captured from another registry of the
+  // same layout, keeping the incremental hashes consistent. Values must
+  // already be masked (they are, if they came from WordsData()/Snapshot()).
+  void OverwriteWord(std::size_t word, std::uint64_t value) {
+    const std::uint64_t before = words_[word];
+    if (before == value) return;
+    words_[word] = value;
+    UpdateHash(word, before, value);
+  }
+
+  // --- access tracking ------------------------------------------------------
+
+  // Installs (or removes, with nullptr) a first-access tracker. Every
+  // StateField::Get/Set call reports to it, including writes short-circuited
+  // by the no-change fast path. Null by default; only golden-run recording
+  // installs one, and only around Core::Cycle() so instrumentation reads
+  // (hashes, occupancy samples) don't pollute the access stream.
+  void SetAccessTracker(WordFirstAccessTracker* tracker) { tracker_ = tracker; }
+  WordFirstAccessTracker* access_tracker() const { return tracker_; }
+
  private:
   friend class StateField;
 
@@ -227,14 +318,20 @@ class StateRegistry {
   std::vector<std::uint8_t> word_cat_;
   std::uint64_t hash_ = 0;
   CatHashArray cat_hash_{};
+  WordFirstAccessTracker* tracker_ = nullptr;
 };
 
 inline std::uint64_t StateField::Get(std::size_t i) const {
-  return reg_->words_[offset_ + i];
+  const std::size_t w = offset_ + i;
+  if (reg_->tracker_ != nullptr) reg_->tracker_->OnAccess(w, false);
+  return reg_->words_[w];
 }
 
 inline void StateField::Set(std::size_t i, std::uint64_t value) {
   const std::size_t w = offset_ + i;
+  // Report before the no-change short-circuit: a value-preserving write in
+  // the golden run still counts as an overwrite for fault convergence.
+  if (reg_->tracker_ != nullptr) reg_->tracker_->OnAccess(w, true);
   const std::uint64_t before = reg_->words_[w];
   const std::uint64_t after = value & mask_;
   if (before == after) return;

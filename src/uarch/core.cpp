@@ -160,10 +160,60 @@ void Core::Load(const Snapshot& s) {
   if (checker_) checker_->Clear();
 }
 
+Core::SnapshotDelta Core::SaveDelta(const Snapshot& base) const {
+  SnapshotDelta d;
+  const std::uint64_t* words = registry_.WordsData();
+  for (std::size_t w = 0; w < base.words.size(); ++w) {
+    if (words[w] != base.words[w])
+      d.words.emplace_back(static_cast<std::uint32_t>(w), words[w]);
+  }
+  d.mem = mem_.DiffWords(base.mem);
+  d.output = output_;
+  d.out_hash = out_hash_;
+  d.exited = exited_;
+  d.exit_code = exit_code_;
+  d.halted_exc = halted_exc_;
+  d.retired_total = retired_total_;
+  d.seq_counter = fetch_.seq_counter;
+  d.fq_seq = fetch_.fq_seq;
+  d.fb_seq = fetch_.fb_seq;
+  d.d1_seq = decode_.stage1.seq;
+  d.d2_seq = decode_.stage2.seq;
+  d.rob_seq = rob_seq_;
+  d.inflight = InFlight();
+  return d;
+}
+
+void Core::LoadDelta(const Snapshot& base, const SnapshotDelta& d) {
+  Load(base);
+  for (const auto& [w, value] : d.words) registry_.OverwriteWord(w, value);
+  for (const auto& [addr, value] : d.mem) mem_.Write(addr, value, 8);
+  output_ = d.output;
+  out_hash_ = d.out_hash;
+  exited_ = d.exited;
+  exit_code_ = d.exit_code;
+  halted_exc_ = d.halted_exc;
+  retired_total_ = d.retired_total;
+  fetch_.seq_counter = d.seq_counter;
+  fetch_.fq_seq = d.fq_seq;
+  fetch_.fb_seq = d.fb_seq;
+  decode_.stage1.seq = d.d1_seq;
+  decode_.stage2.seq = d.d2_seq;
+  rob_seq_ = d.rob_seq;
+}
+
 void Core::Cycle() {
   CycleInner();
-  if (checker_ && checker_->Check(*this) != 0 && obs_) ObsCountViolations();
-  if (obs_) ObsSample();
+  if (checker_ || obs_) {
+    // Instrumentation reads (invariant probes, occupancy samples) must not
+    // feed the fast path's first-access tracker — it models what the
+    // *pipeline* touches.
+    WordFirstAccessTracker* tracker = registry_.access_tracker();
+    registry_.SetAccessTracker(nullptr);
+    if (checker_ && checker_->Check(*this) != 0 && obs_) ObsCountViolations();
+    if (obs_) ObsSample();
+    registry_.SetAccessTracker(tracker);
+  }
 }
 
 void Core::CycleInner() {

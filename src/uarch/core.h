@@ -153,6 +153,31 @@ class Core {
   Snapshot Save() const;
   void Load(const Snapshot& s);
 
+  // Sparse difference between the current machine state and an earlier full
+  // Snapshot of the same run. A few dozen to a few hundred cycles of
+  // execution touch ~3% of registry words and a handful of memory words, so
+  // the trial fast path stores one of these per distinct injection cycle
+  // (~20 KB) instead of a full ~350 KB Snapshot. LoadDelta(base, d) after
+  // SaveDelta(base) reproduces the captured machine bit-exactly (hashes
+  // included); CoreStats and the itlb flag reset exactly as Load() does.
+  struct SnapshotDelta {
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> words;  // idx, value
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> mem;    // addr, word
+    std::vector<std::uint8_t> output;
+    std::uint64_t out_hash = 0;
+    bool exited = false;
+    std::uint64_t exit_code = 0;
+    Exception halted_exc = Exception::kNone;
+    std::uint64_t retired_total = 0;
+    std::uint64_t seq_counter = 0;
+    std::vector<std::uint64_t> fq_seq, fb_seq, d1_seq, d2_seq, rob_seq;
+    // InFlight() at capture; lets fast-path trials report utilization
+    // without restoring the machine.
+    std::uint64_t inflight = 0;
+  };
+  SnapshotDelta SaveDelta(const Snapshot& base) const;
+  void LoadDelta(const Snapshot& base, const SnapshotDelta& d);
+
   const std::vector<std::uint8_t>& output() const { return output_; }
   std::uint64_t OutputHash() const { return out_hash_; }
 

@@ -1,0 +1,422 @@
+// Trial fast path: word-first-access tracking, the dormancy shortcut, and
+// the inject-point snapshot restore. The load-bearing property throughout is
+// byte-identity with the slow path — the fast path is pure execution policy.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "inject/cache.h"
+#include "inject/campaign.h"
+#include "inject/report.h"
+#include "inject/trial.h"
+#include "obs/metrics.h"
+#include "obs/prop_trace.h"
+#include "state/state_registry.h"
+#include "uarch/core.h"
+#include "util/cancel.h"
+#include "workloads/workloads.h"
+
+namespace tfsim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// WordFirstAccessTracker
+// ---------------------------------------------------------------------------
+
+TEST(WordFirstAccessTracker, ReportsEarliestAccessAtOrAfterWatchCycle) {
+  WordFirstAccessTracker t(8);
+  t.Watch(3, 10);
+  t.Seal();
+  t.SetCycle(8);
+  t.OnAccess(3, /*is_write=*/true);  // before the watch window: ignored
+  EXPECT_FALSE(t.Done());
+  t.SetCycle(12);
+  t.OnAccess(3, /*is_write=*/false);
+  EXPECT_TRUE(t.Done());
+  t.SetCycle(13);
+  t.OnAccess(3, /*is_write=*/true);  // later accesses must not overwrite
+  const auto fa = t.Lookup(3, 10);
+  EXPECT_EQ(fa.cycle, 12);
+  EXPECT_FALSE(fa.is_write);
+}
+
+TEST(WordFirstAccessTracker, LaterWatchOnSameWordResolvesIndependently) {
+  WordFirstAccessTracker t(8);
+  t.Watch(5, 4);
+  t.Watch(5, 9);
+  t.Seal();
+  t.SetCycle(6);
+  t.OnAccess(5, /*is_write=*/true);
+  t.SetCycle(11);
+  t.OnAccess(5, /*is_write=*/false);
+  const auto a = t.Lookup(5, 4);
+  EXPECT_EQ(a.cycle, 6);
+  EXPECT_TRUE(a.is_write);
+  const auto b = t.Lookup(5, 9);
+  EXPECT_EQ(b.cycle, 11);
+  EXPECT_FALSE(b.is_write);
+}
+
+TEST(WordFirstAccessTracker, OneAccessResolvesEveryPendingEarlierWatch) {
+  WordFirstAccessTracker t(4);
+  t.Watch(2, 3);
+  t.Watch(2, 7);
+  t.Seal();
+  t.SetCycle(9);
+  t.OnAccess(2, /*is_write=*/true);
+  EXPECT_EQ(t.Lookup(2, 3).cycle, 9);
+  EXPECT_EQ(t.Lookup(2, 7).cycle, 9);
+  EXPECT_TRUE(t.Done());
+}
+
+TEST(WordFirstAccessTracker, DuplicatePairsCollapse) {
+  WordFirstAccessTracker t(4);
+  t.Watch(2, 7);
+  t.Watch(2, 7);
+  t.Seal();
+  EXPECT_FALSE(t.Done());
+  t.SetCycle(7);
+  t.OnAccess(2, /*is_write=*/true);
+  EXPECT_TRUE(t.Done());  // one access retires the collapsed pair
+}
+
+TEST(WordFirstAccessTracker, WatchedDistinguishesNoDataFromNoAccess) {
+  WordFirstAccessTracker t(4);
+  t.Watch(1, 5);
+  t.Seal();
+  // Never accessed: a provable "latent" verdict...
+  EXPECT_TRUE(t.Watched(1, 5));
+  EXPECT_EQ(t.Lookup(1, 5).cycle, -1);
+  // ...which Lookup alone cannot distinguish from "never watched".
+  EXPECT_FALSE(t.Watched(1, 6));
+  EXPECT_FALSE(t.Watched(0, 5));
+  EXPECT_EQ(t.Lookup(0, 5).cycle, -1);
+}
+
+TEST(WordFirstAccessTracker, RejectsLateWatchAndBadWord) {
+  WordFirstAccessTracker t(4);
+  EXPECT_THROW(t.Watch(4, 0), std::out_of_range);
+  t.Seal();
+  EXPECT_THROW(t.Watch(0, 0), std::logic_error);
+}
+
+// A value-preserving Set must still count as a write: the golden machine
+// overwrote the word, so an injected bit there is gone from that cycle on.
+TEST(StateRegistryTracking, ValuePreservingSetCountsAsWrite) {
+  StateRegistry reg;
+  StateField f = reg.Allocate("f", StateCat::kCtrl, Storage::kLatch, 4, 16);
+  f.Set(1, 42);
+  WordFirstAccessTracker t(reg.WordCount());
+  for (std::size_t w = 0; w < reg.WordCount(); ++w) t.Watch(w, 1);
+  t.Seal();
+  reg.SetAccessTracker(&t);
+  t.SetCycle(2);
+  f.Set(1, 42);  // no-change write
+  reg.SetAccessTracker(nullptr);
+  int resolved = 0;
+  for (std::size_t w = 0; w < reg.WordCount(); ++w) {
+    const auto fa = t.Lookup(w, 1);
+    if (fa.cycle < 0) continue;
+    ++resolved;
+    EXPECT_EQ(fa.cycle, 2);
+    EXPECT_TRUE(fa.is_write);
+  }
+  EXPECT_EQ(resolved, 1);
+}
+
+TEST(StateRegistryTracking, ReadBeforeWriteReportsRead) {
+  StateRegistry reg;
+  StateField f = reg.Allocate("f", StateCat::kData, Storage::kRam, 2, 32);
+  WordFirstAccessTracker t(reg.WordCount());
+  for (std::size_t w = 0; w < reg.WordCount(); ++w) t.Watch(w, 1);
+  t.Seal();
+  reg.SetAccessTracker(&t);
+  t.SetCycle(3);
+  (void)f.Get(0);
+  t.SetCycle(4);
+  f.Set(0, 7);
+  reg.SetAccessTracker(nullptr);
+  int resolved = 0;
+  for (std::size_t w = 0; w < reg.WordCount(); ++w) {
+    const auto fa = t.Lookup(w, 1);
+    if (fa.cycle < 0) continue;
+    ++resolved;
+    EXPECT_EQ(fa.cycle, 3);
+    EXPECT_FALSE(fa.is_write);  // the read wins; simulation is required
+  }
+  EXPECT_EQ(resolved, 1);
+}
+
+// ---------------------------------------------------------------------------
+// TrialRunner fast path vs slow path
+// ---------------------------------------------------------------------------
+
+struct FastpathRig {
+  CampaignSpec spec;
+  std::shared_ptr<const GoldenRun> golden;
+  std::vector<TrialSpec> specs;
+};
+
+CampaignSpec SmallCampaign(int trials) {
+  CampaignSpec spec;
+  spec.workload = "gzip";
+  spec.trials = trials;
+  spec.golden.warmup = 12000;
+  spec.golden.points = 3;
+  spec.golden.spacing = 500;
+  spec.golden.window = 2500;
+  spec.golden.slack = 1000;
+  return spec;
+}
+
+const FastpathRig& Rig() {
+  static const FastpathRig rig = [] {
+    FastpathRig r;
+    r.spec = SmallCampaign(160);
+    const Program program =
+        BuildWorkload(WorkloadByName(r.spec.workload), kCampaignIters);
+    Core probe(r.spec.core, program);
+    r.specs = MakeTrialSpecs(
+        r.spec, probe.registry().InjectableBits(r.spec.include_ram));
+    const FastPathPlan plan =
+        PlanFastPath(r.spec.golden, r.specs, probe.registry());
+    r.golden = RecordGolden(r.spec.core, program, r.spec.golden, nullptr,
+                            &plan);
+    return r;
+  }();
+  return rig;
+}
+
+void ExpectSameRecord(const TrialRecord& f, const TrialRecord& s,
+                      std::size_t i) {
+  EXPECT_EQ(f.outcome, s.outcome) << "trial " << i;
+  EXPECT_EQ(f.mode, s.mode) << "trial " << i;
+  EXPECT_EQ(f.cat, s.cat) << "trial " << i;
+  EXPECT_EQ(f.storage, s.storage) << "trial " << i;
+  EXPECT_EQ(f.cycles, s.cycles) << "trial " << i;
+  EXPECT_EQ(f.valid_instrs, s.valid_instrs) << "trial " << i;
+  EXPECT_EQ(f.inflight, s.inflight) << "trial " << i;
+}
+
+std::string TraceRow(const obs::PropagationTrace& tr, const std::string& wl,
+                     std::size_t i) {
+  std::ostringstream os;
+  obs::WritePropTraceRow(tr, wl, i, os);
+  return os.str();
+}
+
+// Every record and every propagation trace must be byte-identical between
+// the two execution policies, over a population that exercises shortcut
+// Matches, latent Grays, and read-forced fallbacks.
+TEST(TrialFastPath, RecordsAndTracesByteIdenticalToSlowPath) {
+  const FastpathRig& rig = Rig();
+  TrialRunner fast(rig.golden);
+  TrialPolicy slow_policy;
+  slow_policy.fast_path = false;
+  TrialRunner slow(rig.golden, slow_policy);
+  int shortcut = 0, match_late = 0, gray_latent = 0;
+  for (std::size_t i = 0; i < rig.specs.size(); ++i) {
+    const TrialRunner::Result f = fast.Run(rig.specs[i], /*want_trace=*/true);
+    const TrialRunner::Result s = slow.Run(rig.specs[i], /*want_trace=*/true);
+    EXPECT_FALSE(s.fast);
+    ExpectSameRecord(f.record, s.record, i);
+    EXPECT_EQ(TraceRow(f.trace, rig.spec.workload, i),
+              TraceRow(s.trace, rig.spec.workload, i))
+        << "trial " << i;
+    if (!f.fast) continue;
+    ++shortcut;
+    if (f.record.outcome == Outcome::kMicroArchMatch && f.record.cycles > 1)
+      ++match_late;
+    if (f.record.outcome == Outcome::kGrayArea) {
+      EXPECT_EQ(f.record.cycles, rig.spec.golden.window);
+      ++gray_latent;
+    }
+  }
+  // The population must actually exercise the shortcut's verdicts, or this
+  // test proves nothing.
+  EXPECT_GT(shortcut, 0);
+  EXPECT_GT(match_late, 0);
+  EXPECT_GT(gray_latent, 0);
+}
+
+// The cutoff may only fire at *full* re-convergence. A shortcut Match at
+// cycle c must agree with the simulating loop's classification cycle — a
+// machine that transiently looks converged (e.g. the injected category's
+// hash matches while the fault lives on elsewhere) must not cut early, and
+// the tracker's write cycle must be exactly the convergence cycle.
+TEST(TrialFastPath, ConvergenceCutoffFiresAtExactConvergenceCycle) {
+  const FastpathRig& rig = Rig();
+  TrialRunner fast(rig.golden);
+  TrialPolicy slow_policy;
+  slow_policy.fast_path = false;
+  TrialRunner slow(rig.golden, slow_policy);
+  const WordFirstAccessTracker& access = *rig.golden->fastpath.access;
+  int checked = 0;
+  for (const TrialSpec& ts : rig.specs) {
+    const TrialRunner::Result f = fast.Run(ts);
+    if (!f.fast || f.record.outcome != Outcome::kMicroArchMatch) continue;
+    const InjectionSite site =
+        ResolveInjectionSite(rig.golden->spec, ts, fast.core().registry());
+    std::uint64_t expect_c = 1;
+    for (const BitLocation& loc : site.flips) {
+      const auto fa =
+          access.Lookup(fast.core().registry().WordIndexOf(loc),
+                        site.inj_cycle);
+      ASSERT_GE(fa.cycle, 0);
+      ASSERT_TRUE(fa.is_write);
+      expect_c = std::max(
+          expect_c, static_cast<std::uint64_t>(fa.cycle) - site.inj_cycle + 1);
+    }
+    EXPECT_EQ(f.record.cycles, expect_c);
+    EXPECT_EQ(slow.Run(ts).record.cycles, f.record.cycles);
+    ++checked;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+// Multi-bit bursts: several flipped words per trial (and possibly cancelled
+// flips revisiting a bit) — the shortcut must wait for the *last* divergent
+// word and still agree with the slow path byte-for-byte.
+TEST(TrialFastPath, MultiFlipBurstsByteIdentical) {
+  CampaignSpec spec = SmallCampaign(48);
+  spec.flips = 3;
+  spec.adjacent = true;
+  const Program program =
+      BuildWorkload(WorkloadByName(spec.workload), kCampaignIters);
+  Core probe(spec.core, program);
+  const std::vector<TrialSpec> specs =
+      MakeTrialSpecs(spec, probe.registry().InjectableBits(spec.include_ram));
+  const FastPathPlan plan = PlanFastPath(spec.golden, specs, probe.registry());
+  const auto golden =
+      RecordGolden(spec.core, program, spec.golden, nullptr, &plan);
+  TrialRunner fast(golden);
+  TrialPolicy slow_policy;
+  slow_policy.fast_path = false;
+  TrialRunner slow(golden, slow_policy);
+  for (std::size_t i = 0; i < specs.size(); ++i)
+    ExpectSameRecord(fast.Run(specs[i]).record, slow.Run(specs[i]).record, i);
+}
+
+// Golden runs recorded without a fast-path plan (fuzz harness, ad-hoc
+// tools) must silently take the slow path even when the policy allows fast.
+TEST(TrialFastPath, NoPlanMeansSlowPath) {
+  const CampaignSpec spec = SmallCampaign(8);
+  const Program program =
+      BuildWorkload(WorkloadByName(spec.workload), kCampaignIters);
+  const auto golden = RecordGolden(spec.core, program, spec.golden);
+  EXPECT_FALSE(golden->fastpath.enabled);
+  Core probe(spec.core, program);
+  const std::vector<TrialSpec> specs =
+      MakeTrialSpecs(spec, probe.registry().InjectableBits(spec.include_ram));
+  TrialRunner runner(golden);
+  for (const TrialSpec& ts : specs) EXPECT_FALSE(runner.Run(ts).fast);
+}
+
+// A changed observation window must never alias cached results.
+TEST(TrialFastPath, WindowIsPartOfTheCacheKey) {
+  CampaignSpec a = SmallCampaign(40);
+  CampaignSpec b = a;
+  b.golden.window += 1;
+  EXPECT_NE(a.CacheKey(), b.CacheKey());
+}
+
+// Whole-campaign A/B at jobs 1 and 4: outcome distributions, metrics JSON
+// (timer-less export is byte-deterministic), propagation traces and heatmap
+// exports — the knobs fastpath_ab_smoke checks plus the metrics registry.
+TEST(TrialFastPath, CampaignDistributionsMetricsAndHeatmapsIdentical) {
+  const CampaignSpec spec = SmallCampaign(40);
+  struct Out {
+    CampaignResult result;
+    std::string metrics;
+  };
+  const auto run = [&](bool fast_path, int jobs) {
+    obs::MetricsRegistry metrics;
+    CampaignOptions opt;
+    opt.jobs = jobs;
+    opt.verbose = false;
+    opt.use_cache = false;
+    opt.fast_path = fast_path;
+    opt.obs.collect_prop_traces = true;
+    opt.obs.sinks.metrics = &metrics;
+    Out out{RunCampaign(spec, opt), {}};
+    std::ostringstream os;
+    metrics.WriteJson(os, /*include_timers=*/false);
+    out.metrics = os.str();
+    return out;
+  };
+  const Out slow1 = run(/*fast_path=*/false, /*jobs=*/1);
+  for (const Out& f : {run(true, 1), run(true, 4)}) {
+    ASSERT_EQ(f.result.trials.size(), slow1.result.trials.size());
+    for (std::size_t i = 0; i < f.result.trials.size(); ++i)
+      ExpectSameRecord(f.result.trials[i], slow1.result.trials[i], i);
+    EXPECT_EQ(f.result.ByOutcome(), slow1.result.ByOutcome());
+    EXPECT_EQ(f.result.ByFailureMode(), slow1.result.ByFailureMode());
+    EXPECT_EQ(f.metrics, slow1.metrics);
+    ASSERT_EQ(f.result.prop_traces.size(), slow1.result.prop_traces.size());
+    for (std::size_t i = 0; i < f.result.prop_traces.size(); ++i)
+      EXPECT_EQ(TraceRow(f.result.prop_traces[i], spec.workload, i),
+                TraceRow(slow1.result.prop_traces[i], spec.workload, i));
+    std::ostringstream fh, sh;
+    BuildHeatmap(f.result).WriteJson(fh, spec.workload);
+    BuildHeatmap(slow1.result).WriteJson(sh, spec.workload);
+    EXPECT_EQ(fh.str(), sh.str());
+  }
+}
+
+// Interrupt a fast-path campaign mid-flight, then resume it with the fast
+// path disabled: the journaled fast-path prefix and the slow-path suffix
+// must splice into a result byte-identical to an uninterrupted slow run.
+TEST(TrialFastPath, ResumeCrossesFastSlowBoundary) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "tfi_fastpath_resume_test")
+          .string();
+  std::filesystem::remove_all(dir);
+  const char* old_dir = std::getenv("TFI_CACHE_DIR");
+  const std::string saved = old_dir ? old_dir : "";
+  ::setenv("TFI_CACHE_DIR", dir.c_str(), 1);
+
+  const CampaignSpec spec = SmallCampaign(30);
+  CampaignOptions base;
+  base.verbose = false;
+  base.use_cache = false;
+
+  CampaignOptions slow_opt = base;
+  slow_opt.fast_path = false;
+  const CampaignResult reference = RunCampaign(spec, slow_opt);
+
+  CancellationToken cancel;
+  CampaignOptions interrupted = base;  // fast path on (default)
+  interrupted.jobs = 2;
+  interrupted.checkpoint_every = 5;
+  interrupted.cancel = &cancel;
+  interrupted.trial_fault_hook = [&cancel](std::size_t i) {
+    if (i == 12) cancel.Request();
+  };
+  const CampaignResult partial = RunCampaign(spec, interrupted);
+  ASSERT_TRUE(partial.interrupted);
+  ASSERT_FALSE(partial.trials.empty());
+  ASSERT_LT(partial.trials.size(), reference.trials.size());
+
+  CampaignOptions resume = base;
+  resume.fast_path = false;  // the suffix runs on the slow path
+  resume.checkpoint_every = 5;
+  const CampaignResult resumed = RunCampaign(spec, resume);
+  EXPECT_FALSE(resumed.interrupted);
+  ASSERT_EQ(resumed.trials.size(), reference.trials.size());
+  for (std::size_t i = 0; i < reference.trials.size(); ++i)
+    ExpectSameRecord(resumed.trials[i], reference.trials[i], i);
+
+  if (old_dir)
+    ::setenv("TFI_CACHE_DIR", saved.c_str(), 1);
+  else
+    ::unsetenv("TFI_CACHE_DIR");
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace tfsim

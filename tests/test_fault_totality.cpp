@@ -84,15 +84,15 @@ TEST(FaultTotality, EveryTrialTerminatesWithAClassification) {
   gs.slack = 800;
   const Program prog = BuildWorkload(WorkloadByName("twolf"), kCampaignIters);
   const auto golden = RecordGolden(CoreConfig{}, prog, gs);
-  Core core(CoreConfig{}, prog);
+  TrialRunner runner(golden);
   Rng rng(321);
-  const std::uint64_t bits = core.registry().InjectableBits(true);
+  const std::uint64_t bits = runner.core().registry().InjectableBits(true);
   for (int t = 0; t < 120; ++t) {
     TrialSpec ts;
     ts.checkpoint = static_cast<int>(rng.NextBelow(2));
     ts.offset = rng.NextBelow(gs.offset_max);
     ts.bit_index = rng.NextBelow(bits);
-    const TrialRecord r = RunTrial(core, *golden, ts);
+    const TrialRecord r = runner.Run(ts).record;
     ASSERT_LE(static_cast<int>(r.outcome), 3);
     ASSERT_LE(r.cycles, gs.window);
     if (r.outcome == Outcome::kSdc || r.outcome == Outcome::kTerminated)

@@ -85,16 +85,15 @@ TEST(Trial, NoInjectionEffectMatchesImmediately) {
   // a bit, run, and verify the double-flip identity through the registry
   // (covered elsewhere); here: inject into a *background-adjacent* dead bit
   // — the upper bit of a free physical register — and expect masking.
-  const auto& g = *Shared().golden;
-  Core core(g.cfg, g.program);
+  TrialRunner runner(Shared().golden);
   Rng rng(5);
   int masked = 0, trials = 0;
-  const std::uint64_t bits = core.registry().InjectableBits(true);
+  const std::uint64_t bits = runner.core().registry().InjectableBits(true);
   for (std::uint64_t i = 0; i < bits && trials < 40; ++i) {
-    const BitLocation loc = core.registry().LocateBit(i, true);
+    const BitLocation loc = runner.core().registry().LocateBit(i, true);
     if (loc.name != "regfile.value" || loc.bit < 60) continue;
     TrialSpec ts{1, 10, i, true};
-    const TrialRecord r = RunTrial(core, g, ts);
+    const TrialRecord r = runner.Run(ts).record;
     ++trials;
     if (r.outcome == Outcome::kMicroArchMatch) ++masked;
   }
@@ -104,16 +103,15 @@ TEST(Trial, NoInjectionEffectMatchesImmediately) {
 }
 
 TEST(Trial, ArchRatCorruptionIsRegfileSdc) {
-  const auto& g = *Shared().golden;
-  Core core(g.cfg, g.program);
+  TrialRunner runner(Shared().golden);
   int sdc = 0, total = 0;
-  const std::uint64_t bits = core.registry().InjectableBits(true);
+  const std::uint64_t bits = runner.core().registry().InjectableBits(true);
   for (std::uint64_t i = 0; i < bits; ++i) {
-    const BitLocation loc = core.registry().LocateBit(i, true);
+    const BitLocation loc = runner.core().registry().LocateBit(i, true);
     if (loc.name != "rename.archrat") continue;
     // Low pointer bits of actively used architectural registers.
     if (loc.bit >= 3) continue;
-    const TrialRecord r = RunTrial(core, g, {0, 5, i, true});
+    const TrialRecord r = runner.Run({0, 5, i, true}).record;
     ++total;
     if (r.outcome == Outcome::kSdc && r.mode == FailureMode::kRegfile) ++sdc;
   }
@@ -123,14 +121,13 @@ TEST(Trial, ArchRatCorruptionIsRegfileSdc) {
 }
 
 TEST(Trial, FetchPcCorruptionDivergesOrRecovers) {
-  const auto& g = *Shared().golden;
-  Core core(g.cfg, g.program);
-  const std::uint64_t bits = core.registry().InjectableBits(true);
+  TrialRunner runner(Shared().golden);
+  const std::uint64_t bits = runner.core().registry().InjectableBits(true);
   int classified = 0;
   for (std::uint64_t i = 0; i < bits; ++i) {
-    const BitLocation loc = core.registry().LocateBit(i, true);
+    const BitLocation loc = runner.core().registry().LocateBit(i, true);
     if (loc.name != "fetch.pc") continue;
-    const TrialRecord r = RunTrial(core, g, {0, 3, i, true});
+    const TrialRecord r = runner.Run({0, 3, i, true}).record;
     ++classified;
     // Every outcome is acceptable, but the trial must terminate decisively
     // (this exercise is about totality of classification).
@@ -140,9 +137,8 @@ TEST(Trial, FetchPcCorruptionDivergesOrRecovers) {
 }
 
 TEST(Trial, RecordsUtilizationAtInjection) {
-  const auto& g = *Shared().golden;
-  Core core(g.cfg, g.program);
-  const TrialRecord r = RunTrial(core, g, {0, 50, 12345, true});
+  TrialRunner runner(Shared().golden);
+  const TrialRecord r = runner.Run({0, 50, 12345, true}).record;
   EXPECT_GT(r.inflight, 0u);
   EXPECT_LE(r.valid_instrs, 132u);
 }

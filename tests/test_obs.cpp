@@ -224,9 +224,9 @@ class PropTraceTest : public ::testing::Test {
 TEST_F(PropTraceTest, TraceAgreesWithRecordAndOrdersCycles) {
   const Program prog = BuildWorkload(WorkloadByName("gzip"), kCampaignIters);
   const auto golden = RecordGolden(CoreConfig{}, prog, SmallSpec());
-  Core core(CoreConfig{}, prog);
+  TrialRunner runner(golden);
   Rng rng(99);
-  const std::uint64_t bits = core.registry().InjectableBits(true);
+  const std::uint64_t bits = runner.core().registry().InjectableBits(true);
 
   int failures_seen = 0;
   for (int t = 0; t < 40; ++t) {
@@ -234,8 +234,9 @@ TEST_F(PropTraceTest, TraceAgreesWithRecordAndOrdersCycles) {
     ts.checkpoint = static_cast<int>(rng.NextBelow(2));
     ts.offset = rng.NextBelow(golden->spec.offset_max);
     ts.bit_index = rng.NextBelow(bits);
-    obs::PropagationTrace trace;
-    const TrialRecord rec = RunTrial(core, *golden, ts, &trace);
+    const TrialRunner::Result res = runner.Run(ts, /*want_trace=*/true);
+    const TrialRecord& rec = res.record;
+    const obs::PropagationTrace& trace = res.trace;
 
     // The trace must agree with the trial record on every shared field.
     EXPECT_EQ(trace.outcome, rec.outcome);
@@ -275,17 +276,16 @@ TEST_F(PropTraceTest, TraceAgreesWithRecordAndOrdersCycles) {
 TEST_F(PropTraceTest, TracingDoesNotPerturbClassification) {
   const Program prog = BuildWorkload(WorkloadByName("gzip"), kCampaignIters);
   const auto golden = RecordGolden(CoreConfig{}, prog, SmallSpec());
-  Core core(CoreConfig{}, prog);
+  TrialRunner runner(golden);
   Rng rng(7);
-  const std::uint64_t bits = core.registry().InjectableBits(true);
+  const std::uint64_t bits = runner.core().registry().InjectableBits(true);
   for (int t = 0; t < 15; ++t) {
     TrialSpec ts;
     ts.checkpoint = static_cast<int>(rng.NextBelow(2));
     ts.offset = rng.NextBelow(golden->spec.offset_max);
     ts.bit_index = rng.NextBelow(bits);
-    obs::PropagationTrace trace;
-    const TrialRecord with = RunTrial(core, *golden, ts, &trace);
-    const TrialRecord without = RunTrial(core, *golden, ts, nullptr);
+    const TrialRecord with = runner.Run(ts, /*want_trace=*/true).record;
+    const TrialRecord without = runner.Run(ts).record;
     EXPECT_EQ(with.outcome, without.outcome);
     EXPECT_EQ(with.mode, without.mode);
     EXPECT_EQ(with.cycles, without.cycles);

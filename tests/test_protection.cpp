@@ -23,7 +23,8 @@ GoldenSpec SmallSpec() {
 struct Rig {
   Program prog;
   std::shared_ptr<const GoldenRun> golden;
-  std::unique_ptr<Core> core;
+  std::unique_ptr<TrialRunner> runner;
+  const StateRegistry& registry() const { return runner->core().registry(); }
 };
 
 Rig MakeRig(const ProtectionConfig& p, const char* workload = "gzip") {
@@ -32,7 +33,7 @@ Rig MakeRig(const ProtectionConfig& p, const char* workload = "gzip") {
   cfg.protect = p;
   rig.prog = BuildWorkload(WorkloadByName(workload), kCampaignIters);
   rig.golden = RecordGolden(cfg, rig.prog, SmallSpec());
-  rig.core = std::make_unique<Core>(cfg, rig.prog);
+  rig.runner = std::make_unique<TrialRunner>(rig.golden);
   return rig;
 }
 
@@ -40,16 +41,16 @@ Rig MakeRig(const ProtectionConfig& p, const char* workload = "gzip") {
 std::pair<int, int> InjectField(Rig& rig, const std::string& field,
                                 int max_trials, std::uint8_t max_bit = 64) {
   int failed = 0, total = 0;
-  const std::uint64_t bits = rig.core->registry().InjectableBits(true);
+  const std::uint64_t bits = rig.registry().InjectableBits(true);
   Rng rng(7);
   for (std::uint64_t i = 0; i < bits && total < max_trials; ++i) {
-    const BitLocation loc = rig.core->registry().LocateBit(i, true);
+    const BitLocation loc = rig.registry().LocateBit(i, true);
     if (loc.name != field || loc.bit >= max_bit) continue;
     TrialSpec ts;
     ts.checkpoint = static_cast<int>(rng.NextBelow(2));
     ts.offset = rng.NextBelow(150);
     ts.bit_index = i;
-    const TrialRecord r = RunTrial(*rig.core, *rig.golden, ts);
+    const TrialRecord r = rig.runner->Run(ts).record;
     ++total;
     if (r.outcome == Outcome::kSdc || r.outcome == Outcome::kTerminated)
       ++failed;
@@ -109,11 +110,11 @@ TEST(Protection, ParityBitItselfIsBenign) {
   // parity bit forces a spurious flush but never corrupts execution.
   Rig par = MakeRig({.insn_parity = true});
   int failed = 0, total = 0;
-  const std::uint64_t bits = par.core->registry().InjectableBits(true);
+  const std::uint64_t bits = par.registry().InjectableBits(true);
   for (std::uint64_t i = 0; i < bits && total < 100; ++i) {
-    const BitLocation loc = par.core->registry().LocateBit(i, true);
+    const BitLocation loc = par.registry().LocateBit(i, true);
     if (loc.cat != StateCat::kParity) continue;
-    const TrialRecord r = RunTrial(*par.core, *par.golden, {0, 25, i, true});
+    const TrialRecord r = par.runner->Run({0, 25, i, true}).record;
     ++total;
     if (r.outcome == Outcome::kSdc || r.outcome == Outcome::kTerminated)
       ++failed;
@@ -129,13 +130,13 @@ TEST(Protection, TimeoutCounterClearsSchedulerDeadlocks) {
   Rig to = MakeRig({.timeout_counter = true}, "gcc");
   auto count_locked = [](Rig& rig) {
     int locked = 0, total = 0;
-    const std::uint64_t bits = rig.core->registry().InjectableBits(true);
+    const std::uint64_t bits = rig.registry().InjectableBits(true);
     for (std::uint64_t i = 0; i < bits && total < 200; ++i) {
-      const BitLocation loc = rig.core->registry().LocateBit(i, true);
+      const BitLocation loc = rig.registry().LocateBit(i, true);
       if (loc.name != "rob.done" && loc.name != "lq.state" &&
           loc.name != "sched.wait_store")
         continue;
-      const TrialRecord r = RunTrial(*rig.core, *rig.golden, {1, 60, i, true});
+      const TrialRecord r = rig.runner->Run({1, 60, i, true}).record;
       ++total;
       if (r.mode == FailureMode::kLocked) ++locked;
     }
@@ -154,11 +155,11 @@ TEST(Protection, EccStateIsMostlySelfRedundant) {
   // checked read repairs the code (Section 4.3's redundancy argument).
   Rig ecc = MakeRig(ProtectionConfig::All());
   int failed = 0, total = 0;
-  const std::uint64_t bits = ecc.core->registry().InjectableBits(true);
+  const std::uint64_t bits = ecc.registry().InjectableBits(true);
   for (std::uint64_t i = 0; i < bits && total < 150; ++i) {
-    const BitLocation loc = ecc.core->registry().LocateBit(i, true);
+    const BitLocation loc = ecc.registry().LocateBit(i, true);
     if (loc.cat != StateCat::kEcc) continue;
-    const TrialRecord r = RunTrial(*ecc.core, *ecc.golden, {0, 40, i, true});
+    const TrialRecord r = ecc.runner->Run({0, 40, i, true}).record;
     ++total;
     if (r.outcome == Outcome::kSdc || r.outcome == Outcome::kTerminated)
       ++failed;

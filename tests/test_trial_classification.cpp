@@ -13,7 +13,8 @@ namespace {
 struct Rig {
   Program prog;
   std::shared_ptr<const GoldenRun> golden;
-  std::unique_ptr<Core> core;
+  std::unique_ptr<TrialRunner> runner;
+  const StateRegistry& registry() const { return runner->core().registry(); }
 };
 
 const Rig& SharedRig() {
@@ -26,7 +27,7 @@ const Rig& SharedRig() {
     gs.window = 6000;
     r.prog = BuildWorkload(WorkloadByName("twolf"), kCampaignIters);
     r.golden = RecordGolden(CoreConfig{}, r.prog, gs);
-    r.core = std::make_unique<Core>(CoreConfig{}, r.prog);
+    r.runner = std::make_unique<TrialRunner>(r.golden);
     return r;
   }();
   return rig;
@@ -38,14 +39,14 @@ std::map<FailureMode, int> ModesFor(const std::string& field, int limit,
   auto& rig = const_cast<Rig&>(SharedRig());
   std::map<FailureMode, int> modes;
   Rng rng(13);
-  const std::uint64_t bits = rig.core->registry().InjectableBits(true);
+  const std::uint64_t bits = rig.registry().InjectableBits(true);
   int n = 0;
   for (std::uint64_t i = 0; i < bits && n < limit; ++i) {
-    const BitLocation loc = rig.core->registry().LocateBit(i, true);
+    const BitLocation loc = rig.registry().LocateBit(i, true);
     if (loc.name != field || loc.bit >= max_bit) continue;
-    const TrialRecord r = RunTrial(
-        *rig.core, *rig.golden,
-        {static_cast<int>(rng.NextBelow(3)), rng.NextBelow(150), i, true});
+    const TrialRecord r = rig.runner->Run(
+        {static_cast<int>(rng.NextBelow(3)), rng.NextBelow(150), i, true})
+                              .record;
     ++modes[r.mode];
     ++n;
   }
@@ -73,13 +74,13 @@ TEST(Classification, StoreBufferCorruptionIsMemMode) {
     if (!tl.sb_empty[o - 1]) busy_offsets.push_back(o);
   ASSERT_FALSE(busy_offsets.empty()) << "workload never uses the SB?";
 
-  const std::uint64_t bits = rig.core->registry().InjectableBits(true);
+  const std::uint64_t bits = rig.registry().InjectableBits(true);
   int failures = 0, mem = 0, trials = 0;
   for (std::uint64_t i = 0; i < bits; ++i) {
-    const BitLocation loc = rig.core->registry().LocateBit(i, true);
+    const BitLocation loc = rig.registry().LocateBit(i, true);
     if (loc.name != "sb.data" || loc.bit >= 8) continue;
     for (std::uint64_t o : busy_offsets) {
-      const TrialRecord r = RunTrial(*rig.core, *rig.golden, {0, o, i, true});
+      const TrialRecord r = rig.runner->Run({0, o, i, true}).record;
       ++trials;
       if (r.outcome == Outcome::kSdc) {
         ++failures;
@@ -124,14 +125,14 @@ TEST(Classification, PredictedTargetFlipsAreLargelyBenign) {
 TEST(Classification, CyclesToFailureAreShortForLiveState) {
   auto& rig = const_cast<Rig&>(SharedRig());
   Rng rng(17);
-  const std::uint64_t bits = rig.core->registry().InjectableBits(true);
+  const std::uint64_t bits = rig.registry().InjectableBits(true);
   std::uint64_t sum = 0;
   int n = 0;
   for (std::uint64_t i = 0; i < bits && n < 60; ++i) {
-    const BitLocation loc = rig.core->registry().LocateBit(i, true);
+    const BitLocation loc = rig.registry().LocateBit(i, true);
     if (loc.name != "regfile.value" || loc.bit >= 8) continue;
     const TrialRecord r =
-        RunTrial(*rig.core, *rig.golden, {0, rng.NextBelow(100), i, true});
+        rig.runner->Run({0, rng.NextBelow(100), i, true}).record;
     if (r.outcome == Outcome::kSdc) {
       sum += r.cycles;
       ++n;

@@ -17,9 +17,10 @@ int main(int argc, char** argv) {
   GoldenSpec gs; gs.warmup = 20000; gs.points = 4;
   Program prog = BuildWorkload(WorkloadByName(wl), kCampaignIters);
   auto golden = RecordGolden(cfg, prog, gs);
-  Core core(cfg, prog);
+  TrialRunner runner(golden);
   Rng rng(1);
-  const std::uint64_t bits = core.registry().InjectableBits(include_ram);
+  const std::uint64_t bits =
+      runner.core().registry().InjectableBits(include_ram);
   std::map<std::string, std::pair<int,int>> byname;  // gray, total
   std::map<std::string, std::pair<int,int>> fails;
   for (int t = 0; t < trials; ++t) {
@@ -28,8 +29,9 @@ int main(int argc, char** argv) {
     ts.offset = rng.NextBelow(gs.offset_max);
     ts.bit_index = rng.NextBelow(bits);
     ts.include_ram = include_ram;
-    const BitLocation loc = core.registry().LocateBit(ts.bit_index, include_ram);
-    TrialRecord r = RunTrial(core, *golden, ts);
+    const BitLocation loc =
+        runner.core().registry().LocateBit(ts.bit_index, include_ram);
+    TrialRecord r = runner.Run(ts).record;
     auto& e = byname[loc.name];
     e.second++;
     if (r.outcome == Outcome::kGrayArea) e.first++;

@@ -4,6 +4,12 @@
 //   tfi exec <workload|file.s> [--iters N]               functional execution
 //   tfi campaign <workload> [--trials N] [--latches-only] [--protect]
 //                 [--flips N] [--adjacent] [--jobs N]    one injection campaign
+//                 [--window N] (observation window in cycles; default 10000,
+//                 env TFI_WINDOW; part of the results-cache key)
+//                 [--fast-path|--no-fast-path] (inject-point snapshotting +
+//                 early-convergence cutoff; fast is the default and produces
+//                 byte-identical results — --no-fast-path replays every
+//                 trial from its checkpoint)
 //       telemetry: [--metrics-json FILE] [--prop-trace FILE]
 //                  [--chrome-trace FILE] [--progress]
 //                  [--events-jsonl FILE] (structured campaign event journal)
@@ -48,6 +54,7 @@
 #include "uarch/core.h"
 #include "util/argparse.h"
 #include "util/cancel.h"
+#include "util/env.h"
 #include "workloads/workloads.h"
 
 // Active sanitizer configuration, stamped in by CMake from TFI_SANITIZE so
@@ -79,6 +86,9 @@ struct Args {
   std::int64_t flips = 1;
   std::int64_t jobs = 1;
   std::int64_t checkpoint_every = 250;
+  std::int64_t window = 0;  // 0 = GoldenSpec default (or TFI_WINDOW)
+  bool fast_path = false;   // accepted for symmetry; fast is the default
+  bool no_fast_path = false;
   bool latches_only = false;
   bool protect = false;
   bool adjacent = false;
@@ -112,6 +122,14 @@ ArgParser MakeParser(Args& a) {
            "trial-loop worker threads; 0 = all hardware threads (campaign)");
   p.AddInt("checkpoint-every", &a.checkpoint_every,
            "flush a resume journal every N trials; 0 disables (campaign)");
+  p.AddInt("window", &a.window,
+           "trial observation window in cycles; 0 = default 10000 or "
+           "TFI_WINDOW (campaign; part of the results-cache key)");
+  p.AddFlag("fast-path", &a.fast_path,
+            "inject-point snapshotting + early-convergence cutoff (campaign; "
+            "the default — results are byte-identical either way)");
+  p.AddFlag("no-fast-path", &a.no_fast_path,
+            "replay every trial from its checkpoint instead (campaign)");
   p.AddFlag("latches-only", &a.latches_only,
             "inject latches only, not RAMs (campaign)");
   p.AddFlag("protect", &a.protect,
@@ -310,6 +328,11 @@ int CmdCampaign(const Args& a) {
   spec.flips = static_cast<int>(a.flips);
   spec.adjacent = a.adjacent;
   if (a.protect) spec.core.protect = ProtectionConfig::All();
+  // Observation window: flag wins, then TFI_WINDOW, then the GoldenSpec
+  // default. GoldenSpec::window is the single source of truth downstream
+  // (trial classification, fast-path planning, the cache key).
+  const std::int64_t window = a.window > 0 ? a.window : EnvInt("TFI_WINDOW", 0);
+  if (window > 0) spec.golden.window = static_cast<std::uint64_t>(window);
 
   // Observability: attach only the sinks whose export files were requested.
   obs::MetricsRegistry metrics;
@@ -323,6 +346,7 @@ int CmdCampaign(const Args& a) {
   opt.obs.collect_prop_traces = !a.prop_trace.empty();
   opt.obs.progress = a.progress;
   opt.check_invariants = a.check;
+  opt.fast_path = !a.no_fast_path;
 
   // Event journal: one shared stream feeding the JSONL file sink and the
   // HTTP status server (--progress attaches its own consumer inside the
