@@ -1,15 +1,18 @@
 #include "inject/cache.h"
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <limits>
 #include <sstream>
+#include <thread>
 
 #include "obs/metrics.h"
 #include "util/checksum.h"
 #include "util/env.h"
+#include "util/failpoint.h"
 #include "util/fs.h"
 
 namespace tfsim {
@@ -113,21 +116,41 @@ std::optional<std::string> ReadChecksummed(std::istream& in) {
 }
 
 // Best-effort atomic store shared by the cache and the journal: ensures the
-// directory, writes temp + rename, and surfaces failures via stderr and the
-// named counter instead of silently dropping hours of results.
+// directory, writes temp + rename, retries transient failures with bounded
+// backoff, and surfaces final failure via stderr and the named counter
+// instead of silently dropping hours of results. `failpoint` is the chaos
+// site evaluated once per attempt (so a one-in-2 policy fails the first
+// attempt and lets the retry succeed).
+constexpr int kStoreAttempts = 3;
+constexpr std::uint64_t kStoreBackoffUs = 1000;  // 1ms, then 4ms
+
 bool StoreEnvelope(const std::filesystem::path& path, const char* magic,
-                   const std::string& payload, const char* failure_counter,
-                   obs::MetricsRegistry* metrics) {
-  std::error_code ec;
-  std::filesystem::create_directories(path.parent_path(), ec);
+                   const std::string& payload, const char* failpoint,
+                   const char* failure_counter, obs::MetricsRegistry* metrics) {
+  const std::string data = WrapChecksummed(magic, payload);
   std::string error;
-  if (ec)
-    error = "cannot create " + path.parent_path().string() + ": " +
-            ec.message();
-  if (error.empty() && AtomicWriteFile(path, WrapChecksummed(magic, payload),
-                                       &error))
-    return true;
-  std::fprintf(stderr, "[cache] store failed: %s\n", error.c_str());
+  for (int attempt = 0; attempt < kStoreAttempts; ++attempt) {
+    if (attempt > 0)
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          kStoreBackoffUs << (2 * (attempt - 1))));
+    error.clear();
+    // The directory may have been removed between attempts (or never
+    // existed); re-ensure it inside the retry loop.
+    std::error_code ec;
+    std::filesystem::create_directories(path.parent_path(), ec);
+    if (ec) {
+      error = "cannot create " + path.parent_path().string() + ": " +
+              ec.message();
+      continue;
+    }
+    if (fail::FailHere(failpoint)) {
+      error = std::string("failpoint: ") + failpoint;
+      continue;
+    }
+    if (AtomicWriteFile(path, data, &error)) return true;
+  }
+  std::fprintf(stderr, "[cache] store failed after %d attempts: %s\n",
+               kStoreAttempts, error.c_str());
   if (metrics) metrics->GetCounter(failure_counter).Inc();
   return false;
 }
@@ -139,6 +162,10 @@ std::string CacheDir() {
 }
 
 std::optional<CampaignResult> LoadCachedCampaign(const CampaignSpec& spec) {
+  // A firing load failpoint is indistinguishable from an absent/corrupt
+  // cache file: the campaign re-runs cleanly (the graceful-degradation path
+  // chaos tests pin).
+  if (fail::FailHere("cache.load")) return std::nullopt;
   const std::filesystem::path path =
       std::filesystem::path(CacheDir()) / (spec.CacheKey() + ".txt");
   std::ifstream in(path, std::ios::binary);
@@ -170,7 +197,8 @@ bool StoreCachedCampaign(const CampaignResult& result,
   const std::filesystem::path path =
       std::filesystem::path(CacheDir()) / (result.spec.CacheKey() + ".txt");
   return StoreEnvelope(path, kMagicV2, SerializeResultPayload(result),
-                       "campaign.cache.store_failures", metrics);
+                       "cache.store", "campaign.cache.store_failures",
+                       metrics);
 }
 
 // --- checkpoint journal ------------------------------------------------------
@@ -186,6 +214,7 @@ std::string CampaignCheckpointPath(const CampaignSpec& spec) {
 
 std::optional<std::vector<TrialRecord>> LoadCampaignCheckpoint(
     const CampaignSpec& spec) {
+  if (fail::FailHere("ckpt.load")) return std::nullopt;
   std::ifstream in(CampaignCheckpointPath(spec), std::ios::binary);
   if (!in) return std::nullopt;
   std::string magic;
@@ -211,7 +240,8 @@ bool StoreCampaignCheckpoint(const CampaignSpec& spec,
   os << spec.trials << '\n' << prefix.size() << '\n';
   for (const auto& t : prefix) WriteTrial(os, t);
   return StoreEnvelope(CampaignCheckpointPath(spec), kCkptMagic, os.str(),
-                       "campaign.checkpoint.store_failures", metrics);
+                       "ckpt.store", "campaign.checkpoint.store_failures",
+                       metrics);
 }
 
 void RemoveCampaignCheckpoint(const CampaignSpec& spec) {

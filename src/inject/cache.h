@@ -30,9 +30,11 @@ std::string CacheDir();
 
 std::optional<CampaignResult> LoadCachedCampaign(const CampaignSpec& spec);
 
-// Stores `result` in the cache (best-effort). On failure — unwritable cache
+// Stores `result` in the cache (best-effort). Transient failures retry with
+// bounded backoff (3 attempts); on final failure — unwritable cache
 // directory, failed atomic rename — returns false, warns on stderr, and
 // increments `campaign.cache.store_failures` when `metrics` is non-null.
+// Chaos sites: `cache.store` per attempt, `fs.atomic_write` underneath.
 bool StoreCachedCampaign(const CampaignResult& result,
                          obs::MetricsRegistry* metrics = nullptr);
 
@@ -45,8 +47,10 @@ std::optional<std::vector<TrialRecord>> LoadCampaignCheckpoint(
     const CampaignSpec& spec);
 
 // Atomically writes the checkpoint journal for `spec` holding `prefix`
-// (completed trials [0, prefix.size())). Best-effort like the cache store;
-// failures increment `campaign.checkpoint.store_failures`.
+// (completed trials [0, prefix.size())). Best-effort like the cache store,
+// with the same retry/backoff; final failures increment
+// `campaign.checkpoint.store_failures` (and the campaign then disables
+// checkpointing for the rest of the run — see RunCampaign).
 bool StoreCampaignCheckpoint(const CampaignSpec& spec,
                              const std::vector<TrialRecord>& prefix,
                              obs::MetricsRegistry* metrics = nullptr);

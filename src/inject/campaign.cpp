@@ -14,6 +14,7 @@
 
 #include "check/invariants.h"
 #include "inject/cache.h"
+#include "inject/isolate.h"
 #include "inject/trial.h"
 #include "obs/chrome_trace.h"
 #include <iostream>
@@ -55,6 +56,20 @@ std::string CampaignSpec::CacheKey() const {
              : "_base")
      << "_" << std::hex << h;
   return os.str();
+}
+
+const char* QuarantineReasonName(QuarantinedTrial::Reason r) {
+  switch (r) {
+    case QuarantinedTrial::Reason::kException:
+      return "exception";
+    case QuarantinedTrial::Reason::kTimeout:
+      return "timeout";
+    case QuarantinedTrial::Reason::kCrash:
+      return "crash";
+    case QuarantinedTrial::Reason::kBudget:
+      return "budget";
+  }
+  return "unknown";
 }
 
 std::array<std::uint64_t, kNumOutcomes> CampaignResult::ByOutcome() const {
@@ -232,14 +247,21 @@ CampaignResult RunCampaign(const CampaignSpec& spec,
   // Campaign-finish bookkeeping shared by the cache-hit and live paths: a
   // final metrics snapshot, the finish event, then a drain so the journal
   // (including the --progress summary line) is complete before RunCampaign
-  // returns — also on interruption.
+  // returns — also on interruption. The finish event carries the number of
+  // events the (shared, possibly pre-used) journal shed to backpressure
+  // during THIS campaign, so lossy telemetry is self-reporting.
+  const std::uint64_t dropped_before = journal ? journal->dropped() : 0;
   auto finish_journal = [&](std::uint64_t kept, bool interrupted) {
     if (!journal) return;
+    const std::uint64_t dropped = journal->dropped() - dropped_before;
+    if (metrics && dropped)
+      metrics->GetCounter("campaign.events.dropped").Inc(dropped);
     emit_metrics_snapshot();
     obs::Event e;
     e.kind = obs::EventKind::kCampaignFinish;
     e.value = kept;
     e.interrupted = interrupted;
+    e.dropped = dropped;
     journal->Emit(std::move(e));
     journal->Flush();
   };
@@ -386,6 +408,8 @@ CampaignResult RunCampaign(const CampaignSpec& spec,
   std::atomic<std::uint64_t> done{resumed};
   std::atomic<std::size_t> next{resumed};
   std::vector<std::string> errmsgs(n);
+  std::vector<QuarantinedTrial::Reason> reasons(
+      n, QuarantinedTrial::Reason::kException);
   // Per-trial per-kind invariant-violation counts (checked campaigns only).
   // Collected in per-index slots and summed after the pool joins, so the
   // exported check.violations.* totals are identical at every `jobs` value.
@@ -414,11 +438,19 @@ CampaignResult RunCampaign(const CampaignSpec& spec,
   // Serialized by the mutex; cheap no-op when the prefix hasn't advanced
   // past what's already on disk.
   std::mutex ckpt_mu;
-  std::size_t ckpt_prefix = resumed;   // both guarded by ckpt_mu
+  std::size_t ckpt_prefix = resumed;   // all three guarded by ckpt_mu
   std::size_t ckpt_flushed = resumed;
+  // Checkpoint containment: StoreCampaignCheckpoint already retries with
+  // backoff internally; a flush that still fails (disk full, permissions)
+  // disables checkpointing for the rest of the run — one stderr warning,
+  // one kCheckpointDisabled event — instead of hammering a dead disk every
+  // interval. The campaign itself continues unharmed; only resumability of
+  // THIS run is lost.
+  bool ckpt_disabled = false;
   auto FlushCheckpoint = [&] {
     if (!journal_every) return;
     std::lock_guard<std::mutex> lock(ckpt_mu);
+    if (ckpt_disabled) return;
     while (ckpt_prefix < n &&
            completed[ckpt_prefix].load(std::memory_order_acquire))
       ++ckpt_prefix;
@@ -426,7 +458,22 @@ CampaignResult RunCampaign(const CampaignSpec& spec,
     const std::vector<TrialRecord> prefix(
         result.trials.begin(),
         result.trials.begin() + static_cast<std::ptrdiff_t>(ckpt_prefix));
-    if (StoreCampaignCheckpoint(spec, prefix, metrics)) {
+    if (!StoreCampaignCheckpoint(spec, prefix, metrics)) {
+      ckpt_disabled = true;
+      std::fprintf(stderr,
+                   "[campaign %s] checkpoint flush failed; checkpointing "
+                   "disabled for the rest of this run\n",
+                   key.c_str());
+      if (journal) {
+        obs::Event e;
+        e.kind = obs::EventKind::kCheckpointDisabled;
+        e.detail = "checkpoint flush failed; checkpointing disabled";
+        journal->Emit(std::move(e));
+      }
+      add_marker("checkpoint disabled", {});
+      return;
+    }
+    {
       ckpt_flushed = ckpt_prefix;
       add_marker("checkpoint flush",
                  {{"prefix", std::to_string(ckpt_flushed)}});
@@ -450,6 +497,9 @@ CampaignResult RunCampaign(const CampaignSpec& spec,
   policy.fast_path = fast;
   policy.retries = opt.retries;
   policy.check_invariants = checked;
+  // Trial containment: the per-attempt watchdog deadline. TFI_TRIAL_TIMEOUT
+  // overrides the option so smoke tests can arm it on any binary.
+  policy.timeout_ms = EnvInt("TFI_TRIAL_TIMEOUT", opt.trial_timeout_ms);
 
   // One worker's share of the campaign: pull the next unclaimed trial index
   // and run it on a private TrialRunner against the shared golden run.
@@ -484,6 +534,7 @@ CampaignResult RunCampaign(const CampaignSpec& spec,
       const auto t1 = Clock::now();
       if (res.quarantined) {
         errmsgs[i] = res.error;
+        if (res.timed_out) reasons[i] = QuarantinedTrial::Reason::kTimeout;
         if (checked) {
           // Per-kind violation tallies for the check.violations.* totals.
           if (const check::InvariantChecker* chk =
@@ -496,13 +547,16 @@ CampaignResult RunCampaign(const CampaignSpec& spec,
         }
         if (journal) {
           obs::Event ev;
-          ev.kind = obs::EventKind::kTrialQuarantine;
+          ev.kind = res.timed_out ? obs::EventKind::kTrialTimeout
+                                  : obs::EventKind::kTrialQuarantine;
           ev.trial = static_cast<std::int64_t>(i);
+          if (res.timed_out)
+            ev.value = static_cast<std::uint64_t>(policy.timeout_ms);
           ev.detail = errmsgs[i];
           journal->Emit(std::move(ev));
         }
-        add_marker("trial quarantined", {{"trial", std::to_string(i)},
-                                         {"error", errmsgs[i]}});
+        add_marker(res.timed_out ? "trial timeout" : "trial quarantined",
+                   {{"trial", std::to_string(i)}, {"error", errmsgs[i]}});
       }
       result.trials[i] = res.record;
       if (tracing) result.prop_traces[i] = std::move(res.trace);
@@ -549,10 +603,112 @@ CampaignResult RunCampaign(const CampaignSpec& spec,
     }
   };
 
+  // Crash containment: forked-worker execution (inject/isolate.h). Tracing
+  // and checked runs need the trial core in this process (traces and checker
+  // state don't cross the pipe), so they fall back to in-process execution.
+  const bool isolate = [&] {
+    if (!opt.isolate_trials) return false;
+    if (tracing || checked) {
+      std::fprintf(stderr,
+                   "[campaign %s] --isolate-trials is incompatible with "
+                   "propagation tracing and checked runs; executing "
+                   "in-process\n",
+                   key.c_str());
+      return false;
+    }
+    if (!IsolationSupported()) {
+      std::fprintf(stderr,
+                   "[campaign %s] trial isolation is not supported on this "
+                   "platform; executing in-process\n",
+                   key.c_str());
+      return false;
+    }
+    return true;
+  }();
+
   {
     std::optional<obs::ScopedTimer> loop_timer;
     if (metrics) loop_timer.emplace(metrics->GetTimer("campaign.trial_loop"));
-    if (jobs <= 1) {
+    if (isolate) {
+      IsolateOptions iso;
+      iso.jobs = jobs;
+      iso.policy = policy;
+      iso.max_restarts = opt.max_worker_restarts;
+      iso.cancel = opt.cancel;
+      iso.before_trial = opt.trial_fault_hook;
+      iso.verbose = opt.verbose;
+      // The supervisor invokes this serially (its own thread) per finished
+      // trial — the isolate-mode body of the `work` lambda above, minus the
+      // runner-local bits (site resolution uses the probe replica, whose
+      // registry layout is identical).
+      std::uint64_t done_ct = resumed;
+      const IsolateReport rep = RunTrialsIsolated(
+          golden, specs, resumed, iso, [&](IsolatedTrial&& t) {
+            const std::size_t i = t.index;
+            result.trials[i] = t.record;
+            const std::uint64_t now_us = ElapsedUs(wall_epoch, Clock::now());
+            timing[i] = {now_us >= t.dur_us ? now_us - t.dur_us : 0,
+                         t.dur_us, t.worker};
+            if (t.quarantined) {
+              errmsgs[i] = t.error;
+              reasons[i] = t.budget_exhausted
+                               ? QuarantinedTrial::Reason::kBudget
+                           : t.crashed ? QuarantinedTrial::Reason::kCrash
+                           : t.timed_out
+                               ? QuarantinedTrial::Reason::kTimeout
+                               : QuarantinedTrial::Reason::kException;
+              if (journal) {
+                obs::Event ev;
+                ev.trial = static_cast<std::int64_t>(i);
+                ev.detail = t.error;
+                if (t.crashed) {
+                  ev.kind = obs::EventKind::kTrialCrash;
+                  ev.value = t.status;
+                } else if (t.timed_out) {
+                  ev.kind = obs::EventKind::kTrialTimeout;
+                  ev.value = static_cast<std::uint64_t>(policy.timeout_ms);
+                } else {
+                  ev.kind = obs::EventKind::kTrialQuarantine;
+                }
+                journal->Emit(std::move(ev));
+              }
+              add_marker(t.crashed     ? "trial crashed"
+                         : t.timed_out ? "trial timeout"
+                                       : "trial quarantined",
+                         {{"trial", std::to_string(i)}, {"error", t.error}});
+            }
+            // Budget holes never ran: keeping them out of the completed[]
+            // prefix keeps them out of the checkpoint journal, so a re-run
+            // resumes with real execution instead of inheriting the hole.
+            if (!t.budget_exhausted)
+              completed[i].store(true, std::memory_order_release);
+            if (journal) {
+              const InjectionSite site = ResolveInjectionSite(
+                  golden->spec, specs[i], probe.registry());
+              const BitLocation& loc = site.primary;
+              obs::Event ev;
+              ev.kind = obs::EventKind::kTrialDone;
+              ev.trial = static_cast<std::int64_t>(i);
+              ev.outcome = result.trials[i].outcome;
+              ev.mode = result.trials[i].mode;
+              ev.cat = loc.cat;
+              ev.storage = loc.storage;
+              ev.cycles = result.trials[i].cycles;
+              ev.dur_us = t.dur_us;
+              ev.field = loc.name;
+              ev.field_bits =
+                  probe.registry().FieldInfoAt(loc.field_index).bits();
+              journal->Emit(std::move(ev));
+            }
+            const std::uint64_t d = ++done_ct;
+            done.store(d, std::memory_order_relaxed);
+            if (journal_every && d % journal_every == 0) FlushCheckpoint();
+          });
+      result.worker_restarts = rep.restarts;
+      result.containment_exhausted = rep.exhausted;
+      if (metrics && rep.restarts)
+        metrics->GetCounter("campaign.workers.restarts").Inc(rep.restarts);
+    } else if (jobs <= 1) {
       TrialRunner runner(golden, policy);
       work(runner, 0);
     } else {
@@ -607,12 +763,25 @@ CampaignResult RunCampaign(const CampaignSpec& spec,
   // records restored from a checkpoint — diagnostics are not persisted).
   for (std::size_t i = 0; i < result.trials.size(); ++i)
     if (result.trials[i].outcome == Outcome::kTrialError)
-      result.quarantined.push_back({i, errmsgs[i]});
+      result.quarantined.push_back({i, errmsgs[i], reasons[i]});
 
   // Telemetry is emitted after the pool joins, in trial-index order, so the
   // exported counters/histograms (and the chrome span list) are identical
   // to a serial run's regardless of how trials were scheduled.
   if (metrics) EmitTrialMetrics(result.trials, *metrics);
+  if (metrics) {
+    // Containment-specific quarantine splits. Only emitted when nonzero so
+    // a clean campaign's metrics JSON stays byte-identical to pre-watchdog
+    // runs (no new always-present keys).
+    std::uint64_t n_timeout = 0, n_crash = 0;
+    for (const QuarantinedTrial& q : result.quarantined) {
+      if (q.reason == QuarantinedTrial::Reason::kTimeout) ++n_timeout;
+      if (q.reason == QuarantinedTrial::Reason::kCrash) ++n_crash;
+    }
+    if (n_timeout)
+      metrics->GetCounter("campaign.trials.timeout").Inc(n_timeout);
+    if (n_crash) metrics->GetCounter("campaign.trials.crash").Inc(n_crash);
+  }
   if (metrics && checked) {
     for (int k = 0; k < check::kNumInvariantKinds; ++k) {
       std::uint64_t sum = 0;
@@ -648,7 +817,13 @@ CampaignResult RunCampaign(const CampaignSpec& spec,
                            m.ts_us, m.args);
   }
 
-  if (!result.interrupted) {
+  if (!result.interrupted && result.containment_exhausted) {
+    // Budget holes are synthesized, not executed: never cache them, keep
+    // the checkpoint journal (which holds only genuinely executed trials,
+    // thanks to the completed[] gating above) and flush it one last time so
+    // a re-run resumes from the largest real prefix.
+    FlushCheckpoint();
+  } else if (!result.interrupted) {
     if (opt.use_cache && !checked &&
         StoreCachedCampaign(result, metrics)) {
       obs::Event e;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "check/invariants.h"
+#include "util/failpoint.h"
 #include "util/rng.h"
 
 namespace tfsim {
@@ -55,6 +56,11 @@ Outcome OutcomeOf(FailureMode m) {
       return Outcome::kSdc;
   }
 }
+
+// Watchdog (and chaos-delay) cadence in the simulation loops: every 256
+// cycles keeps a steady_clock read off the per-cycle hot path (<0.1% even on
+// short windows) while bounding detection latency to a few hundred cycles.
+constexpr std::uint64_t kWatchdogMask = 0xFF;
 
 }  // namespace
 
@@ -122,6 +128,20 @@ std::uint64_t TrialRunner::window() const {
   return policy_.window != 0 ? policy_.window : golden_->spec.window;
 }
 
+void TrialRunner::ArmDeadline() {
+  if (policy_.timeout_ms > 0)
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(policy_.timeout_ms);
+}
+
+void TrialRunner::CheckDeadline() const {
+  if (policy_.timeout_ms <= 0) return;
+  if (std::chrono::steady_clock::now() <= deadline_) return;
+  throw TrialTimeoutError("trial exceeded its " +
+                          std::to_string(policy_.timeout_ms) +
+                          "ms watchdog deadline");
+}
+
 TrialRunner::Result TrialRunner::Run(const TrialSpec& spec, bool want_trace,
                                      const Hooks* hooks) {
   Result res;
@@ -129,6 +149,9 @@ TrialRunner::Result TrialRunner::Run(const TrialSpec& spec, bool want_trace,
   bool ok = false;
   for (int attempt = 1; attempt <= attempts && !ok; ++attempt) {
     res.attempts = attempt;
+    // The deadline covers the whole attempt, hooks included: a stalled
+    // before_attempt hook shows up at the first in-loop check.
+    ArmDeadline();
     try {
       if (hooks != nullptr && hooks->before_attempt) hooks->before_attempt();
       obs::PropagationTrace attempt_trace;
@@ -138,6 +161,12 @@ TrialRunner::Result TrialRunner::Run(const TrialSpec& spec, bool want_trace,
       res.trace = std::move(attempt_trace);
       res.fast = fast;
       ok = true;
+    } catch (const TrialTimeoutError& e) {
+      // No retry: a deterministic hang would eat every re-attempt's budget
+      // too. Straight to quarantine with the timeout cause preserved.
+      res.error = e.what();
+      res.timed_out = true;
+      break;
     } catch (const std::exception& e) {
       res.error = e.what();
     } catch (...) {
@@ -174,6 +203,9 @@ TrialRunner::Result TrialRunner::Run(const TrialSpec& spec, bool want_trace,
 
 TrialRecord TrialRunner::RunOnce(const TrialSpec& spec,
                                  obs::PropagationTrace* trace, bool* fast) {
+  // First watchdog check of the attempt: catches time already burned in the
+  // before_attempt hook (seeded-hang tests stall exactly there).
+  CheckDeadline();
   const InjectionSite site =
       ResolveInjectionSite(golden_->spec, spec, core_->registry());
   TrialRecord rec;
@@ -338,7 +370,10 @@ TrialRecord TrialRunner::Simulate(const TrialSpec& spec,
   core.tlb() = golden.tlb;  // preloaded with every fault-free page
   if (point == nullptr) {
     // Advance deterministically to the injection cycle (identical to golden).
-    for (std::uint64_t c = 0; c < spec.offset; ++c) core.Cycle();
+    for (std::uint64_t c = 0; c < spec.offset; ++c) {
+      core.Cycle();
+      if ((c & kWatchdogMask) == 0) CheckDeadline();
+    }
   }
 
   const std::uint64_t base = site.base;
@@ -399,6 +434,13 @@ TrialRecord TrialRunner::Simulate(const TrialSpec& spec,
   // core's retired_total.
   std::uint64_t abs_index = core.RetiredTotal();
   for (std::uint64_t c = 1; c <= win; ++c) {
+    // Watchdog + chaos cadence: the trial.cycle site lets tests wedge the
+    // loop (a delay policy models a fault-corrupted core that stops making
+    // progress) and the deadline check converts exactly that into a timeout.
+    if ((c & kWatchdogMask) == 0) {
+      fail::FailHere("trial.cycle");
+      CheckDeadline();
+    }
     core.Cycle();
     const std::uint64_t gidx = base + spec.offset + c - 1;
     if (gidx >= tl.state_hash.size())

@@ -15,9 +15,11 @@
 // produce byte-identical TrialRecords and propagation traces.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -51,6 +53,22 @@ struct TrialPolicy {
   std::uint64_t window = 0;     // observation window; 0 = golden.spec.window
   int retries = 1;              // re-attempts before quarantining a throw
   bool check_invariants = false;  // run the replica with the cycle checker
+  // Watchdog deadline per execution attempt, in wall milliseconds; 0 = off.
+  // A fault-corrupted machine that wedges the simulation loop (or a hook
+  // that stalls) is converted into a TrialTimeoutError — quarantined as a
+  // Trial Error with a distinct timeout reason, never retried (a
+  // deterministic hang would hang every retry too). The deadline is checked
+  // at attempt start and every 256 simulated cycles, so enforcement
+  // granularity is a few hundred cycles, not instructions.
+  std::int64_t timeout_ms = 0;
+};
+
+// Thrown by the trial runner when an attempt exceeds TrialPolicy::timeout_ms.
+// Distinct from other trial failures so hosts can report kTrialTimeout
+// instead of a generic quarantine (and skip pointless retries).
+struct TrialTimeoutError : std::runtime_error {
+  explicit TrialTimeoutError(const std::string& what)
+      : std::runtime_error(what) {}
 };
 
 // Where a TrialSpec lands: the resolved timeline cycles and flipped bits.
@@ -102,6 +120,7 @@ class TrialRunner {
     bool fast = false;        // classified from first-access data, no sim
     int attempts = 1;         // execution attempts consumed
     bool quarantined = false; // record is the kTrialError stand-in
+    bool timed_out = false;   // quarantine cause was the watchdog deadline
     std::string error;        // last failure message when quarantined
   };
 
@@ -132,6 +151,11 @@ class TrialRunner {
   std::uint64_t window() const;
 
  private:
+  // Watchdog: armed per attempt; CheckDeadline throws TrialTimeoutError once
+  // the attempt has outlived policy_.timeout_ms.
+  void ArmDeadline();
+  void CheckDeadline() const;
+
   TrialRecord RunOnce(const TrialSpec& spec, obs::PropagationTrace* trace,
                       bool* fast);
   TrialRecord Simulate(const TrialSpec& spec, const InjectionSite& site,
@@ -142,6 +166,7 @@ class TrialRunner {
   std::shared_ptr<const GoldenRun> golden_;
   TrialPolicy policy_;
   std::unique_ptr<Core> core_;
+  std::chrono::steady_clock::time_point deadline_{};
 };
 
 }  // namespace tfsim

@@ -6,6 +6,7 @@
 
 #include "obs/export_meta.h"
 #include "obs/json_writer.h"
+#include "util/failpoint.h"
 
 namespace tfsim::obs {
 
@@ -34,6 +35,9 @@ const char* EventKindName(EventKind k) {
     case EventKind::kCancelRequested: return "cancel_requested";
     case EventKind::kMetricsSnapshot: return "metrics_snapshot";
     case EventKind::kCampaignFinish: return "campaign_finish";
+    case EventKind::kTrialTimeout: return "trial_timeout";
+    case EventKind::kTrialCrash: return "trial_crash";
+    case EventKind::kCheckpointDisabled: return "checkpoint_disabled";
   }
   return "unknown";
 }
@@ -90,6 +94,18 @@ std::string RenderEventJson(const Event& e) {
     case EventKind::kCampaignFinish:
       w.Field("trials_kept", e.value);
       w.Field("interrupted", e.interrupted);
+      w.Field("events_dropped", e.dropped);
+      break;
+    case EventKind::kTrialTimeout:
+      w.Field("timeout_ms", e.value);
+      w.Field("error", e.detail);
+      break;
+    case EventKind::kTrialCrash:
+      w.Field("status", e.value);
+      w.Field("error", e.detail);
+      break;
+    case EventKind::kCheckpointDisabled:
+      w.Field("error", e.detail);
       break;
   }
   w.End();
@@ -149,10 +165,17 @@ std::uint64_t EventJournal::NowUs() const {
 
 void EventJournal::Emit(Event e) {
   std::unique_lock<std::mutex> lock(mu_);
-  not_full_.wait(lock, [&] { return queue_.size() < capacity_ || stop_; });
   if (stop_) return;
   // Stamp under the lock: the journal stream is monotone in ts_us.
   e.ts_us = NowUs();
+  // Overflow policy: drop the OLDEST queued event (with a counter) rather
+  // than blocking the emitter — a slow sink sheds telemetry, it never stalls
+  // a trial worker. Recent events are the valuable ones (the tail ring, the
+  // status server, the campaign_finish footer all want the present).
+  if (queue_.size() >= capacity_) {
+    queue_.pop_front();
+    ++dropped_;
+  }
   queue_.push_back(std::move(e));
   ++emitted_;
   lock.unlock();
@@ -161,7 +184,10 @@ void EventJournal::Emit(Event e) {
 
 void EventJournal::Flush() {
   std::unique_lock<std::mutex> lock(mu_);
-  drained_.wait(lock, [&] { return delivered_ == emitted_ || stop_; });
+  // "Everything delivered" is queue-empty + no sink call in flight: with the
+  // drop-oldest policy, delivered_ never catches emitted_ after an overflow.
+  drained_.wait(lock,
+                [&] { return (queue_.empty() && !in_flight_) || stop_; });
 }
 
 std::vector<std::string> EventJournal::Tail(std::size_t n) const {
@@ -176,6 +202,11 @@ std::uint64_t EventJournal::emitted() const {
   return emitted_;
 }
 
+std::uint64_t EventJournal::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
 void EventJournal::DrainLoop() {
   for (;;) {
     std::unique_lock<std::mutex> lock(mu_);
@@ -188,7 +219,6 @@ void EventJournal::DrainLoop() {
     const std::vector<EventSink*> sinks = sinks_;
     in_flight_ = true;
     lock.unlock();
-    not_full_.notify_all();
 
     for (EventSink* s : sinks) s->OnEvent(e);
     std::string line = RenderEventJson(e);
@@ -214,12 +244,23 @@ JsonlEventSink::JsonlEventSink(std::ostream& os, std::string_view generated_at)
 }
 
 void JsonlEventSink::OnEvent(const Event& e) {
-  if (e.kind == EventKind::kMetricsSnapshot) return;
+  if (disabled_ || e.kind == EventKind::kMetricsSnapshot) return;
+  // Chaos site: a firing events.jsonl.write is exactly a disk-level stream
+  // failure (the failbit a full disk or yanked volume would raise).
+  if (fail::FailHere("events.jsonl.write")) os_.setstate(std::ios::failbit);
   os_ << RenderEventJson(e) << '\n';
   // Keep the on-disk journal a complete prefix at every campaign boundary:
   // an interrupted run's last line is its campaign_finish event.
   if (e.kind == EventKind::kCampaignFinish || e.kind == EventKind::kCancelRequested)
     os_.flush();
+  if (!os_) {
+    // One warning, then silence: the campaign keeps running without its
+    // journal file instead of failing or warning per event.
+    disabled_ = true;
+    std::fprintf(stderr,
+                 "[events] journal write failed; disabling the JSONL sink "
+                 "for the rest of the run\n");
+  }
 }
 
 // ---------------------------------------------------------------------------

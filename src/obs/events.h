@@ -1,11 +1,13 @@
 // Structured campaign event journal: every campaign-level happening
 // (start/finish, golden recorded, cache hit/store, per-trial completion with
-// outcome and wall time, retry/quarantine, checkpoint flush, cancellation)
-// becomes one typed Event, pushed into a bounded in-memory queue and drained
-// by a dedicated writer thread. Trial workers therefore never perform
-// journal I/O: Emit() is a timestamp plus a queue push under a short mutex
-// (it blocks only if the queue is full — backpressure, never data loss, so
-// an interrupted campaign's journal is always a complete prefix).
+// outcome and wall time, retry/quarantine/timeout/crash, checkpoint flush,
+// cancellation) becomes one typed Event, pushed into a bounded in-memory
+// queue and drained by a dedicated writer thread. Trial workers therefore
+// never perform journal I/O, and Emit() never blocks: when the queue is full
+// behind a slow sink, the oldest queued event is dropped and counted
+// (dropped(); surfaced as `events_dropped` on the campaign_finish footer and
+// the campaign.events.dropped metric) — telemetry loss is bounded and
+// observable, but it can never stall trial execution.
 //
 // Consumers subscribe as EventSinks and run on the drain thread, in emit
 // order (event timestamps are assigned under the queue lock, so the stream
@@ -51,9 +53,16 @@ enum class EventKind : std::uint8_t {
   kCancelRequested,   // cooperative cancellation observed by the campaign
   kMetricsSnapshot,   // detail=metrics registry JSON at a safe point (served
                       // by /metrics; skipped by the JSONL file sink)
-  kCampaignFinish,    // value=trials kept; interrupted flag set on cancel
+  kCampaignFinish,    // value=trials kept; interrupted flag set on cancel;
+                      // dropped=events shed by the queue (the journal footer)
+  kTrialTimeout,      // watchdog quarantine: the trial exceeded the deadline
+                      // (value=timeout ms, detail=diagnostic)
+  kTrialCrash,        // isolated worker died mid-trial (value=signal or exit
+                      // status, detail=diagnostic); trial quarantined
+  kCheckpointDisabled,// journal flush failed after retries; checkpointing is
+                      // off for the rest of the run (detail=why)
 };
-inline constexpr int kNumEventKinds = 11;
+inline constexpr int kNumEventKinds = 14;
 const char* EventKindName(EventKind k);
 
 struct Event {
@@ -81,7 +90,8 @@ struct Event {
   // Generic payload (see the per-kind notes above).
   std::uint64_t value = 0;
   std::string detail;
-  bool interrupted = false;  // kCampaignFinish only
+  bool interrupted = false;    // kCampaignFinish only
+  std::uint64_t dropped = 0;   // kCampaignFinish only: queue drops this run
 };
 
 // Renders one event as a compact JSON object (no trailing newline).
@@ -103,8 +113,9 @@ class EventSink {
 
 class EventJournal {
  public:
-  // `capacity` bounds the in-flight event queue; emitters block (briefly)
-  // when it is full rather than dropping events.
+  // `capacity` bounds the in-flight event queue. When an Emit finds it full
+  // (a slow sink fell behind), the OLDEST queued event is dropped and
+  // counted — emitters never block, so telemetry can never stall trials.
   explicit EventJournal(std::size_t capacity = 4096);
   ~EventJournal();  // drains outstanding events, stops the writer thread
   EventJournal(const EventJournal&) = delete;
@@ -117,11 +128,13 @@ class EventJournal {
   void AddSink(EventSink* sink);
   void RemoveSink(EventSink* sink);
 
-  // Stamps e.ts_us and enqueues. Callable from any thread; never performs
-  // I/O on the calling thread.
+  // Stamps e.ts_us and enqueues, dropping the oldest queued event when the
+  // queue is full. Callable from any thread; never performs I/O and never
+  // blocks on the calling thread.
   void Emit(Event e);
 
-  // Blocks until every event emitted so far has been delivered to all
+  // Blocks until the queue has drained and no sink delivery is in flight —
+  // every surviving (non-dropped) event emitted so far has reached all
   // sinks. RunCampaign flushes before returning so the journal (and the
   // progress summary) is complete when the caller resumes.
   void Flush();
@@ -134,6 +147,8 @@ class EventJournal {
   std::vector<std::string> Tail(std::size_t n) const;
 
   std::uint64_t emitted() const;
+  // Events shed by the drop-oldest overflow policy since construction.
+  std::uint64_t dropped() const;
 
  private:
   void DrainLoop();
@@ -142,7 +157,6 @@ class EventJournal {
   const std::chrono::steady_clock::time_point epoch_;
 
   mutable std::mutex mu_;
-  std::condition_variable not_full_;
   std::condition_variable not_empty_;
   std::condition_variable drained_;
   std::deque<Event> queue_;
@@ -150,6 +164,7 @@ class EventJournal {
   std::deque<std::string> tail_;  // bounded rendered-line ring
   std::uint64_t emitted_ = 0;
   std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
   bool in_flight_ = false;  // drain thread is inside sink OnEvent calls
   bool stop_ = false;
   std::thread drain_;
@@ -160,14 +175,21 @@ class EventJournal {
 // are served live, not journaled; the final registry lands in
 // --metrics-json). The stream must outlive the sink; the sink flushes the
 // stream on campaign finish so a SIGINT-interrupted journal is complete up
-// to its last event.
+// to its last event. A stream write failure (disk full, yanked volume,
+// `events.jsonl.write` failpoint) disables the sink for the rest of the run
+// with a single stderr warning — the campaign continues without its journal
+// file rather than wedging or spamming.
 class JsonlEventSink : public EventSink {
  public:
   explicit JsonlEventSink(std::ostream& os, std::string_view generated_at = {});
   void OnEvent(const Event& e) override;
 
+  // True once a write failure permanently silenced the sink.
+  bool disabled() const { return disabled_; }
+
  private:
   std::ostream& os_;
+  bool disabled_ = false;
 };
 
 // The --progress consumer: a throttled status line per second of trial

@@ -38,6 +38,8 @@ void CampaignStatusServer::OnEvent(const Event& e) {
       total_ = e.value;
       done_ = 0;
       quarantined_ = 0;
+      timeouts_ = 0;
+      crashes_ = 0;
       start_ts_us_ = e.ts_us;
       finished_ = false;
       interrupted_ = false;
@@ -66,6 +68,14 @@ void CampaignStatusServer::OnEvent(const Event& e) {
     }
     case EventKind::kTrialQuarantine:
       ++quarantined_;
+      break;
+    case EventKind::kTrialTimeout:
+      ++quarantined_;
+      ++timeouts_;
+      break;
+    case EventKind::kTrialCrash:
+      ++quarantined_;
+      ++crashes_;
       break;
     case EventKind::kMetricsSnapshot:
       metrics_json_ = e.detail;
@@ -97,6 +107,8 @@ std::string CampaignStatusServer::ProgressJson() const {
   w.Field("trials_total", total_);
   w.Field("trials_done", done_);
   w.Field("quarantined", quarantined_);
+  w.Field("timeouts", timeouts_);
+  w.Field("crashes", crashes_);
   w.BeginObject("outcomes");
   for (int o = 0; o < kNumOutcomes; ++o)
     w.Field(OutcomeName(static_cast<Outcome>(o)), outcomes_[o]);

@@ -60,7 +60,9 @@ class CampaignStatusServer : public EventSink {
   std::string workload_;
   std::uint64_t total_ = 0;
   std::uint64_t done_ = 0;
-  std::uint64_t quarantined_ = 0;
+  std::uint64_t quarantined_ = 0;  // all reasons (exception/timeout/crash)
+  std::uint64_t timeouts_ = 0;     // watchdog (kTrialTimeout) subset
+  std::uint64_t crashes_ = 0;      // isolated-worker (kTrialCrash) subset
   std::uint64_t start_ts_us_ = 0;
   std::uint64_t last_ts_us_ = 0;
   bool finished_ = false;

@@ -1,0 +1,115 @@
+// Failpoint chaos engine: named fault-injection sites on the harness's own
+// durability and telemetry seams (cache stores, checkpoint flushes, JSONL
+// sinks, HTTP serving, the trial cycle loop), so tests can prove campaigns
+// degrade gracefully under I/O failure instead of assuming it.
+//
+// A site is a string constant at the seam:
+//
+//   if (fail::FailHere("cache.store")) return false;   // error-return site
+//
+// Policies are configured per site (off / error-return / throw / delay),
+// optionally firing only every Nth hit and/or a bounded number of times:
+//
+//   fail::Configure("cache.store", {fail::Action::kError, /*one_in=*/2});
+//   fail::ConfigureFromSpec("ckpt.store=error@1in3;events.jsonl.write=throw");
+//   fail::ConfigureFromEnv();   // reads TFI_FAILPOINTS (the spec syntax)
+//
+// Activation is strictly opt-in: the library never reads TFI_FAILPOINTS on
+// its own — only binaries that call ConfigureFromEnv() (tfi, chaos_smoke)
+// or tests that call Configure() arm the engine. When no site is configured,
+// FailHere is a single relaxed atomic load — unmeasurable on the campaign
+// hot path (the <0.5% BM_CampaignTrialsFast budget).
+//
+// Shipped sites (grep for fail::FailHere to audit):
+//   fs.atomic_write      AtomicWriteFile, before the temp write
+//   cache.load           LoadCachedCampaign (fires = treated as a miss)
+//   cache.store          StoreCachedCampaign's write attempt (retried)
+//   ckpt.load            LoadCampaignCheckpoint (fires = no resume data)
+//   ckpt.store           StoreCampaignCheckpoint's write attempt (retried)
+//   events.jsonl.write   JsonlEventSink::OnEvent (fires = stream failure)
+//   http.accept          status-server accept loop (fires = drop connection)
+//   http.write           status-server response write (fires = drop reply)
+//   trial.cycle          TrialRunner's cycle loop, every 256 cycles (kDelay
+//                        here simulates a wedged core for watchdog tests)
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace tfsim::fail {
+
+enum class Action : std::uint8_t {
+  kOff,    // site disabled (same as never configured)
+  kError,  // FailHere returns true: the seam takes its error-return path
+  kThrow,  // FailHere throws FailpointError("failpoint: <site>")
+  kDelay,  // FailHere sleeps delay_us then returns false (slow-sink model)
+};
+
+struct Policy {
+  Action action = Action::kOff;
+  // Fire on hits 1, 1+N, 1+2N, ... (the first hit always fires, so an
+  // @1in2 store failure fails the first attempt and lets the retry succeed).
+  std::uint64_t one_in = 1;
+  std::uint64_t delay_us = 0;  // kDelay sleep per firing
+  std::uint64_t limit = 0;     // stop firing after this many; 0 = unlimited
+};
+
+// The exception kThrow sites raise (derives from std::runtime_error so every
+// existing catch/quarantine path handles it like any other failure).
+struct FailpointError : std::runtime_error {
+  explicit FailpointError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+extern std::atomic<bool> g_armed;
+bool Evaluate(const char* site);
+// Fork protocol for multi-threaded parents (inject/isolate.cpp): the parent
+// holds the registry lock across fork() so no other thread can be mid-update
+// in the child's memory image; the child re-initializes the lock it
+// inherited. Everything else in the registry is plain data, so the child's
+// failpoints (e.g. trial.cycle delays) keep working after fork.
+void PrepareFork();
+void ParentAfterFork();
+void ChildAfterFork();
+}  // namespace detail
+
+// The per-site probe. Zero-cost when disarmed: one relaxed atomic load.
+inline bool FailHere(const char* site) {
+  if (!detail::g_armed.load(std::memory_order_relaxed)) return false;
+  return detail::Evaluate(site);
+}
+
+// Installs (or with Action::kOff clears) the policy for `site`. A site
+// ending in '*' is a prefix pattern matching every site it prefixes; exact
+// entries win over prefixes. Thread-safe.
+void Configure(std::string_view site, const Policy& policy);
+
+// Parses and installs a spec: `site=action[:delay_us][@1inN][#limit]`
+// entries separated by ';' or ','. Examples:
+//   cache.store=error@1in2            fail every other store attempt
+//   events.jsonl.write=throw#1        one exception from the JSONL sink
+//   trial.cycle=delay:20000@1in64     a 20ms stall every 64th probe
+//   ckpt.*=error                      every checkpoint seam error-returns
+// Returns false (with a diagnostic in *error) on malformed input; valid
+// prefix entries before the malformed one stay installed.
+bool ConfigureFromSpec(std::string_view spec, std::string* error = nullptr);
+
+// Reads TFI_FAILPOINTS and applies ConfigureFromSpec. Returns the number of
+// sites configured (0 when unset/empty); malformed specs warn on stderr and
+// configure nothing further. This call is the opt-in: binaries that never
+// call it are immune to the env var.
+int ConfigureFromEnv();
+
+// Clears every policy and counter and disarms the fast path.
+void Reset();
+
+// Probe counters for the configured entry `site` (the exact string passed
+// to Configure, including any '*'): total FailHere evaluations that matched
+// it, and how many fired. Zero for unknown entries.
+std::uint64_t HitCount(std::string_view site);
+std::uint64_t FireCount(std::string_view site);
+
+}  // namespace tfsim::fail

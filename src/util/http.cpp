@@ -12,6 +12,8 @@
 #include <sstream>
 #include <thread>
 
+#include "util/failpoint.h"
+
 namespace tfsim {
 
 namespace {
@@ -175,7 +177,15 @@ void HttpServer::AcceptLoop() {
     if (pr <= 0 || !(p.revents & POLLIN)) continue;
     const int fd = accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
-    ServeConnection(fd);
+    // Chaos site: a firing http.accept models a flaky listener — the
+    // connection is dropped before any request is read. Clients see a reset;
+    // the campaign never notices (serving is pure telemetry). An exception
+    // (throw-action failpoint, handler bug) likewise costs only the one
+    // connection, never the accept thread.
+    try {
+      if (!fail::FailHere("http.accept")) ServeConnection(fd);
+    } catch (...) {
+    }
     close(fd);
   }
 }
@@ -197,6 +207,9 @@ void HttpServer::ServeConnection(int fd) {
     ParseTarget(target, &req);
     resp = handler_(req);
   }
+  // Chaos site: a firing http.write drops the response after the handler ran
+  // (a torn reply, as a mid-write peer disconnect would produce).
+  if (fail::FailHere("http.write")) return;
   SendAll(fd, RenderResponse(resp));
 }
 

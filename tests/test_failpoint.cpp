@@ -1,0 +1,355 @@
+// The failpoint chaos engine (util/failpoint.h) and the graceful-degradation
+// contracts it exists to prove: every durability seam (atomic writes, cache
+// stores, checkpoint flushes, JSONL sinks) absorbs injected I/O failure
+// without changing trial records or aborting the campaign.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+#include <thread>
+
+#include "inject/cache.h"
+#include "inject/campaign.h"
+#include "obs/events.h"
+#include "obs/metrics.h"
+#include "util/failpoint.h"
+#include "util/fs.h"
+
+namespace tfsim {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Every test leaves the global registry clean for the rest of the suite.
+struct FailpointGuard {
+  FailpointGuard() { fail::Reset(); }
+  ~FailpointGuard() { fail::Reset(); }
+};
+
+class ScopedCacheDir {
+ public:
+  explicit ScopedCacheDir(const std::string& name)
+      : dir_((fs::temp_directory_path() / name).string()) {
+    fs::remove_all(dir_);
+    ::setenv("TFI_CACHE_DIR", dir_.c_str(), 1);
+  }
+  ~ScopedCacheDir() {
+    fs::remove_all(dir_);
+    ::unsetenv("TFI_CACHE_DIR");
+  }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string dir_;
+};
+
+CampaignSpec SmallCampaign(int trials) {
+  CampaignSpec spec;
+  spec.workload = "gzip";
+  spec.trials = trials;
+  spec.golden.warmup = 12000;
+  spec.golden.points = 3;
+  spec.golden.spacing = 500;
+  spec.golden.window = 4000;
+  spec.golden.slack = 1000;
+  return spec;
+}
+
+CampaignOptions QuietLive() {
+  CampaignOptions opt;
+  opt.verbose = false;
+  opt.use_cache = false;
+  return opt;
+}
+
+void ExpectSameRecords(const CampaignResult& a, const CampaignResult& b) {
+  ASSERT_EQ(a.trials.size(), b.trials.size());
+  for (std::size_t i = 0; i < a.trials.size(); ++i) {
+    EXPECT_EQ(a.trials[i].outcome, b.trials[i].outcome) << "trial " << i;
+    EXPECT_EQ(a.trials[i].mode, b.trials[i].mode) << "trial " << i;
+    EXPECT_EQ(a.trials[i].cat, b.trials[i].cat) << "trial " << i;
+    EXPECT_EQ(a.trials[i].storage, b.trials[i].storage) << "trial " << i;
+    EXPECT_EQ(a.trials[i].cycles, b.trials[i].cycles) << "trial " << i;
+    EXPECT_EQ(a.trials[i].valid_instrs, b.trials[i].valid_instrs);
+    EXPECT_EQ(a.trials[i].inflight, b.trials[i].inflight);
+  }
+}
+
+TEST(Failpoint, DisarmedProbeNeverFires) {
+  FailpointGuard guard;
+  EXPECT_FALSE(fail::FailHere("no.such.site"));
+  EXPECT_EQ(fail::HitCount("no.such.site"), 0u);
+}
+
+TEST(Failpoint, ErrorPolicyCadenceAndCounters) {
+  FailpointGuard guard;
+  fail::Configure("t.site", {fail::Action::kError, /*one_in=*/3});
+  // First hit always fires, then every third.
+  EXPECT_TRUE(fail::FailHere("t.site"));
+  EXPECT_FALSE(fail::FailHere("t.site"));
+  EXPECT_FALSE(fail::FailHere("t.site"));
+  EXPECT_TRUE(fail::FailHere("t.site"));
+  EXPECT_FALSE(fail::FailHere("t.site"));
+  EXPECT_EQ(fail::HitCount("t.site"), 5u);
+  EXPECT_EQ(fail::FireCount("t.site"), 2u);
+  // Reconfiguring with kOff clears the site.
+  fail::Configure("t.site", {});
+  EXPECT_FALSE(fail::FailHere("t.site"));
+}
+
+TEST(Failpoint, LimitStopsFiring) {
+  FailpointGuard guard;
+  fail::Configure("t.limited", {fail::Action::kError, 1, 0, /*limit=*/2});
+  EXPECT_TRUE(fail::FailHere("t.limited"));
+  EXPECT_TRUE(fail::FailHere("t.limited"));
+  EXPECT_FALSE(fail::FailHere("t.limited"));
+  EXPECT_FALSE(fail::FailHere("t.limited"));
+  EXPECT_EQ(fail::FireCount("t.limited"), 2u);
+}
+
+TEST(Failpoint, ThrowPolicyRaisesFailpointError) {
+  FailpointGuard guard;
+  fail::Configure("t.throws", {fail::Action::kThrow});
+  EXPECT_THROW(fail::FailHere("t.throws"), fail::FailpointError);
+}
+
+TEST(Failpoint, DelayPolicySleepsAndReturnsFalse) {
+  FailpointGuard guard;
+  fail::Configure("t.slow", {fail::Action::kDelay, 1, /*delay_us=*/20000});
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(fail::FailHere("t.slow"));
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  EXPECT_GE(us, 15000);
+}
+
+TEST(Failpoint, PrefixPatternsMatchAndExactWins) {
+  FailpointGuard guard;
+  fail::Configure("grp.*", {fail::Action::kError});
+  fail::Configure("grp.exempt", {fail::Action::kDelay, 1, 0});
+  EXPECT_TRUE(fail::FailHere("grp.a"));
+  EXPECT_TRUE(fail::FailHere("grp.b.c"));
+  EXPECT_FALSE(fail::FailHere("grp.exempt"));  // exact beats prefix
+  EXPECT_FALSE(fail::FailHere("other.a"));
+  EXPECT_EQ(fail::HitCount("grp.*"), 2u);
+}
+
+TEST(Failpoint, SpecParsingRoundTrip) {
+  FailpointGuard guard;
+  std::string err;
+  ASSERT_TRUE(fail::ConfigureFromSpec(
+      "a.one=error@1in2;b.two=throw#1,c.three=delay:500", &err))
+      << err;
+  EXPECT_TRUE(fail::FailHere("a.one"));
+  EXPECT_FALSE(fail::FailHere("a.one"));
+  EXPECT_TRUE(fail::FailHere("a.one"));
+  EXPECT_THROW(fail::FailHere("b.two"), fail::FailpointError);
+  EXPECT_FALSE(fail::FailHere("b.two"));  // #1 spent
+  EXPECT_FALSE(fail::FailHere("c.three"));
+}
+
+TEST(Failpoint, SpecParsingRejectsMalformedInput) {
+  FailpointGuard guard;
+  std::string err;
+  EXPECT_FALSE(fail::ConfigureFromSpec("nosuchaction=boom", &err));
+  EXPECT_FALSE(err.empty());
+  EXPECT_FALSE(fail::ConfigureFromSpec("missing.action", &err));
+  EXPECT_FALSE(fail::ConfigureFromSpec("x=error@2in3", &err));
+  EXPECT_FALSE(fail::ConfigureFromSpec("x=error@1in0", &err));
+  EXPECT_FALSE(fail::ConfigureFromSpec("=error", &err));
+}
+
+TEST(Failpoint, ConfigureFromEnvIsTheOptIn) {
+  FailpointGuard guard;
+  ::setenv("TFI_FAILPOINTS", "env.site=error", 1);
+  // Merely setting the env arms nothing...
+  EXPECT_FALSE(fail::FailHere("env.site"));
+  // ...the explicit call does.
+  EXPECT_EQ(fail::ConfigureFromEnv(), 1);
+  EXPECT_TRUE(fail::FailHere("env.site"));
+  ::unsetenv("TFI_FAILPOINTS");
+  EXPECT_EQ(fail::ConfigureFromEnv(), 0);
+}
+
+TEST(Failpoint, AtomicWriteSeamErrorReturns) {
+  FailpointGuard guard;
+  fail::Configure("fs.atomic_write", {fail::Action::kError});
+  const fs::path path = fs::temp_directory_path() / "tfi_fp_atomic.txt";
+  std::string error;
+  EXPECT_FALSE(AtomicWriteFile(path, "payload", &error));
+  EXPECT_NE(error.find("failpoint"), std::string::npos);
+  EXPECT_FALSE(fs::exists(path));
+  fail::Reset();
+  ASSERT_TRUE(AtomicWriteFile(path, "payload", &error)) << error;
+  fs::remove(path);
+}
+
+TEST(Failpoint, CacheStoreRetriesAbsorbTransientFailure) {
+  FailpointGuard guard;
+  ScopedCacheDir cache("tfi_fp_cache_retry");
+  const CampaignSpec spec = SmallCampaign(4);
+  CampaignResult r;
+  r.spec = spec;
+  r.trials.resize(4);
+
+  // Every other attempt fails: attempt 1 hits the failpoint, the backoff
+  // retry succeeds — no failure surfaces.
+  obs::MetricsRegistry metrics;
+  fail::Configure("cache.store", {fail::Action::kError, /*one_in=*/2});
+  EXPECT_TRUE(StoreCachedCampaign(r, &metrics));
+  EXPECT_EQ(metrics.GetCounter("campaign.cache.store_failures").value(), 0u);
+  EXPECT_TRUE(LoadCachedCampaign(spec).has_value());
+  EXPECT_GE(fail::FireCount("cache.store"), 1u);
+
+  // A persistent failure exhausts all attempts and is counted.
+  fail::Configure("cache.store", {fail::Action::kError});
+  EXPECT_FALSE(StoreCachedCampaign(r, &metrics));
+  EXPECT_EQ(metrics.GetCounter("campaign.cache.store_failures").value(), 1u);
+}
+
+TEST(Failpoint, CacheAndCheckpointLoadFailuresDegradeToMiss) {
+  FailpointGuard guard;
+  ScopedCacheDir cache("tfi_fp_cache_load");
+  const CampaignSpec spec = SmallCampaign(4);
+  CampaignResult r;
+  r.spec = spec;
+  r.trials.resize(4);
+  ASSERT_TRUE(StoreCachedCampaign(r));
+  ASSERT_TRUE(StoreCampaignCheckpoint(spec, r.trials));
+
+  fail::Configure("cache.load", {fail::Action::kError});
+  fail::Configure("ckpt.load", {fail::Action::kError});
+  EXPECT_FALSE(LoadCachedCampaign(spec).has_value());
+  EXPECT_FALSE(LoadCampaignCheckpoint(spec).has_value());
+  fail::Reset();
+  EXPECT_TRUE(LoadCachedCampaign(spec).has_value());
+  EXPECT_TRUE(LoadCampaignCheckpoint(spec).has_value());
+}
+
+TEST(Failpoint, CampaignSurvivesDurabilityChaosWithIdenticalRecords) {
+  FailpointGuard guard;
+  ScopedCacheDir cache("tfi_fp_campaign_chaos");
+  const CampaignSpec spec = SmallCampaign(10);
+  const CampaignResult reference = RunCampaign(spec, QuietLive());
+
+  // Arm every durability seam with intermittent failure, then run with the
+  // cache and checkpointing on: the campaign must complete with records
+  // byte-identical to the clean run.
+  ASSERT_TRUE(fail::ConfigureFromSpec(
+      "fs.atomic_write=error@1in3;cache.load=error;ckpt.load=error;"
+      "cache.store=error@1in2;ckpt.store=error@1in2"));
+  CampaignOptions opt = QuietLive();
+  opt.use_cache = true;
+  opt.jobs = 4;
+  opt.checkpoint_every = 3;
+  const CampaignResult chaotic = RunCampaign(spec, opt);
+  EXPECT_FALSE(chaotic.interrupted);
+  ExpectSameRecords(chaotic, reference);
+}
+
+TEST(Failpoint, CheckpointFlushFailureDisablesJournalingOnce) {
+  FailpointGuard guard;
+  ScopedCacheDir cache("tfi_fp_ckpt_disable");
+  const CampaignSpec spec = SmallCampaign(9);
+  const CampaignResult reference = RunCampaign(spec, QuietLive());
+
+  // Count kCheckpointDisabled and kCheckpointFlush events.
+  struct CountingSink : obs::EventSink {
+    std::atomic<int> disabled{0};
+    std::atomic<int> flushes{0};
+    void OnEvent(const obs::Event& e) override {
+      if (e.kind == obs::EventKind::kCheckpointDisabled) ++disabled;
+      if (e.kind == obs::EventKind::kCheckpointFlush) ++flushes;
+    }
+  } sink;
+  obs::EventJournal journal;
+  journal.AddSink(&sink);
+
+  fail::Configure("ckpt.store", {fail::Action::kError});
+  CampaignOptions opt = QuietLive();
+  opt.jobs = 2;
+  opt.checkpoint_every = 2;
+  opt.obs.events = &journal;
+  const CampaignResult r = RunCampaign(spec, opt);
+  journal.Flush();
+  journal.RemoveSink(&sink);
+
+  // Checkpointing failed, was disabled exactly once, and the campaign
+  // finished with byte-identical records regardless.
+  EXPECT_EQ(sink.disabled.load(), 1);
+  EXPECT_EQ(sink.flushes.load(), 0);
+  EXPECT_FALSE(r.interrupted);
+  ExpectSameRecords(r, reference);
+  EXPECT_FALSE(fs::exists(CampaignCheckpointPath(spec)));
+}
+
+TEST(Failpoint, JsonlSinkDisablesItselfOnWriteFailure) {
+  FailpointGuard guard;
+  // The sink hits the write failpoint on its first event, marks the stream
+  // failed, and silences itself; later events don't reach the stream.
+  fail::Configure("events.jsonl.write", {fail::Action::kError, 1, 0,
+                                         /*limit=*/1});
+  std::ostringstream os;
+  obs::JsonlEventSink sink(os);
+  const std::string header = os.str();
+  EXPECT_FALSE(header.empty());
+
+  obs::Event e;
+  e.kind = obs::EventKind::kGoldenDone;
+  sink.OnEvent(e);
+  EXPECT_TRUE(sink.disabled());
+  const std::string after_first = os.str();
+  sink.OnEvent(e);
+  EXPECT_EQ(os.str(), after_first);  // nothing further written
+}
+
+TEST(EventJournal, OverflowDropsOldestAndCounts) {
+  // A deliberately slow sink behind a tiny queue: Emit never blocks, the
+  // oldest events are shed, and the loss is counted.
+  struct SlowSink : obs::EventSink {
+    std::atomic<int> seen{0};
+    void OnEvent(const obs::Event&) override {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      ++seen;
+    }
+  } sink;
+  obs::EventJournal journal(/*capacity=*/8);
+  journal.AddSink(&sink);
+  constexpr int kEmits = 200;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kEmits; ++i) {
+    obs::Event e;
+    e.kind = obs::EventKind::kTrialDone;
+    e.trial = i;
+    journal.Emit(std::move(e));
+  }
+  const auto emit_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  // Emitting 200 events against a ~400ms-per-200 sink finished without
+  // blocking on the sink (generous bound: well under the drain time).
+  EXPECT_LT(emit_ms, 200);
+  journal.Flush();
+  journal.RemoveSink(&sink);
+  EXPECT_EQ(journal.emitted(), static_cast<std::uint64_t>(kEmits));
+  EXPECT_GT(journal.dropped(), 0u);
+  EXPECT_EQ(static_cast<std::uint64_t>(sink.seen.load()) + journal.dropped(),
+            static_cast<std::uint64_t>(kEmits));
+}
+
+TEST(EventJournal, CampaignFinishFooterCarriesDropCount) {
+  // The campaign_finish event self-reports the run's telemetry loss.
+  obs::Event e;
+  e.kind = obs::EventKind::kCampaignFinish;
+  e.value = 42;
+  e.dropped = 7;
+  const std::string json = obs::RenderEventJson(e);
+  EXPECT_NE(json.find("\"events_dropped\":7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tfsim

@@ -386,5 +386,67 @@ TEST(CheckpointResume, CancelledRunFlushesJournalAndResumesIdentically) {
   EXPECT_FALSE(fs::exists(jpath));
 }
 
+TEST(TornState, TruncatedCheckpointJournalIsDetectedAndRecovered) {
+  // A power cut mid-rename can leave a journal truncated at any byte. Every
+  // truncation point must be rejected (no partial resume from garbage), and
+  // the campaign that rejected it must still produce byte-identical records
+  // by running clean.
+  ScopedCacheDir cache("tfi_test_torn_ckpt");
+  const CampaignSpec spec = SmallCampaign(10);
+  const CampaignResult reference = RunCampaign(spec, QuietLive());
+  const std::vector<TrialRecord> prefix(reference.trials.begin(),
+                                        reference.trials.begin() + 6);
+  ASSERT_TRUE(StoreCampaignCheckpoint(spec, prefix));
+  const std::string jpath = CampaignCheckpointPath(spec);
+  const std::string good = SlurpFile(jpath);
+  ASSERT_FALSE(good.empty());
+
+  for (std::size_t cut : {std::size_t{0}, std::size_t{1}, good.size() / 4,
+                          good.size() / 2, good.size() - 1}) {
+    WriteRaw(jpath, good.substr(0, cut));
+    EXPECT_FALSE(LoadCampaignCheckpoint(spec).has_value()) << "cut=" << cut;
+  }
+
+  // With the torn journal still on disk, a full run detects the corruption,
+  // starts clean, and matches the reference record-for-record.
+  WriteRaw(jpath, good.substr(0, good.size() / 2));
+  CampaignOptions opt = QuietLive();
+  opt.jobs = 2;
+  opt.checkpoint_every = 3;
+  const CampaignResult recovered = RunCampaign(spec, opt);
+  EXPECT_FALSE(recovered.interrupted);
+  ExpectSameRecords(recovered, reference, reference.trials.size());
+  // The completed run consumed (replaced, then removed) the torn journal.
+  EXPECT_FALSE(fs::exists(jpath));
+}
+
+TEST(TornState, HalfWrittenCacheTempFilesAreIgnored) {
+  // AtomicWriteFile writes to "<name>.tmp.<pid>.<seq>" then renames. A crash
+  // between the two leaves a stray temp file; it must never be read as the
+  // cache entry, and a subsequent atomic write must succeed alongside it.
+  ScopedCacheDir cache("tfi_test_torn_tmp");
+  const CampaignSpec spec = SmallCampaign(7);
+  const CampaignResult stored = AwkwardResult(spec);
+  ASSERT_TRUE(StoreCachedCampaign(stored));
+  const std::string path = CachePath(spec);
+
+  // Plant torn temp siblings mimicking an interrupted writer.
+  WriteRaw(path + ".tmp.12345.0", "torn half-written payload");
+  WriteRaw(path + ".tmp.12345.1", SlurpFile(path).substr(0, 10));
+
+  const auto loaded = LoadCachedCampaign(spec);
+  ASSERT_TRUE(loaded.has_value());
+  ExpectSameRecords(*loaded, stored, stored.trials.size());
+
+  // Overwriting through the same path still lands atomically.
+  ASSERT_TRUE(StoreCachedCampaign(stored));
+  EXPECT_TRUE(LoadCachedCampaign(spec).has_value());
+
+  // And a torn temp file where the REAL entry is missing is a plain miss,
+  // not a crash or a partial read.
+  fs::remove(path);
+  EXPECT_FALSE(LoadCachedCampaign(spec).has_value());
+}
+
 }  // namespace
 }  // namespace tfsim

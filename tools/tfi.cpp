@@ -21,6 +21,16 @@
 //       resilience: [--checkpoint-every N] (0 disables; SIGINT drains
 //                   in-flight trials, flushes the checkpoint + partial
 //                   exports, and a rerun resumes from the journal)
+//                   [--trial-timeout MS] (watchdog: hung trials quarantine
+//                   as Trial Error; env TFI_TRIAL_TIMEOUT overrides)
+//                   [--isolate-trials] (forked-worker crash containment;
+//                   POSIX only)
+//                   TFI_FAILPOINTS=<spec> arms the chaos failpoints
+//                   (util/failpoint.h) for fault drills
+//
+// Exit codes: 0 success; 130 SIGINT (partial results checkpointed); 3 the
+// --isolate-trials worker-restart budget was exhausted (remaining trials
+// quarantined, result not cached; rerun to resume).
 //   tfi soft <workload> <model> [--trials N]             Section 5 campaign
 //   tfi inventory [--protect]                            Table 1 state listing
 //       audit: [--json] [--coverage] [--check --baseline FILE]
@@ -55,6 +65,7 @@
 #include "util/argparse.h"
 #include "util/cancel.h"
 #include "util/env.h"
+#include "util/failpoint.h"
 #include "workloads/workloads.h"
 
 // Active sanitizer configuration, stamped in by CMake from TFI_SANITIZE so
@@ -86,6 +97,8 @@ struct Args {
   std::int64_t flips = 1;
   std::int64_t jobs = 1;
   std::int64_t checkpoint_every = 250;
+  std::int64_t trial_timeout = 0;  // ms; 0 = no watchdog
+  bool isolate_trials = false;
   std::int64_t window = 0;  // 0 = GoldenSpec default (or TFI_WINDOW)
   bool fast_path = false;   // accepted for symmetry; fast is the default
   bool no_fast_path = false;
@@ -122,6 +135,14 @@ ArgParser MakeParser(Args& a) {
            "trial-loop worker threads; 0 = all hardware threads (campaign)");
   p.AddInt("checkpoint-every", &a.checkpoint_every,
            "flush a resume journal every N trials; 0 disables (campaign)");
+  p.AddInt("trial-timeout", &a.trial_timeout,
+           "watchdog deadline per trial in ms; hung trials quarantine as "
+           "Trial Error instead of stalling a worker; 0 disables (campaign; "
+           "TFI_TRIAL_TIMEOUT overrides)");
+  p.AddFlag("isolate-trials", &a.isolate_trials,
+            "run trials in forked worker subprocesses so a crashing trial "
+            "is contained, recorded and the campaign continues (campaign; "
+            "POSIX only)");
   p.AddInt("window", &a.window,
            "trial observation window in cycles; 0 = default 10000 or "
            "TFI_WINDOW (campaign; part of the results-cache key)");
@@ -340,6 +361,8 @@ int CmdCampaign(const Args& a) {
   CampaignOptions opt;
   opt.jobs = static_cast<int>(a.jobs);
   opt.checkpoint_every = static_cast<int>(a.checkpoint_every);
+  opt.trial_timeout_ms = a.trial_timeout;
+  opt.isolate_trials = a.isolate_trials;
   opt.cancel = &g_interrupt;
   if (!a.metrics_json.empty()) opt.obs.sinks.metrics = &metrics;
   if (!a.chrome_trace.empty()) opt.obs.sinks.chrome = &chrome;
@@ -442,8 +465,9 @@ int CmdCampaign(const Args& a) {
       std::printf("    %-8s %llu\n", FailureModeName(static_cast<FailureMode>(i)),
                   (unsigned long long)m[i]);
   for (const auto& q : r.quarantined)
-    std::fprintf(stderr, "  quarantined trial %llu: %s\n",
-                 (unsigned long long)q.index, q.message.c_str());
+    std::fprintf(stderr, "  quarantined trial %llu [%s]: %s\n",
+                 (unsigned long long)q.index, QuarantineReasonName(q.reason),
+                 q.message.c_str());
   if (r.interrupted) {
     std::fprintf(stderr,
                  "interrupted: %zu/%d trials completed%s; rerun the same "
@@ -451,6 +475,15 @@ int CmdCampaign(const Args& a) {
                  r.trials.size(), spec.trials,
                  a.checkpoint_every > 0 ? " (checkpoint saved)" : "");
     return 130;
+  }
+  if (r.containment_exhausted) {
+    std::fprintf(stderr,
+                 "containment exhausted: worker restart budget spent after "
+                 "%llu respawns; un-run trials were quarantined and the "
+                 "result was NOT cached — rerun to resume from the "
+                 "checkpoint\n",
+                 (unsigned long long)r.worker_restarts);
+    return 3;
   }
   return 0;
 }
@@ -501,6 +534,12 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string cmd = argv[1];
   if (cmd == "version" || cmd == "--version") return CmdVersion();
+  // Chaos failpoints are armed exclusively by TFI_FAILPOINTS (fault drills
+  // and the chaos_smoke ctest); without it this is one env read and the
+  // per-site probes stay a single relaxed atomic load.
+  if (const int sites = fail::ConfigureFromEnv(); sites > 0)
+    std::fprintf(stderr, "tfi: %d failpoint(s) armed from TFI_FAILPOINTS\n",
+                 sites);
   const Args args = Parse(argc, argv);
   if (!args.error.empty()) {
     std::fprintf(stderr, "tfi: %s\n", args.error.c_str());
