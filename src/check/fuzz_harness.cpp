@@ -9,7 +9,7 @@ namespace tfsim::check {
 
 FuzzCaseResult RunLockstep(const std::string& src, const FuzzRunOptions& opt) {
   const Program prog = Assemble(src);
-  CoreConfig cfg;
+  CoreConfig cfg = opt.core;
   cfg.check_invariants = opt.check_invariants;
   Core core(cfg, prog);
   FunctionalSim ref(prog);

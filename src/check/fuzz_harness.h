@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "check/progfuzz.h"
+#include "uarch/config.h"
 
 namespace tfsim::check {
 
@@ -19,6 +20,9 @@ struct FuzzRunOptions {
   // Generated programs retire continuously when healthy (they end in a
   // self-retiring spin loop); this many retire-less cycles is a deadlock.
   std::uint64_t deadlock_cycles = 2000;
+  // Core geometry under test (differential fuzzing sweeps shapes, not just
+  // programs). check_invariants above wins over core.check_invariants.
+  CoreConfig core;
 };
 
 struct FuzzCaseResult {

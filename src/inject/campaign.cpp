@@ -31,8 +31,9 @@ namespace tfsim {
 std::string CampaignSpec::CacheKey() const {
   // Versioned content hash over everything that affects results. Bump the
   // salt when the model or classifier changes behaviour.
-  constexpr std::uint64_t kVersionSalt = 9;  // 9: store-buffer-forward
-                                             // order-violation fix
+  constexpr std::uint64_t kVersionSalt = 10;  // 10: geometry hashed (two
+                                              // specs differing only in core
+                                              // shape used to collide)
   std::uint64_t h = Mix64(kVersionSalt);
   for (char c : workload) h = Mix64(h ^ static_cast<std::uint64_t>(c));
   const auto& p = core.protect;
@@ -40,6 +41,17 @@ std::string CampaignSpec::CacheKey() const {
                  static_cast<std::uint64_t>(p.regfile_ecc) << 1 |
                  static_cast<std::uint64_t>(p.regptr_ecc) << 2 |
                  static_cast<std::uint64_t>(p.insn_parity) << 3));
+  // Every geometry field: the core shape defines the injectable bit space,
+  // so two campaigns differing in any size must never share a cache entry.
+  for (int g : {core.fetch_width, core.fetch_queue, core.ras_entries,
+                core.btb_sets, core.btb_ways, core.icache_bytes,
+                core.icache_ways, core.line_bytes, core.decode_width,
+                core.rename_width, core.phys_regs, core.sched_entries,
+                core.lq_entries, core.sq_entries, core.store_buffer,
+                core.dcache_bytes, core.dcache_ways, core.dcache_banks,
+                core.mshrs, core.miss_cycles, core.dcache_latency,
+                core.rob_entries, core.retire_width, core.timeout_cycles})
+    h = Mix64(h ^ static_cast<std::uint64_t>(g));
   h = Mix64(h ^ static_cast<std::uint64_t>(include_ram));
   h = Mix64(h ^ static_cast<std::uint64_t>(trials));
   h = Mix64(h ^ golden.warmup);

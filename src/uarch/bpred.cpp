@@ -43,7 +43,8 @@ Bpred::Bpred(StateRegistry& reg, const CoreConfig& cfg)
   // mispredict), so it is background like the other predictor structures.
   ras_ = reg.Allocate("ras.stack", StateCat::kPc, bg,
                       static_cast<std::size_t>(ras_entries_), kPcBits);
-  ras_ptr_ = reg.Allocate("ras.ptr", StateCat::kQctrl, bg, 1, 3);
+  ras_ptr_ = reg.Allocate("ras.ptr", StateCat::kQctrl, bg, 1,
+                          IndexBits(static_cast<std::uint64_t>(ras_entries_)));
 }
 
 std::uint64_t Bpred::BimodalIndex(std::uint64_t pc) const {
@@ -79,7 +80,9 @@ BranchPrediction Bpred::Predict(std::uint64_t pc, const DecodedInst& d) {
     case InsnClass::kRet: {
       p.taken = true;
       const std::uint64_t top = ras_ptr_.Get(0);
-      const std::uint64_t prev = (top + 7) % 8;  // 3-bit wraparound pop
+      // Pointer-width wraparound pop (ras_entries is pow2 by Validate()).
+      const std::uint64_t n = static_cast<std::uint64_t>(ras_entries_);
+      const std::uint64_t prev = (top + n - 1) % n;
       p.target = PcLoad(ras_.Get(prev % static_cast<std::uint64_t>(ras_entries_)));
       ras_ptr_.Set(0, prev);
       return p;

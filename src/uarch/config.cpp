@@ -1,0 +1,120 @@
+#include "uarch/config.h"
+
+#include <string>
+
+namespace tfsim {
+namespace {
+
+// kNumArchRegs lives in uop.h with the rest of the ISA constants; repeating
+// the value here keeps config.cpp free of pipeline headers (uop.h includes
+// config.h). A static_assert in core.cpp pins the two together.
+constexpr int kArchRegs = 32;
+
+void Require(std::vector<ConfigIssue>& out, bool ok, const char* field,
+             std::string message) {
+  if (!ok) out.push_back({field, std::move(message)});
+}
+
+std::string MustBePow2(const char* what, int v) {
+  return std::string(what) + " must be a power of two, got " +
+         std::to_string(v);
+}
+
+}  // namespace
+
+std::vector<ConfigIssue> CoreConfig::Validate() const {
+  std::vector<ConfigIssue> out;
+
+  // Front end. The fetch staging bank is fetch_width latch slots; a fetch
+  // group spans at most two I-cache lines, so a width beyond 2 lines of
+  // instructions could never be filled.
+  Require(out, fetch_width >= 1, "fetch_width", "fetch_width must be >= 1");
+  Require(out, fetch_width <= 2 * line_bytes / 4, "fetch_width",
+          "fetch_width exceeds two cache lines of instructions (split-line "
+          "fetch ceiling is 2*line_bytes/4)");
+  Require(out, fetch_queue >= 2, "fetch_queue", "fetch_queue must be >= 2");
+  Require(out, fetch_queue >= fetch_width, "fetch_queue",
+          "fetch_queue must hold at least one full fetch group "
+          "(fetch_queue >= fetch_width)");
+  // The RAS pointer wraps by field-width masking (push is ptr+1 into an
+  // IndexBits-wide latch), so the stack depth must be a power of two.
+  Require(out, IsPow2(ras_entries) && ras_entries >= 2, "ras_entries",
+          MustBePow2("ras_entries (pointer-mask wraparound)", ras_entries) +
+              "; minimum 2");
+  Require(out, IsPow2(btb_sets), "btb_sets", MustBePow2("btb_sets", btb_sets));
+  Require(out, btb_ways >= 1, "btb_ways", "btb_ways must be >= 1");
+
+  // Caches: pow2 geometry so set index / tag split is a bit slice.
+  Require(out, IsPow2(line_bytes) && line_bytes >= 8, "line_bytes",
+          MustBePow2("line_bytes", line_bytes) +
+              "; minimum 8 (lines are stored as 64-bit words)");
+  Require(out, IsPow2(icache_bytes), "icache_bytes",
+          MustBePow2("icache_bytes", icache_bytes));
+  Require(out, icache_ways >= 1 && icache_ways <= 2, "icache_ways",
+          "icache_ways must be 1 or 2 (single-bit MRU replacement)");
+  Require(out, icache_bytes >= icache_ways * line_bytes, "icache_bytes",
+          "icache_bytes must provide at least one set "
+          "(icache_bytes >= icache_ways * line_bytes)");
+  Require(out, IsPow2(dcache_bytes), "dcache_bytes",
+          MustBePow2("dcache_bytes", dcache_bytes));
+  Require(out, dcache_ways >= 1 && dcache_ways <= 2, "dcache_ways",
+          "dcache_ways must be 1 or 2 (single-bit MRU replacement)");
+  Require(out, dcache_bytes >= dcache_ways * line_bytes, "dcache_bytes",
+          "dcache_bytes must provide at least one set "
+          "(dcache_bytes >= dcache_ways * line_bytes)");
+  // Bank conflicts are tracked in a 32-bit in-cycle bitmask.
+  Require(out, IsPow2(dcache_banks) && dcache_banks >= 1 && dcache_banks <= 32,
+          "dcache_banks",
+          MustBePow2("dcache_banks", dcache_banks) + "; range [1, 32]");
+  Require(out, mshrs >= 1, "mshrs", "mshrs must be >= 1");
+  Require(out, miss_cycles >= 1, "miss_cycles", "miss_cycles must be >= 1");
+  // The LQ access timer is a 2-bit countdown latch.
+  Require(out, dcache_latency >= 1 && dcache_latency <= 3, "dcache_latency",
+          "dcache_latency must be in [1, 3] (2-bit LQ access timer)");
+
+  // Decode / rename.
+  Require(out, decode_width >= 1, "decode_width", "decode_width must be >= 1");
+  Require(out, decode_width <= fetch_queue, "decode_width",
+          "decode_width must not exceed fetch_queue");
+  Require(out, rename_width == decode_width, "rename_width",
+          "the model renames exactly one decode group per cycle; set "
+          "rename_width == decode_width");
+  // Regptrs (and their SEC ECC codes) are the paper's fixed 7-bit pointers:
+  // phys_regs beyond 128 would silently truncate in every regptr field.
+  // Below that, the free list must form a real ring over phys - arch regs.
+  Require(out, phys_regs <= 128, "phys_regs",
+          "phys_regs must be <= 128 (regptrs are the paper's 7-bit pointers)");
+  Require(out, phys_regs >= kArchRegs + 2, "phys_regs",
+          "phys_regs must exceed the 32 architectural registers by at least "
+          "2 (free-list ring)");
+
+  // Issue / memory / retire queues: genuine rings need >= 2 entries.
+  Require(out, sched_entries >= 2, "sched_entries",
+          "sched_entries must be >= 2");
+  Require(out, lq_entries >= 2, "lq_entries", "lq_entries must be >= 2");
+  Require(out, sq_entries >= 2, "sq_entries", "sq_entries must be >= 2");
+  Require(out, store_buffer >= 2, "store_buffer",
+          "store_buffer must be >= 2");
+  Require(out, rob_entries >= 4, "rob_entries", "rob_entries must be >= 4");
+  Require(out, rob_entries <= 1024, "rob_entries",
+          "rob_entries must be <= 1024");
+  Require(out, retire_width >= 1, "retire_width",
+          "retire_width must be >= 1");
+  Require(out, retire_width <= rob_entries, "retire_width",
+          "retire_width must not exceed rob_entries");
+  Require(out, timeout_cycles >= 1, "timeout_cycles",
+          "timeout_cycles must be >= 1");
+  return out;
+}
+
+void CoreConfig::ValidateOrThrow() const {
+  std::vector<ConfigIssue> issues = Validate();
+  if (issues.empty()) return;
+  std::string what = "invalid CoreConfig (" + std::to_string(issues.size()) +
+                     " issue" + (issues.size() == 1 ? "" : "s") + "):";
+  for (const ConfigIssue& i : issues)
+    what += "\n  [" + i.field + "] " + i.message;
+  throw ConfigError(std::move(what), std::move(issues));
+}
+
+}  // namespace tfsim

@@ -3,6 +3,9 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 namespace tfsim {
 
@@ -21,29 +24,70 @@ struct ProtectionConfig {
   }
 };
 
+// Bits needed to *index* one of `n` slots: ceil(log2 n), minimum 1. This is
+// the width of every ring pointer and structure tag in the pipeline, so the
+// injectable latch count of queue control scales with configured depth
+// exactly the way the paper's Table 1 accounting does at the default shape
+// (IndexBits(64) == 6, IndexBits(16) == 4, ...).
+constexpr std::uint64_t IndexBits(std::uint64_t n) {
+  std::uint64_t bits = 1;
+  while ((std::uint64_t{1} << bits) < n) ++bits;
+  return bits;
+}
+
+// Bits needed to *hold the occupancy count* of an n-entry structure — the
+// value range is [0, n] inclusive, one more state than an index needs
+// (CountBits(64) == 7: a full 64-entry ROB stores count 64).
+constexpr std::uint64_t CountBits(std::uint64_t n) {
+  std::uint64_t bits = 1;
+  while ((std::uint64_t{1} << bits) <= n) ++bits;
+  return bits;
+}
+
+constexpr bool IsPow2(int n) { return n > 0 && (n & (n - 1)) == 0; }
+
+// One structured finding from CoreConfig::Validate(): the offending field
+// and a human-readable constraint description.
+struct ConfigIssue {
+  std::string field;
+  std::string message;
+};
+
+// Thrown by CoreConfig::ValidateOrThrow() (and therefore by Core's
+// constructor) when a geometry is not instantiable.
+struct ConfigError : std::invalid_argument {
+  explicit ConfigError(std::string what, std::vector<ConfigIssue> issues_in)
+      : std::invalid_argument(std::move(what)), issues(std::move(issues_in)) {}
+  std::vector<ConfigIssue> issues;
+};
+
 // Microarchitecture parameters. Defaults follow the paper's Figure 2
 // (Alpha 21264 / Athlon class). Sizes marked pow2 must stay powers of two.
+// Any shape accepted by Validate() builds one and the same binary: every
+// pointer/tag/count latch width is derived from these sizes via IndexBits/
+// CountBits, and at the defaults those derivations reproduce the paper's
+// Table 1 widths bit for bit (pinned by the inventory_audit ctest).
 struct CoreConfig {
   // Front end.
   int fetch_width = 8;        // split-line fetch of up to 8 insns/cycle
   int fetch_queue = 32;       // fetch queue entries
-  int ras_entries = 8;        // return address stack (with pointer recovery)
-  int btb_sets = 256;         // 1024 entries, 4-way
+  int ras_entries = 8;        // return address stack (pow2; pointer recovery)
+  int btb_sets = 256;         // 1024 entries, 4-way (pow2 sets)
   int btb_ways = 4;
-  int icache_bytes = 8 * 1024;   // 2-way L1 I
+  int icache_bytes = 8 * 1024;   // 2-way L1 I (pow2 geometry)
   int icache_ways = 2;
   int line_bytes = 32;
   // Decode / rename.
   int decode_width = 4;
   int rename_width = 4;
-  int phys_regs = 80;
+  int phys_regs = 80;         // 33..128: regptrs are the paper's fixed 7 bits
   // Issue.
   int sched_entries = 32;
   // Memory.
   int lq_entries = 16;
   int sq_entries = 16;
   int store_buffer = 8;       // post-retirement store buffer (survives flushes)
-  int dcache_bytes = 32 * 1024;  // 2-way, 8-bank L1 D
+  int dcache_bytes = 32 * 1024;  // 2-way, 8-bank L1 D (pow2 geometry)
   int dcache_ways = 2;
   int dcache_banks = 8;
   int mshrs = 16;             // non-coalescing miss handling registers
@@ -61,8 +105,19 @@ struct CoreConfig {
   // InvariantChecker and, when obs is attached, as check.violations.* metrics.
   bool check_invariants = false;
 
+  // Structural constraint audit: pow2 constraints on pointer-masked and
+  // set-indexed structures, width <= depth, minimum viable sizes, and the
+  // fixed 7-bit regptr ceiling. Empty result == instantiable. Core's
+  // constructor calls ValidateOrThrow(), so no pipeline can be built from a
+  // shape that would silently truncate state (StateField::Set masks to
+  // field width — an under-wide pointer field wraps instead of failing).
+  std::vector<ConfigIssue> Validate() const;
+  void ValidateOrThrow() const;
+
   // Derived.
-  int MaxInFlight() const { return fetch_queue + rob_entries + 8 * 4; }
+  int MaxInFlight() const {
+    return fetch_queue + rob_entries + fetch_width * decode_width;
+  }
 };
 
 // Trial-level deadlock detection threshold (Section 4.1: the paper flags

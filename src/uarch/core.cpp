@@ -43,12 +43,24 @@ bool RangesOverlap(std::uint64_t a, int asize, std::uint64_t b, int bsize) {
 
 }  // namespace
 
+namespace {
+// config.cpp repeats this constant to stay free of pipeline headers.
+static_assert(kNumArchRegs == 32, "CoreConfig::Validate assumes 32 arch regs");
+
+// Geometry is audited before any member component allocates state: an
+// invalid shape must throw, never construct a silently-truncating pipeline.
+const CoreConfig& Validated(const CoreConfig& cfg) {
+  cfg.ValidateOrThrow();
+  return cfg;
+}
+}  // namespace
+
 Core::Core(const CoreConfig& cfg, const Program& program)
-    : cfg_(cfg),
+    : cfg_(Validated(cfg)),
       bpred_(registry_, cfg),
       icache_(registry_, cfg),
       dcache_(registry_, cfg),
-      storesets_(registry_),
+      storesets_(registry_, cfg),
       regfile_(registry_, cfg),
       rename_(registry_, cfg),
       rob_(registry_, cfg),
@@ -64,8 +76,9 @@ Core::Core(const CoreConfig& cfg, const Program& program)
   arch_next_pc_ = registry_.Allocate("retire.arch_next_pc", StateCat::kPc,
                                      Storage::kLatch, 1, kPcBits);
   if (cfg_.protect.timeout_counter)
-    timeout_count_ = registry_.Allocate("retire.timeout", StateCat::kCtrl,
-                                        Storage::kLatch, 1, 7);
+    timeout_count_ = registry_.Allocate(
+        "retire.timeout", StateCat::kCtrl, Storage::kLatch, 1,
+        CountBits(static_cast<std::uint64_t>(cfg.timeout_cycles)));
   resolved_target_ =
       registry_.Allocate("rob.resolved_target", StateCat::kPc, Storage::kRam,
                          static_cast<std::size_t>(cfg.rob_entries), kPcBits);
@@ -104,7 +117,8 @@ std::uint64_t Core::ArchViewHash() {
 
 std::uint64_t Core::InFlight() const {
   std::uint64_t staged = 0;
-  for (std::uint64_t i = 0; i < 8; ++i)
+  for (std::uint64_t i = 0; i < static_cast<std::uint64_t>(cfg_.fetch_width);
+       ++i)
     if (fetch_.fb_valid.GetBit(i)) ++staged;
   return rob_.Count() + fetch_.FqCount() + staged +
          decode_.stage1.Occupancy() + decode_.stage2.Occupancy();
@@ -538,7 +552,7 @@ bool Core::TryLoadAccess(std::uint64_t li) {
   }
 
   // Scan the post-retirement store buffer, youngest first.
-  const std::uint64_t sbn = 8;
+  const std::uint64_t sbn = static_cast<std::uint64_t>(cfg_.store_buffer);
   for (std::uint64_t k = 0; k < sbn; ++k) {
     const std::uint64_t si =
         (lsq_.sb_tail.Get(0) + sbn - 1 - k) % sbn;
@@ -732,8 +746,10 @@ void Core::DoBranch(int port, const DecodedInst& d, Word65 a) {
     // Recover the RAS pointer to the checkpoint, then re-apply this branch's
     // own effect (pointer recovery, Figure 2).
     std::uint64_t ras = rr_lat_.ras_ckpt.Get(0);
-    if (d.cls == InsnClass::kBsr || d.cls == InsnClass::kJsr) ras = (ras + 1) & 7;
-    if (d.cls == InsnClass::kRet) ras = (ras + 7) & 7;
+    const std::uint64_t rasn = static_cast<std::uint64_t>(cfg_.ras_entries);
+    if (d.cls == InsnClass::kBsr || d.cls == InsnClass::kJsr)
+      ras = (ras + 1) % rasn;
+    if (d.cls == InsnClass::kRet) ras = (ras + rasn - 1) % rasn;
     SquashYoungerThan(rr_lat_.robtag.Get(s), /*inclusive=*/false, actual_next,
                       ras);
     if (d.cls == InsnClass::kBsr || d.cls == InsnClass::kJsr) {

@@ -23,15 +23,24 @@ void Core::AttachObs(const obs::ObsSinks* obs) {
           std::string("check.violations.") +
           check::InvariantKindName(static_cast<check::InvariantKind>(k)));
   }
-  // Bucket shapes sized to each structure's capacity so the histograms read
-  // directly as occupancy distributions.
-  h_fq_ = &m.GetHistogram("pipe.fetchq.occupancy", 2, 17);
-  h_sched_ = &m.GetHistogram("pipe.scheduler.occupancy", 2, 17);
-  h_rob_ = &m.GetHistogram("pipe.rob.occupancy", 4, 17);
-  h_lq_ = &m.GetHistogram("pipe.lq.occupancy", 1, 17);
-  h_sq_ = &m.GetHistogram("pipe.sq.occupancy", 1, 17);
-  h_mshr_ = &m.GetHistogram("pipe.dcache.mshrs_in_use", 1, 9);
-  h_inflight_ = &m.GetHistogram("pipe.inflight", 8, 18);
+  // Bucket shapes sized to each structure's *configured* capacity so the
+  // histograms read directly as occupancy distributions at any geometry
+  // (16 resolution buckets per structure; width 1 below 16 entries).
+  const auto occ_width = [](int capacity) {
+    return static_cast<std::uint64_t>(capacity >= 16 ? capacity / 16 : 1);
+  };
+  h_fq_ = &m.GetHistogram("pipe.fetchq.occupancy", occ_width(cfg_.fetch_queue),
+                          17);
+  h_sched_ = &m.GetHistogram("pipe.scheduler.occupancy",
+                             occ_width(cfg_.sched_entries), 17);
+  h_rob_ = &m.GetHistogram("pipe.rob.occupancy", occ_width(cfg_.rob_entries),
+                           17);
+  h_lq_ = &m.GetHistogram("pipe.lq.occupancy", occ_width(cfg_.lq_entries), 17);
+  h_sq_ = &m.GetHistogram("pipe.sq.occupancy", occ_width(cfg_.sq_entries), 17);
+  h_mshr_ = &m.GetHistogram("pipe.dcache.mshrs_in_use", occ_width(cfg_.mshrs),
+                            9);
+  h_inflight_ = &m.GetHistogram("pipe.inflight", occ_width(cfg_.MaxInFlight()),
+                                18);
 }
 
 void Core::ObsCountViolations() {

@@ -23,12 +23,15 @@ DCache::DCache(StateRegistry& reg, const CoreConfig& cfg)
   mshr_addr_ =
       reg.Allocate("mshr.addr", StateCat::kAddr, Storage::kRam, m, 58);
   mshr_timer_ =
-      reg.Allocate("mshr.timer", StateCat::kCtrl, Storage::kRam, m, 4);
-  mshr_lq_ = reg.Allocate("mshr.lq", StateCat::kCtrl, Storage::kRam, m, 4);
+      reg.Allocate("mshr.timer", StateCat::kCtrl, Storage::kRam, m,
+                   CountBits(static_cast<std::uint64_t>(miss_cycles_)));
+  mshr_lq_ = reg.Allocate("mshr.lq", StateCat::kCtrl, Storage::kRam, m,
+                          IndexBits(static_cast<std::uint64_t>(cfg.lq_entries)));
   mshr_done_ =
       reg.Allocate("mshr.done", StateCat::kCtrl, Storage::kRam, m, 1);
   mshr_ptr_ =
-      reg.Allocate("mshr.ptr", StateCat::kQctrl, Storage::kLatch, 1, 4);
+      reg.Allocate("mshr.ptr", StateCat::kQctrl, Storage::kLatch, 1,
+                   IndexBits(static_cast<std::uint64_t>(mshrs_)));
 }
 
 int DCache::FindWay(std::uint64_t addr) const {

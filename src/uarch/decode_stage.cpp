@@ -22,7 +22,8 @@ DecodeLatchBank::DecodeLatchBank(StateRegistry& reg, const CoreConfig& cfg,
       reg.Allocate(p + ".pred_taken", StateCat::kCtrl, latch, width, 1);
   pred_target =
       reg.Allocate(p + ".pred_target", StateCat::kPc, latch, width, kPcBits);
-  ras_ckpt = reg.Allocate(p + ".ras_ckpt", StateCat::kCtrl, latch, width, 3);
+  ras_ckpt = reg.Allocate(p + ".ras_ckpt", StateCat::kCtrl, latch, width,
+                          IndexBits(static_cast<std::uint64_t>(cfg.ras_entries)));
   if (with_ctrl)
     ctrl = reg.Allocate(p + ".ctrl", StateCat::kCtrl, latch, width, kCtrlBits);
   seq.resize(width, 0);

@@ -1,5 +1,6 @@
 #include "uarch/execute.h"
 
+#include <algorithm>
 #include <string>
 
 namespace tfsim {
@@ -18,7 +19,8 @@ UopLatchBank::UopLatchBank(StateRegistry& reg, const CoreConfig& cfg,
   pred_taken = reg.Allocate(p + ".pred_taken", StateCat::kCtrl, latch, 1, 1);
   pred_target =
       reg.Allocate(p + ".pred_target", StateCat::kPc, latch, 1, kPcBits);
-  ras_ckpt = reg.Allocate(p + ".ras_ckpt", StateCat::kCtrl, latch, 1, 3);
+  ras_ckpt = reg.Allocate(p + ".ras_ckpt", StateCat::kCtrl, latch, 1,
+                          IndexBits(static_cast<std::uint64_t>(cfg.ras_entries)));
   src1p = reg.Allocate(p + ".src1p", StateCat::kRegptr, latch, n, 7);
   src2p = reg.Allocate(p + ".src2p", StateCat::kRegptr, latch, n, 7);
   dstp = reg.Allocate(p + ".dstp", StateCat::kRegptr, latch, n, 7);
@@ -28,9 +30,14 @@ UopLatchBank::UopLatchBank(StateRegistry& reg, const CoreConfig& cfg,
     dst_ecc = reg.Allocate(p + ".dst_ecc", StateCat::kEcc, latch, n, 4);
   }
   has_dst = reg.Allocate(p + ".has_dst", StateCat::kCtrl, latch, n, 1);
-  robtag = reg.Allocate(p + ".robtag", StateCat::kRobptr, latch, n, 6);
-  lsq_idx = reg.Allocate(p + ".lsq_idx", StateCat::kCtrl, latch, n, 4);
-  sched_idx = reg.Allocate(p + ".sched_idx", StateCat::kCtrl, latch, n, 5);
+  robtag = reg.Allocate(p + ".robtag", StateCat::kRobptr, latch, n,
+                        IndexBits(static_cast<std::uint64_t>(cfg.rob_entries)));
+  lsq_idx = reg.Allocate(p + ".lsq_idx", StateCat::kCtrl, latch, n,
+                         IndexBits(static_cast<std::uint64_t>(
+                             std::max(cfg.lq_entries, cfg.sq_entries))));
+  sched_idx =
+      reg.Allocate(p + ".sched_idx", StateCat::kCtrl, latch, n,
+                   IndexBits(static_cast<std::uint64_t>(cfg.sched_entries)));
   if (with_values) {
     a_lo = reg.Allocate(p + ".a_lo", StateCat::kData, latch, n, 64);
     a_hi = reg.Allocate(p + ".a_hi", StateCat::kData, latch, n, 1);
@@ -53,8 +60,11 @@ WbBank::WbBank(StateRegistry& reg, const CoreConfig& cfg, std::size_t n)
   if (ecc_on)
     dst_ecc = reg.Allocate("wb.dst_ecc", StateCat::kEcc, latch, n, 4);
   has_dst = reg.Allocate("wb.has_dst", StateCat::kCtrl, latch, n, 1);
-  robtag = reg.Allocate("wb.robtag", StateCat::kRobptr, latch, n, 6);
-  sched_idx = reg.Allocate("wb.sched_idx", StateCat::kCtrl, latch, n, 5);
+  robtag = reg.Allocate("wb.robtag", StateCat::kRobptr, latch, n,
+                        IndexBits(static_cast<std::uint64_t>(cfg.rob_entries)));
+  sched_idx =
+      reg.Allocate("wb.sched_idx", StateCat::kCtrl, latch, n,
+                   IndexBits(static_cast<std::uint64_t>(cfg.sched_entries)));
   free_sched = reg.Allocate("wb.free_sched", StateCat::kCtrl, latch, n, 1);
   alloc_ptr = reg.Allocate("wb.alloc_ptr", StateCat::kQctrl, latch, 1, 4);
 }
@@ -85,8 +95,12 @@ ComplexPipe::ComplexPipe(StateRegistry& reg, const CoreConfig& cfg)
   if (ecc_on)
     dst_ecc = reg.Allocate("cpipe.dst_ecc", StateCat::kEcc, latch, slots, 4);
   has_dst = reg.Allocate("cpipe.has_dst", StateCat::kCtrl, latch, slots, 1);
-  robtag = reg.Allocate("cpipe.robtag", StateCat::kRobptr, latch, slots, 6);
-  sched_idx = reg.Allocate("cpipe.sched_idx", StateCat::kCtrl, latch, slots, 5);
+  robtag =
+      reg.Allocate("cpipe.robtag", StateCat::kRobptr, latch, slots,
+                   IndexBits(static_cast<std::uint64_t>(cfg.rob_entries)));
+  sched_idx =
+      reg.Allocate("cpipe.sched_idx", StateCat::kCtrl, latch, slots,
+                   IndexBits(static_cast<std::uint64_t>(cfg.sched_entries)));
 }
 
 int ComplexPipe::FreeSlot() const {

@@ -7,8 +7,10 @@ namespace tfsim {
 Fetch::Fetch(StateRegistry& reg, const CoreConfig& cfg)
     : parity_on(cfg.protect.insn_parity),
       fq_n_(static_cast<std::uint64_t>(cfg.fetch_queue)),
-      width_(cfg.fetch_width) {
+      width_(cfg.fetch_width), line_bytes_(cfg.line_bytes) {
   const auto ram = Storage::kRam;
+  const std::uint64_t rasbits =
+      IndexBits(static_cast<std::uint64_t>(cfg.ras_entries));
   fq_valid = reg.Allocate("fq.valid", StateCat::kValid, ram, fq_n_, 1);
   fq_pc = reg.Allocate("fq.pc", StateCat::kPc, ram, fq_n_, kPcBits);
   fq_insn = reg.Allocate("fq.insn", StateCat::kInsn, ram, fq_n_, 32);
@@ -18,10 +20,14 @@ Fetch::Fetch(StateRegistry& reg, const CoreConfig& cfg)
       reg.Allocate("fq.pred_taken", StateCat::kCtrl, ram, fq_n_, 1);
   fq_pred_target =
       reg.Allocate("fq.pred_target", StateCat::kPc, ram, fq_n_, kPcBits);
-  fq_ras_ckpt = reg.Allocate("fq.ras_ckpt", StateCat::kCtrl, ram, fq_n_, 3);
-  fq_head = reg.Allocate("fq.head", StateCat::kQctrl, Storage::kLatch, 1, 5);
-  fq_tail = reg.Allocate("fq.tail", StateCat::kQctrl, Storage::kLatch, 1, 5);
-  fq_count = reg.Allocate("fq.count", StateCat::kQctrl, Storage::kLatch, 1, 6);
+  fq_ras_ckpt =
+      reg.Allocate("fq.ras_ckpt", StateCat::kCtrl, ram, fq_n_, rasbits);
+  fq_head = reg.Allocate("fq.head", StateCat::kQctrl, Storage::kLatch, 1,
+                         IndexBits(fq_n_));
+  fq_tail = reg.Allocate("fq.tail", StateCat::kQctrl, Storage::kLatch, 1,
+                         IndexBits(fq_n_));
+  fq_count = reg.Allocate("fq.count", StateCat::kQctrl, Storage::kLatch, 1,
+                          CountBits(fq_n_));
   fetch_pc_ =
       reg.Allocate("fetch.pc", StateCat::kPc, Storage::kLatch, 1, kPcBits);
   const auto latch = Storage::kLatch;
@@ -35,7 +41,8 @@ Fetch::Fetch(StateRegistry& reg, const CoreConfig& cfg)
       reg.Allocate("fb.pred_taken", StateCat::kCtrl, latch, w, 1);
   fb_pred_target =
       reg.Allocate("fb.pred_target", StateCat::kPc, latch, w, kPcBits);
-  fb_ras_ckpt = reg.Allocate("fb.ras_ckpt", StateCat::kCtrl, latch, w, 3);
+  fb_ras_ckpt =
+      reg.Allocate("fb.ras_ckpt", StateCat::kCtrl, latch, w, rasbits);
   fb_seq.resize(w, 0);
   fq_seq.resize(fq_n_, 0);
 }
@@ -92,7 +99,7 @@ bool Fetch::Run(ICache& icache, Bpred& bpred, Memory& mem, Tlb& tlb,
   std::uint64_t last_line = ~0ULL;
   for (int n = 0; n < width_; ++n) {
     // Split-line fetch: a fetch group may span at most two cache lines.
-    const std::uint64_t line = pc / 32;
+    const std::uint64_t line = pc / static_cast<std::uint64_t>(line_bytes_);
     if (line != last_line) {
       if (++lines_touched > 2) break;
       last_line = line;

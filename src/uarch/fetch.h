@@ -77,6 +77,7 @@ class Fetch {
  private:
   std::uint64_t fq_n_;
   int width_;
+  int line_bytes_;
   StateField fetch_pc_;  // 62-bit latch (pc)
 };
 

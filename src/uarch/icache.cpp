@@ -4,7 +4,8 @@ namespace tfsim {
 
 ICache::ICache(StateRegistry& reg, const CoreConfig& cfg)
     : sets_(cfg.icache_bytes / cfg.icache_ways / cfg.line_bytes),
-      ways_(cfg.icache_ways), line_bytes_(cfg.line_bytes) {
+      ways_(cfg.icache_ways), line_bytes_(cfg.line_bytes),
+      miss_cycles_(cfg.miss_cycles) {
   const auto bg = Storage::kBackground;
   const std::size_t entries = static_cast<std::size_t>(sets_ * ways_);
   valid_ = reg.Allocate("icache.valid", StateCat::kValid, bg, entries, 1);
@@ -17,7 +18,8 @@ ICache::ICache(StateRegistry& reg, const CoreConfig& cfg)
   miss_addr_ = reg.Allocate("icache.miss_addr", StateCat::kAddr,
                             Storage::kLatch, 1, 58);
   miss_timer_ = reg.Allocate("icache.miss_timer", StateCat::kCtrl,
-                             Storage::kLatch, 1, 4);
+                             Storage::kLatch, 1,
+                             CountBits(static_cast<std::uint64_t>(cfg.miss_cycles)));
 }
 
 bool ICache::Read(std::uint64_t addr, Memory& mem, std::uint32_t& word) {
@@ -32,14 +34,14 @@ bool ICache::Read(std::uint64_t addr, Memory& mem, std::uint32_t& word) {
       const std::uint64_t qword = data_.Get(word_index);
       word = static_cast<std::uint32_t>((addr & 4) ? qword >> 32 : qword);
       lru_.Set(e, 1);
-      lru_.Set(Entry(set, 1 - w), 0);
+      if (ways_ == 2) lru_.Set(Entry(set, 1 - w), 0);
       return true;
     }
   }
   if (!miss_valid_.GetBit(0)) {
     miss_valid_.Set(0, 1);
     miss_addr_.Set(0, line);
-    miss_timer_.Set(0, 8);
+    miss_timer_.Set(0, static_cast<std::uint64_t>(miss_cycles_));
   }
   (void)mem;
   return false;

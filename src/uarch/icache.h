@@ -32,6 +32,7 @@ class ICache {
   int sets_;
   int ways_;
   int line_bytes_;
+  int miss_cycles_;
 
   std::size_t LineWords() const {
     return static_cast<std::size_t>(line_bytes_) / 8;

@@ -9,17 +9,21 @@ Lsq::Lsq(StateRegistry& reg, const CoreConfig& cfg)
       sb_n_(static_cast<std::uint64_t>(cfg.store_buffer)) {
   const auto ram = Storage::kRam;
   const auto latch = Storage::kLatch;
+  const std::uint64_t robbits =
+      IndexBits(static_cast<std::uint64_t>(cfg.rob_entries));
 
   lq_valid = reg.Allocate("lq.valid", StateCat::kValid, ram, lq_n_, 1);
   lq_addr = reg.Allocate("lq.addr", StateCat::kAddr, ram, lq_n_, 64);
   lq_addr_valid =
       reg.Allocate("lq.addr_valid", StateCat::kCtrl, ram, lq_n_, 1);
   lq_size = reg.Allocate("lq.size", StateCat::kCtrl, ram, lq_n_, 2);
-  lq_robtag = reg.Allocate("lq.robtag", StateCat::kRobptr, ram, lq_n_, 6);
+  lq_robtag =
+      reg.Allocate("lq.robtag", StateCat::kRobptr, ram, lq_n_, robbits);
   lq_done = reg.Allocate("lq.done", StateCat::kCtrl, ram, lq_n_, 1);
   lq_fwd_valid =
       reg.Allocate("lq.fwd_valid", StateCat::kCtrl, ram, lq_n_, 1);
-  lq_fwd_sq = reg.Allocate("lq.fwd_sq", StateCat::kCtrl, ram, lq_n_, 4);
+  lq_fwd_sq = reg.Allocate("lq.fwd_sq", StateCat::kCtrl, ram, lq_n_,
+                           IndexBits(sq_n_));
   lq_state = reg.Allocate("lq.state", StateCat::kCtrl, ram, lq_n_, 3);
   lq_timer = reg.Allocate("lq.timer", StateCat::kCtrl, ram, lq_n_, 2);
   lq_value = reg.Allocate("lq.value", StateCat::kData, ram, lq_n_, 64);
@@ -28,12 +32,17 @@ Lsq::Lsq(StateRegistry& reg, const CoreConfig& cfg)
   if (ecc_on)
     lq_dst_ecc = reg.Allocate("lq.dst_ecc", StateCat::kEcc, ram, lq_n_, 4);
   lq_has_dst = reg.Allocate("lq.has_dst", StateCat::kCtrl, ram, lq_n_, 1);
-  lq_sched = reg.Allocate("lq.sched", StateCat::kCtrl, ram, lq_n_, 5);
+  lq_sched =
+      reg.Allocate("lq.sched", StateCat::kCtrl, ram, lq_n_,
+                   IndexBits(static_cast<std::uint64_t>(cfg.sched_entries)));
   lq_misskill = reg.Allocate("lq.misskill", StateCat::kCtrl, ram, lq_n_, 1);
   lq_spec = reg.Allocate("lq.spec", StateCat::kCtrl, ram, lq_n_, 1);
-  lq_head = reg.Allocate("lq.head", StateCat::kQctrl, latch, 1, 4);
-  lq_tail = reg.Allocate("lq.tail", StateCat::kQctrl, latch, 1, 4);
-  lq_count = reg.Allocate("lq.count", StateCat::kQctrl, latch, 1, 5);
+  lq_head = reg.Allocate("lq.head", StateCat::kQctrl, latch, 1,
+                         IndexBits(lq_n_));
+  lq_tail = reg.Allocate("lq.tail", StateCat::kQctrl, latch, 1,
+                         IndexBits(lq_n_));
+  lq_count = reg.Allocate("lq.count", StateCat::kQctrl, latch, 1,
+                          CountBits(lq_n_));
 
   sq_valid = reg.Allocate("sq.valid", StateCat::kValid, ram, sq_n_, 1);
   sq_addr = reg.Allocate("sq.addr", StateCat::kAddr, ram, sq_n_, 64);
@@ -44,18 +53,25 @@ Lsq::Lsq(StateRegistry& reg, const CoreConfig& cfg)
   sq_data_valid =
       reg.Allocate("sq.data_valid", StateCat::kCtrl, ram, sq_n_, 1);
   sq_size = reg.Allocate("sq.size", StateCat::kCtrl, ram, sq_n_, 2);
-  sq_robtag = reg.Allocate("sq.robtag", StateCat::kRobptr, ram, sq_n_, 6);
-  sq_head = reg.Allocate("sq.head", StateCat::kQctrl, latch, 1, 4);
-  sq_tail = reg.Allocate("sq.tail", StateCat::kQctrl, latch, 1, 4);
-  sq_count = reg.Allocate("sq.count", StateCat::kQctrl, latch, 1, 5);
+  sq_robtag =
+      reg.Allocate("sq.robtag", StateCat::kRobptr, ram, sq_n_, robbits);
+  sq_head = reg.Allocate("sq.head", StateCat::kQctrl, latch, 1,
+                         IndexBits(sq_n_));
+  sq_tail = reg.Allocate("sq.tail", StateCat::kQctrl, latch, 1,
+                         IndexBits(sq_n_));
+  sq_count = reg.Allocate("sq.count", StateCat::kQctrl, latch, 1,
+                          CountBits(sq_n_));
 
   sb_valid = reg.Allocate("sb.valid", StateCat::kValid, ram, sb_n_, 1);
   sb_addr = reg.Allocate("sb.addr", StateCat::kAddr, ram, sb_n_, 64);
   sb_data = reg.Allocate("sb.data", StateCat::kData, ram, sb_n_, 64);
   sb_size = reg.Allocate("sb.size", StateCat::kCtrl, ram, sb_n_, 2);
-  sb_head = reg.Allocate("sb.head", StateCat::kQctrl, latch, 1, 3);
-  sb_tail = reg.Allocate("sb.tail", StateCat::kQctrl, latch, 1, 3);
-  sb_count = reg.Allocate("sb.count", StateCat::kQctrl, latch, 1, 4);
+  sb_head = reg.Allocate("sb.head", StateCat::kQctrl, latch, 1,
+                         IndexBits(sb_n_));
+  sb_tail = reg.Allocate("sb.tail", StateCat::kQctrl, latch, 1,
+                         IndexBits(sb_n_));
+  sb_count = reg.Allocate("sb.count", StateCat::kQctrl, latch, 1,
+                          CountBits(sb_n_));
 }
 
 std::uint64_t Lsq::AllocLq() {

@@ -29,6 +29,8 @@ void WritePtrField(StateField& val, StateField& ecc, std::size_t i, RPtr p,
 Rename::Rename(StateRegistry& reg, const CoreConfig& cfg)
     : free_size_(static_cast<std::uint64_t>(cfg.phys_regs - kNumArchRegs)),
       ecc_on_(cfg.protect.regptr_ecc) {
+  const std::uint64_t fl_idx = IndexBits(free_size_);
+  const std::uint64_t fl_cnt = CountBits(free_size_);
   specrat_ = reg.Allocate("rename.specrat", StateCat::kSpecRat, Storage::kRam,
                           kNumArchRegs, 7);
   archrat_ = reg.Allocate("rename.archrat", StateCat::kArchRat, Storage::kRam,
@@ -48,17 +50,17 @@ Rename::Rename(StateRegistry& reg, const CoreConfig& cfg)
                             Storage::kRam, free_size_, kRegptrEccBits);
   }
   sfl_head_ = reg.Allocate("rename.sfl_head", StateCat::kQctrl,
-                           Storage::kLatch, 1, 6);
+                           Storage::kLatch, 1, fl_idx);
   sfl_tail_ = reg.Allocate("rename.sfl_tail", StateCat::kQctrl,
-                           Storage::kLatch, 1, 6);
+                           Storage::kLatch, 1, fl_idx);
   sfl_count_ = reg.Allocate("rename.sfl_count", StateCat::kQctrl,
-                            Storage::kLatch, 1, 6);
+                            Storage::kLatch, 1, fl_cnt);
   afl_head_ = reg.Allocate("rename.afl_head", StateCat::kQctrl,
-                           Storage::kLatch, 1, 6);
+                           Storage::kLatch, 1, fl_idx);
   afl_tail_ = reg.Allocate("rename.afl_tail", StateCat::kQctrl,
-                           Storage::kLatch, 1, 6);
+                           Storage::kLatch, 1, fl_idx);
   afl_count_ = reg.Allocate("rename.afl_count", StateCat::kQctrl,
-                            Storage::kLatch, 1, 6);
+                            Storage::kLatch, 1, fl_cnt);
 }
 
 void Rename::Reset() {

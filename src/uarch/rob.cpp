@@ -1,5 +1,7 @@
 #include "uarch/rob.h"
 
+#include <algorithm>
+
 #include "uarch/uop.h"
 
 namespace tfsim {
@@ -27,11 +29,16 @@ Rob::Rob(StateRegistry& reg, const CoreConfig& cfg)
   is_branch = reg.Allocate("rob.is_branch", StateCat::kCtrl, ram, entries_, 1);
   is_syscall =
       reg.Allocate("rob.is_syscall", StateCat::kCtrl, ram, entries_, 1);
-  lsq_idx = reg.Allocate("rob.lsq_idx", StateCat::kCtrl, ram, entries_, 4);
+  lsq_idx = reg.Allocate("rob.lsq_idx", StateCat::kCtrl, ram, entries_,
+                         IndexBits(static_cast<std::uint64_t>(
+                             std::max(cfg.lq_entries, cfg.sq_entries))));
 
-  head_ = reg.Allocate("rob.head", StateCat::kQctrl, Storage::kLatch, 1, 6);
-  tail_ = reg.Allocate("rob.tail", StateCat::kQctrl, Storage::kLatch, 1, 6);
-  count_ = reg.Allocate("rob.count", StateCat::kQctrl, Storage::kLatch, 1, 7);
+  head_ = reg.Allocate("rob.head", StateCat::kQctrl, Storage::kLatch, 1,
+                       IndexBits(entries_));
+  tail_ = reg.Allocate("rob.tail", StateCat::kQctrl, Storage::kLatch, 1,
+                       IndexBits(entries_));
+  count_ = reg.Allocate("rob.count", StateCat::kQctrl, Storage::kLatch, 1,
+                        CountBits(entries_));
 }
 
 std::uint64_t Rob::Allocate() {

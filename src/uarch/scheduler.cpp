@@ -1,5 +1,7 @@
 #include "uarch/scheduler.h"
 
+#include <algorithm>
+
 namespace tfsim {
 
 Scheduler::Scheduler(StateRegistry& reg, const CoreConfig& cfg)
@@ -17,7 +19,8 @@ Scheduler::Scheduler(StateRegistry& reg, const CoreConfig& cfg)
   pred_taken = reg.Allocate("sched.pred_taken", StateCat::kCtrl, ram, n, 1);
   pred_target =
       reg.Allocate("sched.pred_target", StateCat::kPc, ram, n, kPcBits);
-  ras_ckpt = reg.Allocate("sched.ras_ckpt", StateCat::kCtrl, ram, n, 3);
+  ras_ckpt = reg.Allocate("sched.ras_ckpt", StateCat::kCtrl, ram, n,
+                          IndexBits(static_cast<std::uint64_t>(cfg.ras_entries)));
   src1p = reg.Allocate("sched.src1p", StateCat::kRegptr, ram, n, 7);
   src2p = reg.Allocate("sched.src2p", StateCat::kRegptr, ram, n, 7);
   dstp = reg.Allocate("sched.dstp", StateCat::kRegptr, ram, n, 7);
@@ -29,12 +32,16 @@ Scheduler::Scheduler(StateRegistry& reg, const CoreConfig& cfg)
   src1_rdy = reg.Allocate("sched.src1_rdy", StateCat::kCtrl, ram, n, 1);
   src2_rdy = reg.Allocate("sched.src2_rdy", StateCat::kCtrl, ram, n, 1);
   has_dst = reg.Allocate("sched.has_dst", StateCat::kCtrl, ram, n, 1);
-  robtag = reg.Allocate("sched.robtag", StateCat::kRobptr, ram, n, 6);
-  lsq_idx = reg.Allocate("sched.lsq_idx", StateCat::kCtrl, ram, n, 4);
+  const std::uint64_t robbits =
+      IndexBits(static_cast<std::uint64_t>(cfg.rob_entries));
+  robtag = reg.Allocate("sched.robtag", StateCat::kRobptr, ram, n, robbits);
+  lsq_idx = reg.Allocate("sched.lsq_idx", StateCat::kCtrl, ram, n,
+                         IndexBits(static_cast<std::uint64_t>(
+                             std::max(cfg.lq_entries, cfg.sq_entries))));
   wait_store = reg.Allocate("sched.wait_store", StateCat::kCtrl, ram, n, 1);
-  wait_tag = reg.Allocate("sched.wait_tag", StateCat::kRobptr, ram, n, 6);
+  wait_tag = reg.Allocate("sched.wait_tag", StateCat::kRobptr, ram, n, robbits);
   alloc_ptr = reg.Allocate("sched.alloc_ptr", StateCat::kQctrl,
-                           Storage::kLatch, 1, 5);
+                           Storage::kLatch, 1, IndexBits(entries_));
 }
 
 std::optional<std::size_t> Scheduler::FreeEntry() const {

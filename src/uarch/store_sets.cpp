@@ -8,7 +8,7 @@ constexpr std::size_t kSets = 64;
 
 }  // namespace
 
-StoreSets::StoreSets(StateRegistry& reg) {
+StoreSets::StoreSets(StateRegistry& reg, const CoreConfig& cfg) {
   const auto bg = Storage::kBackground;
   ssit_valid_ =
       reg.Allocate("storesets.ssit_valid", StateCat::kValid, bg, kSsitEntries, 1);
@@ -16,7 +16,10 @@ StoreSets::StoreSets(StateRegistry& reg) {
       reg.Allocate("storesets.ssit_set", StateCat::kCtrl, bg, kSsitEntries, 6);
   lfst_valid_ =
       reg.Allocate("storesets.lfst_valid", StateCat::kValid, bg, kSets, 1);
-  lfst_tag_ = reg.Allocate("storesets.lfst_tag", StateCat::kRobptr, bg, kSets, 6);
+  // The LFST holds full ROB tags; a narrower field would silently truncate
+  // them past 64 ROB entries and park loads on stores that never match.
+  lfst_tag_ = reg.Allocate("storesets.lfst_tag", StateCat::kRobptr, bg, kSets,
+                           IndexBits(static_cast<std::uint64_t>(cfg.rob_entries)));
 }
 
 std::uint64_t StoreSets::Index(std::uint64_t pc) const {

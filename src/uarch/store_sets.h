@@ -14,12 +14,13 @@
 #include <optional>
 
 #include "state/state_registry.h"
+#include "uarch/config.h"
 
 namespace tfsim {
 
 class StoreSets {
  public:
-  explicit StoreSets(StateRegistry& reg);
+  StoreSets(StateRegistry& reg, const CoreConfig& cfg);
 
   // Called at dispatch of a load: returns the ROB tag of the store this load
   // should wait for, if its store set has one in flight.

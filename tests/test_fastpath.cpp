@@ -302,6 +302,37 @@ TEST(TrialFastPath, MultiFlipBurstsByteIdentical) {
     ExpectSameRecord(fast.Run(specs[i]).record, slow.Run(specs[i]).record, i);
 }
 
+// Non-default geometry: the fast path plans over the registry's live word
+// space, which a reshaped core changes completely (different field widths,
+// different word count). Fast and slow paths must stay byte-identical on a
+// shape nothing in the defaults exercises.
+TEST(TrialFastPath, NonDefaultGeometryByteIdentical) {
+  CampaignSpec spec = SmallCampaign(48);
+  spec.core.rob_entries = 16;
+  spec.core.lq_entries = 8;
+  spec.core.sq_entries = 8;
+  spec.core.phys_regs = 48;
+  const Program program =
+      BuildWorkload(WorkloadByName(spec.workload), kCampaignIters);
+  Core probe(spec.core, program);
+  const std::vector<TrialSpec> specs =
+      MakeTrialSpecs(spec, probe.registry().InjectableBits(spec.include_ram));
+  const FastPathPlan plan = PlanFastPath(spec.golden, specs, probe.registry());
+  const auto golden =
+      RecordGolden(spec.core, program, spec.golden, nullptr, &plan);
+  TrialRunner fast(golden);
+  TrialPolicy slow_policy;
+  slow_policy.fast_path = false;
+  TrialRunner slow(golden, slow_policy);
+  int shortcut = 0;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const TrialRunner::Result f = fast.Run(specs[i]);
+    ExpectSameRecord(f.record, slow.Run(specs[i]).record, i);
+    if (f.fast) ++shortcut;
+  }
+  EXPECT_GT(shortcut, 0) << "the reshaped core never took the fast path";
+}
+
 // Golden runs recorded without a fast-path plan (fuzz harness, ad-hoc
 // tools) must silently take the slow path even when the policy allows fast.
 TEST(TrialFastPath, NoPlanMeansSlowPath) {

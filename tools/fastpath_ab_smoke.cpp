@@ -114,12 +114,29 @@ int main() {
              "burst trial count");
   }
 
+  // A reshaped core changes the registry's whole word space (field widths,
+  // word count), so the fast-path plan and snapshots are built over a
+  // different layout — byte-identity must hold there too.
+  CampaignSpec shaped = spec;
+  shaped.trials = 48;
+  shaped.core.rob_entries = 16;
+  shaped.core.lq_entries = 8;
+  shaped.core.sq_entries = 8;
+  shaped.core.phys_regs = 48;
+  {
+    const CampaignResult s = RunOne(shaped, /*fast_path=*/false, 1);
+    const CampaignResult f = RunOne(shaped, /*fast_path=*/true, 4);
+    const std::string label = "non-default-geometry";
+    Compare(f, s, label);
+  }
+
   if (g_failures) {
     std::fprintf(stderr, "fastpath_ab_smoke: %d failure(s)\n", g_failures);
     return 1;
   }
   std::printf("fastpath_ab_smoke: fast and slow paths byte-identical "
-              "(%d + %d trials, jobs 1 and 4)\n",
-              spec.trials, 48);
+              "(%d + %d + %d trials, jobs 1 and 4, default and reshaped "
+              "cores)\n",
+              spec.trials, 48, shaped.trials);
   return 0;
 }

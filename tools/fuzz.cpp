@@ -6,6 +6,7 @@
 //   fuzz --seeds 200                 # 200 seeds, every shape
 //   fuzz --seeds 50 --shape store    # store-heavy programs only
 //   fuzz --seed-base 1000 --print    # different seed range, echo sources
+//   fuzz --seeds 25 --rob 16 --lq 4 --sq 4   # non-default core geometry
 //
 // TFI_SMOKE_SEEDS overrides --seeds (env wins, like TFI_CHECKPOINT_EVERY),
 // so CI can deepen the pinned `fuzz_smoke` ctest without editing CMake.
@@ -17,6 +18,7 @@
 
 #include "check/fuzz_harness.h"
 #include "check/progfuzz.h"
+#include "uarch/config.h"
 #include "util/argparse.h"
 #include "util/env.h"
 
@@ -32,12 +34,21 @@ int main(int argc, char** argv) {
   bool no_shrink = false;
   bool print = false;
   bool quiet = false;
+  // Core geometry overrides (0 = keep the CoreConfig default), so the
+  // differential fuzzer exercises non-default shapes too.
+  CoreConfig geo;
+  std::int64_t rob = 0, sched = 0, lq = 0, sq = 0, pregs = 0;
   ArgParser ap;
   ap.AddInt("seeds", &seeds, "seeds per shape");
   ap.AddInt("seed-base", &seed_base, "first seed value");
   ap.AddInt("cycles", &cycles, "lockstep cycles per case");
   ap.AddStr("shape", &shape_name,
             "only this shape (mixed|alu|store|branch|mem)");
+  ap.AddInt("rob", &rob, "ROB entries (0 = default)");
+  ap.AddInt("sched", &sched, "scheduler entries (0 = default)");
+  ap.AddInt("lq", &lq, "load-queue entries (0 = default)");
+  ap.AddInt("sq", &sq, "store-queue entries (0 = default)");
+  ap.AddInt("pregs", &pregs, "physical registers (0 = default)");
   ap.AddFlag("no-check", &no_check, "disable the invariant checker");
   ap.AddFlag("no-shrink", &no_shrink, "skip shrinking failing cases");
   ap.AddFlag("print", &print, "echo each generated program");
@@ -66,6 +77,19 @@ int main(int argc, char** argv) {
   FuzzRunOptions opt;
   opt.cycles = static_cast<std::uint64_t>(cycles);
   opt.check_invariants = !no_check;
+  if (rob > 0) geo.rob_entries = static_cast<int>(rob);
+  if (sched > 0) geo.sched_entries = static_cast<int>(sched);
+  if (lq > 0) geo.lq_entries = static_cast<int>(lq);
+  if (sq > 0) geo.sq_entries = static_cast<int>(sq);
+  if (pregs > 0) geo.phys_regs = static_cast<int>(pregs);
+  if (const std::vector<ConfigIssue> issues = geo.Validate();
+      !issues.empty()) {
+    for (const ConfigIssue& i : issues)
+      std::fprintf(stderr, "fuzz: invalid geometry: %s: %s\n",
+                   i.field.c_str(), i.message.c_str());
+    return 2;
+  }
+  opt.core = geo;
 
   int failures = 0;
   std::uint64_t total_retired = 0;

@@ -1,0 +1,111 @@
+// sensitivity_smoke — end-to-end geometry-sweep determinism verification.
+//
+// Runs the 3-point "smoke" suite in-process against private cache
+// directories and proves the sweep contract:
+//   1. a cold sweep runs every point live and lands one results-cache
+//      entry per geometry (specs differing only in core shape used to
+//      collide before CacheKey hashed the geometry fields);
+//   2. jobs=1 and jobs=4 live sweeps export byte-identical JSON and CSV;
+//   3. a rerun is served entirely from the per-point cache and its JSON is
+//      still byte-identical to the live run (occupancy re-recorded from
+//      the deterministic golden run).
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+#include <string>
+
+#include "inject/sweep.h"
+
+using namespace tfsim;
+
+namespace {
+
+int Fail(const char* what) {
+  std::fprintf(stderr, "sensitivity_smoke: FAIL: %s\n", what);
+  return 1;
+}
+
+std::string JsonOf(const SweepResult& r) {
+  std::ostringstream os;
+  WriteSweepJson(r, os);
+  return os.str();
+}
+
+std::string CsvOf(const SweepResult& r) {
+  std::ostringstream os;
+  WriteSweepCsv(r, os);
+  return os.str();
+}
+
+std::string FreshCacheDir(const char* leaf) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / leaf).string();
+  std::filesystem::remove_all(dir);
+  ::setenv("TFI_CACHE_DIR", dir.c_str(), 1);
+  return dir;
+}
+
+std::size_t CacheEntries(const std::string& dir) {
+  std::size_t n = 0;
+  if (!std::filesystem::exists(dir)) return 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir))
+    if (e.path().extension() == ".txt") ++n;
+  return n;
+}
+
+}  // namespace
+
+int main() {
+  SweepSpec spec;
+  spec.suite = "smoke";
+  spec.trials = 24;
+  spec.golden.warmup = 12000;
+  spec.golden.points = 3;
+  spec.golden.spacing = 500;
+  spec.golden.window = 4000;
+  spec.golden.slack = 1000;
+
+  const std::vector<GeometryPoint> points = ExpandSweep(spec);
+  if (points.size() != 3) return Fail("smoke suite is not 3 points");
+
+  CampaignOptions opt;
+  opt.verbose = false;
+  opt.jobs = 1;
+
+  // Cold sweep at jobs=1: every point live, one cache entry per geometry.
+  const std::string dir1 = FreshCacheDir("tfi_sensitivity_smoke_1");
+  const SweepResult r1 = RunSweep(spec, "", opt);
+  if (r1.points.size() != points.size())
+    return Fail("sweep dropped a point");
+  for (const SweepPointResult& p : r1.points)
+    if (p.from_cache) return Fail("cold sweep was served from the cache");
+  if (CacheEntries(dir1) != points.size())
+    return Fail(
+        "geometry points did not land distinct cache entries (CacheKey "
+        "must hash the core geometry)");
+
+  // Cold sweep at jobs=4 in a second cache: byte-identical exports.
+  (void)FreshCacheDir("tfi_sensitivity_smoke_4");
+  CampaignOptions opt4 = opt;
+  opt4.jobs = 4;
+  const SweepResult r4 = RunSweep(spec, "", opt4);
+  if (JsonOf(r4) != JsonOf(r1))
+    return Fail("jobs=4 sweep JSON differs from jobs=1");
+  if (CsvOf(r4) != CsvOf(r1))
+    return Fail("jobs=4 sweep CSV differs from jobs=1");
+
+  // Rerun against the first cache: all points cached, JSON unchanged.
+  ::setenv("TFI_CACHE_DIR", dir1.c_str(), 1);
+  const SweepResult r2 = RunSweep(spec, "", opt);
+  for (const SweepPointResult& p : r2.points)
+    if (!p.from_cache) return Fail("rerun point missed the results cache");
+  if (JsonOf(r2) != JsonOf(r1))
+    return Fail("cached sweep JSON differs from the live run");
+
+  std::printf(
+      "sensitivity_smoke: OK (%zu points; live jobs=1 == live jobs=4 == "
+      "cached, %zu cache entries)\n",
+      r1.points.size(), CacheEntries(dir1));
+  return 0;
+}

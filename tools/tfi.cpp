@@ -55,6 +55,7 @@
 #include "arch/functional_sim.h"
 #include "inject/campaign.h"
 #include "inject/report.h"
+#include "inject/sweep.h"
 #include "obs/chrome_trace.h"
 #include "obs/events.h"
 #include "obs/heatmap.h"
@@ -115,6 +116,11 @@ struct Args {
   std::int64_t status_port = -1;  // -1 = off, 0 = ephemeral
   bool progress = false;
   bool check = false;
+  // Geometry sweep (sweep subcommand).
+  std::string suite = "default";
+  std::string axis;
+  std::string sweep_json;
+  std::string sweep_csv;
   // Inventory audit (inventory subcommand).
   bool json = false;
   bool coverage = false;
@@ -174,7 +180,19 @@ ArgParser MakeParser(Args& a) {
             "run trials with the per-cycle invariant checker; violations "
             "quarantine the trial (campaign; bypasses the results cache). "
             "With inventory: compare against --baseline and fail on drift");
-  p.AddFlag("json", &a.json, "emit the canonical audit JSON (inventory)");
+  p.AddStr("suite", &a.suite,
+           "geometry suite: default (all axes) or smoke (3 points) (sweep)");
+  p.AddStr("axis", &a.axis,
+           "restrict the sweep to one axis: rob, sched, lsq, pregs, width "
+           "(sweep)");
+  p.AddStr("sweep-json", &a.sweep_json,
+           "vulnerability-vs-utilization curves JSON path; '-' = stdout "
+           "(sweep)");
+  p.AddStr("sweep-csv", &a.sweep_csv,
+           "per-point per-structure CSV path; '-' = stdout (sweep)");
+  p.AddFlag("json", &a.json,
+            "emit the canonical audit JSON (inventory); sweep curves JSON "
+            "on stdout (sweep)");
   p.AddFlag("coverage", &a.coverage,
             "per-mechanism protection coverage table (inventory)");
   p.AddStr("baseline", &a.baseline,
@@ -515,11 +533,92 @@ int CmdSoft(const Args& a) {
   return 0;
 }
 
+// tfi sweep [workload] — geometry sensitivity sweep. Expands --suite
+// (optionally restricted to --axis) into per-point campaigns run through the
+// ordinary machinery, so the per-point results cache, checkpoint/resume and
+// byte-identical records at any --jobs value all carry over. The exports
+// join per-structure failure rates with golden-run occupancy into
+// vulnerability-vs-utilization curves.
+int CmdSweep(const Args& a) {
+  SweepSpec spec;
+  if (!a.positional.empty()) spec.workload = a.positional[0];
+  spec.suite = a.suite;
+  spec.trials = static_cast<int>(a.trials);
+  spec.include_ram = !a.latches_only;
+  spec.flips = static_cast<int>(a.flips);
+  spec.adjacent = a.adjacent;
+  if (a.protect) spec.base.protect = ProtectionConfig::All();
+  const std::int64_t window = a.window > 0 ? a.window : EnvInt("TFI_WINDOW", 0);
+  if (window > 0) spec.golden.window = static_cast<std::uint64_t>(window);
+
+  CampaignOptions opt;
+  opt.jobs = static_cast<int>(a.jobs);
+  opt.checkpoint_every = static_cast<int>(a.checkpoint_every);
+  opt.trial_timeout_ms = a.trial_timeout;
+  opt.isolate_trials = a.isolate_trials;
+  opt.cancel = &g_interrupt;
+  opt.obs.progress = a.progress;
+  opt.check_invariants = a.check;
+  opt.fast_path = !a.no_fast_path;
+
+  std::signal(SIGINT, HandleSigint);
+  const SweepResult r = RunSweep(spec, a.axis, opt);
+  std::signal(SIGINT, SIG_DFL);
+
+  bool exported = false;
+  if (!a.sweep_json.empty() || a.json) {
+    if (a.sweep_json.empty() || a.sweep_json == "-") {
+      WriteSweepJson(r, std::cout);
+    } else {
+      auto out = OpenExport(a.sweep_json);
+      WriteSweepJson(r, out);
+      std::fprintf(stderr, "wrote sweep curves (%zu points) to %s\n",
+                   r.points.size(), a.sweep_json.c_str());
+    }
+    exported = true;
+  }
+  if (!a.sweep_csv.empty()) {
+    if (a.sweep_csv == "-") {
+      WriteSweepCsv(r, std::cout);
+    } else {
+      auto out = OpenExport(a.sweep_csv);
+      WriteSweepCsv(r, out);
+      std::fprintf(stderr, "wrote sweep CSV to %s\n", a.sweep_csv.c_str());
+    }
+    exported = true;
+  }
+  if (!exported) {
+    std::printf("suite=%s%s%s workload=%s trials/point=%d sanitizer=%s\n",
+                spec.suite.c_str(), a.axis.empty() ? "" : " axis=",
+                a.axis.c_str(), spec.workload.c_str(), spec.trials,
+                TFI_SANITIZE_NAME);
+    for (const SweepPointResult& p : r.points) {
+      std::printf("  %-10s ipc=%.2f failures=%5.1f%%%s\n",
+                  p.point.label.c_str(), p.golden_ipc, 100.0 * p.failure_rate,
+                  p.from_cache ? "  (cached)" : "");
+      for (const StructureCell& c : p.structures)
+        if (c.utilization >= 0.0)
+          std::printf("    %-6s util=%5.1f%% vuln=%5.1f%% trials=%llu\n",
+                      c.structure.c_str(), 100.0 * c.utilization,
+                      100.0 * c.vulnerability, (unsigned long long)c.trials);
+    }
+  }
+  if (r.interrupted) {
+    std::fprintf(stderr,
+                 "interrupted: %zu point(s) completed; rerun the same "
+                 "command to resume from the checkpoint\n",
+                 r.points.size());
+    return 130;
+  }
+  return 0;
+}
+
 int Usage() {
   Args dummy;
   std::fprintf(stderr,
                "usage: tfi "
-               "<run|exec|campaign|soft|inventory|workloads|version> ...\n"
+               "<run|exec|campaign|sweep|soft|inventory|workloads|version> "
+               "...\n"
                "options:\n%s"
                "see the header of tools/tfi.cpp for details\n",
                MakeParser(dummy).Help().c_str());
@@ -551,6 +650,7 @@ int main(int argc, char** argv) {
     if (cmd == "run") return CmdRun(args);
     if (cmd == "exec") return CmdExec(args);
     if (cmd == "campaign") return CmdCampaign(args);
+    if (cmd == "sweep") return CmdSweep(args);
     if (cmd == "soft") return CmdSoft(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "tfi: %s\n", e.what());
