@@ -1,0 +1,149 @@
+// Extension (beyond the paper): hardware vs software-only vs combined
+// protection, on a three-benchmark subset. The software rows run the
+// asmlint-verified hardened workload variants (src/soft/harden.cpp):
+// instruction duplication into shadow registers with compare-before-use
+// (SWIFT-style) and/or per-block control-flow signatures (CFCSS-style).
+// Software detection converts silent corruptions into detected terminations
+// (the fault block raises an illegal-instruction exception), so the figure
+// of merit here is the SDC rate, not the raw failure rate: a software
+// "failure" that is a detection is the mechanism working as designed.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "soft/soft_inject.h"
+
+using namespace tfsim;
+
+namespace {
+
+CampaignResult SubSuite(const char* suffix, const ProtectionConfig& p,
+                        int trials) {
+  static const char* kBenchmarks[] = {"gzip", "gcc", "mcf"};
+  CampaignSpec spec = bench::BaseSpec(true, p);
+  spec.trials = trials;
+  std::vector<CampaignResult> parts;
+  for (const char* b : kBenchmarks) {
+    spec.workload = std::string(b) + suffix;
+    parts.push_back(RunCampaign(spec, bench::RunOpts()));
+  }
+  return MergeResults(parts);
+}
+
+std::uint64_t Sample(const CampaignResult& r) {
+  const auto by = r.ByOutcome();
+  std::uint64_t sample = 0;
+  for (int i = 0; i < kNumPaperOutcomes; ++i) sample += by[i];
+  return sample;
+}
+
+Proportion Rate(const CampaignResult& r, Outcome o) {
+  return MakeProportion(r.ByOutcome()[static_cast<int>(o)], Sample(r));
+}
+
+// SDC restricted to a corrupted memory image / output stream — the part of
+// the architectural state the program's own stores produce, and the only
+// part duplication-with-compare-before-store claims to guard. Whole-state
+// SDC additionally counts divergence in the shadow registers themselves,
+// which the hardened variants *add* to the architectural surface.
+Proportion MemSdcRate(const CampaignResult& r) {
+  return MakeProportion(
+      r.ByFailureMode()[static_cast<int>(FailureMode::kMem)], Sample(r));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
+  bench::PrintHeader(
+      "Extension — hardware vs software-only vs combined protection",
+      "SDC/termination mix on {gzip, gcc, mcf}; software rows run the "
+      "statically verified hardened variants (+swdup / +swcfc / +sw)");
+  const int trials = static_cast<int>(bench::Options().trials);
+
+  struct Config {
+    const char* name;
+    const char* suffix;  // workload-name suffix selecting the variant
+    ProtectionConfig p;
+  };
+  const Config kConfigs[] = {
+      {"baseline (none)", "", ProtectionConfig::None()},
+      {"hardware (all four)", "", ProtectionConfig::All()},
+      {"software CFC only (+swcfc)", "+swcfc", ProtectionConfig::None()},
+      {"software dup only (+swdup)", "+swdup", ProtectionConfig::None()},
+      {"software full (+sw)", "+sw", ProtectionConfig::None()},
+      {"combined (all four + +sw)", "+sw", ProtectionConfig::All()},
+  };
+
+  double base_mem = 0.0;
+  TextTable t({"configuration", "SDC rate", "mem SDC", "terminated",
+               "mem SDC reduction"});
+  for (const Config& c : kConfigs) {
+    const CampaignResult r = SubSuite(c.suffix, c.p, trials);
+    const Proportion sdc = Rate(r, Outcome::kSdc);
+    const Proportion mem = MemSdcRate(r);
+    const Proportion term = Rate(r, Outcome::kTerminated);
+    std::string red = "-";
+    if (c.suffix[0] != '\0' || c.p.Any()) {
+      if (base_mem > 0)
+        red = Fmt(100.0 * (1.0 - mem.value / base_mem), 1) + "%";
+    } else {
+      base_mem = mem.value;
+    }
+    t.AddRow({c.name, FmtPct(sdc.value, sdc.ci95),
+              FmtPct(mem.value, mem.ci95), FmtPct(term.value, term.ci95),
+              red});
+  }
+  std::fputs(t.Render().c_str(), stdout);
+
+  // Second table: the fault model software redundancy is actually designed
+  // for — architectural-level injection (Section 5), where the fault lands
+  // in a *program-visible* register write, instruction word, or branch
+  // decision rather than a uniformly random pipeline latch. Detections
+  // surface as exceptions (the fault block raises an illegal instruction);
+  // Output Bad is the true SDC column here.
+  std::printf(
+      "\narchitectural fault models (Section 5 machinery), stock vs "
+      "hardened:\n\n");
+  const SoftFaultModel kModels[] = {SoftFaultModel::kRegBit64,
+                                    SoftFaultModel::kInsnBit,
+                                    SoftFaultModel::kBranchFlip};
+  const int soft_trials =
+      static_cast<int>(EnvInt("TFI_SOFT_TRIALS", 100));
+  TextTable s({"fault model", "variant", "Exception%", "State OK%",
+               "Output OK%", "Output Bad%"});
+  for (SoftFaultModel m : kModels) {
+    for (const char* suffix : {"", "+sw"}) {
+      SoftCampaignResult total;
+      for (const char* b : {"gzip", "gcc", "mcf"}) {
+        SoftCampaignSpec spec;
+        spec.workload = std::string(b) + suffix;
+        spec.model = m;
+        spec.trials = soft_trials;
+        spec.iters = 8;
+        const SoftCampaignResult r = RunSoftCampaign(spec);
+        for (int o = 0; o < kNumSoftOutcomes; ++o)
+          total.by_outcome[o] += r.by_outcome[o];
+        total.trials += r.trials;
+      }
+      const auto pct = [&](SoftOutcome o) {
+        const Proportion p = MakeProportion(
+            total.by_outcome[static_cast<int>(o)], total.trials);
+        return FmtPct(p.value, p.ci95);
+      };
+      s.AddRow({SoftFaultModelName(m), suffix[0] ? suffix : "stock",
+                pct(SoftOutcome::kException), pct(SoftOutcome::kStateOk),
+                pct(SoftOutcome::kOutputOk), pct(SoftOutcome::kOutputBad)});
+    }
+  }
+  std::fputs(s.Render().c_str(), stdout);
+
+  std::printf(
+      "\n(software detections surface as terminations — the fault block "
+      "raises an illegal-instruction exception. Whole-state SDC *rises* "
+      "under duplication: the shadow registers double the architectural "
+      "surface the classifier hashes, so flips landing in already-compared "
+      "shadows count as SDC despite identical program output. The mem-SDC "
+      "column scores only the output/memory image — the thing "
+      "compare-before-store guards)\n");
+  return 0;
+}

@@ -1,0 +1,211 @@
+#include "analyze/asm/air.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+namespace tfsim::analyze {
+namespace {
+
+// Index of the chunk containing `entry`; falls back to the first chunk so
+// hand-built images without an in-chunk entry still lift.
+std::size_t TextChunkIndex(const Program& p) {
+  for (std::size_t i = 0; i < p.chunks.size(); ++i) {
+    const auto& c = p.chunks[i];
+    if (p.entry >= c.addr && p.entry < c.addr + c.bytes.size()) return i;
+  }
+  return 0;
+}
+
+std::uint32_t Word32At(const std::vector<std::uint8_t>& bytes,
+                       std::size_t off) {
+  std::uint32_t w = 0;
+  std::memcpy(&w, bytes.data() + off, 4);
+  return w;
+}
+
+}  // namespace
+
+bool IsCanonicalWord(std::uint32_t word) {
+  const Op op = static_cast<Op>(OpField(word));
+  const DecodedInst d = Decode(word);
+  // Re-encode from the raw register fields (not the decoded operands: Decode
+  // drops r31 destinations to kNoReg) and demand bit-exactness.
+  switch (d.cls) {
+    case InsnClass::kIllegal:
+      return false;
+    case InsnClass::kAlu:
+    case InsnClass::kAluComplex:
+      if (op == Op::kLda || op == Op::kLdah)
+        return EncodeM(op, RaField(word), RbField(word), Imm16Field(word)) ==
+               word;
+      if (OpField(word) >= 0x20)  // I-format block
+        return EncodeI(op, RaField(word), RbField(word), Imm16Field(word)) ==
+               word;
+      return EncodeR(op, RaField(word), RbField(word), RcField(word)) == word;
+    case InsnClass::kLoad:
+    case InsnClass::kStore:
+      return EncodeM(op, RaField(word), RbField(word), Imm16Field(word)) ==
+             word;
+    case InsnClass::kCondBranch:
+    case InsnClass::kBr:
+    case InsnClass::kBsr:
+      return EncodeB(op, RaField(word), Disp21Field(word)) == word;
+    case InsnClass::kJmp:
+    case InsnClass::kJsr:
+    case InsnClass::kRet:
+      return EncodeJ(op, RaField(word), RbField(word)) == word;
+    case InsnClass::kSyscall:
+      // The textual form carries no operands, so only the all-zero-field
+      // encoding round-trips.
+      return word == EncodeJ(Op::kSyscall, 0, 0);
+  }
+  return false;
+}
+
+std::string AsmProgram::Locate(std::uint64_t addr) const {
+  const std::string* best_name = nullptr;
+  std::uint64_t best = 0;
+  for (const auto& [name, value] : symbols) {
+    if (value > addr) continue;
+    if (best_name == nullptr || value > best) {
+      best_name = &name;
+      best = value;
+    }
+  }
+  char buf[96];
+  if (best_name == nullptr) {
+    std::snprintf(buf, sizeof buf, "0x%llx",
+                  static_cast<unsigned long long>(addr));
+    return buf;
+  }
+  if (addr == best) return *best_name;
+  std::snprintf(buf, sizeof buf, "%s+0x%llx", best_name->c_str(),
+                static_cast<unsigned long long>(addr - best));
+  return buf;
+}
+
+AsmProgram Lift(const Program& program) {
+  if (program.chunks.empty())
+    throw std::invalid_argument("Lift: program has no chunks");
+  const auto& text = program.chunks[TextChunkIndex(program)];
+  AsmProgram ap;
+  ap.entry = program.entry;
+  ap.text_base = text.addr;
+  ap.symbols = program.symbols;
+  ap.insts.reserve(text.bytes.size() / 4);
+  for (std::size_t off = 0; off + 4 <= text.bytes.size(); off += 4) {
+    AsmInst ai;
+    ai.addr = text.addr + off;
+    ai.word = Word32At(text.bytes, off);
+    ai.d = Decode(ai.word);
+    ai.canonical = IsCanonicalWord(ai.word);
+    ap.insts.push_back(ai);
+  }
+  return ap;
+}
+
+namespace {
+
+void EmitLong(std::ostringstream& os, std::uint32_t w) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "  .long 0x%08x", w);
+  os << buf << "\n";
+}
+
+void EmitOrg(std::ostringstream& os, std::uint64_t addr) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, ".org 0x%llx",
+                static_cast<unsigned long long>(addr));
+  os << buf << "\n";
+}
+
+// Emits a data chunk as .byte/.space runs, placing `_start:` if the entry
+// point happens to live inside data.
+void EmitDataBytes(std::ostringstream& os, const Program::Chunk& c,
+                   std::uint64_t entry) {
+  std::size_t i = 0;
+  while (i < c.bytes.size()) {
+    if (c.addr + i == entry) os << "_start:\n";
+    // A byte run ends at the entry label (so the label lands between
+    // directives) and groups at most 8 values per .byte line.
+    std::size_t limit = c.bytes.size();
+    if (entry > c.addr + i && entry < c.addr + c.bytes.size())
+      limit = std::min<std::size_t>(limit, entry - c.addr);
+    std::size_t z = i;
+    while (z < limit && c.bytes[z] == 0) ++z;
+    if (z - i >= 8 || (z == limit && z > i)) {
+      os << "  .space " << (z - i) << "\n";
+      i = z;
+      continue;
+    }
+    os << "  .byte ";
+    std::size_t n = 0;
+    while (i < limit && n < 8) {
+      // Stop before a long zero run so it compresses to .space.
+      if (c.bytes[i] == 0) {
+        std::size_t run = i;
+        while (run < limit && c.bytes[run] == 0) ++run;
+        if (run - i >= 8 || run == limit) break;
+      }
+      if (n) os << ", ";
+      os << static_cast<unsigned>(c.bytes[i]);
+      ++i;
+      ++n;
+    }
+    os << "\n";
+  }
+}
+
+}  // namespace
+
+std::string DisassembleProgram(const Program& program) {
+  if (program.chunks.empty())
+    throw std::invalid_argument("DisassembleProgram: program has no chunks");
+  const std::size_t text_idx = TextChunkIndex(program);
+  const auto& text = program.chunks[text_idx];
+  if (text.addr < kAsmTextBase || text.bytes.size() % 4 != 0)
+    throw std::invalid_argument(
+        "DisassembleProgram: text chunk not assembler-shaped");
+
+  std::ostringstream os;
+  os << ".text\n";
+  if (text.addr != kAsmTextBase) EmitOrg(os, text.addr);
+  for (std::size_t off = 0; off < text.bytes.size(); off += 4) {
+    const std::uint64_t addr = text.addr + off;
+    if (addr == program.entry) os << "_start:\n";
+    const std::uint32_t w = Word32At(text.bytes, off);
+    if (IsCanonicalWord(w)) {
+      os << "  " << Disassemble(w, addr) << "\n";
+    } else {
+      EmitLong(os, w);
+    }
+  }
+
+  // Remaining chunks in address order become the data section. The data
+  // location counter starts at kAsmDataBase, so only chunks past it need an
+  // explicit .org.
+  std::vector<std::size_t> data_idx;
+  for (std::size_t i = 0; i < program.chunks.size(); ++i)
+    if (i != text_idx) data_idx.push_back(i);
+  std::sort(data_idx.begin(), data_idx.end(), [&](std::size_t a,
+                                                  std::size_t b) {
+    return program.chunks[a].addr < program.chunks[b].addr;
+  });
+  if (!data_idx.empty()) {
+    os << ".data\n";
+    for (const std::size_t i : data_idx) {
+      const auto& c = program.chunks[i];
+      if (c.addr < kAsmDataBase)
+        throw std::invalid_argument(
+            "DisassembleProgram: data chunk below the assembler data base");
+      if (c.addr != kAsmDataBase) EmitOrg(os, c.addr);
+      EmitDataBytes(os, c, program.entry);
+    }
+  }
+  return os.str();
+}
+
+}  // namespace tfsim::analyze

@@ -1,0 +1,74 @@
+// Assembly IR: the decoded-instruction view of an assembled miniAlpha
+// Program that the CFG/dataflow framework (analyze/asm/) and the software
+// hardening transform (soft/harden.h) are built on.
+//
+// A Program is byte chunks; the lifter recovers the instruction stream of
+// the text chunk (the chunk holding the entry point), decodes every 32-bit
+// word, and records whether each word is *canonical* — i.e. re-encoding its
+// decoded form reproduces the word bit for bit. Canonical words round-trip
+// through the textual disassembler; non-canonical words (data embedded in
+// .text, corrupted encodings) are preserved as `.long` directives, so
+// DisassembleProgram() is a true inverse of Assemble() on assembled images:
+//
+//   Assemble(DisassembleProgram(p)) has byte-identical chunks and entry.
+//
+// That fixed point is a tier-1 property test (tests/test_asm_framework.cpp)
+// across all ten workloads and examples/hello.s.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "isa/assemble.h"
+#include "isa/isa.h"
+
+namespace tfsim::analyze {
+
+// One lifted text-chunk instruction.
+struct AsmInst {
+  std::uint64_t addr = 0;
+  std::uint32_t word = 0;
+  DecodedInst d;
+  // Re-encoding the decoded fields reproduces `word` exactly. Non-canonical
+  // words behave as data (or trap as kIllegal) and are excluded from
+  // instruction-level analyses.
+  bool canonical = false;
+};
+
+struct AsmProgram {
+  std::uint64_t entry = 0;
+  std::uint64_t text_base = 0;  // address of the first lifted instruction
+  std::vector<AsmInst> insts;   // text chunk in address order
+  std::map<std::string, std::uint64_t> symbols;  // from the Program
+
+  // Index of the instruction at `addr` (addr must be word-aligned and inside
+  // the text chunk), or nullopt.
+  std::optional<std::size_t> IndexOf(std::uint64_t addr) const {
+    if (addr < text_base || (addr - text_base) % 4 != 0) return std::nullopt;
+    const std::uint64_t i = (addr - text_base) / 4;
+    if (i >= insts.size()) return std::nullopt;
+    return static_cast<std::size_t>(i);
+  }
+  std::uint64_t EndAddr() const { return text_base + 4 * insts.size(); }
+
+  // "label+0x10" for the nearest preceding text symbol (stable across small
+  // edits, used for finding locations and allowlist keys).
+  std::string Locate(std::uint64_t addr) const;
+};
+
+// Lifts the text chunk (the chunk containing `entry`; the first chunk when
+// the entry lies outside every chunk). Throws std::invalid_argument when the
+// program has no chunks.
+AsmProgram Lift(const Program& program);
+
+// Emits assembly source that re-assembles to a byte-identical image (see
+// header comment). Data chunks are emitted as .byte/.space runs under .org.
+std::string DisassembleProgram(const Program& program);
+
+// True when re-encoding `Decode(word)` reproduces `word` exactly.
+bool IsCanonicalWord(std::uint32_t word);
+
+}  // namespace tfsim::analyze

@@ -1,0 +1,334 @@
+#include "analyze/asm/asmlint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace tfsim::analyze {
+namespace {
+
+const char* RegName(int r) {
+  static const char* kNames[] = {
+      "r0",  "r1",  "r2",  "r3",  "r4",  "r5",  "r6",  "r7",
+      "r8",  "r9",  "r10", "r11", "r12", "r13", "r14", "r15",
+      "r16", "r17", "r18", "r19", "r20", "r21", "r22", "r23",
+      "r24", "r25", "r26", "r27", "r28", "r29", "r30", "r31"};
+  return kNames[r & 31];
+}
+
+bool IsNop(const AsmInst& ai) {
+  // bisq zero, zero, zero — the assembler's `nop`.
+  return ai.canonical && ai.d.op == Op::kBisq && ai.d.src1 == kZeroReg &&
+         ai.d.src2 == kZeroReg && ai.d.dst == kNoReg;
+}
+
+void Emit(std::vector<AsmFinding>& out, const AsmProgram& prog,
+          const AsmLintOptions& opt, AsmFindingKind kind, std::uint64_t addr,
+          std::string detail) {
+  AsmFinding f;
+  f.kind = kind;
+  f.unit = opt.unit;
+  f.addr = addr;
+  f.where = prog.Locate(addr);
+  f.detail = std::move(detail);
+  out.push_back(std::move(f));
+}
+
+void LintUseBeforeDef(const Dataflow& df, const AsmLintOptions& opt,
+                      std::vector<AsmFinding>& out) {
+  const Cfg& cfg = df.cfg();
+  const AsmProgram& prog = *cfg.prog;
+  for (const std::size_t b : cfg.rpo) {
+    std::uint32_t uninit = df.MaybeUninitIn(b);
+    for (std::size_t i = cfg.blocks[b].first; i <= cfg.blocks[b].last; ++i) {
+      const AsmInst& ai = prog.insts[i];
+      if (!ai.canonical) continue;
+      const std::uint32_t hit = UseMask(ai.d) & uninit;
+      for (int r = 0; r < kNumArchRegs; ++r) {
+        if (!(hit & (1u << r))) continue;
+        Emit(out, prog, opt, AsmFindingKind::kUseBeforeDef, ai.addr,
+             std::string(RegName(r)) + " read before any write in `" +
+                 Disassemble(ai.word, ai.addr) + "` (reads zero)");
+      }
+      uninit &= ~DefMask(ai.d);
+    }
+  }
+}
+
+void LintDeadValues(const Dataflow& df, const AsmLintOptions& opt,
+                    std::vector<AsmFinding>& out) {
+  const Cfg& cfg = df.cfg();
+  const AsmProgram& prog = *cfg.prog;
+  for (const std::size_t b : cfg.rpo) {
+    const BasicBlock& bb = cfg.blocks[b];
+    std::uint32_t live = df.LiveOut(b);
+    // Past an under-approximated terminator anything may be read.
+    if (bb.indirect_unresolved) live = ~0u;
+    for (std::size_t i = bb.last + 1; i-- > bb.first;) {
+      const AsmInst& ai = prog.insts[i];
+      if (!ai.canonical) continue;
+      const std::uint32_t defs = DefMask(ai.d);
+      const bool call_or_sys = ai.d.cls == InsnClass::kBsr ||
+                               ai.d.cls == InsnClass::kJsr ||
+                               ai.d.cls == InsnClass::kBr ||
+                               ai.d.cls == InsnClass::kSyscall;
+      if (defs && !(defs & live) && !call_or_sys && !MayTrap(ai.d)) {
+        Emit(out, prog, opt, AsmFindingKind::kDeadValue, ai.addr,
+             "result of `" + Disassemble(ai.word, ai.addr) +
+                 "` is never used on any path");
+      }
+      live = (live & ~defs) | UseMask(ai.d);
+    }
+  }
+}
+
+void LintDeadStores(const Cfg& cfg, const AsmLintOptions& opt,
+                    std::vector<AsmFinding>& out) {
+  const AsmProgram& prog = *cfg.prog;
+  for (const std::size_t b : cfg.rpo) {
+    const BasicBlock& bb = cfg.blocks[b];
+    // (base reg, disp) -> index of the pending store; cleared by anything
+    // that could observe memory or change the base.
+    std::map<std::pair<std::uint8_t, std::int64_t>, std::size_t> pending;
+    for (std::size_t i = bb.first; i <= bb.last; ++i) {
+      const AsmInst& ai = prog.insts[i];
+      if (!ai.canonical) continue;
+      const DecodedInst& d = ai.d;
+      if (d.cls == InsnClass::kLoad || d.cls == InsnClass::kSyscall ||
+          d.IsBranchLike()) {
+        pending.clear();
+        continue;
+      }
+      if (d.cls == InsnClass::kStore) {
+        const auto key = std::make_pair(d.src1, d.imm);
+        const auto it = pending.find(key);
+        // Same base, same displacement, at-least-covering width, no
+        // intervening observer: the earlier store is dead.
+        if (it != pending.end() &&
+            d.mem_size >= prog.insts[it->second].d.mem_size) {
+          const AsmInst& dead = prog.insts[it->second];
+          std::ostringstream msg;
+          msg << "`" << Disassemble(dead.word, dead.addr)
+              << "` is overwritten at " << prog.Locate(ai.addr)
+              << " with no intervening read";
+          Emit(out, prog, opt, AsmFindingKind::kDeadStore, dead.addr,
+               msg.str());
+        }
+        // Stores through a *different* base may alias anything: keep only
+        // this base's facts.
+        for (auto pit = pending.begin(); pit != pending.end();) {
+          pit = pit->first.first != d.src1 ? pending.erase(pit)
+                                           : std::next(pit);
+        }
+        pending[key] = i;
+        continue;
+      }
+      // A write to a register invalidates address facts built on it.
+      const std::uint32_t defs = DefMask(d);
+      if (defs) {
+        for (auto pit = pending.begin(); pit != pending.end();) {
+          pit = (defs & (1u << pit->first.first)) ? pending.erase(pit)
+                                                  : std::next(pit);
+        }
+      }
+    }
+  }
+}
+
+void LintUnreachable(const Cfg& cfg, const AsmLintOptions& opt,
+                     std::vector<AsmFinding>& out) {
+  if (!opt.check_unreachable || !cfg.unresolved_indirect.empty()) return;
+  const AsmProgram& prog = *cfg.prog;
+  for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+    if (cfg.reachable[b]) continue;
+    const BasicBlock& bb = cfg.blocks[b];
+    // Data or padding embedded in .text decodes as non-canonical words or
+    // nops; only flag blocks containing real instructions.
+    std::size_t real = 0;
+    for (std::size_t i = bb.first; i <= bb.last; ++i)
+      if (prog.insts[i].canonical && !IsNop(prog.insts[i])) ++real;
+    if (real == 0) continue;
+    Emit(out, prog, opt, AsmFindingKind::kUnreachable,
+         prog.insts[bb.first].addr,
+         std::to_string(real) + " instruction(s) unreachable from the entry");
+  }
+}
+
+void LintIndirect(const Cfg& cfg, const AsmLintOptions& opt,
+                  std::vector<AsmFinding>& out) {
+  const AsmProgram& prog = *cfg.prog;
+  for (const std::size_t i : cfg.unresolved_indirect) {
+    const AsmInst& ai = prog.insts[i];
+    Emit(out, prog, opt, AsmFindingKind::kIndirectUnresolved, ai.addr,
+         "target of `" + Disassemble(ai.word, ai.addr) +
+             "` has no static materialization; CFG edges are incomplete");
+  }
+  for (const std::size_t i : cfg.out_of_text) {
+    const AsmInst& ai = prog.insts[i];
+    Emit(out, prog, opt, AsmFindingKind::kIndirectUnresolved, ai.addr,
+         "target of `" + Disassemble(ai.word, ai.addr) +
+             "` lies outside the text chunk");
+  }
+}
+
+void LintMisaligned(const Cfg& cfg, const AsmLintOptions& opt,
+                    std::vector<AsmFinding>& out) {
+  const AsmProgram& prog = *cfg.prog;
+  for (const std::size_t b : cfg.rpo) {
+    const BasicBlock& bb = cfg.blocks[b];
+    for (std::size_t i = bb.first; i <= bb.last; ++i) {
+      const AsmInst& ai = prog.insts[i];
+      if (!ai.canonical || !ai.d.IsMem() || ai.d.mem_size <= 1) continue;
+      const auto base = MaterializedConst(cfg, i, ai.d.src1);
+      if (!base) continue;
+      const std::int64_t ea = *base + ai.d.imm;
+      if (ea % ai.d.mem_size != 0) {
+        std::ostringstream msg;
+        msg << "`" << Disassemble(ai.word, ai.addr) << "` accesses 0x"
+            << std::hex << ea << std::dec << ", not "
+            << static_cast<int>(ai.d.mem_size)
+            << "-byte aligned (guaranteed trap)";
+        Emit(out, prog, opt, AsmFindingKind::kMisaligned, ai.addr, msg.str());
+      }
+    }
+  }
+}
+
+void LintStackDiscipline(const Cfg& cfg, const AsmLintOptions& opt,
+                         std::vector<AsmFinding>& out) {
+  constexpr std::uint8_t kSp = 30;
+  const AsmProgram& prog = *cfg.prog;
+  for (const std::size_t b : cfg.rpo) {
+    const BasicBlock& bb = cfg.blocks[b];
+    for (std::size_t i = bb.first; i <= bb.last; ++i) {
+      const AsmInst& ai = prog.insts[i];
+      if (!ai.canonical || ai.d.dst != kSp) continue;
+      const DecodedInst& d = ai.d;
+      // Legitimate shapes: immediate adjustment (addqi/subqi/lda off sp) or
+      // the absolute initial materialization (ldah/lda from zero).
+      const bool adjust = (d.op == Op::kAddqi || d.op == Op::kSubqi ||
+                           d.op == Op::kLda) &&
+                          d.src1 == kSp;
+      const bool materialize =
+          (d.op == Op::kLdah || d.op == Op::kLda || d.op == Op::kAddqi ||
+           d.op == Op::kBisqi) &&
+          d.src1 == kZeroReg;
+      if (!adjust && !materialize) {
+        Emit(out, prog, opt, AsmFindingKind::kStackDiscipline, ai.addr,
+             "sp written by `" + Disassemble(ai.word, ai.addr) +
+                 "`, not an immediate adjustment or materialization");
+      }
+    }
+  }
+}
+
+void LintIllegalWords(const Cfg& cfg, const AsmLintOptions& opt,
+                      std::vector<AsmFinding>& out) {
+  const AsmProgram& prog = *cfg.prog;
+  for (const std::size_t b : cfg.rpo) {
+    const BasicBlock& bb = cfg.blocks[b];
+    for (std::size_t i = bb.first; i <= bb.last; ++i) {
+      const AsmInst& ai = prog.insts[i];
+      if (ai.canonical) continue;
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "0x%08x", ai.word);
+      Emit(out, prog, opt, AsmFindingKind::kIllegalWord, ai.addr,
+           std::string("reachable non-canonical word ") + buf +
+               " (raises illegal-opcode if executed)");
+    }
+  }
+}
+
+}  // namespace
+
+const char* AsmFindingKindName(AsmFindingKind k) {
+  switch (k) {
+    case AsmFindingKind::kUseBeforeDef: return "use-before-def";
+    case AsmFindingKind::kDeadValue: return "dead-value";
+    case AsmFindingKind::kDeadStore: return "dead-store";
+    case AsmFindingKind::kUnreachable: return "unreachable";
+    case AsmFindingKind::kIndirectUnresolved: return "indirect-unresolved";
+    case AsmFindingKind::kMisaligned: return "misaligned";
+    case AsmFindingKind::kStackDiscipline: return "stack-discipline";
+    case AsmFindingKind::kIllegalWord: return "illegal-word";
+    case AsmFindingKind::kUnduplicatedValue: return "unduplicated-value";
+    case AsmFindingKind::kUnguardedStore: return "unguarded-store";
+    case AsmFindingKind::kUnguardedBranch: return "unguarded-branch";
+    case AsmFindingKind::kSignatureEdge: return "signature-edge";
+    case AsmFindingKind::kShadowClobber: return "shadow-clobber";
+    case AsmFindingKind::kHardenStructure: return "harden-structure";
+    case AsmFindingKind::kUnusedAllowlist: return "unused-allowlist";
+  }
+  return "?";
+}
+
+std::string AsmFinding::Key() const {
+  return unit + "." + AsmFindingKindName(kind) + "." + where;
+}
+
+std::string AsmFinding::Format() const {
+  std::ostringstream os;
+  os << "[" << AsmFindingKindName(kind) << "] " << unit << " @ " << where
+     << ": " << detail;
+  return os.str();
+}
+
+void ApplyAllowlist(std::vector<AsmFinding>& findings,
+                    std::vector<AllowEntry>& allow) {
+  findings.erase(
+      std::remove_if(findings.begin(), findings.end(),
+                     [&allow](const AsmFinding& f) {
+                       const std::string key = f.Key();
+                       for (AllowEntry& e : allow) {
+                         if (e.key == key) {
+                           e.used = true;
+                           return true;
+                         }
+                       }
+                       return false;
+                     }),
+      findings.end());
+}
+
+std::vector<AsmFinding> UnusedAllowFindings(
+    const std::vector<AllowEntry>& allow) {
+  std::vector<AsmFinding> out;
+  for (const AllowEntry& e : allow) {
+    if (e.used) continue;
+    AsmFinding f;
+    f.kind = AsmFindingKind::kUnusedAllowlist;
+    f.unit = "allowlist";
+    f.where = e.key;
+    f.detail = "entry at line " + std::to_string(e.line) +
+               " suppressed nothing; remove it";
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+std::vector<AsmFinding> RunAsmLint(const AsmProgram& prog,
+                                   std::vector<AllowEntry>& allow,
+                                   const AsmLintOptions& opt) {
+  const Cfg cfg = BuildCfg(prog);
+  const Dataflow df(cfg);
+  std::vector<AsmFinding> out;
+  LintUseBeforeDef(df, opt, out);
+  LintDeadValues(df, opt, out);
+  LintDeadStores(cfg, opt, out);
+  LintUnreachable(cfg, opt, out);
+  LintIndirect(cfg, opt, out);
+  LintMisaligned(cfg, opt, out);
+  LintStackDiscipline(cfg, opt, out);
+  LintIllegalWords(cfg, opt, out);
+  std::sort(out.begin(), out.end(),
+            [](const AsmFinding& a, const AsmFinding& b) {
+              return a.addr != b.addr ? a.addr < b.addr
+                                      : static_cast<int>(a.kind) <
+                                            static_cast<int>(b.kind);
+            });
+  ApplyAllowlist(out, allow);
+  return out;
+}
+
+}  // namespace tfsim::analyze

@@ -1,0 +1,93 @@
+// asmlint: static lint over assembled miniAlpha programs, built on the
+// Lift -> BuildCfg -> Dataflow stack. Two finding families share one
+// vocabulary:
+//
+// Workload lints (RunAsmLint):
+//   * use-before-def      — a register read on some path before any write
+//                           (architecturally reads zero; almost always a bug)
+//   * dead-value          — a non-trapping definition never observed by any
+//                           later use (the paper's dead/transitively-dead
+//                           value classes, surfaced statically)
+//   * dead-store          — a store overwritten by a same-address store with
+//                           no intervening read, load, call, or syscall
+//   * unreachable         — a decodable block no path from the entry reaches
+//   * indirect-unresolved — jmp/jsr whose target register has no static
+//                           materialization (CFG under-approximates here)
+//   * misaligned          — memory access whose statically-known effective
+//                           address is not size-aligned (guaranteed trap)
+//   * stack-discipline    — sp written by anything other than an immediate
+//                           adjustment or the initial materialization
+//   * illegal-word        — a reachable non-canonical instruction word
+//
+// Hardening-verifier findings (soft/harden.h VerifyHardened): unduplicated
+// value, unguarded store/branch, signature edge, shadow clobber, structural.
+//
+// Allowlisting mirrors statelint: `key: justification` entries (reusing
+// analyze::ParseAllowlist), key = `<unit>.<kind>.<location>` with the
+// location from AsmProgram::Locate (nearest label + offset). Unused entries
+// are findings, so the audit trail cannot rot.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analyze/asm/dataflow.h"
+#include "analyze/statelint.h"
+
+namespace tfsim::analyze {
+
+enum class AsmFindingKind {
+  kUseBeforeDef,
+  kDeadValue,
+  kDeadStore,
+  kUnreachable,
+  kIndirectUnresolved,
+  kMisaligned,
+  kStackDiscipline,
+  kIllegalWord,
+  // VerifyHardened (soft/harden.h) findings.
+  kUnduplicatedValue,
+  kUnguardedStore,
+  kUnguardedBranch,
+  kSignatureEdge,
+  kShadowClobber,
+  kHardenStructure,
+  kUnusedAllowlist,
+};
+
+const char* AsmFindingKindName(AsmFindingKind k);
+
+struct AsmFinding {
+  AsmFindingKind kind = AsmFindingKind::kUseBeforeDef;
+  std::string unit;     // workload / program name
+  std::uint64_t addr = 0;
+  std::string where;    // AsmProgram::Locate(addr)
+  std::string detail;
+
+  // `<unit>.<kind>.<where>` — the allowlist key.
+  std::string Key() const;
+  std::string Format() const;
+};
+
+struct AsmLintOptions {
+  std::string unit = "program";
+  // The unreachable check is automatically skipped when the unit contains
+  // unresolved indirect jumps (any block could be a target).
+  bool check_unreachable = true;
+};
+
+// Lints one program. Findings suppressed by `allow` mark their entry used.
+std::vector<AsmFinding> RunAsmLint(const AsmProgram& prog,
+                                   std::vector<AllowEntry>& allow,
+                                   const AsmLintOptions& opt);
+
+// Applies the allowlist to independently produced findings (e.g. from
+// VerifyHardened): suppressed findings are removed, entries marked used.
+void ApplyAllowlist(std::vector<AsmFinding>& findings,
+                    std::vector<AllowEntry>& allow);
+
+// One kUnusedAllowlist finding per never-consumed entry; call after every
+// unit has been linted against the shared allowlist.
+std::vector<AsmFinding> UnusedAllowFindings(const std::vector<AllowEntry>& allow);
+
+}  // namespace tfsim::analyze

@@ -1,0 +1,319 @@
+#include "analyze/asm/cfg.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "arch/syscall.h"
+
+namespace tfsim::analyze {
+namespace {
+
+bool IsTerminator(const AsmInst& ai) {
+  return !ai.canonical || ai.d.IsBranchLike() ||
+         ai.d.cls == InsnClass::kSyscall;
+}
+
+std::optional<std::size_t> DirectTarget(const AsmProgram& prog,
+                                        std::size_t i) {
+  const AsmInst& ai = prog.insts[i];
+  const std::uint64_t target =
+      ai.addr + 4 + static_cast<std::uint64_t>(ai.d.imm) * 4;
+  return prog.IndexOf(target);
+}
+
+bool Defines(const DecodedInst& d, std::uint8_t reg) { return d.dst == reg; }
+
+// Constant-materialization scan shared by indirect-target resolution (which
+// runs before blocks exist and stops at `stop(j)`) and the public
+// MaterializedConst (which stops at the block boundary).
+template <typename StopFn>
+std::optional<std::int64_t> ScanConst(const AsmProgram& prog,
+                                      std::size_t before_idx, std::uint8_t reg,
+                                      StopFn stop) {
+  if (reg == kZeroReg) return 0;
+  for (std::size_t j = before_idx; j-- > 0;) {
+    const AsmInst& ai = prog.insts[j];
+    if (!ai.canonical || ai.d.IsBranchLike() ||
+        ai.d.cls == InsnClass::kSyscall) {
+      return std::nullopt;  // value not materialized on this straight line
+    }
+    if (!Defines(ai.d, reg)) {
+      if (stop(j)) return std::nullopt;
+      continue;
+    }
+    switch (ai.d.op) {
+      case Op::kLda:
+        if (ai.d.src1 == kZeroReg) return ai.d.imm;
+        // The ldah half must be on the same straight line: if the lda is
+        // itself a join point, some path skips the ldah.
+        if (ai.d.src1 == reg && j > 0 && !stop(j)) {
+          const AsmInst& prev = prog.insts[j - 1];
+          if (prev.canonical && prev.d.op == Op::kLdah && prev.d.dst == reg &&
+              prev.d.src1 == kZeroReg) {
+            return (prev.d.imm << 16) + ai.d.imm;  // the li/la expansion
+          }
+        }
+        return std::nullopt;
+      case Op::kLdah:
+        if (ai.d.src1 == kZeroReg) return ai.d.imm << 16;
+        return std::nullopt;
+      case Op::kAddqi:
+      case Op::kBisqi:
+        if (ai.d.src1 == kZeroReg) return ai.d.imm;
+        return std::nullopt;
+      default:
+        return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+bool Cfg::Dominates(std::size_t a, std::size_t b) const {
+  while (b != kNoBlock) {
+    if (a == b) return true;
+    if (b == entry_block) return false;
+    b = idom[b];
+  }
+  return false;
+}
+
+std::optional<std::size_t> Cfg::ReturnPoint(std::size_t call_block) const {
+  const std::size_t next = blocks[call_block].last + 1;
+  if (next >= prog->insts.size()) return std::nullopt;
+  return block_of_inst[next];
+}
+
+std::optional<std::int64_t> MaterializedConst(const Cfg& cfg,
+                                              std::size_t before_idx,
+                                              std::uint8_t reg) {
+  const std::size_t first = cfg.blocks[cfg.block_of_inst[before_idx]].first;
+  return ScanConst(*cfg.prog, before_idx, reg,
+                   [first](std::size_t j) { return j <= first; });
+}
+
+Cfg BuildCfg(const AsmProgram& prog) {
+  Cfg cfg;
+  cfg.prog = &prog;
+  const std::size_t n = prog.insts.size();
+  if (n == 0) return cfg;
+
+  // --- leaders -----------------------------------------------------------
+  std::set<std::size_t> leaders;
+  const std::size_t entry_idx = prog.IndexOf(prog.entry).value_or(0);
+  leaders.insert(entry_idx);
+  // Indirect-jump resolutions (inst index -> resolved target index).
+  std::vector<std::optional<std::size_t>> indirect(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const AsmInst& ai = prog.insts[i];
+    if (ai.canonical && ai.d.IsDirectBranch()) {
+      if (auto t = DirectTarget(prog, i)) {
+        leaders.insert(*t);
+      } else {
+        cfg.out_of_text.push_back(i);
+      }
+    }
+    if (ai.canonical &&
+        (ai.d.cls == InsnClass::kJmp || ai.d.cls == InsnClass::kJsr)) {
+      // Stop the scan at already-known leaders: past a join point the
+      // materialization is not guaranteed on every incoming path.
+      const auto value =
+          ScanConst(prog, i, ai.d.src1, [&leaders](std::size_t j) {
+            return leaders.count(j) != 0;
+          });
+      if (value) {
+        if (auto t = prog.IndexOf(static_cast<std::uint64_t>(*value))) {
+          indirect[i] = *t;
+          leaders.insert(*t);
+        } else {
+          cfg.out_of_text.push_back(i);
+        }
+      } else {
+        cfg.unresolved_indirect.push_back(i);
+      }
+    }
+    if (IsTerminator(ai) && i + 1 < n) leaders.insert(i + 1);
+  }
+
+  // --- blocks ------------------------------------------------------------
+  std::vector<std::size_t> sorted(leaders.begin(), leaders.end());
+  cfg.block_of_inst.assign(n, kNoBlock);
+  for (std::size_t b = 0; b < sorted.size(); ++b) {
+    BasicBlock bb;
+    bb.first = sorted[b];
+    bb.last = (b + 1 < sorted.size() ? sorted[b + 1] : n) - 1;
+    for (std::size_t i = bb.first; i <= bb.last; ++i)
+      cfg.block_of_inst[i] = b;
+    cfg.blocks.push_back(bb);
+  }
+  cfg.entry_block = cfg.block_of_inst[entry_idx];
+
+  // --- edges -------------------------------------------------------------
+  auto link = [&cfg](std::size_t from, std::size_t to) {
+    cfg.blocks[from].succs.push_back(to);
+    cfg.blocks[to].preds.push_back(from);
+  };
+  for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+    BasicBlock& bb = cfg.blocks[b];
+    const std::size_t t = bb.last;
+    const AsmInst& ai = prog.insts[t];
+    const bool has_fallthrough = t + 1 < n;
+    if (!ai.canonical) continue;  // traps: no successors
+    switch (ai.d.cls) {
+      case InsnClass::kCondBranch:
+        if (auto tgt = prog.IndexOf(ai.addr + 4 +
+                                    static_cast<std::uint64_t>(ai.d.imm) * 4))
+          link(b, cfg.block_of_inst[*tgt]);
+        if (has_fallthrough) link(b, cfg.block_of_inst[t + 1]);
+        break;
+      case InsnClass::kBr:
+        if (auto tgt = DirectTarget(prog, t)) link(b, cfg.block_of_inst[*tgt]);
+        break;
+      case InsnClass::kBsr:
+        bb.is_call = true;
+        if (auto tgt = DirectTarget(prog, t)) {
+          bb.call_target = cfg.block_of_inst[*tgt];
+          link(b, *bb.call_target);
+        }
+        break;
+      case InsnClass::kJmp:
+        if (indirect[t]) {
+          link(b, cfg.block_of_inst[*indirect[t]]);
+        } else {
+          bb.indirect_unresolved = true;
+        }
+        break;
+      case InsnClass::kJsr:
+        bb.is_call = true;
+        if (indirect[t]) {
+          bb.call_target = cfg.block_of_inst[*indirect[t]];
+          link(b, *bb.call_target);
+        } else {
+          bb.indirect_unresolved = true;
+        }
+        break;
+      case InsnClass::kRet:
+        bb.is_ret = true;  // successors wired below, per function
+        break;
+      case InsnClass::kSyscall: {
+        // An exit syscall ends the graph; anything else falls through.
+        std::optional<std::int64_t> v0;
+        {
+          const std::size_t first = bb.first;
+          v0 = ScanConst(prog, t, 0,
+                         [first](std::size_t j) { return j <= first; });
+        }
+        bb.is_exit =
+            v0 && static_cast<std::uint64_t>(*v0) == kSysExit;
+        if (!bb.is_exit && has_fallthrough) link(b, cfg.block_of_inst[t + 1]);
+        break;
+      }
+      default:
+        if (has_fallthrough) link(b, cfg.block_of_inst[t + 1]);
+        break;
+    }
+  }
+
+  // --- function partition ------------------------------------------------
+  // Entries: the program entry plus every resolved call target. Blocks are
+  // assigned by intra-procedural traversal: calls continue at their return
+  // point, rets stop.
+  cfg.func_of.assign(cfg.blocks.size(), kNoBlock);
+  std::vector<std::size_t> func_entries{cfg.entry_block};
+  for (const BasicBlock& bb : cfg.blocks)
+    if (bb.call_target) func_entries.push_back(*bb.call_target);
+  std::sort(func_entries.begin(), func_entries.end());
+  func_entries.erase(std::unique(func_entries.begin(), func_entries.end()),
+                     func_entries.end());
+  for (const std::size_t fe : func_entries) {
+    if (cfg.func_of[fe] != kNoBlock) continue;  // entry inside another body
+    std::deque<std::size_t> work{fe};
+    cfg.func_of[fe] = fe;
+    while (!work.empty()) {
+      const std::size_t b = work.front();
+      work.pop_front();
+      const BasicBlock& bb = cfg.blocks[b];
+      std::vector<std::size_t> next;
+      if (bb.is_call) {
+        if (auto rp = cfg.ReturnPoint(b)) next.push_back(*rp);
+      } else if (!bb.is_ret) {
+        next = bb.succs;
+      }
+      for (const std::size_t s : next) {
+        if (cfg.func_of[s] != kNoBlock) continue;
+        cfg.func_of[s] = fe;
+        work.push_back(s);
+      }
+    }
+  }
+
+  // --- RAS-aware return edges ---------------------------------------------
+  for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+    const BasicBlock& bb = cfg.blocks[b];
+    if (!bb.is_call || !bb.call_target) continue;
+    const auto rp = cfg.ReturnPoint(b);
+    if (!rp) continue;
+    const std::size_t callee = *bb.call_target;
+    for (std::size_t r = 0; r < cfg.blocks.size(); ++r) {
+      if (cfg.blocks[r].is_ret && cfg.func_of[r] == callee) link(r, *rp);
+    }
+  }
+
+  // --- reverse postorder + reachability ------------------------------------
+  std::vector<int> state(cfg.blocks.size(), 0);  // 0 unseen, 1 open, 2 done
+  std::vector<std::pair<std::size_t, std::size_t>> stack;  // (block, next succ)
+  std::vector<std::size_t> postorder;
+  stack.emplace_back(cfg.entry_block, 0);
+  state[cfg.entry_block] = 1;
+  while (!stack.empty()) {
+    auto& [b, i] = stack.back();
+    if (i < cfg.blocks[b].succs.size()) {
+      const std::size_t s = cfg.blocks[b].succs[i++];
+      if (state[s] == 0) {
+        state[s] = 1;
+        stack.emplace_back(s, 0);
+      }
+    } else {
+      state[b] = 2;
+      postorder.push_back(b);
+      stack.pop_back();
+    }
+  }
+  cfg.rpo.assign(postorder.rbegin(), postorder.rend());
+  cfg.reachable.assign(cfg.blocks.size(), false);
+  for (const std::size_t b : cfg.rpo) cfg.reachable[b] = true;
+
+  // --- dominators (Cooper-Harvey-Kennedy) ---------------------------------
+  std::vector<std::size_t> rpo_num(cfg.blocks.size(), kNoBlock);
+  for (std::size_t i = 0; i < cfg.rpo.size(); ++i) rpo_num[cfg.rpo[i]] = i;
+  cfg.idom.assign(cfg.blocks.size(), kNoBlock);
+  cfg.idom[cfg.entry_block] = cfg.entry_block;
+  auto intersect = [&](std::size_t a, std::size_t b) {
+    while (a != b) {
+      while (rpo_num[a] > rpo_num[b]) a = cfg.idom[a];
+      while (rpo_num[b] > rpo_num[a]) b = cfg.idom[b];
+    }
+    return a;
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const std::size_t b : cfg.rpo) {
+      if (b == cfg.entry_block) continue;
+      std::size_t new_idom = kNoBlock;
+      for (const std::size_t p : cfg.blocks[b].preds) {
+        if (cfg.idom[p] == kNoBlock) continue;  // not yet processed/unreached
+        new_idom = new_idom == kNoBlock ? p : intersect(new_idom, p);
+      }
+      if (new_idom != kNoBlock && cfg.idom[b] != new_idom) {
+        cfg.idom[b] = new_idom;
+        changed = true;
+      }
+    }
+  }
+  return cfg;
+}
+
+}  // namespace tfsim::analyze

@@ -1,0 +1,76 @@
+// Control-flow graph recovery over a lifted AsmProgram.
+//
+// Leaders are the entry point, direct-branch targets, statically resolved
+// indirect-jump targets, and the instruction after every terminator
+// (branch-like, syscall, or non-canonical word). Indirect jmp/jsr targets
+// are recovered by walking backwards for the li/la (ldah+lda) pair — or
+// addqi-from-zero — that materializes the target register; unresolvable
+// indirections are recorded rather than guessed. Call/return edges are
+// RAS-aware: blocks are partitioned into functions (program entry plus every
+// call target), and each `ret` block gets successor edges only to the return
+// points of the call sites that target its function — not to every return
+// point in the program.
+//
+// Exit syscalls (v0 statically materialized to kSysExit) end the graph; other
+// syscalls fall through. Dominators are computed with the Cooper-Harvey-
+// Kennedy iterative algorithm over reverse postorder.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "analyze/asm/air.h"
+
+namespace tfsim::analyze {
+
+inline constexpr std::size_t kNoBlock = static_cast<std::size_t>(-1);
+
+struct BasicBlock {
+  std::size_t first = 0;  // inclusive instruction index range
+  std::size_t last = 0;
+  std::vector<std::size_t> succs;  // block ids (call blocks -> callee entry)
+  std::vector<std::size_t> preds;
+  // Terminator classification (of insts[last]).
+  bool is_call = false;          // ends in bsr/jsr
+  bool is_ret = false;           // ends in ret
+  bool is_exit = false;          // syscall with v0 resolved to kSysExit
+  bool indirect_unresolved = false;  // jmp/jsr target not materializable
+  std::optional<std::size_t> call_target;  // callee entry block (bsr/jsr)
+};
+
+struct Cfg {
+  const AsmProgram* prog = nullptr;
+  std::vector<BasicBlock> blocks;          // in address order
+  std::vector<std::size_t> block_of_inst;  // inst index -> block id
+  std::size_t entry_block = kNoBlock;
+  // Reverse postorder from the entry over successor edges (reached blocks
+  // only — anything absent is statically unreachable).
+  std::vector<std::size_t> rpo;
+  std::vector<bool> reachable;            // per block
+  std::vector<std::size_t> idom;          // per block; kNoBlock if unreached
+  std::vector<std::size_t> func_of;       // function-entry block id, or kNoBlock
+  // Instruction indices of branches whose targets left the text chunk, and of
+  // unresolved indirect jumps (lint findings; the CFG under-approximates
+  // successors at these points).
+  std::vector<std::size_t> out_of_text;
+  std::vector<std::size_t> unresolved_indirect;
+
+  // True when block `a` dominates block `b` (both must be reachable).
+  bool Dominates(std::size_t a, std::size_t b) const;
+  // The return-point block of a call block, if the call site has one.
+  std::optional<std::size_t> ReturnPoint(std::size_t call_block) const;
+};
+
+Cfg BuildCfg(const AsmProgram& prog);
+
+// Walks backwards from insts[before_idx] (exclusive) within its basic block
+// for a constant materialization of `reg`: an ldah+lda pair, a lone
+// lda/ldah from r31, or addqi/bisqi from r31. Returns the constant, or
+// nullopt when the defining instruction is absent, outside the block, or not
+// a recognized pattern.
+std::optional<std::int64_t> MaterializedConst(const Cfg& cfg,
+                                              std::size_t before_idx,
+                                              std::uint8_t reg);
+
+}  // namespace tfsim::analyze

@@ -1,0 +1,152 @@
+#include "analyze/asm/dataflow.h"
+
+namespace tfsim::analyze {
+namespace {
+
+std::uint32_t RegBit(std::uint8_t r) {
+  return (r == kNoReg || r == kZeroReg) ? 0u : (1u << r);
+}
+
+}  // namespace
+
+std::uint32_t UseMask(const DecodedInst& d) {
+  if (d.cls == InsnClass::kSyscall) {
+    // number in v0(r0), args in a0(r16)/a1(r17)
+    return RegBit(0) | RegBit(16) | RegBit(17);
+  }
+  return RegBit(d.src1) | RegBit(d.src2);
+}
+
+std::uint32_t DefMask(const DecodedInst& d) {
+  if (d.cls == InsnClass::kSyscall) return RegBit(0);  // result in v0
+  return RegBit(d.dst);
+}
+
+bool MayTrap(const DecodedInst& d) {
+  if (d.IsMem()) return true;  // unaligned / TLB
+  switch (d.op) {
+    case Op::kDivq:
+    case Op::kRemq:
+    case Op::kAddv:
+    case Op::kSubv:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Dataflow::Dataflow(const Cfg& cfg) : cfg_(&cfg) {
+  const AsmProgram& prog = *cfg.prog;
+  const std::size_t nb = cfg.blocks.size();
+  const std::size_t ni = prog.insts.size();
+
+  // Per-block gen/kill for the register analyses.
+  std::vector<std::uint32_t> ue_var(nb, 0), var_kill(nb, 0);
+  for (std::size_t b = 0; b < nb; ++b) {
+    for (std::size_t i = cfg.blocks[b].first; i <= cfg.blocks[b].last; ++i) {
+      const DecodedInst& d = prog.insts[i].d;
+      if (!prog.insts[i].canonical) continue;
+      ue_var[b] |= UseMask(d) & ~var_kill[b];
+      var_kill[b] |= DefMask(d);
+    }
+  }
+
+  // Liveness: LiveOut(b) = U LiveIn(s); LiveIn(b) = UEVar U (Out \ Kill).
+  live_in_.assign(nb, 0);
+  live_out_.assign(nb, 0);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto it = cfg.rpo.rbegin(); it != cfg.rpo.rend(); ++it) {
+      const std::size_t b = *it;
+      std::uint32_t out = 0;
+      for (const std::size_t s : cfg.blocks[b].succs) out |= live_in_[s];
+      // An under-approximated terminator (unresolved indirect) may continue
+      // anywhere: keep everything the unit still reads live past it.
+      if (cfg.blocks[b].indirect_unresolved)
+        for (std::size_t x = 0; x < nb; ++x) out |= ue_var[x];
+      const std::uint32_t in = ue_var[b] | (out & ~var_kill[b]);
+      if (out != live_out_[b] || in != live_in_[b]) {
+        live_out_[b] = out;
+        live_in_[b] = in;
+        changed = true;
+      }
+    }
+  }
+
+  // Maybe-uninit: forward may-analysis; the entry block starts with every
+  // register carrying its synthetic "never written" definition (the
+  // architectural state zero-initializes registers — reading one is defined
+  // behaviour but almost always a workload bug).
+  uninit_in_.assign(nb, 0);
+  uninit_in_[cfg.entry_block] = 0x7FFFFFFFu;  // r0..r30
+  changed = true;
+  while (changed) {
+    changed = false;
+    for (const std::size_t b : cfg.rpo) {
+      std::uint32_t in = b == cfg.entry_block ? 0x7FFFFFFFu : 0;
+      for (const std::size_t p : cfg.blocks[b].preds)
+        in |= uninit_in_[p] & ~var_kill[p];
+      if (in != uninit_in_[b]) {
+        uninit_in_[b] = in;
+        changed = true;
+      }
+    }
+  }
+
+  // Reaching definitions over instruction indices (dense bitsets). A def of
+  // register r kills every other def of r.
+  const std::size_t words = (ni + 63) / 64;
+  std::vector<std::vector<std::uint64_t>> gen(nb), kill_mask(nb);
+  // def_sites[r] = bitset of instructions defining r.
+  std::vector<std::vector<std::uint64_t>> def_sites(
+      kNumArchRegs, std::vector<std::uint64_t>(words, 0));
+  auto set_bit = [](std::vector<std::uint64_t>& v, std::size_t i) {
+    v[i / 64] |= std::uint64_t{1} << (i % 64);
+  };
+  for (std::size_t i = 0; i < ni; ++i) {
+    if (!prog.insts[i].canonical) continue;
+    const std::uint32_t defs = DefMask(prog.insts[i].d);
+    for (int r = 0; r < kNumArchRegs; ++r)
+      if (defs & (1u << r)) set_bit(def_sites[r], i);
+  }
+  for (std::size_t b = 0; b < nb; ++b) {
+    gen[b].assign(words, 0);
+    kill_mask[b].assign(words, 0);
+    for (std::size_t i = cfg.blocks[b].first; i <= cfg.blocks[b].last; ++i) {
+      if (!prog.insts[i].canonical) continue;
+      const std::uint32_t defs = DefMask(prog.insts[i].d);
+      if (!defs) continue;
+      for (int r = 0; r < kNumArchRegs; ++r) {
+        if (!(defs & (1u << r))) continue;
+        for (std::size_t w = 0; w < words; ++w) {
+          gen[b][w] &= ~def_sites[r][w];
+          kill_mask[b][w] |= def_sites[r][w];
+        }
+      }
+      set_bit(gen[b], i);
+    }
+  }
+  reach_in_.assign(nb, std::vector<std::uint64_t>(words, 0));
+  std::vector<std::vector<std::uint64_t>> reach_out(
+      nb, std::vector<std::uint64_t>(words, 0));
+  changed = true;
+  while (changed) {
+    changed = false;
+    for (const std::size_t b : cfg.rpo) {
+      std::vector<std::uint64_t> in(words, 0);
+      for (const std::size_t p : cfg.blocks[b].preds)
+        for (std::size_t w = 0; w < words; ++w) in[w] |= reach_out[p][w];
+      std::vector<std::uint64_t> out(words);
+      for (std::size_t w = 0; w < words; ++w)
+        out[w] = gen[b][w] | (in[w] & ~kill_mask[b][w]);
+      if (in != reach_in_[b] || out != reach_out[b]) {
+        reach_in_[b] = std::move(in);
+        reach_out[b] = std::move(out);
+        changed = true;
+      }
+    }
+  }
+}
+
+}  // namespace tfsim::analyze

@@ -1,0 +1,59 @@
+// Register dataflow over a recovered Cfg: per-instruction use/def masks
+// (syscall-ABI aware), backward liveness, and reaching definitions with a
+// synthetic entry definition per register so use-before-def falls out of the
+// reaching-def sets. All analyses run on the supergraph BuildCfg produces
+// (call edges into callees, RAS-aware return edges back), so facts propagate
+// through calls conservatively.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analyze/asm/cfg.h"
+
+namespace tfsim::analyze {
+
+// Bit r set = register r participates; r31 never appears (reads as zero,
+// writes discarded), kNoReg operands contribute nothing.
+std::uint32_t UseMask(const DecodedInst& d);
+std::uint32_t DefMask(const DecodedInst& d);
+
+// True for operations whose execution can raise an exception even when the
+// result is dead (div/rem zero, overflow variants, memory access faults) —
+// a dead destination does not make these removable, so the dead-value lint
+// reports them at a lower confidence.
+bool MayTrap(const DecodedInst& d);
+
+class Dataflow {
+ public:
+  explicit Dataflow(const Cfg& cfg);
+
+  const Cfg& cfg() const { return *cfg_; }
+
+  // Liveness (backward may-analysis), per block.
+  std::uint32_t LiveIn(std::size_t block) const { return live_in_[block]; }
+  std::uint32_t LiveOut(std::size_t block) const { return live_out_[block]; }
+
+  // Registers whose synthetic entry definition (never written on some path
+  // from the program entry) reaches the top of `block`.
+  std::uint32_t MaybeUninitIn(std::size_t block) const {
+    return uninit_in_[block];
+  }
+
+  // Reaching definitions: the set of instruction indices whose definition of
+  // some register reaches the top of `block` (dense bitset over insts).
+  const std::vector<std::uint64_t>& ReachingIn(std::size_t block) const {
+    return reach_in_[block];
+  }
+  static bool TestBit(const std::vector<std::uint64_t>& bits, std::size_t i) {
+    return (bits[i / 64] >> (i % 64)) & 1;
+  }
+
+ private:
+  const Cfg* cfg_;
+  std::vector<std::uint32_t> live_in_, live_out_;
+  std::vector<std::uint32_t> uninit_in_;
+  std::vector<std::vector<std::uint64_t>> reach_in_;
+};
+
+}  // namespace tfsim::analyze

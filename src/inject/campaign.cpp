@@ -24,6 +24,7 @@
 #include "util/argparse.h"
 #include "util/env.h"
 #include "util/rng.h"
+#include "soft/harden.h"
 #include "workloads/workloads.h"
 
 namespace tfsim {
@@ -319,8 +320,7 @@ CampaignResult RunCampaign(const CampaignSpec& spec,
                            "campaign trials (wall clock)");
   }
 
-  const WorkloadInfo& info = WorkloadByName(spec.workload);
-  const Program program = BuildWorkload(info, kCampaignIters);
+  const Program program = ResolveCampaignProgram(spec.workload);
 
   // Trial cores optionally carry the invariant checker; the golden run below
   // always executes unchecked (it defines reference behaviour, and a clean

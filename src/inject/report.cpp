@@ -2,6 +2,7 @@
 
 #include "obs/events.h"
 #include "uarch/core.h"
+#include "soft/harden.h"
 #include "workloads/workloads.h"
 
 namespace tfsim {
@@ -50,8 +51,7 @@ obs::VulnerabilityHeatmap BuildHeatmap(const CampaignResult& result) {
   // Rebuild the machine the campaign injected: the registry layout (and
   // therefore the bit-index → field mapping) depends only on the core
   // config and program, so one throwaway core resolves every trial's site.
-  const WorkloadInfo& info = WorkloadByName(result.spec.workload);
-  const Program program = BuildWorkload(info, kCampaignIters);
+  const Program program = ResolveCampaignProgram(result.spec.workload);
   Core core(result.spec.core, program);
   const StateRegistry& reg = core.registry();
   const std::vector<TrialSpec> specs = MakeTrialSpecs(

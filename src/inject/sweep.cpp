@@ -7,6 +7,7 @@
 #include "inject/trial.h"
 #include "obs/json_writer.h"
 #include "obs/metrics.h"
+#include "soft/harden.h"
 #include "workloads/workloads.h"
 
 namespace tfsim {
@@ -141,8 +142,7 @@ SweepResult RunSweep(const SweepSpec& spec, const std::string& axis,
   out.axis = axis;
   const std::vector<GeometryPoint> points = ExpandSweep(spec, axis);
 
-  const WorkloadInfo& info = WorkloadByName(spec.workload);
-  const Program program = BuildWorkload(info, kCampaignIters);
+  const Program program = ResolveCampaignProgram(spec.workload);
 
   for (const GeometryPoint& point : points) {
     const CampaignSpec cspec = spec.PointSpec(point);

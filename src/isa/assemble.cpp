@@ -11,8 +11,8 @@
 namespace tfsim {
 namespace {
 
-constexpr std::uint64_t kTextBase = 0x1000;
-constexpr std::uint64_t kDataBase = 0x40000;
+constexpr std::uint64_t kTextBase = kAsmTextBase;
+constexpr std::uint64_t kDataBase = kAsmDataBase;
 
 struct AsmError : std::runtime_error {
   using std::runtime_error::runtime_error;

@@ -25,6 +25,12 @@
 
 namespace tfsim {
 
+// Section bases used by the assembler (and by tools that reconstruct
+// assembler-shaped images, e.g. analyze::DisassembleProgram and the
+// soft::Harden transform).
+inline constexpr std::uint64_t kAsmTextBase = 0x1000;
+inline constexpr std::uint64_t kAsmDataBase = 0x40000;
+
 // An assembled program image: byte chunks at absolute addresses plus the
 // entry point (the `_start` label if present, else the first .text address).
 struct Program {

@@ -1,0 +1,125 @@
+// Software-only fault hardening for miniAlpha programs, after SWIFT
+// (Reis et al.) and the Azambuja et al. catalog of SEU/SET software
+// techniques the paper's protection study points to:
+//
+//   * Duplication (kDup): every value-producing instruction is re-executed
+//     into a shadow copy, and the shadow is compared against the master
+//     before the value can escape — at stores (data and address registers),
+//     at conditional branches (the decision register), and at syscalls (the
+//     ABI registers). Register pressure makes true shadow *registers*
+//     impossible on the workloads (they use most of the file), so shadows
+//     live in a dedicated memory region: one 8-byte slot per architectural
+//     register at shadow_base + 8*r, addressed off a reserved base register.
+//     Comparison failure jumps to a fault block holding an illegal opcode —
+//     fail-stop detection, converting would-be SDC into a Terminated/except
+//     outcome the campaign machinery already classifies.
+//
+//   * Control-flow checking (kCfc): every basic block is assigned a
+//     signature constant; a reserved register G carries the signature of the
+//     block just exited, and each block entry checks G against the
+//     signatures of its CFG predecessors (CFCSS-style), so a corrupted
+//     branch that lands at any block entry other than a legal successor is
+//     detected. Branch targets are remapped to land exactly at the checks;
+//     indirect jumps work because their li/la target materializations are
+//     rewritten to the hardened layout.
+//
+//   * kFull: both.
+//
+// The transform is static Program -> Program: the hardened image runs
+// unmodified on the functional simulator and the pipeline (identical
+// architectural output when fault-free — a tier-1 cosim test), and campaigns
+// treat it as just another workload ("gzip+sw"), with distinct cache keys
+// because CacheKey hashes the workload string.
+//
+// VerifyHardened is the analyzer side: it independently re-derives the
+// hardening plan from the original program and checks the hardened text
+// component by component (prologue, per-edge signature checks, per-value
+// duplication, per-store/branch/syscall guards, fault block), classifying
+// every deviation as a structured asmlint finding — the transform is
+// audited, not trusted.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analyze/asm/asmlint.h"
+#include "isa/assemble.h"
+
+namespace tfsim {
+
+enum class HardenMode : std::uint8_t { kCfc, kDup, kFull };
+
+const char* HardenModeName(HardenMode m);
+
+// The reserved-register and layout decisions, derived deterministically from
+// the original program alone (so the verifier can re-derive them without
+// trusting the transform). PlanHarden throws std::runtime_error when the
+// program is not hardenable: unresolved indirect jumps, branch targets
+// outside the text chunk, or too few unused registers for the mode.
+struct HardenPlan {
+  HardenMode mode = HardenMode::kFull;
+  // Reserved registers (kNoReg when the mode does not need the role):
+  std::uint8_t sb = kNoReg;  // shadow-slot base pointer
+  std::uint8_t s1 = kNoReg;  // shadow scratch (first source)
+  std::uint8_t s2 = kNoReg;  // shadow scratch (second source)
+  std::uint8_t s3 = kNoReg;  // shadow result
+  std::uint8_t g = kNoReg;   // control-flow signature
+  std::uint8_t t = kNoReg;   // comparison temporary
+  std::uint64_t shadow_base = 0;
+  // Per-original-basic-block signature constants (imm16), plus the synthetic
+  // prologue signature accepted by the entry block.
+  std::vector<std::int64_t> sig;
+  std::int64_t prologue_sig = 1;
+
+  std::uint32_t ReservedMask() const;
+  bool Dup() const { return mode != HardenMode::kCfc; }
+  bool Cfc() const { return mode != HardenMode::kDup; }
+};
+
+HardenPlan PlanHarden(const analyze::AsmProgram& orig, const analyze::Cfg& cfg,
+                      HardenMode mode);
+
+// A hardened program plus the emission trace VerifyHardened uses to attribute
+// word-level deviations to finding classes.
+struct HardenedProgram {
+  Program program;
+  HardenPlan plan;
+  struct Component {
+    analyze::AsmFindingKind kind;  // finding class if this span is corrupted
+    std::uint64_t orig_addr = 0;   // original-program location for findings
+    std::size_t first_word = 0;    // span in the hardened text, in words
+    std::size_t num_words = 0;
+    const char* what = "";
+  };
+  std::vector<Component> components;
+  std::vector<std::size_t> block_start_word;  // per original block
+  std::size_t fault_word = 0;
+};
+
+HardenedProgram Harden(const Program& orig, HardenMode mode);
+
+// Statically verifies that `hardened` is a correctly hardened `orig`:
+// re-derives the plan from `orig`, walks the hardened text component by
+// component, and reports every deviation (missing or corrupted duplication,
+// guard, signature check/set, clobbered reserved state, broken fault block)
+// as findings. Empty result == proven-hardened.
+std::vector<analyze::AsmFinding> VerifyHardened(const Program& orig,
+                                                const Program& hardened,
+                                                HardenMode mode,
+                                                const std::string& unit);
+
+// --- campaign integration --------------------------------------------------
+// Workload-name suffixes select software protection: "gzip+sw" (full),
+// "gzip+swdup", "gzip+swcfc". CampaignSpec::CacheKey hashes the full string,
+// so hardened variants get distinct cache keys for free.
+std::optional<HardenMode> ParseHardenSuffix(const std::string& workload,
+                                            std::string* base_name);
+
+// Builds the campaign program for a (possibly suffixed) workload name:
+// BuildWorkload(base, kCampaignIters), hardened per the suffix. The single
+// program-construction point for campaign.cpp / report.cpp / sweep.cpp.
+Program ResolveCampaignProgram(const std::string& workload);
+
+}  // namespace tfsim

@@ -8,6 +8,7 @@
 #include "arch/functional_sim.h"
 #include "inject/cache.h"
 #include "util/rng.h"
+#include "soft/harden.h"
 #include "workloads/workloads.h"
 
 namespace tfsim {
@@ -244,9 +245,14 @@ SoftCampaignResult RunSoftCampaign(const SoftCampaignSpec& spec,
     result.spec = spec;
   }
 
-  const Program program =
-      BuildWorkload(WorkloadByName(spec.workload), spec.iters,
-                    /*emit_each_iteration=*/true);
+  // Harden-suffixed names ("gzip+sw", ...) run the software-hardened
+  // variant; the cache key above hashes the full workload string, so the
+  // variants are cached apart from their bases for free.
+  std::string base;
+  const auto hmode = ParseHardenSuffix(spec.workload, &base);
+  Program program = BuildWorkload(WorkloadByName(base), spec.iters,
+                                  /*emit_each_iteration=*/true);
+  if (hmode) program = Harden(program, *hmode).program;
   const Reference ref = RunReference(program, 1ULL << 40);
   const std::uint64_t max_insns = ref.total_insns * spec.max_insn_factor;
   const std::uint64_t eligible = ref.eligible[static_cast<int>(spec.model)];

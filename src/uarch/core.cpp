@@ -22,20 +22,6 @@ std::uint64_t FinishLoad(std::uint64_t raw, int size, bool sext) {
   return v;
 }
 
-// Does this opcode's second operand come from a register (vs the immediate)?
-bool OpHasSrc2(Op op) {
-  const std::uint8_t o = static_cast<std::uint8_t>(op);
-  if (o >= 0x04 && o <= 0x1C) return true;  // R-format ALU
-  switch (op) {
-    case Op::kStq:
-    case Op::kStl:
-    case Op::kStb:
-      return true;
-    default:
-      return false;
-  }
-}
-
 bool RangesOverlap(std::uint64_t a, int asize, std::uint64_t b, int bsize) {
   return a < b + static_cast<std::uint64_t>(bsize) &&
          b < a + static_cast<std::uint64_t>(asize);
@@ -424,8 +410,9 @@ void Core::WritebackStage() {
       sched_.Wakeup(p.val);  // safety-net broadcast (see DispatchStage races)
     }
     rob_.done.Set(wb_.robtag.Get(i) % rob_.entries(), 1);
-    if (wb_.free_sched.GetBit(i))
+    if (wb_.free_sched.GetBit(i)) {
       sched_.Free(wb_.sched_idx.Get(i) % sched_.entries());
+    }
     wb_.valid.Set(i, 0);
   }
 }
@@ -474,7 +461,10 @@ void Core::KillLoadDependents(std::uint64_t lq_index) {
   auto poison_bank = [&](UopLatchBank& bank) {
     for (std::size_t s = 0; s < bank.slots; ++s) {
       if (!bank.valid.GetBit(s)) continue;
-      if (bank.src1p.Get(s) != preg && bank.src2p.Get(s) != preg) continue;
+      const DecodedInst bd = UnpackCtrl(bank.ctrl.Get(s));
+      const bool dep = (OpHasSrc1(bd.op) && bank.src1p.Get(s) == preg) ||
+                       (OpHasSrc2(bd.op) && bank.src2p.Get(s) == preg);
+      if (!dep) continue;
       bank.valid.Set(s, 0);
       // Revert the consumer's scheduler entry so it replays.
       const std::uint64_t si = bank.sched_idx.Get(s) % sched_.entries();
@@ -934,15 +924,44 @@ void Core::RegReadStage() {
     const RPtr p1 = CheckPtr({issue_lat_.src1p.Get(s),
                               issue_lat_.ecc_on ? issue_lat_.src1_ecc.Get(s) : 0},
                              issue_lat_.ecc_on);
+    const RPtr p2 =
+        CheckPtr({issue_lat_.src2p.Get(s),
+                  issue_lat_.ecc_on ? issue_lat_.src2_ecc.Get(s) : 0},
+                 issue_lat_.ecc_on);
+
+    // Wakeup broadcasts are scheduled at issue time with the producer's
+    // *advertised* latency. A producer can miss that schedule (writeback
+    // bank or complex pipe structurally full, a delayed load delivery), in
+    // which case a woken consumer arrives here with an operand that is
+    // neither in the register file nor in the bypass bank. Latching the
+    // read anyway would capture stale bits, so the uop returns to the
+    // scheduler and waits for the producer's actual writeback broadcast
+    // (every register-file write re-broadcasts — the safety net). Its own
+    // advertised wakeup is premature by the same token and is cancelled;
+    // any of its consumers that already issued bounce off this same guard.
+    const auto available = [&](const RPtr& p) {
+      const std::uint64_t preg = p.val % regfile_.count();
+      return regfile_.Ready(preg) || WbBankHolds(preg);
+    };
+    const bool miss1 = OpHasSrc1(d.op) && !available(p1);
+    const bool miss2 = OpHasSrc2(d.op) && !available(p2);
+    if (miss1 || miss2) {
+      ++stats_.wakeup_replays;
+      const std::uint64_t si = issue_lat_.sched_idx.Get(s) % sched_.entries();
+      if (sched_.valid.GetBit(si) &&
+          sched_.robtag.Get(si) == issue_lat_.robtag.Get(s)) {
+        sched_.state.Set(si, Scheduler::kWaiting);
+        if (miss1) sched_.src1_rdy.Set(si, 0);
+        if (miss2) sched_.src2_rdy.Set(si, 0);
+      }
+      if (issue_lat_.has_dst.GetBit(s)) wakeups_.Kill(issue_lat_.dstp.Get(s));
+      issue_lat_.valid.Set(s, 0);
+      continue;
+    }
+
     const Word65 a = ReadOperand(p1.val % regfile_.count());
     Word65 b{static_cast<std::uint64_t>(d.imm), false};
-    if (OpHasSrc2(d.op)) {
-      const RPtr p2 =
-          CheckPtr({issue_lat_.src2p.Get(s),
-                    issue_lat_.ecc_on ? issue_lat_.src2_ecc.Get(s) : 0},
-                   issue_lat_.ecc_on);
-      b = ReadOperand(p2.val % regfile_.count());
-    }
+    if (OpHasSrc2(d.op)) b = ReadOperand(p2.val % regfile_.count());
 
     rr_lat_.valid.Set(s, 1);
     rr_lat_.ctrl.Set(s, issue_lat_.ctrl.Get(s));

@@ -54,6 +54,7 @@ struct CoreStats {
   std::uint64_t loads = 0;
   std::uint64_t dcache_misses = 0;
   std::uint64_t replays = 0;
+  std::uint64_t wakeup_replays = 0;
   std::uint64_t order_violations = 0;
   std::uint64_t full_flushes = 0;
   std::uint64_t timeout_flushes = 0;

@@ -1,5 +1,7 @@
 #include "uarch/scheduler.h"
 
+#include "uarch/uop.h"
+
 #include <algorithm>
 
 namespace tfsim {
@@ -75,12 +77,18 @@ void Scheduler::Wakeup(std::uint64_t preg) {
 void Scheduler::KillWakeup(std::uint64_t preg, std::uint64_t loader_entry) {
   for (std::size_t i = 0; i < entries_; ++i) {
     if (!valid.GetBit(i) || i == loader_entry) continue;
+    // Only real dependents match: an unused source slot holds a dummy
+    // pointer, and clearing readiness on a dummy alias would revert an
+    // entry whose execution may already be in flight past the poisonable
+    // latches — it would then issue and complete twice, double-freeing its
+    // scheduler slot onto the slot's next tenant.
+    const DecodedInst d = UnpackCtrl(ctrl.Get(i));
     bool hit = false;
-    if (src1p.Get(i) == preg) {
+    if (OpHasSrc1(d.op) && src1p.Get(i) == preg) {
       src1_rdy.Set(i, 0);
       hit = true;
     }
-    if (src2p.Get(i) == preg) {
+    if (OpHasSrc2(d.op) && src2p.Get(i) == preg) {
       src2_rdy.Set(i, 0);
       hit = true;
     }

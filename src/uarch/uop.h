@@ -55,6 +55,39 @@ inline DecodedInst UnpackCtrl(std::uint64_t ctrl) {
   return d;
 }
 
+// Which register sources an opcode actually reads. Unused source slots carry
+// dummy pointers from dispatch, so every CAM that *clears* readiness or
+// reverts an issued entry (kill-wakeup, latch poisoning, the reg-read
+// availability guard) must consult these: a dummy aliasing a live producer
+// preg would otherwise revert an entry whose execution already left the
+// poisonable latches, and the re-issue would complete twice — freeing the
+// scheduler slot twice, the second free orphaning an innocent new tenant.
+// Broadcasts that only *set* readiness may keep matching dummies; that is
+// harmless.
+inline bool OpHasSrc1(Op op) {
+  switch (op) {
+    case Op::kBr:
+    case Op::kBsr:
+    case Op::kSyscall:
+      return false;
+    default:
+      return true;
+  }
+}
+
+inline bool OpHasSrc2(Op op) {
+  const std::uint8_t o = static_cast<std::uint8_t>(op);
+  if (o >= 0x04 && o <= 0x1C) return true;  // R-format ALU
+  switch (op) {
+    case Op::kStq:
+    case Op::kStl:
+    case Op::kStb:
+      return true;
+    default:
+      return false;
+  }
+}
+
 // Execution port classes (Figure 2: 2 simple ALUs, 1 complex ALU,
 // 1 branch ALU, 2 address generation units).
 enum class PortClass : std::uint8_t { kSimple, kComplex, kBranch, kAgu };

@@ -1,0 +1,141 @@
+// asmlint — static CFG/dataflow verification of the workload programs.
+//
+//   asmlint --allow tools/asmlint_allow.txt
+//       lint every workload in the suite: decode the assembled image, build
+//       the control-flow graph, run liveness / reaching-definitions /
+//       use-before-def / dead-store / stack-discipline checks, and report
+//       anything suspicious as structured findings. Exit code = number of
+//       findings (0 = programs verified).
+//
+//   asmlint gzip mcf file.s      lint specific workloads and/or .s files
+//   asmlint ... --harden MODE    additionally harden each unit (cfc, dup or
+//                                full) and statically verify the transform
+//                                with VerifyHardened — the software-hardening
+//                                analogue of the lint
+//   asmlint ... --dump           print the lifted program as assembler-
+//                                compatible text (round-trips through
+//                                Assemble)
+//
+// Runs as the `asmlint_workloads` ctest, making "the fault-injection inputs
+// are well-formed programs" a CI-enforced invariant, the software analogue
+// of statelint's Table-1 completeness check.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze/asm/asmlint.h"
+#include "soft/harden.h"
+#include "util/argparse.h"
+#include "workloads/workloads.h"
+
+using namespace tfsim;
+using namespace tfsim::analyze;
+
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// A unit is a workload name from the suite or a .s assembly file.
+Program LoadUnit(const std::string& what) {
+  if (what.size() > 2 && what.substr(what.size() - 2) == ".s")
+    return Assemble(ReadFile(what));
+  return BuildWorkload(WorkloadByName(what), kCampaignIters);
+}
+
+std::string UnitName(const std::string& what) {
+  const std::size_t slash = what.find_last_of('/');
+  return slash == std::string::npos ? what : what.substr(slash + 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string allow_path;
+  std::string harden_mode;
+  bool dump = false;
+  ArgParser ap;
+  ap.AddStr("allow", &allow_path, "allowlist of audited exceptions");
+  ap.AddStr("harden", &harden_mode,
+            "also verify the hardened variant: cfc, dup or full");
+  ap.AddFlag("dump", &dump, "print each unit's lifted disassembly");
+  if (!ap.Parse(argc, argv)) {
+    std::fprintf(stderr, "%s\nusage: asmlint [unit|file.s ...] [--allow FILE]"
+                 " [--harden MODE]\n%s",
+                 ap.error().c_str(), ap.Help().c_str());
+    return 2;
+  }
+
+  try {
+    std::vector<std::string> units = ap.positional();
+    if (units.empty())
+      for (const auto& w : AllWorkloads()) units.push_back(w.name);
+
+    std::vector<AllowEntry> allow;
+    if (!allow_path.empty()) {
+      std::string error;
+      if (!ParseAllowlist(ReadFile(allow_path), &allow, &error)) {
+        std::fprintf(stderr, "asmlint: %s\n", error.c_str());
+        return 2;
+      }
+    }
+
+    std::vector<HardenMode> modes;
+    if (!harden_mode.empty()) {
+      if (harden_mode == "cfc") modes.push_back(HardenMode::kCfc);
+      else if (harden_mode == "dup") modes.push_back(HardenMode::kDup);
+      else if (harden_mode == "full") modes.push_back(HardenMode::kFull);
+      else throw std::runtime_error("unknown --harden mode: " + harden_mode);
+    }
+
+    std::size_t total = 0;
+    std::size_t insts = 0;
+    for (const std::string& u : units) {
+      const std::string unit = UnitName(u);
+      const Program prog = LoadUnit(u);
+      const AsmProgram ap2 = Lift(prog);
+      insts += ap2.insts.size();
+      if (dump) std::fputs(DisassembleProgram(prog).c_str(), stdout);
+
+      AsmLintOptions opt;
+      opt.unit = unit;
+      std::vector<AsmFinding> findings = RunAsmLint(ap2, allow, opt);
+      for (HardenMode m : modes) {
+        const HardenedProgram hp = Harden(prog, m);
+        std::vector<AsmFinding> hf =
+            VerifyHardened(prog, hp.program, m, unit + "+" +
+                           HardenModeName(m));
+        findings.insert(findings.end(), hf.begin(), hf.end());
+      }
+      for (const AsmFinding& f : findings)
+        std::fprintf(stderr, "%s\n", f.Format().c_str());
+      total += findings.size();
+    }
+    // Unused allowlist entries only become findings once every unit has had
+    // a chance to consume them (the file spans the whole suite).
+    const std::vector<AsmFinding> unused = UnusedAllowFindings(allow);
+    for (const AsmFinding& f : unused)
+      std::fprintf(stderr, "%s\n", f.Format().c_str());
+    total += unused.size();
+
+    if (total == 0) {
+      std::printf(
+          "asmlint: %zu unit(s), %zu instruction(s), %zu allowlisted "
+          "exception(s) — programs verified\n",
+          units.size(), insts, allow.size());
+    } else {
+      std::fprintf(stderr, "asmlint: %zu finding(s)\n", total);
+    }
+    return static_cast<int>(total);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "asmlint: %s\n", e.what());
+    return 2;
+  }
+}

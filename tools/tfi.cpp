@@ -35,6 +35,8 @@
 //   tfi inventory [--protect]                            Table 1 state listing
 //       audit: [--json] [--coverage] [--check --baseline FILE]
 //              [--write-baseline --baseline FILE]
+//   tfi asmlint [unit|file.s ...] [--allow FILE]         static program lint
+//       [--harden cfc|dup|full]  also statically verify the hardened variant
 //   tfi workloads                                        list the suite
 //   tfi version                                          build configuration
 //
@@ -51,6 +53,7 @@
 #include <string>
 #include <vector>
 
+#include "analyze/asm/asmlint.h"
 #include "analyze/inventory.h"
 #include "arch/functional_sim.h"
 #include "inject/campaign.h"
@@ -61,6 +64,7 @@
 #include "obs/heatmap.h"
 #include "obs/metrics.h"
 #include "obs/status_server.h"
+#include "soft/harden.h"
 #include "soft/soft_inject.h"
 #include "uarch/core.h"
 #include "util/argparse.h"
@@ -121,6 +125,9 @@ struct Args {
   std::string axis;
   std::string sweep_json;
   std::string sweep_csv;
+  // Static program lint (asmlint subcommand).
+  std::string allow;
+  std::string harden;
   // Inventory audit (inventory subcommand).
   bool json = false;
   bool coverage = false;
@@ -190,6 +197,9 @@ ArgParser MakeParser(Args& a) {
            "(sweep)");
   p.AddStr("sweep-csv", &a.sweep_csv,
            "per-point per-structure CSV path; '-' = stdout (sweep)");
+  p.AddStr("allow", &a.allow, "allowlist of audited exceptions (asmlint)");
+  p.AddStr("harden", &a.harden,
+           "also verify the hardened variant: cfc, dup or full (asmlint)");
   p.AddFlag("json", &a.json,
             "emit the canonical audit JSON (inventory); sweep curves JSON "
             "on stdout (sweep)");
@@ -229,6 +239,63 @@ Program LoadProgram(const std::string& what, std::uint64_t iters) {
     return Assemble(src.str());
   }
   return BuildWorkload(WorkloadByName(what), iters);
+}
+
+// `tfi asmlint`: the static program lint, sharing LoadProgram's
+// workload-or-.s-file convention. Exit code = number of findings.
+int CmdAsmlint(const Args& a) {
+  std::vector<std::string> units = a.positional;
+  if (units.empty())
+    for (const auto& w : AllWorkloads()) units.push_back(w.name);
+
+  std::vector<analyze::AllowEntry> allow;
+  if (!a.allow.empty()) {
+    std::ifstream in(a.allow);
+    if (!in) throw std::runtime_error("cannot read " + a.allow);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    std::string error;
+    if (!analyze::ParseAllowlist(ss.str(), &allow, &error))
+      throw std::runtime_error(error);
+  }
+
+  std::optional<HardenMode> mode;
+  if (!a.harden.empty()) {
+    if (a.harden == "cfc") mode = HardenMode::kCfc;
+    else if (a.harden == "dup") mode = HardenMode::kDup;
+    else if (a.harden == "full") mode = HardenMode::kFull;
+    else throw std::runtime_error("unknown --harden mode: " + a.harden);
+  }
+
+  std::size_t total = 0;
+  for (const std::string& u : units) {
+    const std::size_t slash = u.find_last_of('/');
+    const std::string unit =
+        slash == std::string::npos ? u : u.substr(slash + 1);
+    const Program prog = LoadProgram(u, kCampaignIters);
+    analyze::AsmLintOptions opt;
+    opt.unit = unit;
+    std::vector<analyze::AsmFinding> findings =
+        analyze::RunAsmLint(analyze::Lift(prog), allow, opt);
+    if (mode) {
+      const HardenedProgram hp = Harden(prog, *mode);
+      const auto hf = VerifyHardened(prog, hp.program, *mode,
+                                     unit + "+" + HardenModeName(*mode));
+      findings.insert(findings.end(), hf.begin(), hf.end());
+    }
+    for (const auto& f : findings)
+      std::fprintf(stderr, "%s\n", f.Format().c_str());
+    total += findings.size();
+  }
+  const auto unused = analyze::UnusedAllowFindings(allow);
+  for (const auto& f : unused)
+    std::fprintf(stderr, "%s\n", f.Format().c_str());
+  total += unused.size();
+  if (total == 0)
+    std::printf("asmlint: %zu unit(s) verified\n", units.size());
+  else
+    std::fprintf(stderr, "asmlint: %zu finding(s)\n", total);
+  return static_cast<int>(total);
 }
 
 int CmdWorkloads() {
@@ -617,8 +684,8 @@ int Usage() {
   Args dummy;
   std::fprintf(stderr,
                "usage: tfi "
-               "<run|exec|campaign|sweep|soft|inventory|workloads|version> "
-               "...\n"
+               "<run|exec|campaign|sweep|soft|asmlint|inventory|workloads|"
+               "version> ...\n"
                "options:\n%s"
                "see the header of tools/tfi.cpp for details\n",
                MakeParser(dummy).Help().c_str());
@@ -652,6 +719,7 @@ int main(int argc, char** argv) {
     if (cmd == "campaign") return CmdCampaign(args);
     if (cmd == "sweep") return CmdSweep(args);
     if (cmd == "soft") return CmdSoft(args);
+    if (cmd == "asmlint") return CmdAsmlint(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "tfi: %s\n", e.what());
     return 1;
